@@ -1,0 +1,141 @@
+// Benchmarks for the substrate systems: the VM, the cache and predictor
+// pipelines, the adaptive-interval controller and the stratified baseline
+// hot path. These complement the per-figure benches in bench_test.go.
+package hwprof_test
+
+import (
+	"testing"
+
+	"hwprof"
+	"hwprof/internal/adaptive"
+	"hwprof/internal/bpred"
+	"hwprof/internal/cache"
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+	"hwprof/internal/opt"
+	"hwprof/internal/stratified"
+	"hwprof/internal/vm/progs"
+)
+
+func BenchmarkVMExecution(b *testing.B) {
+	p, err := progs.ByName("quicksort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	steps := uint64(0)
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		n, err := m.Run(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += n
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "instrs/run")
+}
+
+func BenchmarkDelinquentLoadPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prog, _ := progs.ByName("treeins")
+		m, err := prog.NewMachine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := cache.New(cache.Config{SizeBytes: 512, Ways: 2, LineBytes: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.BestMultiHash(core.ShortIntervalConfig())
+		cfg.Seed = 3
+		p, err := core.NewMultiHash(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := opt.FindDelinquentLoads(m, c, p, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Coverage*100, "%miss-coverage")
+	}
+}
+
+func BenchmarkProblematicBranchPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prog, _ := progs.ByName("crcbits")
+		m, err := prog.NewMachine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pred, err := bpred.NewTwoBit(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.BestMultiHash(core.ShortIntervalConfig())
+		cfg.Seed = 3
+		p, err := core.NewMultiHash(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := opt.FindProblematicBranches(m, pred, p, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Coverage*100, "%mispredict-coverage")
+	}
+}
+
+func BenchmarkAdaptiveObserve(b *testing.B) {
+	base := core.BestMultiHash(core.ShortIntervalConfig())
+	base.Seed = 5
+	a, err := adaptive.New(adaptive.Config{
+		Base:        base,
+		MinLength:   1_000,
+		MaxLength:   1_000_000,
+		ShrinkAbove: 60,
+		GrowBelow:   10,
+		Settle:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, _ := hwprof.NewWorkload("m88ksim", hwprof.KindValue, 1)
+	tuples := make([]event.Tuple, 1<<16)
+	for i := range tuples {
+		tuples[i], _ = w.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Observe(tuples[i&(1<<16-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStratifiedObserve(b *testing.B) {
+	s, err := stratified.New(stratified.Config{
+		TableEntries:      2048,
+		SamplingThreshold: 25,
+		AggEntries:        16,
+		AggFlushCount:     8,
+		BufferEntries:     100,
+		TagBits:           8,
+		Seed:              1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, _ := hwprof.NewWorkload("gcc", hwprof.KindValue, 1)
+	tuples := make([]event.Tuple, 1<<16)
+	for i := range tuples {
+		tuples[i], _ = w.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(tuples[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,156 @@
+// Command experiments regenerates the paper's results figures on the
+// synthetic benchmark suite.
+//
+// Usage:
+//
+//	experiments -fig all
+//	experiments -fig 12 -long-intervals 20
+//	experiments -fig 7 -benchmarks gcc,go -seed 3
+//
+// Figure ids: 4, 5, 6, 7, 9, 10, 11, 12, 13, 14, area, stratified, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hwprof/internal/expt"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate (4,5,6,7,9,10,11,12,13,14,area,stratified,adaptive,vm,all)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		shortIvs = flag.Int("short-intervals", 0, "profile intervals per 10K-regime run (default 50)")
+		longIvs  = flag.Int("long-intervals", 0, "profile intervals per 1M-regime run (default 5)")
+		benchs   = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
+	)
+	flag.Parse()
+
+	opts := expt.Options{
+		Seed:           *seed,
+		ShortIntervals: *shortIvs,
+		LongIntervals:  *longIvs,
+	}
+	if *benchs != "" {
+		opts.Benchmarks = strings.Split(*benchs, ",")
+	}
+
+	figs := strings.Split(*fig, ",")
+	if *fig == "all" {
+		figs = []string{"4", "5", "6", "7", "9", "10", "11", "12", "13", "14", "area", "stratified", "adaptive", "vm"}
+	}
+	for _, f := range figs {
+		if err := run(strings.TrimSpace(f), opts); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(fig string, opts expt.Options) error {
+	switch fig {
+	case "4":
+		t, err := expt.Fig4(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+	case "5":
+		t1, t01, err := expt.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t1.String())
+		fmt.Println(t01.String())
+	case "6":
+		short, long, err := expt.Fig6(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.SeriesSummary("Figure 6 (top): candidate variation % between 10K intervals", short).String())
+		fmt.Println(expt.SeriesSummary("Figure 6 (bottom): candidate variation % between 1M intervals", long).String())
+	case "7":
+		short, long, err := expt.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(short.String())
+		fmt.Println(long.String())
+	case "9":
+		t, err := expt.Fig9()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+	case "10":
+		t, err := expt.Fig10(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+	case "11":
+		t, err := expt.Fig11(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+	case "12":
+		short, long, err := expt.Fig12(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(short.String())
+		fmt.Println(long.String())
+	case "13":
+		bsh, multi, err := expt.Fig13(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 13 (left): per-interval error %, best single hash (R1,P1), 1M/0.1%")
+		for _, s := range bsh {
+			fmt.Println("  " + s.String())
+		}
+		fmt.Println("Figure 13 (right): per-interval error %, multi-hash 4 tables (C1,R0,P1), 1M/0.1%")
+		for _, s := range multi {
+			fmt.Println("  " + s.String())
+		}
+		fmt.Println()
+	case "14":
+		short, long, err := expt.Fig14(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(short.String())
+		fmt.Println(long.String())
+	case "area":
+		t, err := expt.AreaTable()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+	case "stratified":
+		t, err := expt.StratifiedCompare(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+	case "adaptive":
+		t, err := expt.AdaptiveTable(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+	case "vm":
+		t, err := expt.VMTable(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Command phases runs SimPoint-style basic-block-vector phase analysis
+// (the paper's methodology refs [16, 17]) over a VM program: execution is
+// cut into block-count intervals, summarized as basic-block vectors,
+// clustered into phases, and one weighted simulation point is reported per
+// phase.
+//
+// Usage:
+//
+//	phases -program treeins -k 2
+//	phases -program quicksort -interval 500 -k 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hwprof/internal/bbv"
+	"hwprof/internal/vm/progs"
+)
+
+func main() {
+	var (
+		program  = flag.String("program", "", "VM program to analyze (see vmrun -list)")
+		interval = flag.Uint64("interval", 500, "interval length in block executions")
+		k        = flag.Int("k", 2, "number of phases to find")
+		dims     = flag.Int("dims", 16, "random-projection dimensions")
+		seed     = flag.Uint64("seed", 1, "clustering seed")
+		maxSteps = flag.Uint64("max-steps", 100_000_000, "instruction budget")
+	)
+	flag.Parse()
+	if err := run(*program, *interval, *k, *dims, *seed, *maxSteps); err != nil {
+		fmt.Fprintln(os.Stderr, "phases:", err)
+		os.Exit(1)
+	}
+}
+
+func run(program string, interval uint64, k, dims int, seed, maxSteps uint64) error {
+	if program == "" {
+		return fmt.Errorf("-program is required")
+	}
+	p, err := progs.ByName(program)
+	if err != nil {
+		return err
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		return err
+	}
+	c, err := bbv.NewCollector(m, interval)
+	if err != nil {
+		return err
+	}
+	steps, err := m.Run(maxSteps)
+	if err != nil {
+		return err
+	}
+	vectors := c.Vectors()
+	if len(vectors) == 0 {
+		return fmt.Errorf("program produced no intervals (ran %d instructions)", steps)
+	}
+	if k > len(vectors) {
+		k = len(vectors)
+	}
+	res, err := bbv.Analyze(vectors, k, dims, seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: %d instructions, %d intervals of %d blocks, %d phases\n\n",
+		program, steps, len(vectors), interval, k)
+	fmt.Print("phase timeline: ")
+	for _, l := range res.Labels {
+		fmt.Printf("%d", l)
+	}
+	fmt.Println()
+	for ci := range res.Points {
+		fmt.Printf("phase %d: weight %.2f, simulation point = interval %d (%d distinct blocks)\n",
+			ci, res.Weights[ci], res.Points[ci], len(vectors[res.Points[ci]]))
+	}
+	return nil
+}

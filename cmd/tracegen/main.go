@@ -1,0 +1,76 @@
+// Command tracegen writes a binary tuple trace from a synthetic benchmark
+// analog or an instrumented VM program.
+//
+// Usage:
+//
+//	tracegen -workload gcc -kind value -n 1000000 -o gcc.trace
+//	tracegen -program interp -kind edge -n 200000 -o interp.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hwprof"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "synthetic benchmark analog (one of: burg deltablue gcc go li m88ksim sis vortex)")
+		program  = flag.String("program", "", "VM program (one of: fib interp matmul sort strhash treeins)")
+		kindName = flag.String("kind", "value", "tuple kind: value or edge")
+		n        = flag.Uint64("n", 1_000_000, "number of events to write")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*workload, *program, *kindName, *n, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, program, kindName string, n, seed uint64, out string) error {
+	var kind hwprof.Kind
+	switch kindName {
+	case "value":
+		kind = hwprof.KindValue
+	case "edge":
+		kind = hwprof.KindEdge
+	default:
+		return fmt.Errorf("unknown kind %q (want value or edge)", kindName)
+	}
+
+	var src hwprof.Source
+	var err error
+	switch {
+	case workload != "" && program != "":
+		return fmt.Errorf("specify only one of -workload and -program")
+	case workload != "":
+		src, err = hwprof.NewWorkload(workload, kind, seed)
+	case program != "":
+		src, err = hwprof.NewProgramSource(program, kind, true)
+	default:
+		return fmt.Errorf("one of -workload or -program is required")
+	}
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	written, err := hwprof.WriteTrace(w, kind, src, n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d events\n", written)
+	return nil
+}

@@ -1,0 +1,96 @@
+// Command vmrun assembles and executes a VM program (built-in or from an
+// assembly file), optionally dumping its profiling-event stream.
+//
+// Usage:
+//
+//	vmrun -program fib
+//	vmrun -asm prog.s -mem 1024 -dump-events edge | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hwprof/internal/event"
+	"hwprof/internal/vm"
+	"hwprof/internal/vm/progs"
+)
+
+func main() {
+	var (
+		program  = flag.String("program", "", "built-in program name (see -list)")
+		asmFile  = flag.String("asm", "", "assemble and run this file instead")
+		memWords = flag.Int("mem", 4096, "data memory size in words for -asm")
+		maxSteps = flag.Uint64("max-steps", 100_000_000, "instruction budget (0 = unlimited)")
+		dump     = flag.String("dump-events", "", "dump events of this kind (value or edge) to stdout")
+		list     = flag.Bool("list", false, "list built-in programs and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, p := range progs.All() {
+			fmt.Printf("%-10s %s\n", p.Name, p.Description)
+		}
+		return
+	}
+	if err := run(*program, *asmFile, *memWords, *maxSteps, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "vmrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(program, asmFile string, memWords int, maxSteps uint64, dump string) error {
+	var m *vm.Machine
+	switch {
+	case program != "" && asmFile != "":
+		return fmt.Errorf("specify only one of -program and -asm")
+	case program != "":
+		p, err := progs.ByName(program)
+		if err != nil {
+			return err
+		}
+		m, err = p.NewMachine()
+		if err != nil {
+			return err
+		}
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return err
+		}
+		m, err = vm.AssembleMachine(string(src), memWords)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -program or -asm is required")
+	}
+
+	events := 0
+	switch dump {
+	case "":
+	case "value":
+		m.OnValue = func(tp event.Tuple) {
+			events++
+			fmt.Printf("value %#x %#x\n", tp.A, tp.B)
+		}
+	case "edge":
+		m.OnEdge = func(tp event.Tuple) {
+			events++
+			fmt.Printf("edge %#x %#x\n", tp.A, tp.B)
+		}
+	default:
+		return fmt.Errorf("unknown event kind %q", dump)
+	}
+
+	steps, err := m.Run(maxSteps)
+	if err != nil {
+		return fmt.Errorf("after %d steps: %w", steps, err)
+	}
+	fmt.Fprintf(os.Stderr, "vmrun: %d instructions, halted=%v", steps, m.Halted())
+	if dump != "" {
+		fmt.Fprintf(os.Stderr, ", %d %s events", events, dump)
+	}
+	fmt.Fprintln(os.Stderr)
+	return nil
+}

@@ -1,0 +1,60 @@
+package hwprof_test
+
+import (
+	"fmt"
+
+	"hwprof"
+)
+
+// ExampleNew profiles one interval of a synthetic stream and reports how
+// many candidate tuples the hardware caught.
+func ExampleNew() {
+	cfg := hwprof.BestMultiHash(hwprof.ShortIntervalConfig())
+	profiler, err := hwprof.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	workload, err := hwprof.NewWorkload("li", hwprof.KindValue, 7)
+	if err != nil {
+		panic(err)
+	}
+	for i := uint64(0); i < cfg.IntervalLength; i++ {
+		t, _ := workload.Next()
+		profiler.Observe(t)
+	}
+	candidates := 0
+	for _, n := range profiler.EndInterval() {
+		if n >= cfg.ThresholdCount() {
+			candidates++
+		}
+	}
+	fmt.Println(candidates > 0, candidates <= cfg.EffectiveAccumCapacity())
+	// Output: true true
+}
+
+// ExampleCombine names a three-variable profiling event as a tuple.
+func ExampleCombine() {
+	a := hwprof.Combine(0x400010, 3, 99)
+	b := hwprof.Combine(0x400010, 3, 99)
+	c := hwprof.Combine(0x400010, 99, 3)
+	fmt.Println(a == b, a == c, a.A == 0x400010)
+	// Output: true false true
+}
+
+// ExampleEvalInterval classifies a hardware profile against ground truth
+// with the paper's error methodology.
+func ExampleEvalInterval() {
+	perfect := map[hwprof.Tuple]uint64{{A: 1}: 500, {A: 2}: 40}
+	hardware := map[hwprof.Tuple]uint64{{A: 1}: 500}
+	iv := hwprof.EvalInterval(perfect, hardware, 100)
+	fmt.Printf("error %.0f%%, candidates %d\n", iv.Total*100, iv.Candidates())
+	// Output: error 0%, candidates 1
+}
+
+// ExampleStorageBytes reproduces the paper's §7 storage envelope.
+func ExampleStorageBytes() {
+	short, _ := hwprof.StorageBytes(hwprof.BestMultiHash(hwprof.ShortIntervalConfig()))
+	long, _ := hwprof.StorageBytes(hwprof.BestMultiHash(hwprof.LongIntervalConfig()))
+	fmt.Println(short, long)
+	// Output: 7144 16144
+}

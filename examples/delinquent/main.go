@@ -1,0 +1,105 @@
+// Delinquent-load profiling: run a pointer-chasing program against a
+// small data cache, feed every miss to the multi-hash profiler as a
+// <loadPC, lineAddr> event, and report which load instructions a
+// prefetcher should target — the paper's first motivating optimization
+// (§2, "Cache Replacement and Prefetching"), plus a problematic-branch
+// pass for its fourth (§2, "Multiple Path Execution").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hwprof"
+	"hwprof/internal/bpred"
+	"hwprof/internal/cache"
+	"hwprof/internal/core"
+	"hwprof/internal/opt"
+	"hwprof/internal/vm/progs"
+)
+
+func main() {
+	profilerCfg := core.BestMultiHash(core.Config{
+		IntervalLength:   10_000,
+		ThresholdPercent: 1,
+		TotalEntries:     2048,
+		NumTables:        4,
+		CounterWidth:     24,
+		Seed:             3,
+	})
+
+	fmt.Println("== delinquent loads (treeins vs a 512-byte, 2-way cache) ==")
+	prog, err := progs.ByName("treeins")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := prog.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := cache.New(cache.Config{SizeBytes: 512, Ways: 2, LineBytes: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.NewMultiHash(profilerCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := opt.FindDelinquentLoads(m, c, p, 50_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cache: %d accesses, %d misses (%.1f%%)\n",
+		res.Accesses, res.Misses, 100*float64(res.Misses)/float64(res.Accesses))
+	fmt.Printf("profiler identified %d delinquent load PCs covering %.0f%% of all misses:\n",
+		len(res.ProfiledPCs), res.Coverage*100)
+	for _, pc := range res.ProfiledPCs {
+		fmt.Printf("  load at %#x\n", pc)
+	}
+
+	fmt.Println("\n== problematic branches (crcbits vs a 2-bit bimodal predictor) ==")
+	prog, err = progs.ByName("crcbits")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err = prog.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := bpred.NewTwoBit(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err = core.NewMultiHash(profilerCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bres, err := opt.FindProblematicBranches(m, pred, p, 50_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predictor: %d branches, %d mispredicts (%.1f%%)\n",
+		bres.Branches, bres.Mispredicts, 100*bpredRate(bres))
+	fmt.Printf("profiler identified %d problematic branch PCs covering %.0f%% of mispredictions:\n",
+		len(bres.ProfiledPCs), bres.Coverage*100)
+	for _, pc := range bres.ProfiledPCs {
+		fmt.Printf("  branch at %#x\n", pc)
+	}
+	fmt.Println("\nthese are the branches a dual-path-execution scheme should fork on,")
+	fmt.Printf("found with %d bytes of profiling hardware\n", storage(profilerCfg))
+}
+
+func bpredRate(r opt.ProblematicResult) float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.Branches)
+}
+
+func storage(cfg core.Config) int {
+	n, err := hwprof.StorageBytes(cfg)
+	if err != nil {
+		return 0
+	}
+	return n
+}

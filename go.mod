@@ -1,0 +1,3 @@
+module hwprof
+
+go 1.22

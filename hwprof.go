@@ -1,0 +1,216 @@
+// Package hwprof is a Go reproduction of "Catching Accurate Profiles in
+// Hardware" (Narayanasamy, Sherwood, Sair, Calder, Varghese — HPCA 2003):
+// the Multi-Hash interval-based hardware profiling architecture, its
+// single-hash ancestor, the stratified-sampling baseline, and the
+// workload/instrumentation substrates needed to evaluate them.
+//
+// The profiler finds the frequently occurring events ("candidate tuples")
+// of each fixed-length interval of a profiling-event stream, entirely in
+// simulated hardware: tagless hash tables of saturating counters filter
+// the stream, and a small associative accumulator table counts the
+// candidates exactly.
+//
+// Quick start:
+//
+//	cfg := hwprof.BestMultiHash(hwprof.ShortIntervalConfig())
+//	p, err := hwprof.New(cfg)
+//	if err != nil { ... }
+//	for _, t := range tuples {
+//	    p.Observe(t)
+//	}
+//	profile := p.EndInterval() // map[Tuple]count for the interval
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+package hwprof
+
+import (
+	"io"
+
+	"hwprof/internal/adaptive"
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+	"hwprof/internal/hwmodel"
+	"hwprof/internal/metrics"
+	"hwprof/internal/synth"
+	"hwprof/internal/trace"
+	"hwprof/internal/vm"
+	"hwprof/internal/vm/progs"
+)
+
+// Tuple uniquely names one profiling event: a pair such as
+// <loadPC, value> or <branchPC, targetPC>.
+type Tuple = event.Tuple
+
+// Kind labels what a tuple's two halves mean.
+type Kind = event.Kind
+
+// Tuple kinds.
+const (
+	KindValue   = event.KindValue
+	KindEdge    = event.KindEdge
+	KindGeneric = event.KindGeneric
+)
+
+// Source is a stream of profiling events.
+type Source = event.Source
+
+// Config describes a profiler configuration; see the field documentation
+// in the core package and the presets below.
+type Config = core.Config
+
+// Profiler is the Multi-Hash profiling architecture (the single-hash
+// architecture when Config.NumTables == 1).
+type Profiler = core.MultiHash
+
+// Perfect is the oracle profiler used for error evaluation.
+type Perfect = core.Perfect
+
+// IntervalError is the per-interval error breakdown of the paper's §5.5
+// methodology.
+type IntervalError = metrics.Interval
+
+// ErrorSummary aggregates interval errors over a run.
+type ErrorSummary = metrics.Summary
+
+// New builds a profiler from cfg.
+func New(cfg Config) (*Profiler, error) { return core.NewMultiHash(cfg) }
+
+// NewPerfect returns an oracle profiler.
+func NewPerfect() *Perfect { return core.NewPerfect() }
+
+// ShortIntervalConfig is the paper's 10,000-event / 1%-threshold regime.
+func ShortIntervalConfig() Config { return core.ShortIntervalConfig() }
+
+// LongIntervalConfig is the paper's 1,000,000-event / 0.1%-threshold
+// regime.
+func LongIntervalConfig() Config { return core.LongIntervalConfig() }
+
+// BestSingleHash configures base as the paper's best single-hash profiler
+// (resetting + retaining).
+func BestSingleHash(base Config) Config { return core.BestSingleHash(base) }
+
+// BestMultiHash configures base as the paper's best multi-hash profiler
+// (4 tables, conservative update, no resetting, retaining).
+func BestMultiHash(base Config) Config { return core.BestMultiHash(base) }
+
+// Run feeds src through hw and a perfect profiler, invoking fn at each
+// interval boundary with the exact and hardware profiles, and returns the
+// number of complete intervals processed.
+func Run(src Source, hw *Profiler, intervalLength uint64, fn func(index int, perfect, hardware map[Tuple]uint64)) (int, error) {
+	var cb core.IntervalFunc
+	if fn != nil {
+		cb = func(i int, p, h map[event.Tuple]uint64) { fn(i, p, h) }
+	}
+	return core.Run(src, hw, intervalLength, cb)
+}
+
+// EvalInterval computes the paper's error breakdown for one interval.
+func EvalInterval(perfect, hardware map[Tuple]uint64, thresholdCount uint64) IntervalError {
+	return metrics.EvalInterval(perfect, hardware, thresholdCount)
+}
+
+// Workloads returns the names of the built-in synthetic benchmark analogs
+// (burg, deltablue, gcc, go, li, m88ksim, sis, vortex).
+func Workloads() []string { return synth.Benchmarks() }
+
+// NewWorkload returns an unbounded deterministic event stream with the
+// statistical structure of the named benchmark analog.
+func NewWorkload(name string, kind Kind, seed uint64) (Source, error) {
+	return synth.NewBenchmark(name, kind, seed)
+}
+
+// Limit bounds a source to at most n events.
+func Limit(src Source, n uint64) Source { return event.Limit(src, n) }
+
+// Combine names an event of more than two variables as a Tuple (§3's
+// multi-variable extension); two-variable calls keep their literal names.
+func Combine(vars ...uint64) Tuple { return event.Combine(vars...) }
+
+// Interleave merges sources by round-robin with a fixed per-turn quantum,
+// modeling a multiprogrammed machine: the profiler is OS-independent and
+// simply profiles the merged stream.
+func Interleave(quantum uint64, sources ...Source) (Source, error) {
+	return synth.Interleave(quantum, sources...)
+}
+
+// Programs returns the names of the built-in VM programs whose
+// instrumented execution can drive the profiler with genuinely
+// program-generated streams.
+func Programs() []string {
+	all := progs.All()
+	names := make([]string, len(all))
+	for i, p := range all {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// NewProgramSource assembles and instruments the named VM program,
+// returning an event stream of the given kind. With loop set the program
+// restarts on halt, yielding an unbounded stream.
+func NewProgramSource(name string, kind Kind, loop bool) (Source, error) {
+	p, err := progs.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	src, err := vm.NewEventSource(m, kind)
+	if err != nil {
+		return nil, err
+	}
+	src.Loop = loop
+	return src, nil
+}
+
+// WriteTrace streams src into w in the repository's binary trace format,
+// returning the number of tuples written.
+func WriteTrace(w io.Writer, kind Kind, src Source, max uint64) (uint64, error) {
+	tw, err := trace.NewWriter(w, kind)
+	if err != nil {
+		return 0, err
+	}
+	for tw.Count() < max {
+		tp, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(tp); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// OpenTrace wraps a binary trace stream as a Source. The returned reader
+// also exposes the trace's tuple kind.
+func OpenTrace(r io.Reader) (*trace.Reader, error) { return trace.NewReader(r) }
+
+// AdaptiveConfig parameterizes the adaptive interval-length extension
+// (§5.6.1); see the adaptive package for field documentation.
+type AdaptiveConfig = adaptive.Config
+
+// AdaptiveProfiler wraps the multi-hash profiler with a controller that
+// adapts the interval length to the workload's phase behaviour.
+type AdaptiveProfiler = adaptive.Profiler
+
+// AdaptiveBoundary describes one completed adaptive interval.
+type AdaptiveBoundary = adaptive.Boundary
+
+// NewAdaptive builds an adaptive profiler.
+func NewAdaptive(cfg AdaptiveConfig) (*AdaptiveProfiler, error) {
+	return adaptive.New(cfg)
+}
+
+// StorageBytes returns the modeled hardware storage (hash tables plus
+// accumulator) of a configuration, as accounted in the paper's §7.
+func StorageBytes(cfg Config) (int, error) {
+	a, err := hwmodel.Of(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return a.Total(), nil
+}

@@ -1,0 +1,220 @@
+package hwprof_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hwprof"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cfg := hwprof.BestMultiHash(hwprof.ShortIntervalConfig())
+	p, err := hwprof.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := hwprof.NewWorkload("li", hwprof.KindValue, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < cfg.IntervalLength; i++ {
+		tp, ok := w.Next()
+		if !ok {
+			t.Fatal("workload ended")
+		}
+		p.Observe(tp)
+	}
+	profile := p.EndInterval()
+	cands := 0
+	for _, n := range profile {
+		if n >= cfg.ThresholdCount() {
+			cands++
+		}
+	}
+	if cands == 0 {
+		t.Fatal("no candidates caught on li")
+	}
+	if cands > cfg.EffectiveAccumCapacity() {
+		t.Fatalf("%d candidates exceed accumulator bound %d", cands, cfg.EffectiveAccumCapacity())
+	}
+}
+
+func TestRunAndEvalRoundTrip(t *testing.T) {
+	cfg := hwprof.BestMultiHash(hwprof.ShortIntervalConfig())
+	p, err := hwprof.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := hwprof.NewWorkload("m88ksim", hwprof.KindValue, 2)
+	calls := 0
+	n, err := hwprof.Run(hwprof.Limit(w, 3*cfg.IntervalLength), p, cfg.IntervalLength,
+		func(i int, perfect, hardware map[hwprof.Tuple]uint64) {
+			calls++
+			iv := hwprof.EvalInterval(perfect, hardware, cfg.ThresholdCount())
+			if iv.Total < 0 {
+				t.Fatalf("negative error %v", iv.Total)
+			}
+		})
+	if err != nil || n != 3 || calls != 3 {
+		t.Fatalf("Run = %d, %v; calls = %d", n, err, calls)
+	}
+}
+
+func TestWorkloadsAndPrograms(t *testing.T) {
+	if len(hwprof.Workloads()) != 8 {
+		t.Fatalf("Workloads() = %v", hwprof.Workloads())
+	}
+	if len(hwprof.Programs()) < 6 {
+		t.Fatalf("Programs() = %v", hwprof.Programs())
+	}
+	if _, err := hwprof.NewWorkload("nope", hwprof.KindValue, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := hwprof.NewProgramSource("nope", hwprof.KindValue, false); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}
+
+func TestProgramSourceDelivers(t *testing.T) {
+	src, err := hwprof.NewProgramSource("fib", hwprof.KindEdge, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n < 100 {
+		t.Fatalf("fib produced only %d edge events", n)
+	}
+}
+
+func TestTraceRoundTripViaFacade(t *testing.T) {
+	w, _ := hwprof.NewWorkload("li", hwprof.KindValue, 3)
+	var buf bytes.Buffer
+	written, err := hwprof.WriteTrace(&buf, hwprof.KindValue, w, 5000)
+	if err != nil || written != 5000 {
+		t.Fatalf("WriteTrace = %d, %v", written, err)
+	}
+	r, err := hwprof.OpenTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != hwprof.KindValue {
+		t.Fatalf("trace kind = %v", r.Kind())
+	}
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 5000 || r.Err() != nil {
+		t.Fatalf("read %d tuples, err %v", n, r.Err())
+	}
+}
+
+func TestStorageBytesEnvelope(t *testing.T) {
+	// The paper's abstract: "between 7 to 16 Kilobytes".
+	short, err := hwprof.StorageBytes(hwprof.BestMultiHash(hwprof.ShortIntervalConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := hwprof.StorageBytes(hwprof.BestMultiHash(hwprof.LongIntervalConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short < 7000 || long > 17*1024 {
+		t.Fatalf("storage envelope: short %d, long %d", short, long)
+	}
+	if _, err := hwprof.StorageBytes(hwprof.Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestPresetConfigsValid(t *testing.T) {
+	for _, cfg := range []hwprof.Config{
+		hwprof.ShortIntervalConfig(),
+		hwprof.LongIntervalConfig(),
+		hwprof.BestSingleHash(hwprof.ShortIntervalConfig()),
+		hwprof.BestMultiHash(hwprof.LongIntervalConfig()),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %v invalid: %v", cfg, err)
+		}
+	}
+	bsh := hwprof.BestSingleHash(hwprof.ShortIntervalConfig())
+	if bsh.NumTables != 1 || !bsh.ResetOnPromote || !bsh.Retain {
+		t.Fatalf("BestSingleHash = %+v", bsh)
+	}
+	mh := hwprof.BestMultiHash(hwprof.ShortIntervalConfig())
+	if mh.NumTables != 4 || !mh.ConservativeUpdate || mh.ResetOnPromote || !mh.Retain {
+		t.Fatalf("BestMultiHash = %+v", mh)
+	}
+}
+
+func TestAdaptiveFacade(t *testing.T) {
+	base := hwprof.BestMultiHash(hwprof.ShortIntervalConfig())
+	base.Seed = 4
+	a, err := hwprof.NewAdaptive(hwprof.AdaptiveConfig{
+		Base:        base,
+		MinLength:   1_000,
+		MaxLength:   100_000,
+		ShrinkAbove: 60,
+		GrowBelow:   10,
+		Settle:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := hwprof.NewWorkload("li", hwprof.KindValue, 1)
+	boundaries := 0
+	for i := 0; i < 50_000; i++ {
+		tp, _ := w.Next()
+		b, err := a.Observe(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != nil {
+			boundaries++
+			if len(b.Profile) == 0 {
+				t.Fatal("boundary with empty profile on a hot workload")
+			}
+		}
+	}
+	if boundaries == 0 {
+		t.Fatal("no boundaries observed")
+	}
+}
+
+func TestCombineFacade(t *testing.T) {
+	if hwprof.Combine(1, 2) != (hwprof.Tuple{A: 1, B: 2}) {
+		t.Fatal("two-variable Combine not literal")
+	}
+	if hwprof.Combine(1, 2, 3) == hwprof.Combine(1, 3, 2) {
+		t.Fatal("multi-variable Combine insensitive to order")
+	}
+}
+
+func TestInterleaveFacade(t *testing.T) {
+	a, _ := hwprof.NewWorkload("li", hwprof.KindValue, 1)
+	b, _ := hwprof.NewWorkload("m88ksim", hwprof.KindValue, 2)
+	merged, err := hwprof.Interleave(100, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for n < 1000 {
+		if _, ok := merged.Next(); !ok {
+			t.Fatal("merged stream ended")
+		}
+		n++
+	}
+	if _, err := hwprof.Interleave(0, a); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+}

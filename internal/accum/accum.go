@@ -1,0 +1,195 @@
+// Package accum implements the fully-associative accumulator table at the
+// heart of the paper's profiling architectures (§5.2).
+//
+// The accumulator holds the tuples the hash-table front end has promoted to
+// candidate status and counts their further occurrences exactly. Its
+// capacity is bounded by construction: at candidate threshold t% at most
+// 100/t tuples can cross the threshold in one interval, so a 100/t-entry
+// table can never overflow with real candidates (§5.1) — no replacement
+// machinery is needed for correctness, only for the retaining optimization.
+//
+// Entries carry two hardware flags:
+//
+//   - non-replaceable: set on promotion; the entry may not be evicted for
+//     the rest of the interval.
+//   - retained (replaceable): set at an interval boundary under the
+//     retaining optimization (§5.4.1) for entries that finished above the
+//     threshold. Retained entries restart counting from zero, may be evicted
+//     by new promotions, and become non-replaceable again the moment they
+//     re-cross the threshold.
+package accum
+
+import (
+	"fmt"
+	"sort"
+
+	"hwprof/internal/event"
+)
+
+// entry is one accumulator row.
+type entry struct {
+	tuple       event.Tuple
+	count       uint64
+	replaceable bool
+	seq         uint64 // insertion order, for deterministic eviction
+}
+
+// Table is a bounded, fully-associative accumulator table.
+type Table struct {
+	capacity  int
+	threshold uint64
+	entries   map[event.Tuple]*entry
+	seq       uint64
+}
+
+// New returns an accumulator with the given entry capacity and candidate
+// threshold (the occurrence count at which a tuple counts as a candidate).
+func New(capacity int, threshold uint64) (*Table, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("accum: capacity %d must be positive", capacity)
+	}
+	if threshold == 0 {
+		return nil, fmt.Errorf("accum: threshold must be positive")
+	}
+	return &Table{
+		capacity:  capacity,
+		threshold: threshold,
+		entries:   make(map[event.Tuple]*entry, capacity),
+	}, nil
+}
+
+// Capacity returns the table's entry capacity.
+func (t *Table) Capacity() int { return t.capacity }
+
+// Threshold returns the candidate threshold count.
+func (t *Table) Threshold() uint64 { return t.threshold }
+
+// Len returns the number of occupied entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Contains reports whether tp currently has an entry.
+func (t *Table) Contains(tp event.Tuple) bool {
+	_, ok := t.entries[tp]
+	return ok
+}
+
+// Count returns the current count for tp and whether tp is present.
+func (t *Table) Count(tp event.Tuple) (uint64, bool) {
+	e, ok := t.entries[tp]
+	if !ok {
+		return 0, false
+	}
+	return e.count, true
+}
+
+// Inc counts one occurrence of a resident tuple. A retained (replaceable)
+// entry that re-crosses the threshold becomes non-replaceable for the rest
+// of the interval, exactly as in §5.4.1. Inc reports whether the tuple was
+// resident.
+func (t *Table) Inc(tp event.Tuple) bool {
+	e, ok := t.entries[tp]
+	if !ok {
+		return false
+	}
+	e.count++
+	if e.replaceable && e.count >= t.threshold {
+		e.replaceable = false
+	}
+	return true
+}
+
+// Insert promotes tp into the table with the given initial count (the hash
+// counter value at promotion). Allocation prefers empty entries, then
+// evicts the replaceable entry with the smallest count (oldest first on
+// ties). Insert fails — and the table is unchanged — when every entry is
+// occupied and non-replaceable. Inserting a tuple that is already resident
+// is a no-op reported as success.
+func (t *Table) Insert(tp event.Tuple, initial uint64) bool {
+	if _, ok := t.entries[tp]; ok {
+		return true
+	}
+	if len(t.entries) >= t.capacity {
+		victim := t.victim()
+		if victim == nil {
+			return false
+		}
+		delete(t.entries, victim.tuple)
+	}
+	t.seq++
+	t.entries[tp] = &entry{
+		tuple:       tp,
+		count:       initial,
+		replaceable: initial < t.threshold,
+		seq:         t.seq,
+	}
+	return true
+}
+
+// victim selects the replaceable entry with the smallest count, breaking
+// ties by age (smaller seq first). Returns nil when nothing is replaceable.
+func (t *Table) victim() *entry {
+	var v *entry
+	for _, e := range t.entries {
+		if !e.replaceable {
+			continue
+		}
+		if v == nil || e.count < v.count || (e.count == v.count && e.seq < v.seq) {
+			v = e
+		}
+	}
+	return v
+}
+
+// Snapshot returns the current per-tuple counts. The map is freshly
+// allocated and safe for the caller to keep across EndInterval.
+func (t *Table) Snapshot() map[event.Tuple]uint64 {
+	out := make(map[event.Tuple]uint64, len(t.entries))
+	for tp, e := range t.entries {
+		out[tp] = e.count
+	}
+	return out
+}
+
+// Candidates returns the tuples whose counts reached the threshold, sorted
+// by descending count (ties by tuple for determinism).
+func (t *Table) Candidates() []event.Tuple {
+	var out []event.Tuple
+	for tp, e := range t.entries {
+		if e.count >= t.threshold {
+			out = append(out, tp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := t.entries[out[i]].count, t.entries[out[j]].count
+		if ci != cj {
+			return ci > cj
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// EndInterval applies the interval-boundary policy and prepares the table
+// for the next interval.
+//
+// With retain == false the table is simply flushed. With retain == true
+// (§5.4.1) entries that finished below the threshold are flushed, and
+// entries at or above it are kept with their counters reset to zero and
+// marked replaceable.
+func (t *Table) EndInterval(retain bool) {
+	if !retain {
+		clear(t.entries)
+		return
+	}
+	for tp, e := range t.entries {
+		if e.count < t.threshold {
+			delete(t.entries, tp)
+			continue
+		}
+		e.count = 0
+		e.replaceable = true
+	}
+}

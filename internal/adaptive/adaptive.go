@@ -1,0 +1,211 @@
+// Package adaptive implements the extension the paper proposes in §5.6.1:
+// "different interval lengths suit different programs ... one can
+// potentially adaptively pick the appropriate interval length for a given
+// program."
+//
+// The controller watches the candidate-set variation between consecutive
+// intervals (the Figure 6 quantity). Sustained high variation means the
+// interval is too long to track the program's phases, so the controller
+// halves it; sustained low variation means the profile is stable and a
+// longer interval would cut per-boundary work and catch rarer candidates,
+// so it doubles. The candidate *threshold percentage* is held constant —
+// as in the paper, the absolute threshold count scales with the interval
+// — and the profiler hardware is rebuilt at each adaptation, modeling a
+// reconfiguration (retained candidates are deliberately dropped: the old
+// threshold no longer means the same thing).
+package adaptive
+
+import (
+	"fmt"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// Base is the profiler configuration; Base.IntervalLength is the
+	// starting interval length.
+	Base core.Config
+
+	// MinLength and MaxLength bound the adapted interval length.
+	MinLength, MaxLength uint64
+
+	// ShrinkAbove is the candidate-variation percentage (0–100) above
+	// which the interval halves; GrowBelow the percentage below which it
+	// doubles. ShrinkAbove must exceed GrowBelow.
+	ShrinkAbove, GrowBelow float64
+
+	// Settle is how many interval boundaries must pass after an
+	// adaptation before the controller adapts again (damping). Zero
+	// means adapt freely.
+	Settle int
+}
+
+// Validate reports whether the configuration is coherent.
+func (c Config) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	if c.MinLength == 0 || c.MaxLength < c.MinLength {
+		return fmt.Errorf("adaptive: bad length bounds [%d, %d]", c.MinLength, c.MaxLength)
+	}
+	if c.Base.IntervalLength < c.MinLength || c.Base.IntervalLength > c.MaxLength {
+		return fmt.Errorf("adaptive: start length %d outside [%d, %d]",
+			c.Base.IntervalLength, c.MinLength, c.MaxLength)
+	}
+	if !(c.ShrinkAbove > c.GrowBelow) || c.ShrinkAbove > 100 || c.GrowBelow < 0 {
+		return fmt.Errorf("adaptive: bad variation thresholds shrink>%v grow<%v",
+			c.ShrinkAbove, c.GrowBelow)
+	}
+	if c.Settle < 0 {
+		return fmt.Errorf("adaptive: negative settle %d", c.Settle)
+	}
+	return nil
+}
+
+// Direction says what an adaptation did.
+type Direction int
+
+// Adaptation outcomes.
+const (
+	Kept   Direction = 0
+	Shrunk Direction = -1
+	Grown  Direction = 1
+)
+
+// Boundary describes one completed interval.
+type Boundary struct {
+	// Profile is the hardware profile of the finished interval.
+	Profile map[event.Tuple]uint64
+	// Length is the interval's length in events.
+	Length uint64
+	// ThresholdCount is the candidate threshold that applied.
+	ThresholdCount uint64
+	// Variation is the candidate-set change versus the previous interval
+	// in percent (0 for the first interval at a given length).
+	Variation float64
+	// Adapted reports whether this boundary changed the interval length.
+	Adapted Direction
+}
+
+// Profiler is an interval-length-adapting wrapper around the multi-hash
+// profiler.
+type Profiler struct {
+	cfg    Config
+	cur    uint64
+	inner  *core.MultiHash
+	events uint64
+	prev   map[event.Tuple]bool
+	cool   int
+}
+
+// New builds an adaptive profiler.
+func New(cfg Config) (*Profiler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Profiler{cfg: cfg, cur: cfg.Base.IntervalLength}
+	if err := a.rebuild(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// rebuild constructs the inner profiler for the current length.
+func (a *Profiler) rebuild() error {
+	c := a.cfg.Base
+	c.IntervalLength = a.cur
+	inner, err := core.NewMultiHash(c)
+	if err != nil {
+		return fmt.Errorf("adaptive: rebuilding at length %d: %w", a.cur, err)
+	}
+	a.inner = inner
+	a.prev = nil
+	return nil
+}
+
+// IntervalLength returns the current interval length.
+func (a *Profiler) IntervalLength() uint64 { return a.cur }
+
+// ThresholdCount returns the current absolute candidate threshold.
+func (a *Profiler) ThresholdCount() uint64 {
+	c := a.cfg.Base
+	c.IntervalLength = a.cur
+	return c.ThresholdCount()
+}
+
+// Observe feeds one event. At an interval boundary it returns the
+// boundary record (and possibly adapts); otherwise it returns nil.
+func (a *Profiler) Observe(tp event.Tuple) (*Boundary, error) {
+	a.inner.Observe(tp)
+	a.events++
+	if a.events < a.cur {
+		return nil, nil
+	}
+	a.events = 0
+
+	thresh := a.ThresholdCount()
+	profile := a.inner.EndInterval()
+	cands := make(map[event.Tuple]bool)
+	for t, n := range profile {
+		if n >= thresh {
+			cands[t] = true
+		}
+	}
+	b := &Boundary{
+		Profile:        profile,
+		Length:         a.cur,
+		ThresholdCount: thresh,
+		Adapted:        Kept,
+	}
+	first := a.prev == nil
+	if !first {
+		b.Variation = variationPct(a.prev, cands)
+	}
+	a.prev = cands
+
+	if a.cool > 0 {
+		a.cool--
+		return b, nil
+	}
+	if first {
+		return b, nil
+	}
+	switch {
+	case b.Variation > a.cfg.ShrinkAbove && a.cur/2 >= a.cfg.MinLength:
+		a.cur /= 2
+		b.Adapted = Shrunk
+	case b.Variation < a.cfg.GrowBelow && a.cur*2 <= a.cfg.MaxLength:
+		a.cur *= 2
+		b.Adapted = Grown
+	default:
+		return b, nil
+	}
+	a.cool = a.cfg.Settle
+	if err := a.rebuild(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// variationPct is |symmetric difference| / |union| × 100 (0 for two empty
+// sets).
+func variationPct(prev, next map[event.Tuple]bool) float64 {
+	if len(prev) == 0 && len(next) == 0 {
+		return 0
+	}
+	union, inter := 0, 0
+	for t := range prev {
+		union++
+		if next[t] {
+			inter++
+		}
+	}
+	for t := range next {
+		if !prev[t] {
+			union++
+		}
+	}
+	return 100 * float64(union-inter) / float64(union)
+}

@@ -1,0 +1,64 @@
+// Package analytic implements the paper's closed-form analysis of the
+// multi-hash profiler (§6.2, Figure 9).
+//
+// With candidate threshold t% there can be at most 100/t distinct tuples
+// above the threshold, so at most 100/t counters of a Z-entry table sit at
+// or above the threshold value. A non-candidate tuple becomes a false
+// positive only by hashing onto such a counter in *every* table; with n
+// independent tables of Z/n entries each, that probability is
+// (100·n / (t·Z))^n.
+//
+// The bound is loose — it ignores the tuple distribution and the retaining,
+// shielding and conservative-update optimizations — but it predicts the
+// U-shape of Figure 9: splitting a fixed counter budget over more tables
+// first drives false positives down exponentially, then hurts once each
+// table becomes too small.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// FalsePositiveProbability returns the §6.2 upper bound on the probability
+// that an input tuple becomes a false positive, for n hash tables sharing
+// totalEntries counters at candidate threshold thresholdPercent. The result
+// is clamped to [0, 1].
+func FalsePositiveProbability(totalEntries, n int, thresholdPercent float64) (float64, error) {
+	if totalEntries <= 0 {
+		return 0, fmt.Errorf("analytic: totalEntries %d must be positive", totalEntries)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("analytic: table count %d must be positive", n)
+	}
+	if !(thresholdPercent > 0 && thresholdPercent <= 100) || math.IsNaN(thresholdPercent) {
+		return 0, fmt.Errorf("analytic: threshold %v%% must be in (0, 100]", thresholdPercent)
+	}
+	perTable := 100 * float64(n) / (thresholdPercent * float64(totalEntries))
+	p := math.Pow(perTable, float64(n))
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// OptimalTables returns the table count in [1, maxTables] minimizing the
+// false-positive bound for the given geometry, preferring the smaller count
+// on ties. It is the analytic counterpart of the paper's empirical "4
+// tables is best" finding for 2K entries at 1%.
+func OptimalTables(totalEntries int, thresholdPercent float64, maxTables int) (int, error) {
+	if maxTables < 1 {
+		return 0, fmt.Errorf("analytic: maxTables %d must be >= 1", maxTables)
+	}
+	best, bestP := 1, math.Inf(1)
+	for n := 1; n <= maxTables; n++ {
+		p, err := FalsePositiveProbability(totalEntries, n, thresholdPercent)
+		if err != nil {
+			return 0, err
+		}
+		if p < bestP {
+			best, bestP = n, p
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,118 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFalsePositiveProbabilityValidation(t *testing.T) {
+	if _, err := FalsePositiveProbability(0, 1, 1); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if _, err := FalsePositiveProbability(1000, 0, 1); err == nil {
+		t.Error("zero tables accepted")
+	}
+	if _, err := FalsePositiveProbability(1000, 1, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := FalsePositiveProbability(1000, 1, 101); err == nil {
+		t.Error("threshold > 100 accepted")
+	}
+	if _, err := FalsePositiveProbability(1000, 1, math.NaN()); err == nil {
+		t.Error("NaN threshold accepted")
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	// Single table, 1% threshold, Z entries: p = 100/Z.
+	p, err := FalsePositiveProbability(1000, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.1) > 1e-12 {
+		t.Fatalf("p(1000,1,1%%) = %v, want 0.1", p)
+	}
+	// Two tables of 500: p = (100*2/2000)^2 = 0.01... wait: Z=1000 total,
+	// n=2 → (200/1000)^2 = 0.04.
+	p, _ = FalsePositiveProbability(1000, 2, 1)
+	if math.Abs(p-0.04) > 1e-12 {
+		t.Fatalf("p(1000,2,1%%) = %v, want 0.04", p)
+	}
+	// 2000 entries, 4 tables, 1%: (400/2000)^4 = 0.0016.
+	p, _ = FalsePositiveProbability(2000, 4, 1)
+	if math.Abs(p-0.0016) > 1e-12 {
+		t.Fatalf("p(2000,4,1%%) = %v, want 0.0016", p)
+	}
+}
+
+func TestClampAtOne(t *testing.T) {
+	// Tiny table, many tables: the bound exceeds 1 and must clamp.
+	p, err := FalsePositiveProbability(100, 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("p = %v, want clamp to 1", p)
+	}
+}
+
+// TestUShape reproduces Figure 9's qualitative shape: for a moderate entry
+// budget, the bound decreases with the first few added tables and
+// eventually increases again.
+func TestUShape(t *testing.T) {
+	pAt := func(z, n int) float64 {
+		p, err := FalsePositiveProbability(z, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// 1000 entries: paper notes degradation beyond 4 tables.
+	if !(pAt(1000, 2) < pAt(1000, 1)) {
+		t.Error("2 tables not better than 1 at 1000 entries")
+	}
+	if !(pAt(1000, 16) > pAt(1000, 4)) {
+		t.Error("16 tables not worse than 4 at 1000 entries")
+	}
+	// Larger budgets keep improving longer.
+	if !(pAt(8000, 8) < pAt(8000, 2)) {
+		t.Error("8 tables not better than 2 at 8000 entries")
+	}
+}
+
+func TestMonotoneInEntries(t *testing.T) {
+	// More entries can never hurt at fixed n and t.
+	for n := 1; n <= 8; n *= 2 {
+		prev := math.Inf(1)
+		for _, z := range []int{500, 1000, 2000, 4000, 8000} {
+			p, err := FalsePositiveProbability(z, n, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p > prev+1e-15 {
+				t.Fatalf("p increased with entries at n=%d, z=%d", n, z)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestOptimalTables(t *testing.T) {
+	// With 2000 entries at 1% threshold, p(n) = (n/20)^n which decreases
+	// until n ≈ 20/e ≈ 7.
+	n, err := OptimalTables(2000, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 4 || n > 8 {
+		t.Fatalf("OptimalTables(2000, 1%%) = %d, want in [4,8]", n)
+	}
+	// Tiny budget: one table is best.
+	n, _ = OptimalTables(200, 0.5, 16)
+	if n != 1 {
+		t.Fatalf("OptimalTables(200, 0.5%%) = %d, want 1", n)
+	}
+	if _, err := OptimalTables(2000, 1, 0); err == nil {
+		t.Error("maxTables 0 accepted")
+	}
+}

@@ -1,0 +1,288 @@
+// Package bbv implements basic-block-vector phase analysis in the style
+// of SimPoint (Sherwood, Perelman, Calder — the paper's refs [16, 17]).
+//
+// The paper's methodology fast-forwards each benchmark to a SimPoint-
+// selected region before profiling 500M instructions. This package
+// supplies that piece of the methodology for the reproduction's VM
+// programs: execution is cut into fixed-length instruction intervals, each
+// summarized by a basic-block vector (how many instructions ran in each
+// basic block), vectors are randomly projected to a low dimension and
+// clustered with k-means, and each cluster contributes one representative
+// simulation point weighted by cluster size.
+package bbv
+
+import (
+	"fmt"
+	"math"
+
+	"hwprof/internal/event"
+	"hwprof/internal/vm"
+	"hwprof/internal/xrand"
+)
+
+// Vector is one interval's basic-block profile: instructions executed per
+// block, keyed by the block's leader PC address.
+type Vector map[uint64]uint64
+
+// Collector accumulates basic-block vectors from an instrumented machine.
+// A basic block is a maximal run of instructions between control
+// transfers; its leader is the address control arrived at.
+type Collector struct {
+	interval uint64
+	vectors  []Vector
+	current  Vector
+
+	leader    uint64
+	lastSteps uint64
+	inCurrent uint64
+}
+
+// NewCollector attaches a collector to m, cutting a vector every
+// intervalBlocks block executions (control transfers). It takes over the
+// machine's OnEdge hook.
+func NewCollector(m *vm.Machine, intervalBlocks uint64) (*Collector, error) {
+	if intervalBlocks == 0 {
+		return nil, fmt.Errorf("bbv: interval must be positive")
+	}
+	c := &Collector{
+		interval: intervalBlocks,
+		current:  make(Vector),
+		leader:   vm.PCAddr(0),
+	}
+	m.OnEdge = c.onEdge
+	return c, nil
+}
+
+// onEdge closes the block that just ended and opens the next one. Blocks
+// are accounted by edge events: each edge means the block that led to it
+// executed once. SimPoint's BBVs weight blocks by their instruction
+// length; per-block execution counts differ from that only by a constant
+// per block, which is an equivalent signal for phase detection.
+func (c *Collector) onEdge(t event.Tuple) {
+	c.current[c.leader]++
+	c.leader = t.B
+	c.inCurrent++
+	if c.inCurrent >= c.interval {
+		c.vectors = append(c.vectors, c.current)
+		c.current = make(Vector)
+		c.inCurrent = 0
+	}
+}
+
+// Vectors returns the completed interval vectors. A trailing partial
+// interval is included if it holds at least one block execution.
+func (c *Collector) Vectors() []Vector {
+	out := c.vectors
+	if len(c.current) > 0 {
+		out = append(append([]Vector{}, c.vectors...), c.current)
+	}
+	return out
+}
+
+// Project maps a vector into dims dimensions by pseudo-random signed
+// projection: every block contributes its (normalized) weight times ±1
+// per dimension, with the signs derived deterministically from the block
+// leader. This is SimPoint's random-projection step with a hash in place
+// of a stored matrix.
+func Project(v Vector, dims int, seed uint64) ([]float64, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("bbv: dims %d must be positive", dims)
+	}
+	var total float64
+	for _, w := range v {
+		total += float64(w)
+	}
+	out := make([]float64, dims)
+	if total == 0 {
+		return out, nil
+	}
+	for leader, w := range v {
+		h := xrand.Mix64(leader ^ seed)
+		weight := float64(w) / total
+		for d := 0; d < dims; d++ {
+			if h&1 == 1 {
+				out[d] += weight
+			} else {
+				out[d] -= weight
+			}
+			h >>= 1
+			if d%63 == 62 { // refresh sign bits
+				h = xrand.Mix64(h ^ uint64(d))
+			}
+		}
+	}
+	return out, nil
+}
+
+// KMeans clusters points into k groups with k-means++ seeding and Lloyd
+// iterations. It returns each point's cluster assignment and the final
+// centroids. Deterministic for a given seed.
+func KMeans(points [][]float64, k int, seed uint64, maxIter int) ([]int, [][]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("bbv: no points to cluster")
+	}
+	if k <= 0 || k > n {
+		return nil, nil, fmt.Errorf("bbv: k %d out of range [1, %d]", k, n)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	dims := len(points[0])
+	for i, p := range points {
+		if len(p) != dims {
+			return nil, nil, fmt.Errorf("bbv: point %d has %d dims, want %d", i, len(p), dims)
+		}
+	}
+
+	dist2 := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return s
+	}
+
+	// k-means++ seeding.
+	r := xrand.New(seed)
+	centroids := make([][]float64, 0, k)
+	first := points[r.Intn(n)]
+	centroids = append(centroids, append([]float64{}, first...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := dist2(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		idx := 0
+		if total > 0 {
+			u := r.Float64() * total
+			acc := 0.0
+			for i, d := range d2 {
+				acc += d
+				if acc >= u {
+					idx = i
+					break
+				}
+			}
+		} else {
+			idx = r.Intn(n)
+		}
+		centroids = append(centroids, append([]float64{}, points[idx]...))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				if d := dist2(p, c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for ci := range sums {
+			sums[ci] = make([]float64, dims)
+		}
+		for i, p := range points {
+			counts[assign[i]]++
+			for d, v := range p {
+				sums[assign[i]][d] += v
+			}
+		}
+		for ci := range centroids {
+			if counts[ci] == 0 {
+				// Re-seed an empty cluster on the farthest point.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := dist2(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[ci], points[far])
+				changed = true
+				continue
+			}
+			for d := range centroids[ci] {
+				centroids[ci][d] = sums[ci][d] / float64(counts[ci])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return assign, centroids, nil
+}
+
+// Result is a phase analysis: per-interval phase labels and one weighted
+// representative interval (simulation point) per phase.
+type Result struct {
+	// Labels assigns each interval to a phase.
+	Labels []int
+	// Points holds, per phase, the index of the interval closest to the
+	// phase centroid.
+	Points []int
+	// Weights holds, per phase, the fraction of intervals in that phase;
+	// they sum to 1.
+	Weights []float64
+}
+
+// Analyze runs the full SimPoint-style pipeline: project every vector,
+// cluster into k phases, pick per-phase representatives.
+func Analyze(vectors []Vector, k, dims int, seed uint64) (Result, error) {
+	if len(vectors) == 0 {
+		return Result{}, fmt.Errorf("bbv: no vectors to analyze")
+	}
+	points := make([][]float64, len(vectors))
+	for i, v := range vectors {
+		p, err := Project(v, dims, seed)
+		if err != nil {
+			return Result{}, err
+		}
+		points[i] = p
+	}
+	assign, centroids, err := KMeans(points, k, seed, 100)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Labels:  assign,
+		Points:  make([]int, k),
+		Weights: make([]float64, k),
+	}
+	bestD := make([]float64, k)
+	for ci := range bestD {
+		bestD[ci] = math.Inf(1)
+		res.Points[ci] = -1
+	}
+	for i, p := range points {
+		ci := assign[i]
+		res.Weights[ci] += 1 / float64(len(points))
+		d := 0.0
+		for j := range p {
+			diff := p[j] - centroids[ci][j]
+			d += diff * diff
+		}
+		if d < bestD[ci] {
+			bestD[ci] = d
+			res.Points[ci] = i
+		}
+	}
+	return res, nil
+}

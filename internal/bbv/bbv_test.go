@@ -1,0 +1,237 @@
+package bbv
+
+import (
+	"math"
+	"testing"
+
+	"hwprof/internal/vm/progs"
+	"hwprof/internal/xrand"
+)
+
+func TestCollectorValidation(t *testing.T) {
+	p, _ := progs.ByName("sort")
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCollector(m, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestCollectorOnProgram(t *testing.T) {
+	p, _ := progs.ByName("sort")
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCollector(m, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	vecs := c.Vectors()
+	if len(vecs) < 3 {
+		t.Fatalf("only %d vectors collected", len(vecs))
+	}
+	for i, v := range vecs {
+		if len(v) == 0 {
+			t.Fatalf("vector %d is empty", i)
+		}
+		var total uint64
+		for _, w := range v {
+			total += w
+		}
+		if total == 0 {
+			t.Fatalf("vector %d has zero weight", i)
+		}
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	if _, err := Project(Vector{1: 1}, 0, 1); err == nil {
+		t.Fatal("zero dims accepted")
+	}
+}
+
+func TestProjectDeterministicAndNormalized(t *testing.T) {
+	v := Vector{0x400000: 10, 0x400040: 30}
+	a, err := Project(v, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Project(v, 16, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("projection not deterministic")
+		}
+		if math.Abs(a[i]) > 1 {
+			t.Fatalf("dim %d = %v exceeds normalized bound", i, a[i])
+		}
+	}
+	// Scaling the vector must not change the projection (normalization).
+	scaled := Vector{0x400000: 100, 0x400040: 300}
+	s, _ := Project(scaled, 16, 7)
+	for i := range a {
+		if math.Abs(a[i]-s[i]) > 1e-12 {
+			t.Fatal("projection not scale-invariant")
+		}
+	}
+}
+
+func TestProjectEmptyVector(t *testing.T) {
+	p, err := Project(Vector{}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range p {
+		if x != 0 {
+			t.Fatal("empty vector projected to nonzero")
+		}
+	}
+}
+
+func TestProjectSeparatesDifferentVectors(t *testing.T) {
+	a, _ := Project(Vector{1: 100}, 16, 3)
+	b, _ := Project(Vector{2: 100}, 16, 3)
+	d := 0.0
+	for i := range a {
+		d += (a[i] - b[i]) * (a[i] - b[i])
+	}
+	if d < 0.5 {
+		t.Fatalf("distinct vectors project within %v", d)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, _, err := KMeans(nil, 1, 1, 10); err == nil {
+		t.Fatal("no points accepted")
+	}
+	pts := [][]float64{{0}, {1}}
+	if _, _, err := KMeans(pts, 0, 1, 10); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := KMeans(pts, 3, 1, 10); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, _, err := KMeans([][]float64{{0}, {1, 2}}, 1, 1, 10); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+}
+
+func TestKMeansTwoObviousClusters(t *testing.T) {
+	r := xrand.New(5)
+	var pts [][]float64
+	for i := 0; i < 40; i++ {
+		base := 0.0
+		if i%2 == 1 {
+			base = 10
+		}
+		pts = append(pts, []float64{base + r.Float64()*0.1, base - r.Float64()*0.1})
+	}
+	assign, centroids, err := KMeans(pts, 2, 9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centroids) != 2 {
+		t.Fatal("centroid count")
+	}
+	// All even-index points must share a label, all odd another.
+	for i := 2; i < len(pts); i++ {
+		if assign[i] != assign[i%2] {
+			t.Fatalf("point %d labeled %d, want %d", i, assign[i], assign[i%2])
+		}
+	}
+	if assign[0] == assign[1] {
+		t.Fatal("two obvious clusters merged")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	r := xrand.New(11)
+	var pts [][]float64
+	for i := 0; i < 30; i++ {
+		pts = append(pts, []float64{r.Float64(), r.Float64()})
+	}
+	a1, _, _ := KMeans(pts, 3, 42, 50)
+	a2, _, _ := KMeans(pts, 3, 42, 50)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("k-means not deterministic")
+		}
+	}
+}
+
+func TestAnalyzeWeightsSumToOne(t *testing.T) {
+	var vecs []Vector
+	for i := 0; i < 20; i++ {
+		if i < 10 {
+			vecs = append(vecs, Vector{1: 100, 2: 50})
+		} else {
+			vecs = append(vecs, Vector{900: 80, 901: 70})
+		}
+	}
+	res, err := Analyze(vecs, 2, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, w := range res.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	for ci, p := range res.Points {
+		if p < 0 || p >= len(vecs) {
+			t.Fatalf("phase %d representative %d out of range", ci, p)
+		}
+		if res.Labels[p] != ci {
+			t.Fatalf("representative %d not in its own phase", p)
+		}
+	}
+	// The two synthetic phases must be separated.
+	if res.Labels[0] == res.Labels[19] {
+		t.Fatal("distinct phases merged")
+	}
+	if res.Labels[0] != res.Labels[9] || res.Labels[10] != res.Labels[19] {
+		t.Fatal("intervals of one phase split")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(nil, 2, 8, 1); err == nil {
+		t.Fatal("empty analysis accepted")
+	}
+}
+
+// TestPhaseDetectionOnProgram: treeins has two structural phases (build
+// the tree, then look up 2000 keys); the pipeline should place early and
+// late intervals in different phases.
+func TestPhaseDetectionOnProgram(t *testing.T) {
+	p, _ := progs.ByName("treeins")
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCollector(m, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	vecs := c.Vectors()
+	if len(vecs) < 6 {
+		t.Fatalf("only %d vectors", len(vecs))
+	}
+	res, err := Analyze(vecs, 2, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[0] == res.Labels[len(res.Labels)-2] {
+		t.Fatalf("build and lookup phases merged: labels %v", res.Labels)
+	}
+}

@@ -1,0 +1,159 @@
+// Package bpred implements classic dynamic branch predictors.
+//
+// The paper's fourth motivating optimization (§2, "Multiple Path
+// Execution") needs to know *which* branches mispredict often enough to be
+// worth executing down both paths. These predictors supply the
+// misprediction events: run one against a program's conditional-branch
+// stream and feed each mispredicting <branchPC, 1> tuple to the profiler;
+// the candidates are the problematic branches.
+package bpred
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Predictor predicts conditional-branch outcomes and learns from the
+// resolved direction.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc uint64, taken bool)
+}
+
+// twoBitCounter state transitions: 0,1 predict not-taken; 2,3 predict
+// taken; saturating.
+func bump(c uint8, taken bool) uint8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// TwoBit is the classic bimodal predictor: a table of 2-bit saturating
+// counters indexed by low PC bits.
+type TwoBit struct {
+	table []uint8
+	mask  uint64
+}
+
+// NewTwoBit returns a bimodal predictor with `entries` counters
+// (power of two). Counters start weakly not-taken.
+func NewTwoBit(entries int) (*TwoBit, error) {
+	if entries <= 0 || bits.OnesCount(uint(entries)) != 1 {
+		return nil, fmt.Errorf("bpred: entries %d must be a positive power of two", entries)
+	}
+	p := &TwoBit{table: make([]uint8, entries), mask: uint64(entries - 1)}
+	for i := range p.table {
+		p.table[i] = 1
+	}
+	return p, nil
+}
+
+func (p *TwoBit) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
+
+// Predict returns the counter's direction for pc.
+func (p *TwoBit) Predict(pc uint64) bool { return p.table[p.index(pc)] >= 2 }
+
+// Update trains the counter.
+func (p *TwoBit) Update(pc uint64, taken bool) {
+	i := p.index(pc)
+	p.table[i] = bump(p.table[i], taken)
+}
+
+// GShare xors a global branch-history register into the PC index,
+// capturing correlated branches.
+type GShare struct {
+	table   []uint8
+	mask    uint64
+	history uint64
+	histLen uint
+}
+
+// NewGShare returns a gshare predictor with `entries` counters and
+// historyBits bits of global history.
+func NewGShare(entries int, historyBits uint) (*GShare, error) {
+	if entries <= 0 || bits.OnesCount(uint(entries)) != 1 {
+		return nil, fmt.Errorf("bpred: entries %d must be a positive power of two", entries)
+	}
+	if historyBits > 32 {
+		return nil, fmt.Errorf("bpred: history %d out of range [0,32]", historyBits)
+	}
+	p := &GShare{table: make([]uint8, entries), mask: uint64(entries - 1), histLen: historyBits}
+	for i := range p.table {
+		p.table[i] = 1
+	}
+	return p, nil
+}
+
+func (p *GShare) index(pc uint64) uint64 { return ((pc >> 2) ^ p.history) & p.mask }
+
+// Predict returns the indexed counter's direction.
+func (p *GShare) Predict(pc uint64) bool { return p.table[p.index(pc)] >= 2 }
+
+// Update trains the counter and shifts the outcome into the history.
+func (p *GShare) Update(pc uint64, taken bool) {
+	i := p.index(pc)
+	p.table[i] = bump(p.table[i], taken)
+	p.history <<= 1
+	if taken {
+		p.history |= 1
+	}
+	p.history &= (1 << p.histLen) - 1
+}
+
+// Static predicts a fixed direction; the weakest baseline.
+type Static struct {
+	// Taken is the constant prediction.
+	Taken bool
+}
+
+// Predict returns the fixed direction.
+func (p *Static) Predict(uint64) bool { return p.Taken }
+
+// Update is a no-op.
+func (p *Static) Update(uint64, bool) {}
+
+// Stats accumulates predictor accuracy.
+type Stats struct {
+	Branches    uint64
+	Mispredicts uint64
+}
+
+// Rate returns the misprediction rate, or 0 before any branch.
+func (s Stats) Rate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Harness couples a predictor with its statistics and an optional
+// misprediction callback (the profiling tap).
+type Harness struct {
+	P Predictor
+	Stats
+	// OnMispredict, if non-nil, receives the PC of every mispredicted
+	// branch.
+	OnMispredict func(pc uint64)
+}
+
+// Resolve runs one branch through the predictor: predict, compare,
+// account, train.
+func (h *Harness) Resolve(pc uint64, taken bool) {
+	h.Branches++
+	if h.P.Predict(pc) != taken {
+		h.Mispredicts++
+		if h.OnMispredict != nil {
+			h.OnMispredict(pc)
+		}
+	}
+	h.P.Update(pc, taken)
+}

@@ -1,0 +1,133 @@
+package bpred
+
+import (
+	"testing"
+
+	"hwprof/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewTwoBit(0); err == nil {
+		t.Error("TwoBit 0 entries accepted")
+	}
+	if _, err := NewTwoBit(1000); err == nil {
+		t.Error("TwoBit non-power-of-two accepted")
+	}
+	if _, err := NewGShare(0, 8); err == nil {
+		t.Error("GShare 0 entries accepted")
+	}
+	if _, err := NewGShare(1024, 40); err == nil {
+		t.Error("GShare oversized history accepted")
+	}
+}
+
+func TestTwoBitLearnsBias(t *testing.T) {
+	p, _ := NewTwoBit(1024)
+	pc := uint64(0x400100)
+	// Train taken twice: weakly-NT -> weakly-T -> strongly-T.
+	p.Update(pc, true)
+	p.Update(pc, true)
+	if !p.Predict(pc) {
+		t.Fatal("did not learn taken bias")
+	}
+	// One not-taken blip must not flip a strong counter.
+	p.Update(pc, true)
+	p.Update(pc, false)
+	if !p.Predict(pc) {
+		t.Fatal("strong counter flipped on one blip")
+	}
+}
+
+func TestTwoBitHysteresis(t *testing.T) {
+	p, _ := NewTwoBit(64)
+	pc := uint64(0x40)
+	h := Harness{P: p}
+	// Loop-closing branch: taken 99 times, not-taken once, repeated.
+	for rep := 0; rep < 20; rep++ {
+		for i := 0; i < 99; i++ {
+			h.Resolve(pc, true)
+		}
+		h.Resolve(pc, false)
+	}
+	// A 2-bit counter mispredicts ~2 per 100 in steady state (the exit
+	// and the first re-entry... actually only the exit, since strong
+	// taken survives one blip): allow a small margin over 1/100.
+	if h.Rate() > 0.05 {
+		t.Fatalf("loop branch mispredict rate %v, want ~0.01", h.Rate())
+	}
+}
+
+func TestGShareLearnsPattern(t *testing.T) {
+	// Alternating branch: TNTNTN... impossible for bimodal, trivial for
+	// gshare with history.
+	gs, _ := NewGShare(4096, 8)
+	bim, _ := NewTwoBit(4096)
+	hg := Harness{P: gs}
+	hb := Harness{P: bim}
+	pc := uint64(0x400200)
+	for i := 0; i < 4000; i++ {
+		taken := i%2 == 0
+		hg.Resolve(pc, taken)
+		hb.Resolve(pc, taken)
+	}
+	if hg.Rate() > 0.05 {
+		t.Fatalf("gshare failed the alternating pattern: %v", hg.Rate())
+	}
+	if hb.Rate() < 0.4 {
+		t.Fatalf("bimodal suspiciously good on alternating pattern: %v", hb.Rate())
+	}
+}
+
+func TestStaticBaseline(t *testing.T) {
+	h := Harness{P: &Static{Taken: true}}
+	for i := 0; i < 10; i++ {
+		h.Resolve(0x40, i < 7) // 7 taken, 3 not
+	}
+	if h.Mispredicts != 3 {
+		t.Fatalf("static mispredicts = %d, want 3", h.Mispredicts)
+	}
+}
+
+func TestOnMispredictCallback(t *testing.T) {
+	p, _ := NewTwoBit(64)
+	var pcs []uint64
+	h := Harness{P: p, OnMispredict: func(pc uint64) { pcs = append(pcs, pc) }}
+	h.Resolve(0x400, true) // weakly-NT predicts false, outcome true: mispredict
+	if len(pcs) != 1 || pcs[0] != 0x400 {
+		t.Fatalf("callback got %v", pcs)
+	}
+}
+
+func TestRandomBranchNearFiftyPercent(t *testing.T) {
+	p, _ := NewTwoBit(1024)
+	h := Harness{P: p}
+	r := xrand.New(3)
+	for i := 0; i < 20000; i++ {
+		h.Resolve(0x80, r.Intn(2) == 0)
+	}
+	if h.Rate() < 0.4 || h.Rate() > 0.6 {
+		t.Fatalf("random branch rate %v, want ~0.5", h.Rate())
+	}
+}
+
+func TestStatsRateEmpty(t *testing.T) {
+	if (Stats{}).Rate() != 0 {
+		t.Fatal("empty stats rate nonzero")
+	}
+}
+
+func BenchmarkTwoBitResolve(b *testing.B) {
+	p, _ := NewTwoBit(4096)
+	h := Harness{P: p}
+	for i := 0; i < b.N; i++ {
+		h.Resolve(uint64(i%64)*4, i%3 == 0)
+	}
+}
+
+func BenchmarkGShareResolve(b *testing.B) {
+	p, _ := NewGShare(4096, 12)
+	h := Harness{P: p}
+	for i := 0; i < b.N; i++ {
+		h.Resolve(uint64(i%64)*4, i%3 == 0)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func validConfig() Config {
+	return Config{
+		IntervalLength:   10000,
+		ThresholdPercent: 1,
+		TotalEntries:     2048,
+		NumTables:        4,
+		CounterWidth:     24,
+		Seed:             1,
+	}
+}
+
+func TestValidateAcceptsPaperConfigs(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		c := validConfig()
+		c.NumTables = n
+		if err := c.Validate(); err != nil {
+			t.Errorf("paper config %d tables rejected: %v", n, err)
+		}
+	}
+	c := validConfig()
+	c.IntervalLength = 1_000_000
+	c.ThresholdPercent = 0.1
+	if err := c.Validate(); err != nil {
+		t.Errorf("1M/0.1%% config rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"zero interval":       func(c *Config) { c.IntervalLength = 0 },
+		"zero threshold":      func(c *Config) { c.ThresholdPercent = 0 },
+		"negative threshold":  func(c *Config) { c.ThresholdPercent = -1 },
+		"threshold > 100":     func(c *Config) { c.ThresholdPercent = 101 },
+		"zero entries":        func(c *Config) { c.TotalEntries = 0 },
+		"zero tables":         func(c *Config) { c.NumTables = 0 },
+		"indivisible":         func(c *Config) { c.NumTables = 3 },
+		"non power of two":    func(c *Config) { c.TotalEntries = 1536; c.NumTables = 2 },
+		"zero width":          func(c *Config) { c.CounterWidth = 0 },
+		"width > 64":          func(c *Config) { c.CounterWidth = 65 },
+		"threshold overflows": func(c *Config) { c.CounterWidth = 4; c.IntervalLength = 10000 },
+		"negative accum":      func(c *Config) { c.AccumCapacity = -1 },
+	}
+	for name, mutate := range mutations {
+		c := validConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, c)
+		}
+	}
+}
+
+func TestThresholdCount(t *testing.T) {
+	cases := []struct {
+		interval uint64
+		pct      float64
+		want     uint64
+	}{
+		{10000, 1, 100},
+		{1_000_000, 0.1, 1000},
+		{100, 0.5, 1}, // ceil(0.5)
+		{1000, 0.05, 1},
+		{333, 1, 4}, // ceil(3.33)
+	}
+	for _, c := range cases {
+		cfg := Config{IntervalLength: c.interval, ThresholdPercent: c.pct}
+		if got := cfg.ThresholdCount(); got != c.want {
+			t.Errorf("ThresholdCount(%d, %v%%) = %d, want %d", c.interval, c.pct, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveAccumCapacity(t *testing.T) {
+	c := validConfig()
+	if got := c.EffectiveAccumCapacity(); got != 100 {
+		t.Errorf("1%% capacity = %d, want 100", got)
+	}
+	c.ThresholdPercent = 0.1
+	if got := c.EffectiveAccumCapacity(); got != 1000 {
+		t.Errorf("0.1%% capacity = %d, want 1000", got)
+	}
+	c.AccumCapacity = 64
+	if got := c.EffectiveAccumCapacity(); got != 64 {
+		t.Errorf("explicit capacity = %d, want 64", got)
+	}
+}
+
+func TestPerTableEntries(t *testing.T) {
+	c := validConfig()
+	if c.PerTableEntries() != 512 {
+		t.Errorf("PerTableEntries = %d, want 512", c.PerTableEntries())
+	}
+	if c.indexBits() != 9 {
+		t.Errorf("indexBits = %d, want 9", c.indexBits())
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := validConfig()
+	c.ConservativeUpdate = true
+	c.Retain = true
+	s := c.String()
+	for _, want := range []string{"4×512", "C1", "R0", "P1", "interval=10000", "t=1%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

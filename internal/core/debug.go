@@ -1,0 +1,28 @@
+package core
+
+// DebugStats reports hash-table counter statistics for diagnostics.
+type DebugStats struct {
+	AboveThresh []int
+	Avg         []float64
+	AccumLen    int
+}
+
+// DebugCounterStats summarizes per-table counter loads; test/diagnostic use.
+func (m *MultiHash) DebugCounterStats(thresh uint64) DebugStats {
+	var s DebugStats
+	for _, b := range m.banks {
+		above := 0
+		sum := 0.0
+		for i := 0; i < b.Len(); i++ {
+			v := b.Get(uint32(i))
+			if v >= thresh {
+				above++
+			}
+			sum += float64(v)
+		}
+		s.AboveThresh = append(s.AboveThresh, above)
+		s.Avg = append(s.Avg, sum/float64(b.Len()))
+	}
+	s.AccumLen = m.acc.Len()
+	return s
+}

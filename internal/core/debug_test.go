@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"hwprof/internal/event"
+)
+
+func TestDebugCounterStats(t *testing.T) {
+	cfg := validConfig()
+	cfg.NumTables = 2
+	m := newMH(t, cfg)
+	hot := event.Tuple{A: 3, B: 3}
+	for i := 0; i < 120; i++ {
+		m.Observe(hot) // promotes at 100, shielded after
+	}
+	s := m.DebugCounterStats(cfg.ThresholdCount())
+	if len(s.AboveThresh) != 2 || len(s.Avg) != 2 {
+		t.Fatalf("stats shape: %+v", s)
+	}
+	if s.AccumLen != 1 {
+		t.Fatalf("AccumLen = %d", s.AccumLen)
+	}
+	// The tuple's counters sat at 100 when it promoted (R0), so each
+	// table has exactly one counter at the threshold.
+	for i := 0; i < 2; i++ {
+		if s.AboveThresh[i] != 1 {
+			t.Fatalf("table %d AboveThresh = %d, want 1", i, s.AboveThresh[i])
+		}
+		want := 100.0 / float64(cfg.PerTableEntries())
+		if s.Avg[i] != want {
+			t.Fatalf("table %d Avg = %v, want %v", i, s.Avg[i], want)
+		}
+	}
+}
+
+func TestWeakHashConfigBuilds(t *testing.T) {
+	cfg := validConfig()
+	cfg.WeakHash = true
+	m := newMH(t, cfg)
+	// Must still profile: a clean heavy hitter is caught even with the
+	// weak family (its own occurrences drive its counters).
+	hot := event.Tuple{A: 42, B: 9}
+	for i := 0; i < 200; i++ {
+		m.Observe(hot)
+	}
+	if c, ok := m.acc.Count(hot); !ok || c < 100 {
+		t.Fatalf("weak-hash profiler missed clean heavy hitter: %d, %v", c, ok)
+	}
+}
+
+// TestAccumulatorNeverExceedsCapacity drives a hostile stream (every tuple
+// hot enough to promote) and checks the §5.1 bound holds dynamically.
+func TestAccumulatorNeverExceedsCapacity(t *testing.T) {
+	cfg := validConfig()
+	cfg.AccumCapacity = 7
+	cfg.Retain = true
+	m := newMH(t, cfg)
+	for round := 0; round < 5; round++ {
+		for id := uint64(0); id < 50; id++ {
+			for i := 0; i < 100; i++ {
+				m.Observe(event.Tuple{A: id})
+			}
+			if m.AccumLen() > 7 {
+				t.Fatalf("accumulator grew to %d entries", m.AccumLen())
+			}
+		}
+		m.EndInterval()
+	}
+}
+
+func TestEventsThisInterval(t *testing.T) {
+	m := newMH(t, validConfig())
+	for i := 0; i < 37; i++ {
+		m.Observe(event.Tuple{A: uint64(i)})
+	}
+	if m.EventsThisInterval() != 37 {
+		t.Fatalf("EventsThisInterval = %d", m.EventsThisInterval())
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+// The paper evaluates two interval regimes and singles out two
+// configurations per regime: the best single-hash profiler (resetting +
+// retaining, §5.6.2) and the best multi-hash profiler (4 tables,
+// conservative update, no resetting, retaining, §6.4). These presets
+// reproduce them.
+
+// ShortIntervalConfig returns the paper's responsive regime: 10,000-event
+// intervals with a 1% candidate threshold over 2K counters of 3 bytes.
+func ShortIntervalConfig() Config {
+	return Config{
+		IntervalLength:   10_000,
+		ThresholdPercent: 1,
+		TotalEntries:     DefaultTotalEntries,
+		NumTables:        1,
+		CounterWidth:     DefaultCounterWidth,
+	}
+}
+
+// LongIntervalConfig returns the paper's high-pressure regime: one-million-
+// event intervals with a 0.1% candidate threshold over the same hardware.
+func LongIntervalConfig() Config {
+	cfg := ShortIntervalConfig()
+	cfg.IntervalLength = 1_000_000
+	cfg.ThresholdPercent = 0.1
+	return cfg
+}
+
+// BestSingleHash returns base configured as the paper's best single-hash
+// profiler: one table with resetting and retaining (P1, R1).
+func BestSingleHash(base Config) Config {
+	base.NumTables = 1
+	base.ConservativeUpdate = false
+	base.ResetOnPromote = true
+	base.Retain = true
+	return base
+}
+
+// BestMultiHash returns base configured as the paper's best multi-hash
+// profiler: four tables, conservative update, no resetting, retaining
+// (4 tables, C1, R0, P1).
+func BestMultiHash(base Config) Config {
+	base.NumTables = 4
+	base.ConservativeUpdate = true
+	base.ResetOnPromote = false
+	base.Retain = true
+	return base
+}

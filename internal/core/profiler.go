@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"hwprof/internal/accum"
+	"hwprof/internal/counter"
+	"hwprof/internal/event"
+	"hwprof/internal/hashfn"
+)
+
+// Profiler is anything that observes a tuple stream and, at interval
+// boundaries, reports the per-tuple counts it captured. EndInterval returns
+// the captured profile for the interval just finished and resets whatever
+// per-interval state the implementation keeps.
+type Profiler interface {
+	Observe(tp event.Tuple)
+	EndInterval() map[event.Tuple]uint64
+}
+
+// MultiHash is the paper's profiling architecture: n tagless hash tables of
+// saturating counters in front of a bounded fully-associative accumulator
+// table. With NumTables == 1 it is exactly the single-hash architecture of
+// §5; with NumTables > 1 it is the multi-hash architecture of §6.
+type MultiHash struct {
+	cfg    Config
+	thresh uint64
+	fam    hashfn.Indexer
+	banks  []*counter.Bank
+	acc    *accum.Table
+
+	idxBuf []uint32
+	events uint64
+}
+
+// NewMultiHash builds a profiler for the given configuration.
+func NewMultiHash(cfg Config) (*MultiHash, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var fam hashfn.Indexer
+	var err error
+	if cfg.WeakHash {
+		fam, err = hashfn.NewWeakFamily(cfg.NumTables, cfg.indexBits())
+	} else {
+		fam, err = hashfn.NewFamily(cfg.Seed, cfg.NumTables, cfg.indexBits())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: building hash family: %w", err)
+	}
+	banks := make([]*counter.Bank, cfg.NumTables)
+	for i := range banks {
+		b, err := counter.NewBank(cfg.PerTableEntries(), cfg.CounterWidth)
+		if err != nil {
+			return nil, fmt.Errorf("core: building counter bank %d: %w", i, err)
+		}
+		banks[i] = b
+	}
+	acc, err := accum.New(cfg.EffectiveAccumCapacity(), cfg.ThresholdCount())
+	if err != nil {
+		return nil, fmt.Errorf("core: building accumulator: %w", err)
+	}
+	return &MultiHash{
+		cfg:    cfg,
+		thresh: cfg.ThresholdCount(),
+		fam:    fam,
+		banks:  banks,
+		acc:    acc,
+		idxBuf: make([]uint32, 0, cfg.NumTables),
+	}, nil
+}
+
+// Config returns the configuration the profiler was built with.
+func (m *MultiHash) Config() Config { return m.cfg }
+
+// EventsThisInterval returns how many events have been observed since the
+// last interval boundary.
+func (m *MultiHash) EventsThisInterval() uint64 { return m.events }
+
+// Observe feeds one profiling event through the architecture:
+//
+//  1. Accumulator lookup. A resident tuple just increments its exact
+//     counter; with shielding (the default) it never touches the hash
+//     tables again this interval.
+//  2. Hash update. Each table's counter for the tuple is incremented —
+//     all of them (C0), or only the minimum-valued ones (C1, conservative
+//     update).
+//  3. Promotion. When the tuple's minimum counter reaches the candidate
+//     threshold, the tuple is inserted into the accumulator with that
+//     minimum as its initial count (the tight lower bound on its true
+//     frequency). With R1 the tuple's hash counters are zeroed on
+//     successful promotion.
+func (m *MultiHash) Observe(tp event.Tuple) {
+	m.events++
+
+	resident := m.acc.Inc(tp)
+	if resident && !m.cfg.NoShield {
+		return
+	}
+
+	idxs := m.fam.Indexes(tp, m.idxBuf[:0])
+	m.idxBuf = idxs
+
+	if m.cfg.ConservativeUpdate {
+		min := m.banks[0].Get(idxs[0])
+		for i := 1; i < len(idxs); i++ {
+			if v := m.banks[i].Get(idxs[i]); v < min {
+				min = v
+			}
+		}
+		for i, idx := range idxs {
+			if m.banks[i].Get(idx) == min {
+				m.banks[i].Inc(idx)
+			}
+		}
+	} else {
+		for i, idx := range idxs {
+			m.banks[i].Inc(idx)
+		}
+	}
+
+	if resident {
+		return // already accumulated; nothing to promote
+	}
+
+	min := m.banks[0].Get(idxs[0])
+	for i := 1; i < len(idxs); i++ {
+		if v := m.banks[i].Get(idxs[i]); v < min {
+			min = v
+		}
+	}
+	if min < m.thresh {
+		return
+	}
+	if m.acc.Insert(tp, min) && m.cfg.ResetOnPromote {
+		for i, idx := range idxs {
+			m.banks[i].Reset(idx)
+		}
+	}
+}
+
+// EndInterval snapshots the accumulator (the hardware profile for the
+// finished interval), applies the retaining policy, flushes every hash
+// table (§5: "At the end of an interval, the hash table is flushed"), and
+// returns the snapshot.
+func (m *MultiHash) EndInterval() map[event.Tuple]uint64 {
+	snap := m.acc.Snapshot()
+	m.acc.EndInterval(m.cfg.Retain)
+	for _, b := range m.banks {
+		b.Flush()
+	}
+	m.events = 0
+	return snap
+}
+
+// Candidates returns the tuples currently at or above the candidate
+// threshold in the accumulator, ordered by descending count. This is what
+// a hardware optimization reading the profiler mid-interval would see.
+func (m *MultiHash) Candidates() []event.Tuple { return m.acc.Candidates() }
+
+// AccumLen returns the number of occupied accumulator entries.
+func (m *MultiHash) AccumLen() int { return m.acc.Len() }
+
+var _ Profiler = (*MultiHash)(nil)
+
+// Perfect is the oracle profiler: it counts every tuple exactly with
+// unbounded storage. The evaluation's error metrics compare hardware
+// profiles against Perfect's interval profiles.
+type Perfect struct {
+	counts map[event.Tuple]uint64
+}
+
+// NewPerfect returns an empty oracle profiler.
+func NewPerfect() *Perfect {
+	return &Perfect{counts: make(map[event.Tuple]uint64)}
+}
+
+// Observe counts one occurrence of tp.
+func (p *Perfect) Observe(tp event.Tuple) { p.counts[tp]++ }
+
+// EndInterval returns the exact interval profile and starts a new interval.
+func (p *Perfect) EndInterval() map[event.Tuple]uint64 {
+	snap := p.counts
+	p.counts = make(map[event.Tuple]uint64, len(snap))
+	return snap
+}
+
+// Distinct returns the number of distinct tuples seen this interval.
+func (p *Perfect) Distinct() int { return len(p.counts) }
+
+var _ Profiler = (*Perfect)(nil)
+
+// IntervalFunc receives, for each completed interval, the interval's index
+// (from 0), the perfect profile and the hardware profile. The maps are owned
+// by the callee and remain valid after the callback returns.
+type IntervalFunc func(index int, perfect, hardware map[event.Tuple]uint64)
+
+// Run feeds src through both hw and a perfect profiler, invoking fn at
+// every interval boundary, and returns the number of complete intervals
+// processed. A trailing partial interval is discarded, as in the paper's
+// methodology. fn may be nil when only side effects on hw are wanted.
+func Run(src event.Source, hw Profiler, intervalLength uint64, fn IntervalFunc) (int, error) {
+	if intervalLength == 0 {
+		return 0, fmt.Errorf("core: interval length must be positive")
+	}
+	perfect := NewPerfect()
+	var n uint64
+	intervals := 0
+	for {
+		tp, ok := src.Next()
+		if !ok {
+			break
+		}
+		hw.Observe(tp)
+		perfect.Observe(tp)
+		n++
+		if n == intervalLength {
+			p := perfect.EndInterval()
+			h := hw.EndInterval()
+			if fn != nil {
+				fn(intervals, p, h)
+			}
+			intervals++
+			n = 0
+		}
+	}
+	return intervals, nil
+}

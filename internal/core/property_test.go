@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hwprof/internal/event"
+	"hwprof/internal/xrand"
+)
+
+// TestCleanCaptureProperty: for a stream containing only k ≤ capacity hot
+// tuples, each occurring at least the threshold count, the architecture's
+// always-true guarantees are:
+//
+//   - Without immediate resetting (R0), every hot tuple is captured — its
+//     own occurrences alone push its minimum counter to the threshold —
+//     and never under-counted: promotion transfers the (possibly
+//     alias-inflated) counter, and shielded counting is exact afterward,
+//     so fh ≥ fp, with fh bounded by the total event count.
+//   - With R1 the paper's own §5.4.2 caveat applies: resetting a counter
+//     shared by two hot tuples robs the unpromoted one, which may
+//     under-count or be missed entirely. The R1 property is therefore
+//     only: no phantom tuples, and counts bounded by the event total.
+//   - With a single hot tuple (k == 1) there is nothing to alias with, so
+//     capture is exact under every flag combination.
+//
+// Exactness for k > 1 is NOT asserted: two hot tuples may collide in a
+// hash table (≈k²/2Z per table), in which case whichever promotes first
+// legitimately inherits the shared counter — a Neutral Positive in the
+// paper's Figure 3 taxonomy, not a bug.
+func TestCleanCaptureProperty(t *testing.T) {
+	f := func(seed uint64, kRaw, tablesRaw uint8, conserv, reset, retain, noShield bool) bool {
+		k := int(kRaw%20) + 1 // 1..20 hot tuples (capacity is 100)
+		tables := []int{1, 2, 4, 8}[tablesRaw%4]
+		cfg := Config{
+			IntervalLength:     10_000,
+			ThresholdPercent:   1,
+			TotalEntries:       2048,
+			NumTables:          tables,
+			CounterWidth:       24,
+			ConservativeUpdate: conserv,
+			ResetOnPromote:     reset,
+			Retain:             retain,
+			NoShield:           noShield,
+			Seed:               seed,
+		}
+		m, err := NewMultiHash(cfg)
+		if err != nil {
+			return false
+		}
+		r := xrand.New(seed + 1)
+		truth := map[event.Tuple]uint64{}
+		var stream []event.Tuple
+		for id := 0; id < k; id++ {
+			tp := event.Tuple{A: uint64(id) + 1, B: r.Uint64()}
+			count := 100 + r.Uint64n(300) // threshold is 100
+			truth[tp] = count
+			for i := uint64(0); i < count; i++ {
+				stream = append(stream, tp)
+			}
+		}
+		r.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+		for _, tp := range stream {
+			m.Observe(tp)
+		}
+		var total uint64
+		for _, c := range truth {
+			total += c
+		}
+		snap := m.EndInterval()
+		if len(snap) > k {
+			return false // phantoms are impossible on a clean stream
+		}
+		for tp, got := range snap {
+			if _, real := truth[tp]; !real {
+				return false // reported tuple never occurred
+			}
+			if got > total {
+				return false // count exceeds the whole stream
+			}
+		}
+		if k == 1 {
+			// No aliasing possible: exact capture under every flag set.
+			for tp, want := range truth {
+				if snap[tp] != want {
+					return false
+				}
+			}
+			return true
+		}
+		if reset {
+			return true // presence not guaranteed when counters are robbed
+		}
+		// R0: every hot tuple captured, never under-counted.
+		if len(snap) != k {
+			return false
+		}
+		for tp, want := range truth {
+			if snap[tp] < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHardwareCountNeverExceedsEventsProperty: whatever the stream, the
+// sum of hardware-reported counts cannot exceed the number of observed
+// events plus the worst-case promotion inflation (each promoted tuple's
+// initial count is bounded by its min hash counter, which never exceeds
+// the interval's event count). A coarse but absolute sanity bound: no
+// single reported count may exceed the events observed.
+func TestHardwareCountNeverExceedsEventsProperty(t *testing.T) {
+	f := func(seed uint64, conserv bool) bool {
+		cfg := Config{
+			IntervalLength:     5_000,
+			ThresholdPercent:   1,
+			TotalEntries:       256, // tiny: heavy aliasing on purpose
+			NumTables:          4,
+			CounterWidth:       24,
+			ConservativeUpdate: conserv,
+			Retain:             true,
+			Seed:               seed,
+		}
+		m, err := NewMultiHash(cfg)
+		if err != nil {
+			return false
+		}
+		r := xrand.New(seed)
+		const n = 5000
+		for i := 0; i < n; i++ {
+			m.Observe(event.Tuple{A: r.Uint64n(50), B: r.Uint64n(3)})
+		}
+		for _, c := range m.EndInterval() {
+			if c > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShieldedCountsExactProperty: once a tuple is resident, every further
+// occurrence increments its accumulator count by exactly one, regardless
+// of aliasing elsewhere — the accumulator is precise by construction.
+func TestShieldedCountsExactProperty(t *testing.T) {
+	f := func(seed uint64, extra uint16) bool {
+		cfg := validConfig()
+		cfg.Seed = seed
+		m, err := NewMultiHash(cfg)
+		if err != nil {
+			return false
+		}
+		hot := event.Tuple{A: 7, B: 7}
+		for i := 0; i < 100; i++ {
+			m.Observe(hot) // exactly at threshold: promoted with count 100
+		}
+		before, ok := m.acc.Count(hot)
+		if !ok {
+			return false
+		}
+		r := xrand.New(seed)
+		n := uint64(extra % 2000)
+		for i := uint64(0); i < n; i++ {
+			m.Observe(hot)
+			// Interleave aliasing traffic.
+			m.Observe(event.Tuple{A: r.Uint64(), B: r.Uint64()})
+		}
+		after, _ := m.acc.Count(hot)
+		return after == before+n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Package counter models the fixed-width saturating counter banks that back
+// the paper's hash tables.
+//
+// The paper's configuration uses 2K entries of 3-byte counters (6 KB total,
+// §7). A hardware counter cannot exceed its width, so Bank saturates at
+// 2^width − 1 rather than wrapping; wrapping would silently turn a heavy
+// hitter into a light one, which no hardware designer would ship.
+package counter
+
+import "fmt"
+
+// DefaultWidth is the counter width used throughout the paper: 3 bytes.
+const DefaultWidth = 24
+
+// Bank is a bank of saturating counters of a fixed bit width.
+type Bank struct {
+	counts []uint64
+	max    uint64
+	width  uint
+}
+
+// NewBank returns a bank of size counters, each width bits wide.
+// width must be in [1, 64]; size must be positive.
+func NewBank(size int, width uint) (*Bank, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("counter: bank size %d must be positive", size)
+	}
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("counter: width %d out of range [1,64]", width)
+	}
+	max := ^uint64(0)
+	if width < 64 {
+		max = 1<<width - 1
+	}
+	return &Bank{counts: make([]uint64, size), max: max, width: width}, nil
+}
+
+// Len returns the number of counters in the bank.
+func (b *Bank) Len() int { return len(b.counts) }
+
+// Width returns the counter width in bits.
+func (b *Bank) Width() uint { return b.width }
+
+// Max returns the saturation value, 2^width − 1.
+func (b *Bank) Max() uint64 { return b.max }
+
+// Get returns the value of counter i.
+func (b *Bank) Get(i uint32) uint64 { return b.counts[i] }
+
+// Inc increments counter i by 1, saturating at Max, and returns the new
+// value.
+func (b *Bank) Inc(i uint32) uint64 {
+	if b.counts[i] < b.max {
+		b.counts[i]++
+	}
+	return b.counts[i]
+}
+
+// Add increments counter i by delta, saturating at Max, and returns the new
+// value.
+func (b *Bank) Add(i uint32, delta uint64) uint64 {
+	c := b.counts[i]
+	if delta > b.max-c {
+		c = b.max
+	} else {
+		c += delta
+	}
+	b.counts[i] = c
+	return c
+}
+
+// Reset zeroes counter i.
+func (b *Bank) Reset(i uint32) { b.counts[i] = 0 }
+
+// Flush zeroes every counter (the end-of-interval hash-table flush).
+func (b *Bank) Flush() {
+	for i := range b.counts {
+		b.counts[i] = 0
+	}
+}
+
+// Bytes returns the storage this bank occupies in a hardware realization:
+// Len × width bits, rounded up to whole bytes per counter as the paper does
+// (3-byte counters).
+func (b *Bank) Bytes() int {
+	perCounter := (int(b.width) + 7) / 8
+	return b.Len() * perCounter
+}

@@ -1,0 +1,233 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hwprof/internal/xrand"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("negative exponent accepted")
+	}
+	if _, err := NewZipf(10, math.NaN()); err == nil {
+		t.Error("NaN exponent accepted")
+	}
+	if _, err := NewZipf(10, math.Inf(1)); err == nil {
+		t.Error("Inf exponent accepted")
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 1.5, 2} {
+		z, err := NewZipf(100, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i := 0; i < z.N(); i++ {
+			sum += z.Prob(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("s=%v: probabilities sum to %v", s, sum)
+		}
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z, _ := NewZipf(50, 1.2)
+	for i := 1; i < z.N(); i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-12 {
+			t.Fatalf("Prob(%d)=%v > Prob(%d)=%v", i, z.Prob(i), i-1, z.Prob(i-1))
+		}
+	}
+}
+
+func TestZipfEmpiricalMatchesProb(t *testing.T) {
+	z, _ := NewZipf(20, 1.0)
+	r := xrand.New(3)
+	const n = 400000
+	counts := make([]int, z.N())
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for i := 0; i < 5; i++ { // head ranks have enough mass to compare
+		emp := float64(counts[i]) / n
+		if math.Abs(emp-z.Prob(i)) > 0.01 {
+			t.Errorf("rank %d: empirical %v vs exact %v", i, emp, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z, _ := NewZipf(8, 0)
+	for i := 0; i < 8; i++ {
+		if math.Abs(z.Prob(i)-0.125) > 1e-9 {
+			t.Fatalf("s=0 Prob(%d) = %v, want 0.125", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	f := func(seed uint64, n16 uint16) bool {
+		n := int(n16%500) + 1
+		z, err := NewZipf(n, 1.1)
+		if err != nil {
+			return false
+		}
+		r := xrand.New(seed)
+		for i := 0; i < 50; i++ {
+			if v := z.Sample(r); v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewAliasValidation(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := NewAlias([]float64{1, -2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewAlias([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestAliasEmpirical(t *testing.T) {
+	weights := []float64{5, 1, 0, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(21)
+	const n = 400000
+	counts := make([]int, a.N())
+	for i := 0; i < n; i++ {
+		counts[a.Sample(r)]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight category sampled %d times", counts[2])
+	}
+	total := 10.0
+	for i, w := range weights {
+		emp := float64(counts[i]) / n
+		if math.Abs(emp-w/total) > 0.01 {
+			t.Errorf("category %d: empirical %v vs want %v", i, emp, w/total)
+		}
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a, err := NewAlias([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-category alias sampled nonzero index")
+		}
+	}
+}
+
+func TestPhaseModelValidation(t *testing.T) {
+	if _, err := NewPhaseModel(0, 10, false); err == nil {
+		t.Error("0 phases accepted")
+	}
+	if _, err := NewPhaseModel(3, 0, false); err == nil {
+		t.Error("0 dwell accepted")
+	}
+}
+
+func TestPhaseModelCyclic(t *testing.T) {
+	p, err := NewPhaseModel(3, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(2)
+	var got []int
+	for i := 0; i < 12; i++ {
+		got = append(got, p.Tick(r))
+	}
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tick %d in phase %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+	if p.Tick(r) != 0 {
+		t.Fatal("cycle did not wrap to phase 0")
+	}
+}
+
+func TestPhaseModelJumpNeverSelfLoops(t *testing.T) {
+	p, _ := NewPhaseModel(5, 1, true)
+	r := xrand.New(8)
+	prev := p.Phase()
+	for i := 0; i < 1000; i++ {
+		p.Tick(r)
+		if p.Phase() == prev {
+			t.Fatalf("jump model stayed in phase %d at step %d", prev, i)
+		}
+		prev = p.Phase()
+	}
+}
+
+func TestPhaseModelSinglePhase(t *testing.T) {
+	p, _ := NewPhaseModel(1, 2, true)
+	r := xrand.New(9)
+	for i := 0; i < 10; i++ {
+		if p.Tick(r) != 0 {
+			t.Fatal("single-phase model left phase 0")
+		}
+	}
+}
+
+func TestPhaseModelVisitsAllPhases(t *testing.T) {
+	p, _ := NewPhaseModel(4, 3, true)
+	r := xrand.New(31)
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		seen[p.Tick(r)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("jump model visited %d of 4 phases", len(seen))
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z, _ := NewZipf(4096, 1.1)
+	r := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = z.Sample(r)
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	w := make([]float64, 4096)
+	for i := range w {
+		w[i] = 1 / float64(i+1)
+	}
+	a, _ := NewAlias(w)
+	r := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Sample(r)
+	}
+}

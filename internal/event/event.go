@@ -1,0 +1,169 @@
+// Package event defines the profiling-event model shared by every profiler,
+// workload generator and trace codec in this repository.
+//
+// Following the paper (§3, "Creating Unique Names for Profiling Events"), a
+// profiling event is named by a tuple: a pair of 64-bit values that uniquely
+// identifies the event. For load-value profiling the tuple is
+// <loadPC, value>; for branch-edge profiling it is <branchPC, targetPC>.
+// Profilers never interpret the two halves — they only hash and compare
+// them — so the same machinery serves any tuple-based profile.
+package event
+
+// Kind labels what the two halves of a tuple mean. It has no effect on
+// profiler behaviour; it exists so tools and trace files can carry the
+// interpretation along with the data.
+type Kind uint8
+
+// The tuple kinds used by the paper's two evaluations, plus a generic kind
+// for other applications (e.g. network flow accounting).
+const (
+	// KindValue is load-value profiling: <loadPC, loadedValue>.
+	KindValue Kind = iota
+	// KindEdge is branch-edge profiling: <branchPC, targetPC>.
+	KindEdge
+	// KindGeneric is any other two-variable event.
+	KindGeneric
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindValue:
+		return "value"
+	case KindEdge:
+		return "edge"
+	case KindGeneric:
+		return "generic"
+	default:
+		return "unknown"
+	}
+}
+
+// Tuple uniquely names one profiling event: a pair of values such as
+// <loadPC, value> or <branchPC, targetPC>. Tuples are comparable and
+// therefore usable as map keys, which the perfect profiler relies on.
+type Tuple struct {
+	// A is the first member, conventionally a program counter.
+	A uint64
+	// B is the second member, conventionally a value or target address.
+	B uint64
+}
+
+// Combine names an event made of more than two variables as a Tuple, the
+// extension §3 of the paper sketches ("it can easily be extended to create
+// unique names for events with multiple variables"). The first variable —
+// conventionally the PC — is kept verbatim in A; the remaining variables
+// are folded into B with a strong 64-bit mixer, so distinct combinations
+// collide in B with probability ~2⁻⁶⁴. With one variable, B is zero; with
+// exactly two, Combine degenerates to Tuple{A, B} so two-variable events
+// keep their literal names.
+func Combine(vars ...uint64) Tuple {
+	switch len(vars) {
+	case 0:
+		return Tuple{}
+	case 1:
+		return Tuple{A: vars[0]}
+	case 2:
+		return Tuple{A: vars[0], B: vars[1]}
+	}
+	// splitmix-style chained fold over the tail variables
+	acc := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vars[1:] {
+		acc ^= v + 0x9e3779b97f4a7c15 + (acc << 6) + (acc >> 2)
+		acc = mix64(acc)
+	}
+	return Tuple{A: vars[0], B: acc}
+}
+
+// mix64 is the SplitMix64 finalizer (duplicated here to keep the event
+// package dependency-free).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Source is a stream of profiling events. Next returns the next tuple in
+// the stream and whether one was available; ok == false means the stream is
+// exhausted. Implementations are typically deterministic generators
+// (internal/synth), instrumented interpreters (internal/vm) or trace-file
+// readers (internal/trace).
+type Source interface {
+	Next() (t Tuple, ok bool)
+}
+
+// SliceSource adapts a slice of tuples into a Source. It is the simplest
+// Source and is used heavily in tests.
+type SliceSource struct {
+	tuples []Tuple
+	pos    int
+}
+
+// NewSliceSource returns a Source that yields the given tuples in order.
+// The slice is not copied; the caller must not mutate it while reading.
+func NewSliceSource(tuples []Tuple) *SliceSource {
+	return &SliceSource{tuples: tuples}
+}
+
+// Next returns the next tuple in the underlying slice.
+func (s *SliceSource) Next() (Tuple, bool) {
+	if s.pos >= len(s.tuples) {
+		return Tuple{}, false
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, true
+}
+
+// Reset rewinds the source to the beginning of the slice.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// FuncSource adapts a function into a Source.
+type FuncSource func() (Tuple, bool)
+
+// Next invokes the wrapped function.
+func (f FuncSource) Next() (Tuple, bool) { return f() }
+
+// Limit wraps src so that at most n tuples are produced.
+func Limit(src Source, n uint64) Source {
+	remaining := n
+	return FuncSource(func() (Tuple, bool) {
+		if remaining == 0 {
+			return Tuple{}, false
+		}
+		remaining--
+		return src.Next()
+	})
+}
+
+// Concat returns a Source that yields all tuples of each source in turn.
+func Concat(sources ...Source) Source {
+	i := 0
+	return FuncSource(func() (Tuple, bool) {
+		for i < len(sources) {
+			if t, ok := sources[i].Next(); ok {
+				return t, true
+			}
+			i++
+		}
+		return Tuple{}, false
+	})
+}
+
+// Collect drains src into a slice, up to max tuples (max == 0 means no
+// bound). It is a convenience for tests and small tools, not for the
+// million-event experiment streams.
+func Collect(src Source, max int) []Tuple {
+	var out []Tuple
+	for {
+		if max > 0 && len(out) >= max {
+			return out
+		}
+		t, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,191 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindValue:   "value",
+		KindEdge:    "edge",
+		KindGeneric: "generic",
+		Kind(99):    "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSliceSourceYieldsAll(t *testing.T) {
+	in := []Tuple{{1, 2}, {3, 4}, {5, 6}}
+	s := NewSliceSource(in)
+	for i, want := range in {
+		got, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		if got != want {
+			t.Fatalf("tuple %d = %v, want %v", i, got, want)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream did not end after slice was exhausted")
+	}
+	// Exhausted streams stay exhausted.
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted stream yielded a tuple")
+	}
+}
+
+func TestSliceSourceEmpty(t *testing.T) {
+	s := NewSliceSource(nil)
+	if _, ok := s.Next(); ok {
+		t.Fatal("empty source yielded a tuple")
+	}
+}
+
+func TestSliceSourceReset(t *testing.T) {
+	s := NewSliceSource([]Tuple{{7, 8}})
+	s.Next()
+	s.Reset()
+	got, ok := s.Next()
+	if !ok || got != (Tuple{7, 8}) {
+		t.Fatalf("after Reset, Next() = %v, %v", got, ok)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	in := []Tuple{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	got := Collect(Limit(NewSliceSource(in), 2), 0)
+	if len(got) != 2 || got[0] != in[0] || got[1] != in[1] {
+		t.Fatalf("Limit(2) yielded %v", got)
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	got := Collect(Limit(NewSliceSource([]Tuple{{1, 1}}), 0), 0)
+	if len(got) != 0 {
+		t.Fatalf("Limit(0) yielded %v", got)
+	}
+}
+
+func TestLimitBeyondLength(t *testing.T) {
+	in := []Tuple{{1, 1}}
+	got := Collect(Limit(NewSliceSource(in), 10), 0)
+	if len(got) != 1 {
+		t.Fatalf("Limit(10) over 1 tuple yielded %d tuples", len(got))
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewSliceSource([]Tuple{{1, 0}})
+	b := NewSliceSource(nil)
+	c := NewSliceSource([]Tuple{{2, 0}, {3, 0}})
+	got := Collect(Concat(a, b, c), 0)
+	want := []Tuple{{1, 0}, {2, 0}, {3, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("Concat yielded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Concat[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	if got := Collect(Concat(), 0); len(got) != 0 {
+		t.Fatalf("Concat() yielded %v", got)
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	in := []Tuple{{1, 1}, {2, 2}, {3, 3}}
+	if got := Collect(NewSliceSource(in), 2); len(got) != 2 {
+		t.Fatalf("Collect max=2 returned %d tuples", len(got))
+	}
+}
+
+func TestTupleIsComparableMapKey(t *testing.T) {
+	f := func(a1, b1, a2, b2 uint64) bool {
+		m := map[Tuple]int{}
+		m[Tuple{a1, b1}]++
+		m[Tuple{a2, b2}]++
+		if (Tuple{a1, b1}) == (Tuple{a2, b2}) {
+			return len(m) == 1 && m[Tuple{a1, b1}] == 2
+		}
+		return len(m) == 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	calls := 0
+	src := FuncSource(func() (Tuple, bool) {
+		calls++
+		if calls > 3 {
+			return Tuple{}, false
+		}
+		return Tuple{uint64(calls), 0}, true
+	})
+	got := Collect(src, 0)
+	if len(got) != 3 || got[2].A != 3 {
+		t.Fatalf("FuncSource yielded %v", got)
+	}
+}
+
+func TestCombineArities(t *testing.T) {
+	if Combine() != (Tuple{}) {
+		t.Fatal("zero-arity Combine not zero")
+	}
+	if Combine(5) != (Tuple{A: 5}) {
+		t.Fatal("one-arity Combine wrong")
+	}
+	if Combine(5, 6) != (Tuple{A: 5, B: 6}) {
+		t.Fatal("two-arity Combine must be literal")
+	}
+}
+
+func TestCombineDeterministic(t *testing.T) {
+	a := Combine(1, 2, 3, 4)
+	b := Combine(1, 2, 3, 4)
+	if a != b {
+		t.Fatal("Combine not deterministic")
+	}
+}
+
+func TestCombineSeparates(t *testing.T) {
+	seen := map[Tuple]bool{}
+	// Nearby multi-variable events must not collide.
+	for x := uint64(0); x < 20; x++ {
+		for y := uint64(0); y < 20; y++ {
+			for z := uint64(0); z < 5; z++ {
+				tp := Combine(0x400000, x, y, z)
+				if seen[tp] {
+					t.Fatalf("collision at (%d,%d,%d)", x, y, z)
+				}
+				seen[tp] = true
+			}
+		}
+	}
+}
+
+func TestCombineOrderSensitive(t *testing.T) {
+	if Combine(1, 2, 3) == Combine(1, 3, 2) {
+		t.Fatal("Combine ignores variable order")
+	}
+}
+
+func TestCombineKeepsPC(t *testing.T) {
+	f := func(pc, a, b, c uint64) bool {
+		return Combine(pc, a, b, c).A == pc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package expt
+
+import (
+	"fmt"
+
+	"hwprof/internal/analytic"
+)
+
+// Fig9 reproduces Figure 9: the theoretical false-positive probability
+// (percent) for multi-hash configurations splitting 500–8000 total entries
+// across 1–16 tables at the 1% candidate threshold.
+func Fig9() (Table, error) {
+	entries := []int{500, 1000, 2000, 4000, 8000}
+	t := Table{
+		Title:  "Figure 9: theoretical false-positive probability %, 1% threshold",
+		Header: []string{"tables"},
+	}
+	for _, z := range entries {
+		t.Header = append(t.Header, fmt.Sprintf("%d entries", z))
+	}
+	for n := 1; n <= 16; n++ {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, z := range entries {
+			p, err := analytic.FalsePositiveProbability(z, n, 1)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, fmt.Sprintf("%.4f", p*100))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

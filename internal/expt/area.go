@@ -1,0 +1,34 @@
+package expt
+
+import (
+	"fmt"
+
+	"hwprof/internal/core"
+	"hwprof/internal/hwmodel"
+)
+
+// AreaTable reproduces the §7 hardware-cost accounting: storage for the
+// evaluated configurations (2K counters of 3 bytes plus the 1%- and
+// 0.1%-threshold accumulators), confirming the paper's "7 to 16 Kilobytes"
+// envelope.
+func AreaTable() (Table, error) {
+	t := Table{
+		Title:  "Section 7: storage accounting",
+		Header: []string{"configuration", "hash bytes", "accum bytes", "total bytes"},
+	}
+	for _, row := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"10K interval, 1% threshold", core.BestMultiHash(core.ShortIntervalConfig())},
+		{"1M interval, 0.1% threshold", core.BestMultiHash(core.LongIntervalConfig())},
+	} {
+		a, err := hwmodel.Of(row.cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(row.name, fmt.Sprintf("%d", a.HashBytes),
+			fmt.Sprintf("%d", a.AccumBytes), fmt.Sprintf("%d", a.Total()))
+	}
+	return t, nil
+}

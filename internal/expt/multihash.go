@@ -1,0 +1,144 @@
+package expt
+
+import (
+	"fmt"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+)
+
+// multiHashSweep runs the {C0,C1}×{R0,R1} × table-count design-space sweep
+// of Figures 10 and 11 over the given base regime. Retaining is always on,
+// as in the paper's §6.3. Figures 10/11 restrict to gcc and go (the
+// benchmarks with the most distinct tuples); Options.Benchmarks overrides.
+func multiHashSweep(opts Options, base core.Config, tableCounts []int) (Table, error) {
+	t := Table{
+		Title: fmt.Sprintf("multi-hash design space error %% (interval=%d, t=%g%%)",
+			base.IntervalLength, base.ThresholdPercent),
+		Header: []string{"benchmark", "tables", "config", "total", "falsePos", "falseNeg", "neutPos", "neutNeg"},
+	}
+	intervals := opts.intervalsFor(base)
+	for _, bench := range opts.Benchmarks {
+		for _, n := range tableCounts {
+			for _, cr := range []struct {
+				name           string
+				conserv, reset bool
+			}{
+				{"C0,R0", false, false},
+				{"C1,R0", true, false},
+				{"C0,R1", false, true},
+				{"C1,R1", true, true},
+			} {
+				cfg := base
+				cfg.NumTables = n
+				cfg.ConservativeUpdate = cr.conserv
+				cfg.ResetOnPromote = cr.reset
+				cfg.Retain = true
+				cfg.Seed = opts.Seed + 7
+				mean, _, err := runConfig(bench, event.KindValue, cfg, intervals, opts.Seed)
+				if err != nil {
+					return Table{}, err
+				}
+				t.AddRow(bench, fmt.Sprintf("%d", n), cr.name, pct(mean.Total),
+					pct(mean.FalsePos), pct(mean.FalseNeg),
+					pct(mean.NeutralPos), pct(mean.NeutralNeg))
+			}
+		}
+	}
+	return t, nil
+}
+
+// fig1011Benchmarks returns the benchmark restriction for Figures 10/11.
+func fig1011Benchmarks(opts Options) Options {
+	if opts.Benchmarks == nil {
+		opts.Benchmarks = []string{"gcc", "go"}
+	}
+	return opts
+}
+
+// Fig10 reproduces Figure 10: the design-space sweep at 10K/1%.
+func Fig10(opts Options) (Table, error) {
+	opts = fig1011Benchmarks(opts).withDefaults()
+	t, err := multiHashSweep(opts, core.ShortIntervalConfig(), []int{1, 2, 4, 8})
+	t.Title = "Figure 10: " + t.Title
+	return t, err
+}
+
+// Fig11 reproduces Figure 11: the design-space sweep at 1M/0.1%.
+func Fig11(opts Options) (Table, error) {
+	opts = fig1011Benchmarks(opts).withDefaults()
+	t, err := multiHashSweep(opts, core.LongIntervalConfig(), []int{1, 2, 4, 8})
+	t.Title = "Figure 11: " + t.Title
+	return t, err
+}
+
+// bestSweep runs the best-configuration comparison of Figures 12 and 14:
+// the best single hash (BSH: R1, P1) against C1,R0,P1 multi-hash profilers
+// with the given table counts, for one tuple kind and regime.
+func bestSweep(opts Options, kind event.Kind, base core.Config, tableCounts []int) (Table, error) {
+	t := Table{
+		Title: fmt.Sprintf("best multi-hash vs BSH error %% (%v profiling, interval=%d, t=%g%%)",
+			kind, base.IntervalLength, base.ThresholdPercent),
+		Header: []string{"benchmark", "config", "total", "falsePos", "falseNeg", "neutPos", "neutNeg"},
+	}
+	intervals := opts.intervalsFor(base)
+	for _, bench := range opts.Benchmarks {
+		run := func(label string, cfg core.Config) error {
+			cfg.Seed = opts.Seed + 7
+			mean, _, err := runConfig(bench, kind, cfg, intervals, opts.Seed)
+			if err != nil {
+				return err
+			}
+			t.AddRow(bench, label, pct(mean.Total), pct(mean.FalsePos),
+				pct(mean.FalseNeg), pct(mean.NeutralPos), pct(mean.NeutralNeg))
+			return nil
+		}
+		if err := run("BSH", core.BestSingleHash(base)); err != nil {
+			return Table{}, err
+		}
+		for _, n := range tableCounts {
+			cfg := core.BestMultiHash(base)
+			cfg.NumTables = n
+			if err := run(fmt.Sprintf("%d", n), cfg); err != nil {
+				return Table{}, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig12 reproduces Figure 12: best multi-hash (C1, R0) value profiling
+// versus the best single hash across 1–16 tables, for both regimes.
+func Fig12(opts Options) (short, long Table, err error) {
+	opts = opts.withDefaults()
+	tables := []int{1, 2, 4, 8, 16}
+	short, err = bestSweep(opts, event.KindValue, core.ShortIntervalConfig(), tables)
+	if err != nil {
+		return Table{}, Table{}, err
+	}
+	short.Title = "Figure 12 (left): " + short.Title
+	long, err = bestSweep(opts, event.KindValue, core.LongIntervalConfig(), tables)
+	if err != nil {
+		return Table{}, Table{}, err
+	}
+	long.Title = "Figure 12 (right): " + long.Title
+	return short, long, nil
+}
+
+// Fig14 reproduces Figure 14: the same comparison for edge profiling with
+// 1–8 tables.
+func Fig14(opts Options) (short, long Table, err error) {
+	opts = opts.withDefaults()
+	tables := []int{1, 2, 4, 8}
+	short, err = bestSweep(opts, event.KindEdge, core.ShortIntervalConfig(), tables)
+	if err != nil {
+		return Table{}, Table{}, err
+	}
+	short.Title = "Figure 14 (left): " + short.Title
+	long, err = bestSweep(opts, event.KindEdge, core.LongIntervalConfig(), tables)
+	if err != nil {
+		return Table{}, Table{}, err
+	}
+	long.Title = "Figure 14 (right): " + long.Title
+	return short, long, nil
+}

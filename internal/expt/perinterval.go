@@ -1,0 +1,44 @@
+package expt
+
+import (
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+)
+
+// Fig13 reproduces Figure 13: the per-interval error trajectory at
+// 1M/0.1% for the best single-hash profiler (left series set) and the best
+// multi-hash profiler with 4 tables (right series set). One Series per
+// benchmark; point i is the total error % in profile cycle i.
+//
+// The paper plots ~180 cycles (500M instructions); the default here is
+// Options.LongIntervals (raise it for paper-scale runs).
+func Fig13(opts Options) (bsh, multi []Series, err error) {
+	opts = opts.withDefaults()
+	intervals := opts.LongIntervals
+	base := core.LongIntervalConfig()
+	runSet := func(cfg core.Config) ([]Series, error) {
+		var out []Series
+		for _, bench := range opts.Benchmarks {
+			cfg.Seed = opts.Seed + 7
+			per, err := runSeries(bench, event.KindValue, cfg, intervals, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			pts := make([]float64, len(per))
+			for i, iv := range per {
+				pts[i] = iv.Total * 100
+			}
+			out = append(out, Series{Name: bench, Points: pts})
+		}
+		return out, nil
+	}
+	bsh, err = runSet(core.BestSingleHash(base))
+	if err != nil {
+		return nil, nil, err
+	}
+	multi, err = runSet(core.BestMultiHash(base))
+	if err != nil {
+		return nil, nil, err
+	}
+	return bsh, multi, nil
+}

@@ -1,0 +1,85 @@
+// Package expt contains one harness per results figure in the paper's
+// evaluation (Figures 4–7 and 9–14, plus the §7 area accounting and a
+// §4.2 stratified-sampler comparison). Each harness returns plain data
+// structures (Table, Series) that cmd/experiments renders as text and the
+// repository benches assert shape properties against.
+//
+// Paper-scale runs streamed 500M instructions per benchmark; the default
+// interval counts here are scaled down so the full suite runs in minutes,
+// and every harness takes an Options.Intervals override for paper-scale
+// runs. EXPERIMENTS.md records measured-vs-paper values for the defaults.
+package expt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := len(t.Header) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (implicitly indexed) values, used for the
+// per-interval error curves of Figure 13 and the CDFs of Figure 6.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// String renders the series compactly.
+func (s Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", s.Name)
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, " %.2f", p)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage with two decimals.
+func pct(f float64) string { return fmt.Sprintf("%.2f", f*100) }

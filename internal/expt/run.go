@@ -1,0 +1,140 @@
+package expt
+
+import (
+	"fmt"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+	"hwprof/internal/metrics"
+	"hwprof/internal/synth"
+)
+
+// Options tunes a harness run. The zero value gives the defaults used by
+// EXPERIMENTS.md.
+type Options struct {
+	// Seed varies the synthetic workloads (hash functions keep their own
+	// per-config seeds).
+	Seed uint64
+
+	// ShortIntervals and LongIntervals are the number of profile
+	// intervals evaluated per configuration in the 10K and 1M regimes.
+	// Zero selects the defaults (50 and 5).
+	ShortIntervals int
+	LongIntervals  int
+
+	// Benchmarks restricts the analog suite; nil means all eight.
+	Benchmarks []string
+}
+
+// withDefaults fills in zero fields.
+func (o Options) withDefaults() Options {
+	if o.ShortIntervals == 0 {
+		o.ShortIntervals = 50
+	}
+	if o.LongIntervals == 0 {
+		o.LongIntervals = 5
+	}
+	if o.Benchmarks == nil {
+		o.Benchmarks = synth.Benchmarks()
+	}
+	return o
+}
+
+// intervalsFor picks the interval budget matching a config's regime.
+func (o Options) intervalsFor(cfg core.Config) int {
+	if cfg.IntervalLength >= 1_000_000 {
+		return o.LongIntervals
+	}
+	return o.ShortIntervals
+}
+
+// runConfig streams profile intervals of the named benchmark analog
+// through a profiler built from cfg and returns the mean error over
+// `intervals` steady-state intervals plus the per-interval series.
+//
+// One extra warm-up interval is run first and excluded from the mean: the
+// paper's means are taken over ~500 intervals of a 500M-instruction run,
+// where the single cold-start interval (empty accumulator, nothing
+// retained, every hot tuple re-warming through the hash tables) carries
+// negligible weight; at our scaled-down interval counts it would dominate.
+// Fig13 reports raw per-interval series including warm-up.
+func runConfig(bench string, kind event.Kind, cfg core.Config, intervals int, seed uint64) (metrics.Interval, []metrics.Interval, error) {
+	per, err := runSeries(bench, kind, cfg, intervals+1, seed)
+	if err != nil {
+		return metrics.Interval{}, nil, err
+	}
+	var sum metrics.Summary
+	for _, iv := range per[1:] {
+		sum.Add(iv)
+	}
+	return sum.Mean(), per, nil
+}
+
+// runSeries streams exactly `intervals` profile intervals and returns each
+// interval's error, including the cold-start interval.
+func runSeries(bench string, kind event.Kind, cfg core.Config, intervals int, seed uint64) ([]metrics.Interval, error) {
+	g, err := synth.NewBenchmark(bench, kind, seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewMultiHash(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("expt: %s: %w", bench, err)
+	}
+	src := event.Limit(g, cfg.IntervalLength*uint64(intervals))
+	var sum metrics.Summary
+	thresh := cfg.ThresholdCount()
+	n, err := core.Run(src, m, cfg.IntervalLength, func(_ int, p, h map[event.Tuple]uint64) {
+		sum.Add(metrics.EvalInterval(p, h, thresh))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n != intervals {
+		return nil, fmt.Errorf("expt: %s: ran %d of %d intervals", bench, n, intervals)
+	}
+	perInterval := make([]metrics.Interval, len(sum.PerInterval()))
+	copy(perInterval, sum.PerInterval())
+	return perInterval, nil
+}
+
+// perfectIntervals collects exact per-interval profiles of a benchmark
+// analog (for Figures 4–6, which characterize the workloads themselves).
+func perfectIntervals(bench string, kind event.Kind, intervalLength uint64, intervals int, seed uint64) ([]map[event.Tuple]uint64, error) {
+	g, err := synth.NewBenchmark(bench, kind, seed)
+	if err != nil {
+		return nil, err
+	}
+	p := core.NewPerfect()
+	out := make([]map[event.Tuple]uint64, 0, intervals)
+	for i := 0; i < intervals; i++ {
+		for n := uint64(0); n < intervalLength; n++ {
+			tp, ok := g.Next()
+			if !ok {
+				return nil, fmt.Errorf("expt: %s: stream ended", bench)
+			}
+			p.Observe(tp)
+		}
+		out = append(out, p.EndInterval())
+	}
+	return out, nil
+}
+
+// candidateSet filters a profile down to the tuples at or above the
+// threshold.
+func candidateSet(profile map[event.Tuple]uint64, threshold uint64) map[event.Tuple]bool {
+	out := make(map[event.Tuple]bool)
+	for tp, c := range profile {
+		if c >= threshold {
+			out[tp] = true
+		}
+	}
+	return out
+}
+
+// thresholdFor converts a percentage into an absolute count for a given
+// interval length (ceil, minimum 1), matching core.Config.ThresholdCount.
+func thresholdFor(intervalLength uint64, percent float64) uint64 {
+	cfg := core.Config{IntervalLength: intervalLength, ThresholdPercent: percent}
+	return cfg.ThresholdCount()
+}

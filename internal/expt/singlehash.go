@@ -1,0 +1,57 @@
+package expt
+
+import (
+	"fmt"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+)
+
+// Fig7 reproduces Figure 7: single-hash value-profiling error for the four
+// {retaining, resetting} combinations, split into the four error
+// categories. The left table is the 10K/1% regime, the right the 1M/0.1%
+// regime; all use one 2K-entry table.
+func Fig7(opts Options) (short, long Table, err error) {
+	opts = opts.withDefaults()
+	regime := func(base core.Config) (Table, error) {
+		t := Table{
+			Title: fmt.Sprintf("Figure 7: single-hash error %% (interval=%d, t=%g%%)",
+				base.IntervalLength, base.ThresholdPercent),
+			Header: []string{"benchmark", "config", "total", "falsePos", "falseNeg", "neutPos", "neutNeg"},
+		}
+		intervals := opts.intervalsFor(base)
+		for _, bench := range opts.Benchmarks {
+			for _, pr := range []struct {
+				name          string
+				retain, reset bool
+			}{
+				{"P0,R0", false, false},
+				{"P0,R1", false, true},
+				{"P1,R0", true, false},
+				{"P1,R1", true, true},
+			} {
+				cfg := base
+				cfg.NumTables = 1
+				cfg.Retain = pr.retain
+				cfg.ResetOnPromote = pr.reset
+				cfg.Seed = opts.Seed + 7
+				mean, _, err := runConfig(bench, event.KindValue, cfg, intervals, opts.Seed)
+				if err != nil {
+					return Table{}, err
+				}
+				t.AddRow(bench, pr.name, pct(mean.Total), pct(mean.FalsePos),
+					pct(mean.FalseNeg), pct(mean.NeutralPos), pct(mean.NeutralNeg))
+			}
+		}
+		return t, nil
+	}
+	short, err = regime(core.ShortIntervalConfig())
+	if err != nil {
+		return Table{}, Table{}, err
+	}
+	long, err = regime(core.LongIntervalConfig())
+	if err != nil {
+		return Table{}, Table{}, err
+	}
+	return short, long, nil
+}

@@ -1,0 +1,105 @@
+package expt
+
+import (
+	"fmt"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+	"hwprof/internal/metrics"
+	"hwprof/internal/sampler"
+	"hwprof/internal/stratified"
+	"hwprof/internal/synth"
+)
+
+// observer is the common shape of every software-assisted baseline.
+type observer interface {
+	Observe(event.Tuple)
+	EndInterval() map[event.Tuple]uint64
+}
+
+// StratifiedCompare reproduces the §4.2 baseline chain: conventional
+// periodic and random samplers, the stratified sampler of Sastry et al.,
+// and the best multi-hash profiler, all at the 10K/1% regime with
+// comparable sampling rates. Accuracy is shown next to the message volume
+// only the software-assisted designs incur.
+func StratifiedCompare(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	base := core.ShortIntervalConfig()
+	intervals := opts.intervalsFor(base)
+	t := Table{
+		Title:  "Section 4.2 baselines: samplers vs stratified vs best multi-hash (10K/1%)",
+		Header: []string{"benchmark", "profiler", "total err %", "messages", "interrupts"},
+	}
+	thresh := base.ThresholdCount()
+	period := thresh / 4 // one sample per 25 events, matching stratified's rate
+
+	for _, bench := range opts.Benchmarks {
+		runBaseline := func(label string, o observer, messages func() uint64, interrupts func() uint64) error {
+			g, err := synth.NewBenchmark(bench, event.KindValue, opts.Seed)
+			if err != nil {
+				return err
+			}
+			perfect := core.NewPerfect()
+			var sum metrics.Summary
+			for i := 0; i < intervals; i++ {
+				for n := uint64(0); n < base.IntervalLength; n++ {
+					tp, ok := g.Next()
+					if !ok {
+						return fmt.Errorf("expt: %s: stream ended", bench)
+					}
+					o.Observe(tp)
+					perfect.Observe(tp)
+				}
+				sum.Add(metrics.EvalInterval(perfect.EndInterval(), o.EndInterval(), thresh))
+			}
+			mean := sum.Mean()
+			t.AddRow(bench, label, pct(mean.Total),
+				fmt.Sprintf("%d", messages()), fmt.Sprintf("%d", interrupts()))
+			return nil
+		}
+
+		per, err := sampler.NewPeriodic(period)
+		if err != nil {
+			return Table{}, err
+		}
+		if err := runBaseline("periodic", per,
+			func() uint64 { return per.Messages }, func() uint64 { return per.Messages / 100 }); err != nil {
+			return Table{}, err
+		}
+
+		rnd, err := sampler.NewRandom(period, opts.Seed+11)
+		if err != nil {
+			return Table{}, err
+		}
+		if err := runBaseline("random", rnd,
+			func() uint64 { return rnd.Messages }, func() uint64 { return rnd.Messages / 100 }); err != nil {
+			return Table{}, err
+		}
+
+		s, err := stratified.New(stratified.Config{
+			TableEntries:      base.TotalEntries,
+			SamplingThreshold: period,
+			AggEntries:        16,
+			AggFlushCount:     8,
+			BufferEntries:     100,
+			TagBits:           8,
+			Seed:              opts.Seed + 7,
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		if err := runBaseline("stratified", s,
+			func() uint64 { return s.Messages }, func() uint64 { return s.Interrupts }); err != nil {
+			return Table{}, err
+		}
+
+		mhCfg := core.BestMultiHash(base)
+		mhCfg.Seed = opts.Seed + 7
+		mhMean, _, err := runConfig(bench, event.KindValue, mhCfg, intervals, opts.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(bench, "multi-hash", pct(mhMean.Total), "0", "0")
+	}
+	return t, nil
+}

@@ -1,0 +1,63 @@
+package expt
+
+import (
+	"fmt"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+	"hwprof/internal/metrics"
+	"hwprof/internal/vm"
+	"hwprof/internal/vm/progs"
+)
+
+// VMTable cross-validates the profiler on genuinely program-generated
+// streams (DESIGN.md §2): every VM program is looped through enough
+// 10K-event intervals for the best multi-hash profiler, for both tuple
+// kinds, and the error against a perfect profiler is reported. This guards
+// the synthetic-analog results against artifacts of the synthesis: the
+// same hardware must be near-exact on real instruction streams too.
+func VMTable(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	t := Table{
+		Title:  "VM cross-validation: best multi-hash on program-generated streams (10K/1%)",
+		Header: []string{"program", "kind", "intervals", "mean err %", "mean candidates"},
+	}
+	intervals := opts.ShortIntervals
+	base := core.BestMultiHash(core.ShortIntervalConfig())
+	base.Seed = opts.Seed + 7
+	for _, p := range progs.All() {
+		for _, kind := range []event.Kind{event.KindValue, event.KindEdge} {
+			m, err := p.NewMachine()
+			if err != nil {
+				return Table{}, err
+			}
+			src, err := vm.NewEventSource(m, kind)
+			if err != nil {
+				return Table{}, err
+			}
+			src.Loop = true
+			prof, err := core.NewMultiHash(base)
+			if err != nil {
+				return Table{}, err
+			}
+			var sum metrics.Summary
+			n, err := core.Run(event.Limit(src, base.IntervalLength*uint64(intervals)),
+				prof, base.IntervalLength, func(_ int, pf, hw map[event.Tuple]uint64) {
+					sum.Add(metrics.EvalInterval(pf, hw, base.ThresholdCount()))
+				})
+			if err != nil {
+				return Table{}, err
+			}
+			if src.Err() != nil {
+				return Table{}, fmt.Errorf("expt: %s: %w", p.Name, src.Err())
+			}
+			if n == 0 {
+				return Table{}, fmt.Errorf("expt: %s/%v: no complete intervals", p.Name, kind)
+			}
+			mean := sum.Mean()
+			t.AddRow(p.Name, kind.String(), fmt.Sprintf("%d", n),
+				pct(mean.Total), fmt.Sprintf("%d", mean.PerfectCandidates/n))
+		}
+	}
+	return t, nil
+}

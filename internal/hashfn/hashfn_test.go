@@ -1,0 +1,336 @@
+package hashfn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hwprof/internal/event"
+	"hwprof/internal/xrand"
+)
+
+func TestNewRejectsBadWidths(t *testing.T) {
+	for _, bad := range []uint{33, 64} {
+		if _, err := New(1, bad); err == nil {
+			t.Errorf("New with width %d succeeded, want error", bad)
+		}
+	}
+	for _, good := range []uint{0, 1, 8, 11, 32} {
+		if _, err := New(1, good); err != nil {
+			t.Errorf("New with width %d failed: %v", good, err)
+		}
+	}
+}
+
+func TestIndexInRange(t *testing.T) {
+	f, err := New(3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(9)
+	for i := 0; i < 10000; i++ {
+		idx := f.Index(event.Tuple{A: r.Uint64(), B: r.Uint64()})
+		if int(idx) >= f.Size() {
+			t.Fatalf("index %d out of range for size %d", idx, f.Size())
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	f1, _ := New(42, 12)
+	f2, _ := New(42, 12)
+	tp := event.Tuple{A: 0x1234567890ab, B: 77}
+	if f1.Index(tp) != f2.Index(tp) {
+		t.Fatal("same seed produced different hash functions")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	f1, _ := New(1, 12)
+	f2, _ := New(2, 12)
+	diff := 0
+	r := xrand.New(5)
+	for i := 0; i < 1000; i++ {
+		tp := event.Tuple{A: r.Uint64(), B: r.Uint64()}
+		if f1.Index(tp) != f2.Index(tp) {
+			diff++
+		}
+	}
+	// Two independent 12-bit hashes agree with probability 1/4096.
+	if diff < 990 {
+		t.Fatalf("seeds 1 and 2 produced correlated functions: only %d/1000 differ", diff)
+	}
+}
+
+// TestEvenDistribution reproduces the paper's observation (§5.3) that the
+// hash spreads temporally-close tuples evenly: hash 64K tuples whose PCs
+// and values vary only slightly, and check bucket occupancy with a
+// chi-squared test.
+func TestEvenDistribution(t *testing.T) {
+	f, _ := New(7, 8) // 256 buckets
+	const n = 1 << 16
+	counts := make([]int, f.Size())
+	for i := 0; i < n; i++ {
+		// Small, structured variation: nearby PCs, small values.
+		tp := event.Tuple{A: 0x120000 + uint64(i%512)*4, B: uint64(i / 512)}
+		counts[f.Index(tp)]++
+	}
+	expected := float64(n) / float64(f.Size())
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 255 dof; 99.9th percentile ~ 330.
+	if chi2 > 330 {
+		t.Fatalf("chi-squared = %v over %d buckets: structured inputs not dispersed", chi2, f.Size())
+	}
+}
+
+func TestNaiveFuncIsStructured(t *testing.T) {
+	// The ablation baseline must *fail* the dispersion property the real
+	// hash passes: with B = 0, naive hashing maps nearby PCs to nearby
+	// buckets, concentrating structured tuples in few buckets.
+	nf := NewNaive(8)
+	counts := make(map[uint32]int)
+	for i := 0; i < 4096; i++ {
+		counts[nf.Index(event.Tuple{A: 0x120000 + uint64(i%16)*4, B: 0})]++
+	}
+	if len(counts) > 64 {
+		t.Fatalf("naive hash dispersed structured tuples into %d buckets; expected clustering", len(counts))
+	}
+}
+
+func TestXorfold(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		n    uint
+		want uint64
+	}{
+		{0, 8, 0},
+		{0xff, 8, 0xff},
+		{0xff00, 8, 0xff},
+		{0x0102030405060708, 8, 1 ^ 2 ^ 3 ^ 4 ^ 5 ^ 6 ^ 7 ^ 8},
+		{0xffffffffffffffff, 16, 0},
+		{0xffff0000ffff0000, 16, 0},
+		{0x1234000000000000, 16, 0x1234},
+	}
+	for _, c := range cases {
+		if got := xorfold(c.v, c.n); got != c.want {
+			t.Errorf("xorfold(%#x, %d) = %#x, want %#x", c.v, c.n, got, c.want)
+		}
+	}
+}
+
+func TestXorfoldWidth(t *testing.T) {
+	f := func(v uint64) bool {
+		return xorfold(v, 11) < 1<<11
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlip(t *testing.T) {
+	if got := flip(0x0102030405060708); got != 0x0807060504030201 {
+		t.Fatalf("flip = %#x", got)
+	}
+	f := func(v uint64) bool { return flip(flip(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizeBijective(t *testing.T) {
+	// With permutation byte tables, randomize must be a bijection on each
+	// byte lane, hence on uint64. Verify injectivity on a sample and exact
+	// byte-lane permutation behaviour.
+	// Note every lane substitutes, including zero bytes (they all map to
+	// tab[0]), so only lane 0 varies across these inputs — but the full
+	// outputs must still be 256 distinct values.
+	f, _ := New(99, 8)
+	seen := make(map[uint64]bool)
+	var hi uint64
+	for b := 0; b < 256; b++ {
+		v := randomize(uint64(b), &f.tabA)
+		if b == 0 {
+			hi = v &^ 0xff
+		} else if v&^0xff != hi {
+			t.Fatalf("randomize(%#x) changed constant upper lanes: %#x", b, v)
+		}
+		if seen[v] {
+			t.Fatalf("randomize not injective on byte lane: %#x repeated", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFamilyIndependence(t *testing.T) {
+	fam, err := NewFamily(11, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 4 {
+		t.Fatalf("family size %d, want 4", fam.Len())
+	}
+	// Tuples colliding under one function should mostly not collide under
+	// another: measure pairwise agreement of function 0 and 1 on tuples
+	// engineered to collide under function 0.
+	f0, f1 := fam.Func(0), fam.Func(1)
+	r := xrand.New(17)
+	var pool []event.Tuple
+	target := uint32(3)
+	for len(pool) < 200 {
+		tp := event.Tuple{A: r.Uint64(), B: r.Uint64()}
+		if f0.Index(tp) == target {
+			pool = append(pool, tp)
+		}
+	}
+	f1Same := 0
+	for _, tp := range pool {
+		if f1.Index(tp) == f1.Index(pool[0]) {
+			f1Same++
+		}
+	}
+	// Under independence, expected collisions ≈ 200/512 < 1.
+	if f1Same > 10 {
+		t.Fatalf("function 1 repeats function 0's collisions: %d/200", f1Same)
+	}
+}
+
+func TestFamilyRejectsBadSize(t *testing.T) {
+	if _, err := NewFamily(1, 0, 8); err == nil {
+		t.Fatal("NewFamily(0) succeeded")
+	}
+}
+
+func TestIndexesAppends(t *testing.T) {
+	fam, _ := NewFamily(5, 3, 10)
+	buf := make([]uint32, 0, 3)
+	got := fam.Indexes(event.Tuple{A: 1, B: 2}, buf)
+	if len(got) != 3 {
+		t.Fatalf("Indexes returned %d values", len(got))
+	}
+	for i, idx := range got {
+		if idx != fam.Func(i).Index(event.Tuple{A: 1, B: 2}) {
+			t.Fatalf("Indexes[%d] disagrees with Func(%d).Index", i, i)
+		}
+	}
+}
+
+// TestAvalanche checks the dispersion of single-bit input changes. One
+// flipped input bit changes one byte lane; after substitution that byte's 8
+// bits each differ with probability ~1/2, and xorfold lands them on 8 index
+// bits, so the expected index Hamming distance is ~4 (of 16).
+func TestAvalanche(t *testing.T) {
+	f, _ := New(1234, 16)
+	r := xrand.New(55)
+	const trials = 2000
+	totalFlips := 0
+	for i := 0; i < trials; i++ {
+		tp := event.Tuple{A: r.Uint64(), B: r.Uint64()}
+		base := f.Index(tp)
+		bit := uint(r.Intn(64))
+		tp2 := tp
+		if r.Intn(2) == 0 {
+			tp2.A ^= 1 << bit
+		} else {
+			tp2.B ^= 1 << bit
+		}
+		diff := base ^ f.Index(tp2)
+		for diff != 0 {
+			totalFlips += int(diff & 1)
+			diff >>= 1
+		}
+	}
+	mean := float64(totalFlips) / trials
+	if math.Abs(mean-4) > 1.0 {
+		t.Fatalf("avalanche mean = %v output-bit flips, want ~4 of 16", mean)
+	}
+}
+
+func BenchmarkIndex(b *testing.B) {
+	f, _ := New(1, 11)
+	tp := event.Tuple{A: 0x40321c, B: 0xdeadbeef}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.Index(tp)
+	}
+}
+
+func BenchmarkFamilyIndexes4(b *testing.B) {
+	fam, _ := NewFamily(1, 4, 9)
+	tp := event.Tuple{A: 0x40321c, B: 0xdeadbeef}
+	buf := make([]uint32, 0, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = fam.Indexes(tp, buf[:0])
+	}
+}
+
+func TestWeakFamilyValidation(t *testing.T) {
+	if _, err := NewWeakFamily(0, 9); err == nil {
+		t.Error("weak family size 0 accepted")
+	}
+	if _, err := NewWeakFamily(4, 40); err == nil {
+		t.Error("weak family width 40 accepted")
+	}
+}
+
+func TestWeakFamilyShape(t *testing.T) {
+	w, err := NewWeakFamily(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	idxs := w.Indexes(event.Tuple{A: 0x400000, B: 7}, nil)
+	if len(idxs) != 4 {
+		t.Fatalf("Indexes returned %d values", len(idxs))
+	}
+	for _, i := range idxs {
+		if i >= 512 {
+			t.Fatalf("index %d out of range", i)
+		}
+	}
+}
+
+// TestWeakFamilyPreservesStructure documents the property that makes the
+// weak family an ablation baseline: large-stride inputs collapse onto a
+// few buckets, where the paper hash disperses them.
+func TestWeakFamilyPreservesStructure(t *testing.T) {
+	w, _ := NewWeakFamily(1, 9)
+	strong, _ := NewFamily(1, 1, 9)
+	weakSeen := map[uint32]bool{}
+	strongSeen := map[uint32]bool{}
+	for k := uint64(0); k < 256; k++ {
+		tp := event.Tuple{A: 0x800000 + k<<17, B: 0}
+		weakSeen[w.Indexes(tp, nil)[0]] = true
+		strongSeen[strong.Indexes(tp, nil)[0]] = true
+	}
+	if len(weakSeen) > 8 {
+		t.Fatalf("weak family dispersed strided inputs into %d buckets", len(weakSeen))
+	}
+	if len(strongSeen) < 100 {
+		t.Fatalf("paper hash concentrated strided inputs into %d buckets", len(strongSeen))
+	}
+}
+
+// TestFastIndexMatchesReference proves the precomputed-contribution Index
+// is bit-identical to the paper's literal flip/randomize/xorfold recipe.
+func TestFastIndexMatchesReference(t *testing.T) {
+	for _, bits := range []uint{0, 1, 9, 11, 16, 32} {
+		f, err := New(77, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := xrand.New(uint64(bits) + 1)
+		for i := 0; i < 5000; i++ {
+			tp := event.Tuple{A: r.Uint64(), B: r.Uint64()}
+			if fast, slow := f.Index(tp), f.indexSlow(tp); fast != slow {
+				t.Fatalf("bits=%d tuple=%v: fast %d != reference %d", bits, tp, fast, slow)
+			}
+		}
+	}
+}

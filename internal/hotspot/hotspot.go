@@ -1,0 +1,207 @@
+// Package hotspot implements a hardware hot-spot detector in the style of
+// Merten et al. (ISCA 1999 / ISCA 2000 — the paper's refs [11, 12]), the
+// table-based related-work profiler of §4.1.3.
+//
+// A Branch Behavior Buffer (BBB) tracks per-branch execution and taken
+// counts within a refresh window; branches whose execution count crosses a
+// threshold become *candidates*. A saturating Hot Spot Detection Counter
+// (HDC) moves up whenever a retired branch is a candidate and down when it
+// is not: when most branch activity concentrates in a small set of
+// candidate branches, the HDC saturates and the detector declares a hot
+// spot. Unlike the Multi-Hash profiler, the BBB is a tagged table (it
+// suffers capacity misses on large working sets) and the scheme answers
+// only "is execution in a hot spot, and which branches form it" — not
+// general tuple frequencies.
+package hotspot
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Config parameterizes the detector. Zero values are invalid; see
+// DefaultConfig for the Merten-style defaults.
+type Config struct {
+	// Entries is the BBB size (power of two, direct mapped).
+	Entries int
+	// ExecThreshold is the execution count at which a branch becomes a
+	// candidate within a refresh window (16 in Merten et al.).
+	ExecThreshold uint32
+	// RefreshPeriod is the number of retired branches between BBB
+	// refreshes (counter halving), keeping candidacy recent.
+	RefreshPeriod uint64
+	// HDCMax is the HDC saturation value; the detector reports a hot
+	// spot while the HDC is at least HotThreshold.
+	HDCMax uint32
+	// HotThreshold is the HDC level at which a hot spot is declared.
+	HotThreshold uint32
+	// Up and Down are the HDC increments for candidate and non-candidate
+	// branches (2 and 1 in Merten et al.).
+	Up, Down uint32
+}
+
+// DefaultConfig returns Merten-style parameters scaled to the VM's
+// program sizes.
+func DefaultConfig() Config {
+	return Config{
+		Entries:       512,
+		ExecThreshold: 16,
+		RefreshPeriod: 4096,
+		HDCMax:        4096,
+		HotThreshold:  4000,
+		Up:            2,
+		Down:          1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || bits.OnesCount(uint(c.Entries)) != 1 {
+		return fmt.Errorf("hotspot: entries %d must be a positive power of two", c.Entries)
+	}
+	if c.ExecThreshold == 0 {
+		return fmt.Errorf("hotspot: ExecThreshold must be positive")
+	}
+	if c.RefreshPeriod == 0 {
+		return fmt.Errorf("hotspot: RefreshPeriod must be positive")
+	}
+	if c.HDCMax == 0 || c.HotThreshold == 0 || c.HotThreshold > c.HDCMax {
+		return fmt.Errorf("hotspot: need 0 < HotThreshold (%d) <= HDCMax (%d)", c.HotThreshold, c.HDCMax)
+	}
+	if c.Up == 0 || c.Down == 0 {
+		return fmt.Errorf("hotspot: Up and Down must be positive")
+	}
+	return nil
+}
+
+// entry is one BBB row.
+type entry struct {
+	tag       uint64
+	exec      uint32
+	taken     uint32
+	candidate bool
+	valid     bool
+}
+
+// Detector is a Merten-style hot-spot detector.
+type Detector struct {
+	cfg   Config
+	bbb   []entry
+	mask  uint64
+	hdc   uint32
+	since uint64
+
+	// Branches counts observed branches; HotBranchesSeen counts the
+	// branches observed while the detector reported a hot spot.
+	Branches        uint64
+	HotBranchesSeen uint64
+}
+
+// New builds a detector.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cfg:  cfg,
+		bbb:  make([]entry, cfg.Entries),
+		mask: uint64(cfg.Entries - 1),
+	}, nil
+}
+
+// ObserveBranch feeds one retired conditional branch.
+func (d *Detector) ObserveBranch(pc uint64, taken bool) {
+	d.Branches++
+	e := &d.bbb[(pc>>2)&d.mask]
+	if !e.valid || e.tag != pc {
+		// Direct-mapped replacement: the incumbent is evicted.
+		*e = entry{tag: pc, valid: true}
+	}
+	e.exec++
+	if taken {
+		e.taken++
+	}
+	if e.exec >= d.cfg.ExecThreshold {
+		e.candidate = true
+	}
+
+	if e.candidate {
+		d.hdc += d.cfg.Up
+		if d.hdc > d.cfg.HDCMax {
+			d.hdc = d.cfg.HDCMax
+		}
+	} else if d.hdc >= d.cfg.Down {
+		d.hdc -= d.cfg.Down
+	} else {
+		d.hdc = 0
+	}
+	if d.InHotSpot() {
+		d.HotBranchesSeen++
+	}
+
+	d.since++
+	if d.since >= d.cfg.RefreshPeriod {
+		d.since = 0
+		d.refresh()
+	}
+}
+
+// refresh halves every counter, aging out stale candidacy (Merten's
+// refresh timer).
+func (d *Detector) refresh() {
+	for i := range d.bbb {
+		e := &d.bbb[i]
+		if !e.valid {
+			continue
+		}
+		e.exec /= 2
+		e.taken /= 2
+		if e.exec < d.cfg.ExecThreshold {
+			e.candidate = false
+		}
+	}
+}
+
+// InHotSpot reports whether the HDC is at or above the hot threshold.
+func (d *Detector) InHotSpot() bool { return d.hdc >= d.cfg.HotThreshold }
+
+// HDC returns the current detection counter value.
+func (d *Detector) HDC() uint32 { return d.hdc }
+
+// HotBranches returns the current candidate branch PCs, sorted by
+// descending execution count (ties by PC).
+func (d *Detector) HotBranches() []uint64 {
+	type cand struct {
+		pc   uint64
+		exec uint32
+	}
+	var cands []cand
+	for i := range d.bbb {
+		e := &d.bbb[i]
+		if e.valid && e.candidate {
+			cands = append(cands, cand{e.tag, e.exec})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].exec != cands[j].exec {
+			return cands[i].exec > cands[j].exec
+		}
+		return cands[i].pc < cands[j].pc
+	})
+	out := make([]uint64, len(cands))
+	for i, c := range cands {
+		out[i] = c.pc
+	}
+	return out
+}
+
+// TakenFraction returns the taken fraction recorded for pc, and whether
+// pc is resident in the BBB.
+func (d *Detector) TakenFraction(pc uint64) (float64, bool) {
+	e := &d.bbb[(pc>>2)&d.mask]
+	if !e.valid || e.tag != pc || e.exec == 0 {
+		return 0, false
+	}
+	return float64(e.taken) / float64(e.exec), true
+}

@@ -1,0 +1,150 @@
+package hotspot
+
+import (
+	"testing"
+
+	"hwprof/internal/vm/progs"
+	"hwprof/internal/xrand"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string]func(*Config){
+		"entries 0":        func(c *Config) { c.Entries = 0 },
+		"non power of two": func(c *Config) { c.Entries = 100 },
+		"zero exec":        func(c *Config) { c.ExecThreshold = 0 },
+		"zero refresh":     func(c *Config) { c.RefreshPeriod = 0 },
+		"zero hdc max":     func(c *Config) { c.HDCMax = 0 },
+		"threshold > max":  func(c *Config) { c.HotThreshold = c.HDCMax + 1 },
+		"zero up":          func(c *Config) { c.Up = 0 },
+		"zero down":        func(c *Config) { c.Down = 0 },
+	}
+	for name, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if _, err := New(c); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestLoopDetectedAsHotSpot(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tight loop: two branches dominating execution.
+	for i := 0; i < 20000; i++ {
+		d.ObserveBranch(0x400010, i%100 != 99)
+		d.ObserveBranch(0x400020, true)
+	}
+	if !d.InHotSpot() {
+		t.Fatalf("tight loop not detected (HDC %d)", d.HDC())
+	}
+	hot := d.HotBranches()
+	if len(hot) != 2 {
+		t.Fatalf("hot branches = %v", hot)
+	}
+	if d.HotBranchesSeen == 0 {
+		t.Fatal("no branches attributed to the hot spot")
+	}
+}
+
+func TestRandomBranchesStayCold(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	r := xrand.New(3)
+	// Branch PCs scattered across a huge code footprint: nothing becomes
+	// a stable candidate, so the HDC must stay below the threshold.
+	for i := 0; i < 50000; i++ {
+		d.ObserveBranch(r.Uint64n(1<<30)<<2, r.Intn(2) == 0)
+	}
+	if d.InHotSpot() {
+		t.Fatalf("random branch soup declared hot (HDC %d)", d.HDC())
+	}
+}
+
+func TestRefreshAgesOutCandidates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefreshPeriod = 100
+	d, _ := New(cfg)
+	for i := 0; i < 50; i++ {
+		d.ObserveBranch(0x400010, true) // candidate after 16 execs
+	}
+	if len(d.HotBranches()) != 1 {
+		t.Fatal("branch did not become candidate")
+	}
+	// Two full refreshes with other traffic: 50 → 25 → 12 < 16.
+	for i := 0; i < 200; i++ {
+		d.ObserveBranch(uint64(0x500000+i*4), false)
+	}
+	if len(d.HotBranches()) != 0 {
+		t.Fatalf("stale candidate survived refresh: %v", d.HotBranches())
+	}
+}
+
+func TestTakenFraction(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		d.ObserveBranch(0x400040, i%4 != 0) // 75% taken
+	}
+	f, ok := d.TakenFraction(0x400040)
+	if !ok {
+		t.Fatal("branch not resident")
+	}
+	if f < 0.70 || f > 0.80 {
+		t.Fatalf("taken fraction = %v, want ~0.75", f)
+	}
+	if _, ok := d.TakenFraction(0x999000); ok {
+		t.Fatal("absent branch reported resident")
+	}
+}
+
+func TestDirectMappedEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Entries = 2
+	d, _ := New(cfg)
+	// Two PCs mapping to the same row evict each other: neither should
+	// accumulate candidacy.
+	for i := 0; i < 1000; i++ {
+		d.ObserveBranch(0x400000, true)
+		d.ObserveBranch(0x400010, true) // (0x400010>>2)&1 == 0 too
+	}
+	if len(d.HotBranches()) != 0 {
+		t.Fatalf("conflicting branches became candidates: %v", d.HotBranches())
+	}
+}
+
+// TestInterpHotSpot runs the detector on a real dispatch loop: the
+// interpreter's branches concentrate, so the detector must fire and the
+// candidate set must name the dispatch-chain branches.
+func TestInterpHotSpot(t *testing.T) {
+	p, _ := progs.ByName("interp")
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := New(DefaultConfig())
+	m.OnCond = d.ObserveBranch
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !d.InHotSpot() {
+		t.Fatalf("interpreter dispatch not detected (HDC %d after %d branches)", d.HDC(), d.Branches)
+	}
+	if len(d.HotBranches()) == 0 {
+		t.Fatal("no hot branches named")
+	}
+	// Most branch activity should have happened inside the hot spot.
+	if float64(d.HotBranchesSeen)/float64(d.Branches) < 0.5 {
+		t.Fatalf("only %d of %d branches inside hot spot", d.HotBranchesSeen, d.Branches)
+	}
+}
+
+func BenchmarkObserveBranch(b *testing.B) {
+	d, _ := New(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		d.ObserveBranch(uint64(i%64)*4+0x400000, i%3 == 0)
+	}
+}

@@ -1,0 +1,70 @@
+// Package hwmodel accounts for the silicon area (storage bytes) of the
+// profiling architectures, reproducing the paper's §7 numbers: a 2K-entry
+// hash structure of 3-byte counters is 6 KB, and the accumulator table is
+// 1 KB at the 1% threshold (100 entries) and 10 KB at 0.1% (1000 entries)
+// — roughly 10 bytes per accumulator entry.
+package hwmodel
+
+import (
+	"fmt"
+
+	"hwprof/internal/core"
+)
+
+// AccumEntryBytes is the modeled cost of one accumulator entry: a
+// 7-byte tuple signature plus a 3-byte exact counter (flag bits ride in
+// spare signature bits). This matches the paper's 1 KB / 100-entry and
+// 10 KB / 1000-entry figures.
+const AccumEntryBytes = 10
+
+// HashBytes returns the storage of `entries` counters of `widthBits` bits,
+// with each counter rounded up to whole bytes as the paper does.
+func HashBytes(entries int, widthBits uint) (int, error) {
+	if entries <= 0 {
+		return 0, fmt.Errorf("hwmodel: entries %d must be positive", entries)
+	}
+	if widthBits < 1 || widthBits > 64 {
+		return 0, fmt.Errorf("hwmodel: width %d out of range [1,64]", widthBits)
+	}
+	return entries * int((widthBits+7)/8), nil
+}
+
+// AccumBytes returns the storage of an accumulator with the given entry
+// capacity.
+func AccumBytes(capacity int) (int, error) {
+	if capacity <= 0 {
+		return 0, fmt.Errorf("hwmodel: capacity %d must be positive", capacity)
+	}
+	return capacity * AccumEntryBytes, nil
+}
+
+// Area describes the storage budget of one profiler configuration.
+type Area struct {
+	HashBytes  int // all hash tables combined
+	AccumBytes int // accumulator table
+}
+
+// Total returns the combined storage in bytes.
+func (a Area) Total() int { return a.HashBytes + a.AccumBytes }
+
+// String renders the area in the paper's style.
+func (a Area) String() string {
+	return fmt.Sprintf("hash %d B + accumulator %d B = %d B total",
+		a.HashBytes, a.AccumBytes, a.Total())
+}
+
+// Of computes the area of a core profiler configuration.
+func Of(cfg core.Config) (Area, error) {
+	if err := cfg.Validate(); err != nil {
+		return Area{}, err
+	}
+	hb, err := HashBytes(cfg.TotalEntries, cfg.CounterWidth)
+	if err != nil {
+		return Area{}, err
+	}
+	ab, err := AccumBytes(cfg.EffectiveAccumCapacity())
+	if err != nil {
+		return Area{}, err
+	}
+	return Area{HashBytes: hb, AccumBytes: ab}, nil
+}

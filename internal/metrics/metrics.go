@@ -1,0 +1,213 @@
+// Package metrics implements the paper's accuracy methodology (§5.5):
+// Figure 3's four-way classification of candidate tuples and the weighted
+// per-interval error rate of formula (1).
+//
+// For a candidate tuple i with perfect frequency fp_i and hardware
+// frequency fh_i, the error is |fp_i − fh_i| / fp_i, and the interval error
+// is the fp-weighted mean over every tuple that is a candidate in either
+// profile — which algebraically is Σ|fp_i − fh_i| / Σfp_i. The net error
+// over a run is the simple average of interval errors.
+package metrics
+
+import "hwprof/internal/event"
+
+// Category classifies one tuple per Figure 3, given the candidate
+// threshold T.
+type Category int
+
+// The four error categories of Figure 3 plus the don't-care cell.
+const (
+	// FalsePositive: hardware says candidate, perfect says not
+	// (fp < T, fh >= T). Risks over-aggressive optimization.
+	FalsePositive Category = iota
+	// FalseNegative: perfect says candidate, hardware missed it
+	// (fp >= T, fh < T). A lost optimization opportunity.
+	FalseNegative
+	// NeutralPositive: both say candidate but hardware over-counts
+	// (fh > fp >= T).
+	NeutralPositive
+	// NeutralNegative: both say candidate but hardware under-counts
+	// (fp >= fh >= T; exact counts land here with zero error).
+	NeutralNegative
+	// DontCare: neither profile considers the tuple a candidate
+	// (fp < T, fh < T).
+	DontCare
+)
+
+// String returns the category's name as used in the paper's figures.
+func (c Category) String() string {
+	switch c {
+	case FalsePositive:
+		return "False Positive"
+	case FalseNegative:
+		return "False Negative"
+	case NeutralPositive:
+		return "Neutral Positive"
+	case NeutralNegative:
+		return "Neutral Negative"
+	case DontCare:
+		return "Don't Care"
+	default:
+		return "Invalid"
+	}
+}
+
+// Classify places one tuple's (fp, fh) pair into a Figure 3 cell for
+// candidate threshold T.
+func Classify(fp, fh, threshold uint64) Category {
+	pIn := fp >= threshold
+	hIn := fh >= threshold
+	switch {
+	case pIn && hIn:
+		if fh > fp {
+			return NeutralPositive
+		}
+		return NeutralNegative
+	case pIn && !hIn:
+		return FalseNegative
+	case !pIn && hIn:
+		return FalsePositive
+	default:
+		return DontCare
+	}
+}
+
+// Interval is the error breakdown for one profile interval. The four
+// category fields partition Total: Total == FalsePos + FalseNeg +
+// NeutralPos + NeutralNeg. All five are fractions (multiply by 100 for the
+// paper's % scale) and may exceed 1 when false positives dominate, as in
+// the paper's worst configurations.
+type Interval struct {
+	Total      float64
+	FalsePos   float64
+	FalseNeg   float64
+	NeutralPos float64
+	NeutralNeg float64
+
+	// Candidate-tuple counts by category for this interval.
+	NumFalsePos   int
+	NumFalseNeg   int
+	NumNeutralPos int
+	NumNeutralNeg int
+
+	// PerfectCandidates is the number of candidates in the perfect
+	// profile (Figure 5's quantity).
+	PerfectCandidates int
+}
+
+// Candidates returns the number of tuples that were candidates in either
+// profile.
+func (iv Interval) Candidates() int {
+	return iv.NumFalsePos + iv.NumFalseNeg + iv.NumNeutralPos + iv.NumNeutralNeg
+}
+
+// EvalInterval computes the Figure 3 / formula (1) error breakdown for one
+// interval, comparing the hardware profile against the perfect profile at
+// the given candidate threshold.
+func EvalInterval(perfect, hardware map[event.Tuple]uint64, threshold uint64) Interval {
+	var iv Interval
+	var denom float64
+
+	consider := func(tp event.Tuple, fp, fh uint64) {
+		cat := Classify(fp, fh, threshold)
+		if cat == DontCare {
+			return
+		}
+		var diff float64
+		if fp > fh {
+			diff = float64(fp - fh)
+		} else {
+			diff = float64(fh - fp)
+		}
+		denom += float64(fp)
+		switch cat {
+		case FalsePositive:
+			iv.FalsePos += diff
+			iv.NumFalsePos++
+		case FalseNegative:
+			iv.FalseNeg += diff
+			iv.NumFalseNeg++
+		case NeutralPositive:
+			iv.NeutralPos += diff
+			iv.NumNeutralPos++
+		case NeutralNegative:
+			iv.NeutralNeg += diff
+			iv.NumNeutralNeg++
+		}
+		if fp >= threshold {
+			iv.PerfectCandidates++
+		}
+	}
+
+	for tp, fp := range perfect {
+		consider(tp, fp, hardware[tp])
+	}
+	// Hardware-only tuples (perfect count zero would mean the tuple never
+	// occurred; with our profilers fh > 0 implies fp > 0, but guard for
+	// arbitrary inputs).
+	for tp, fh := range hardware {
+		if _, seen := perfect[tp]; !seen {
+			consider(tp, 0, fh)
+		}
+	}
+
+	if denom > 0 {
+		iv.FalsePos /= denom
+		iv.FalseNeg /= denom
+		iv.NeutralPos /= denom
+		iv.NeutralNeg /= denom
+	} else {
+		// No perfect occurrences among candidates: any hardware candidate
+		// is pure phantom error; report each as 100%.
+		n := float64(iv.Candidates())
+		iv.FalsePos, iv.FalseNeg, iv.NeutralPos, iv.NeutralNeg = n, 0, 0, 0
+	}
+	iv.Total = iv.FalsePos + iv.FalseNeg + iv.NeutralPos + iv.NeutralNeg
+	return iv
+}
+
+// Summary aggregates interval errors over a run.
+type Summary struct {
+	intervals []Interval
+}
+
+// Add appends one interval's error to the summary.
+func (s *Summary) Add(iv Interval) { s.intervals = append(s.intervals, iv) }
+
+// Len returns the number of intervals recorded.
+func (s *Summary) Len() int { return len(s.intervals) }
+
+// PerInterval returns the recorded intervals in order (the Figure 13
+// series). The slice is owned by the Summary; callers must not modify it.
+func (s *Summary) PerInterval() []Interval { return s.intervals }
+
+// Mean returns the component-wise simple average over intervals, the
+// paper's "final net error rate". A summary with no intervals yields the
+// zero Interval.
+func (s *Summary) Mean() Interval {
+	var m Interval
+	if len(s.intervals) == 0 {
+		return m
+	}
+	for _, iv := range s.intervals {
+		m.Total += iv.Total
+		m.FalsePos += iv.FalsePos
+		m.FalseNeg += iv.FalseNeg
+		m.NeutralPos += iv.NeutralPos
+		m.NeutralNeg += iv.NeutralNeg
+		m.NumFalsePos += iv.NumFalsePos
+		m.NumFalseNeg += iv.NumFalseNeg
+		m.NumNeutralPos += iv.NumNeutralPos
+		m.NumNeutralNeg += iv.NumNeutralNeg
+		m.PerfectCandidates += iv.PerfectCandidates
+	}
+	n := float64(len(s.intervals))
+	m.Total /= n
+	m.FalsePos /= n
+	m.FalseNeg /= n
+	m.NeutralPos /= n
+	m.NeutralNeg /= n
+	// Count fields become totals across intervals; they are not averaged
+	// because fractional tuple counts are meaningless.
+	return m
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hwprof/internal/event"
+)
+
+func TestClassify(t *testing.T) {
+	const T = 100
+	cases := []struct {
+		fp, fh uint64
+		want   Category
+	}{
+		{150, 150, NeutralNegative}, // exact
+		{150, 120, NeutralNegative},
+		{150, 200, NeutralPositive},
+		{150, 0, FalseNegative},
+		{150, 99, FalseNegative},
+		{50, 100, FalsePositive},
+		{0, 200, FalsePositive},
+		{50, 50, DontCare},
+		{0, 0, DontCare},
+		{99, 99, DontCare},
+		{100, 100, NeutralNegative}, // boundary: both exactly at T
+		{100, 99, FalseNegative},
+		{99, 100, FalsePositive},
+	}
+	for _, c := range cases {
+		if got := Classify(c.fp, c.fh, T); got != c.want {
+			t.Errorf("Classify(%d, %d, %d) = %v, want %v", c.fp, c.fh, T, got, c.want)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for c, want := range map[Category]string{
+		FalsePositive:   "False Positive",
+		FalseNegative:   "False Negative",
+		NeutralPositive: "Neutral Positive",
+		NeutralNegative: "Neutral Negative",
+		DontCare:        "Don't Care",
+		Category(42):    "Invalid",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestEvalIntervalPerfectMatch(t *testing.T) {
+	p := map[event.Tuple]uint64{{A: 1}: 500, {A: 2}: 300, {A: 3}: 50}
+	h := map[event.Tuple]uint64{{A: 1}: 500, {A: 2}: 300}
+	iv := EvalInterval(p, h, 100)
+	if iv.Total != 0 {
+		t.Fatalf("perfect capture has error %v", iv.Total)
+	}
+	if iv.NumNeutralNeg != 2 || iv.Candidates() != 2 {
+		t.Fatalf("candidate counts wrong: %+v", iv)
+	}
+	if iv.PerfectCandidates != 2 {
+		t.Fatalf("PerfectCandidates = %d, want 2", iv.PerfectCandidates)
+	}
+}
+
+func TestEvalIntervalFalseNegative(t *testing.T) {
+	// One candidate entirely missed: error = fp/fp = 100%.
+	p := map[event.Tuple]uint64{{A: 1}: 200}
+	h := map[event.Tuple]uint64{}
+	iv := EvalInterval(p, h, 100)
+	if math.Abs(iv.Total-1) > 1e-12 || math.Abs(iv.FalseNeg-1) > 1e-12 {
+		t.Fatalf("Total=%v FalseNeg=%v, want 1, 1", iv.Total, iv.FalseNeg)
+	}
+	if iv.NumFalseNeg != 1 {
+		t.Fatalf("NumFalseNeg = %d", iv.NumFalseNeg)
+	}
+}
+
+func TestEvalIntervalWeighting(t *testing.T) {
+	// Two candidates: fp 400 captured exactly, fp 100 missed.
+	// E = (0 + 100) / (400 + 100) = 0.2.
+	p := map[event.Tuple]uint64{{A: 1}: 400, {A: 2}: 100}
+	h := map[event.Tuple]uint64{{A: 1}: 400}
+	iv := EvalInterval(p, h, 100)
+	if math.Abs(iv.Total-0.2) > 1e-12 {
+		t.Fatalf("Total = %v, want 0.2", iv.Total)
+	}
+}
+
+func TestEvalIntervalFalsePositiveContribution(t *testing.T) {
+	// A real candidate (fp 400, exact) plus a false positive whose true
+	// count is 10 but hardware claims 150.
+	// E = |10-150| / (400 + 10) = 140/410.
+	p := map[event.Tuple]uint64{{A: 1}: 400, {A: 2}: 10}
+	h := map[event.Tuple]uint64{{A: 1}: 400, {A: 2}: 150}
+	iv := EvalInterval(p, h, 100)
+	want := 140.0 / 410.0
+	if math.Abs(iv.Total-want) > 1e-12 || math.Abs(iv.FalsePos-want) > 1e-12 {
+		t.Fatalf("Total=%v FalsePos=%v, want %v", iv.Total, iv.FalsePos, want)
+	}
+	if iv.NumFalsePos != 1 {
+		t.Fatalf("NumFalsePos = %d", iv.NumFalsePos)
+	}
+	if iv.PerfectCandidates != 1 {
+		t.Fatalf("PerfectCandidates = %d, want 1", iv.PerfectCandidates)
+	}
+}
+
+func TestEvalIntervalNeutralSplit(t *testing.T) {
+	// Over-count and under-count split into the right buckets.
+	p := map[event.Tuple]uint64{{A: 1}: 200, {A: 2}: 200}
+	h := map[event.Tuple]uint64{{A: 1}: 260, {A: 2}: 150}
+	iv := EvalInterval(p, h, 100)
+	if math.Abs(iv.NeutralPos-60.0/400) > 1e-12 {
+		t.Fatalf("NeutralPos = %v", iv.NeutralPos)
+	}
+	if math.Abs(iv.NeutralNeg-50.0/400) > 1e-12 {
+		t.Fatalf("NeutralNeg = %v", iv.NeutralNeg)
+	}
+	if iv.NumNeutralPos != 1 || iv.NumNeutralNeg != 1 {
+		t.Fatalf("neutral counts: %+v", iv)
+	}
+}
+
+func TestEvalIntervalEmpty(t *testing.T) {
+	iv := EvalInterval(nil, nil, 100)
+	if iv.Total != 0 || iv.Candidates() != 0 {
+		t.Fatalf("empty profiles gave %+v", iv)
+	}
+}
+
+func TestEvalIntervalHardwarePhantom(t *testing.T) {
+	// Hardware reports a tuple the perfect profiler never saw at all.
+	h := map[event.Tuple]uint64{{A: 9}: 500}
+	iv := EvalInterval(map[event.Tuple]uint64{}, h, 100)
+	if iv.NumFalsePos != 1 {
+		t.Fatalf("phantom not classified FP: %+v", iv)
+	}
+	if iv.Total != 1 {
+		t.Fatalf("pure-phantom interval Total = %v, want 1 per phantom", iv.Total)
+	}
+}
+
+func TestEvalIntervalComponentsSumToTotal(t *testing.T) {
+	f := func(fps, fhs []uint16) bool {
+		p := map[event.Tuple]uint64{}
+		h := map[event.Tuple]uint64{}
+		for i, v := range fps {
+			p[event.Tuple{A: uint64(i)}] = uint64(v)
+		}
+		for i, v := range fhs {
+			h[event.Tuple{A: uint64(i)}] = uint64(v)
+		}
+		iv := EvalInterval(p, h, 50)
+		sum := iv.FalsePos + iv.FalseNeg + iv.NeutralPos + iv.NeutralNeg
+		return math.Abs(sum-iv.Total) < 1e-9 && iv.Total >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMean(t *testing.T) {
+	var s Summary
+	s.Add(Interval{Total: 0.2, FalsePos: 0.2, NumFalsePos: 1, PerfectCandidates: 3})
+	s.Add(Interval{Total: 0.4, FalseNeg: 0.4, NumFalseNeg: 2, PerfectCandidates: 5})
+	m := s.Mean()
+	if math.Abs(m.Total-0.3) > 1e-12 {
+		t.Fatalf("mean Total = %v", m.Total)
+	}
+	if math.Abs(m.FalsePos-0.1) > 1e-12 || math.Abs(m.FalseNeg-0.2) > 1e-12 {
+		t.Fatalf("mean components: %+v", m)
+	}
+	if m.NumFalsePos != 1 || m.NumFalseNeg != 2 || m.PerfectCandidates != 8 {
+		t.Fatalf("count totals: %+v", m)
+	}
+	if s.Len() != 2 || len(s.PerInterval()) != 2 {
+		t.Fatalf("Len/PerInterval inconsistent")
+	}
+}
+
+func TestSummaryEmptyMean(t *testing.T) {
+	var s Summary
+	m := s.Mean()
+	if m.Total != 0 {
+		t.Fatalf("empty summary mean = %+v", m)
+	}
+}

@@ -1,0 +1,259 @@
+package opt
+
+import (
+	"testing"
+
+	"hwprof/internal/bpred"
+	"hwprof/internal/cache"
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+	"hwprof/internal/vm/progs"
+	"hwprof/internal/vpred"
+)
+
+func TestTopValues(t *testing.T) {
+	profile := map[event.Tuple]uint64{
+		{A: 1, B: 100}: 50,
+		{A: 2, B: 100}: 30, // value 100 total 80
+		{A: 3, B: 200}: 60,
+		{A: 4, B: 300}: 10,
+	}
+	got := TopValues(profile, 2)
+	if len(got) != 2 || got[0] != 100 || got[1] != 200 {
+		t.Fatalf("TopValues = %v", got)
+	}
+	if got := TopValues(profile, 10); len(got) != 3 {
+		t.Fatalf("TopValues over-ask = %v", got)
+	}
+	if got := TopValues(nil, 5); len(got) != 0 {
+		t.Fatalf("TopValues(nil) = %v", got)
+	}
+}
+
+func TestTopValuesDeterministicTies(t *testing.T) {
+	profile := map[event.Tuple]uint64{
+		{A: 1, B: 9}: 10,
+		{A: 2, B: 3}: 10,
+	}
+	got := TopValues(profile, 2)
+	if got[0] != 3 || got[1] != 9 {
+		t.Fatalf("tie-break order = %v", got)
+	}
+}
+
+func TestMeasureValueCoverage(t *testing.T) {
+	stream := []event.Tuple{{B: 1}, {B: 2}, {B: 1}, {B: 3}, {B: 1}}
+	cov := MeasureValueCoverage(event.NewSliceSource(stream), []uint64{1}, 100)
+	if cov.Total != 5 || cov.Covered != 3 {
+		t.Fatalf("coverage = %+v", cov)
+	}
+	if cov.Fraction() != 0.6 {
+		t.Fatalf("fraction = %v", cov.Fraction())
+	}
+	if (ValueCoverage{}).Fraction() != 0 {
+		t.Fatal("empty coverage fraction nonzero")
+	}
+	// Limit respected.
+	cov = MeasureValueCoverage(event.NewSliceSource(stream), []uint64{1}, 2)
+	if cov.Total != 2 {
+		t.Fatalf("limit ignored: %+v", cov)
+	}
+}
+
+func TestFormTracesGreedy(t *testing.T) {
+	edges := map[event.Tuple]uint64{
+		{A: 10, B: 20}: 100,
+		{A: 20, B: 30}: 90,
+		{A: 30, B: 40}: 80,
+		{A: 20, B: 50}: 10, // colder alternative out of 20
+		{A: 60, B: 70}: 5,  // disconnected cold edge
+	}
+	traces := FormTraces(edges, 2, 8)
+	if len(traces) != 2 {
+		t.Fatalf("formed %d traces", len(traces))
+	}
+	want := Trace{10, 20, 30, 40}
+	if len(traces[0]) != len(want) {
+		t.Fatalf("trace 0 = %v, want %v", traces[0], want)
+	}
+	for i := range want {
+		if traces[0][i] != want[i] {
+			t.Fatalf("trace 0 = %v, want %v", traces[0], want)
+		}
+	}
+	cov := EdgeCoverage(traces, edges)
+	// Covered: 100+90+80 plus whatever trace 1 picked (20→50 seeds next).
+	if cov < 0.9 {
+		t.Fatalf("coverage = %v", cov)
+	}
+}
+
+func TestFormTracesStopsOnCycle(t *testing.T) {
+	edges := map[event.Tuple]uint64{
+		{A: 1, B: 2}: 10,
+		{A: 2, B: 1}: 9, // back edge: must not loop forever
+	}
+	traces := FormTraces(edges, 1, 100)
+	if len(traces) != 1 || len(traces[0]) != 2 {
+		t.Fatalf("cycle handling: %v", traces)
+	}
+}
+
+func TestFormTracesDegenerateArgs(t *testing.T) {
+	edges := map[event.Tuple]uint64{{A: 1, B: 2}: 1}
+	if got := FormTraces(edges, 0, 8); got != nil {
+		t.Fatalf("maxTraces 0 → %v", got)
+	}
+	if got := FormTraces(edges, 4, 1); got != nil {
+		t.Fatalf("maxLen 1 → %v", got)
+	}
+	if got := FormTraces(nil, 4, 8); len(got) != 0 {
+		t.Fatalf("empty profile → %v", got)
+	}
+}
+
+func TestEdgeCoverageEmpty(t *testing.T) {
+	if EdgeCoverage(nil, nil) != 0 {
+		t.Fatal("empty coverage nonzero")
+	}
+}
+
+// profilerFor builds a one-shot profiler whose threshold is a fraction of
+// the expected event volume.
+func profilerFor(t *testing.T, intervalLen uint64, pct float64) *core.MultiHash {
+	t.Helper()
+	cfg := core.BestMultiHash(core.Config{
+		IntervalLength:   intervalLen,
+		ThresholdPercent: pct,
+		TotalEntries:     2048,
+		NumTables:        4,
+		CounterWidth:     24,
+		Seed:             3,
+	})
+	p, err := core.NewMultiHash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFindDelinquentLoads(t *testing.T) {
+	prog, err := progs.ByName("treeins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny cache so the pointer-chasing lookups miss hard.
+	c, err := cache.New(cache.Config{SizeBytes: 512, Ways: 2, LineBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profilerFor(t, 10_000, 1)
+	res, err := FindDelinquentLoads(m, c, p, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses == 0 {
+		t.Fatal("no cache misses on a 512-byte cache")
+	}
+	if len(res.ProfiledPCs) == 0 {
+		t.Fatal("profiler identified no delinquent loads")
+	}
+	// The handful of tree-walk loads cause nearly all misses.
+	if res.Coverage < 0.5 {
+		t.Fatalf("profiled loads cover only %v of misses", res.Coverage)
+	}
+}
+
+func TestFindProblematicBranches(t *testing.T) {
+	prog, err := progs.ByName("treeins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := bpred.NewTwoBit(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profilerFor(t, 10_000, 1)
+	res, err := FindProblematicBranches(m, pred, p, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mispredicts == 0 {
+		t.Fatal("no mispredictions on data-dependent branches")
+	}
+	if len(res.ProfiledPCs) == 0 {
+		t.Fatal("profiler identified no problematic branches")
+	}
+	if res.Coverage < 0.5 {
+		t.Fatalf("profiled branches cover only %v of mispredictions", res.Coverage)
+	}
+}
+
+func TestValuePipelineOnProgram(t *testing.T) {
+	// Profile strhash's load values, pick the top 10, and measure their
+	// coverage of a fresh run — an end-to-end frequent-value result.
+	prog, _ := progs.ByName("strhash")
+	m, err := prog.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profilerFor(t, 10_000, 0.5)
+	var events []event.Tuple
+	m.OnValue = func(tp event.Tuple) {
+		events = append(events, tp)
+		p.Observe(tp)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	top := TopValues(p.EndInterval(), 10)
+	if len(top) == 0 {
+		t.Fatal("no frequent values found")
+	}
+	cov := MeasureValueCoverage(event.NewSliceSource(events), top, uint64(len(events)))
+	if cov.Fraction() < 0.1 {
+		t.Fatalf("top-10 values cover only %v of loads", cov.Fraction())
+	}
+}
+
+func TestFindUnpredictableLoads(t *testing.T) {
+	// llsum's pointer-chasing loads produce node values and next
+	// pointers that a last-value predictor mostly cannot follow.
+	prog, err := progs.ByName("llsum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := vpred.NewLastValue(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profilerFor(t, 10_000, 1)
+	res, err := FindUnpredictableLoads(m, pred, p, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loads == 0 {
+		t.Fatal("no loads observed")
+	}
+	if res.Mispredicts == 0 {
+		t.Skip("predictor never confident on this program")
+	}
+	if len(res.ProfiledPCs) == 0 {
+		t.Fatal("profiler identified no unpredictable loads")
+	}
+	if res.Coverage < 0.5 {
+		t.Fatalf("profiled loads cover only %v of value mispredictions", res.Coverage)
+	}
+}

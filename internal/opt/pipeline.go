@@ -1,0 +1,198 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"hwprof/internal/bpred"
+	"hwprof/internal/cache"
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+	"hwprof/internal/vm"
+	"hwprof/internal/vpred"
+)
+
+// wordBytes scales VM word addresses to byte addresses for the cache.
+const wordBytes = 8
+
+// DelinquentResult reports a delinquent-load profiling run: which load PCs
+// the hardware profiler blamed for cache misses, against ground truth.
+type DelinquentResult struct {
+	// Accesses and Misses are the cache totals for the run.
+	Accesses, Misses uint64
+	// ProfiledPCs are the load PCs the profiler identified, hottest
+	// first.
+	ProfiledPCs []uint64
+	// Coverage is the fraction of all misses caused by ProfiledPCs
+	// (computed from ground truth): the quantity a prefetcher driven by
+	// this profile could attack.
+	Coverage float64
+}
+
+// FindDelinquentLoads runs the machine to completion (or maxSteps),
+// streaming every memory access through the cache; each miss becomes a
+// <loadPC, lineAddr> profiling event. The profiler's candidate tuples are
+// aggregated per PC to name the delinquent loads.
+func FindDelinquentLoads(m *vm.Machine, c *cache.Cache, p *core.MultiHash, maxSteps uint64) (DelinquentResult, error) {
+	truth := make(map[uint64]uint64) // missing PC → misses
+	m.OnMem = func(pc uint64, wordAddr int64, store bool) {
+		addr := uint64(wordAddr) * wordBytes
+		if c.Access(addr) {
+			return
+		}
+		truth[pc]++
+		p.Observe(event.Tuple{A: pc, B: c.LineAddr(addr)})
+	}
+	if _, err := m.Run(maxSteps); err != nil {
+		return DelinquentResult{}, fmt.Errorf("opt: delinquent run: %w", err)
+	}
+	profile := p.EndInterval()
+
+	perPC := make(map[uint64]uint64)
+	for t, n := range profile {
+		if n >= p.Config().ThresholdCount() {
+			perPC[t.A] += n
+		}
+	}
+	pcs := make([]uint64, 0, len(perPC))
+	for pc := range perPC {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		if perPC[pcs[i]] != perPC[pcs[j]] {
+			return perPC[pcs[i]] > perPC[pcs[j]]
+		}
+		return pcs[i] < pcs[j]
+	})
+
+	res := DelinquentResult{
+		Accesses:    c.Accesses,
+		Misses:      c.Misses,
+		ProfiledPCs: pcs,
+	}
+	if c.Misses > 0 {
+		var covered uint64
+		for _, pc := range pcs {
+			covered += truth[pc]
+		}
+		res.Coverage = float64(covered) / float64(c.Misses)
+	}
+	return res, nil
+}
+
+// UnpredictableResult reports a value-misprediction profiling run: the
+// loads that defeat a value predictor, which are the candidates for
+// speculative precomputation (Collins et al., the paper's §2 prefetching
+// motivation) rather than value speculation.
+type UnpredictableResult struct {
+	// Loads and Mispredicts are the predictor totals.
+	Loads, Mispredicts uint64
+	// ProfiledPCs are the load PCs the profiler identified, hottest first.
+	ProfiledPCs []uint64
+	// Coverage is the fraction of all value mispredictions attributable
+	// to ProfiledPCs.
+	Coverage float64
+}
+
+// FindUnpredictableLoads runs the machine with its loads resolving through
+// a value predictor; every confident misprediction becomes a <loadPC, 0>
+// profiling event. The profiler's candidates name the loads value
+// speculation cannot handle.
+func FindUnpredictableLoads(m *vm.Machine, pred vpred.Predictor, p *core.MultiHash, maxSteps uint64) (UnpredictableResult, error) {
+	truth := make(map[uint64]uint64)
+	h := vpred.Harness{P: pred, OnMispredict: func(pc, actual uint64) {
+		truth[pc]++
+		p.Observe(event.Tuple{A: pc})
+	}}
+	m.OnValue = func(tp event.Tuple) { h.Resolve(tp.A, tp.B) }
+	if _, err := m.Run(maxSteps); err != nil {
+		return UnpredictableResult{}, fmt.Errorf("opt: value run: %w", err)
+	}
+	profile := p.EndInterval()
+
+	var pcs []uint64
+	for t, n := range profile {
+		if n >= p.Config().ThresholdCount() {
+			pcs = append(pcs, t.A)
+		}
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		ci := profile[event.Tuple{A: pcs[i]}]
+		cj := profile[event.Tuple{A: pcs[j]}]
+		if ci != cj {
+			return ci > cj
+		}
+		return pcs[i] < pcs[j]
+	})
+
+	res := UnpredictableResult{
+		Loads:       h.Loads,
+		Mispredicts: h.Mispredict,
+		ProfiledPCs: pcs,
+	}
+	if h.Mispredict > 0 {
+		var covered uint64
+		for _, pc := range pcs {
+			covered += truth[pc]
+		}
+		res.Coverage = float64(covered) / float64(h.Mispredict)
+	}
+	return res, nil
+}
+
+// ProblematicResult reports a misprediction profiling run.
+type ProblematicResult struct {
+	// Branches and Mispredicts are the predictor totals.
+	Branches, Mispredicts uint64
+	// ProfiledPCs are the branch PCs the profiler identified, hottest
+	// first.
+	ProfiledPCs []uint64
+	// Coverage is the fraction of all mispredictions attributable to
+	// ProfiledPCs — the share a dual-path-execution scheme limited to
+	// those branches could eliminate.
+	Coverage float64
+}
+
+// FindProblematicBranches runs the machine with its conditional branches
+// resolving through the predictor; every misprediction becomes a
+// <branchPC, 0> profiling event (a one-variable event in tuple clothing,
+// paper §3). The profiler's candidates name the problematic branches.
+func FindProblematicBranches(m *vm.Machine, pred bpred.Predictor, p *core.MultiHash, maxSteps uint64) (ProblematicResult, error) {
+	truth := make(map[uint64]uint64)
+	h := bpred.Harness{P: pred, OnMispredict: func(pc uint64) {
+		truth[pc]++
+		p.Observe(event.Tuple{A: pc})
+	}}
+	m.OnCond = h.Resolve
+	if _, err := m.Run(maxSteps); err != nil {
+		return ProblematicResult{}, fmt.Errorf("opt: branch run: %w", err)
+	}
+	profile := p.EndInterval()
+
+	var pcs []uint64
+	for t, n := range profile {
+		if n >= p.Config().ThresholdCount() {
+			pcs = append(pcs, t.A)
+		}
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		if profile[event.Tuple{A: pcs[i]}] != profile[event.Tuple{A: pcs[j]}] {
+			return profile[event.Tuple{A: pcs[i]}] > profile[event.Tuple{A: pcs[j]}]
+		}
+		return pcs[i] < pcs[j]
+	})
+
+	res := ProblematicResult{
+		Branches:    h.Branches,
+		Mispredicts: h.Mispredicts,
+		ProfiledPCs: pcs,
+	}
+	if h.Mispredicts > 0 {
+		var covered uint64
+		for _, pc := range pcs {
+			covered += truth[pc]
+		}
+		res.Coverage = float64(covered) / float64(h.Mispredicts)
+	}
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package opt
+
+import (
+	"sort"
+
+	"hwprof/internal/event"
+)
+
+// Trace is a hot path: a sequence of instruction addresses chained by
+// profiled branch edges, the unit a trace cache fetches (Rotenberg et al.,
+// paper §2).
+type Trace []uint64
+
+// FormTraces builds up to maxTraces traces from an edge profile
+// (<branchPC, targetPC> → weight) using the classic greedy heuristic:
+// seed each trace with the hottest unconsumed edge, then repeatedly follow
+// the hottest outgoing edge of the current tail until maxLen addresses,
+// a cycle, or a dead end. Consumed edges cannot seed or extend another
+// trace, so traces partition the hot edges.
+func FormTraces(edges map[event.Tuple]uint64, maxTraces, maxLen int) []Trace {
+	if maxTraces <= 0 || maxLen < 2 {
+		return nil
+	}
+	type edge struct {
+		t event.Tuple
+		w uint64
+	}
+	all := make([]edge, 0, len(edges))
+	for t, w := range edges {
+		all = append(all, edge{t, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		if all[i].t.A != all[j].t.A {
+			return all[i].t.A < all[j].t.A
+		}
+		return all[i].t.B < all[j].t.B
+	})
+	// Hottest unconsumed outgoing edge per source address.
+	bySrc := make(map[uint64][]edge)
+	for _, e := range all {
+		bySrc[e.t.A] = append(bySrc[e.t.A], e)
+	}
+	consumed := make(map[event.Tuple]bool)
+
+	next := func(from uint64) (edge, bool) {
+		for _, e := range bySrc[from] {
+			if !consumed[e.t] {
+				return e, true
+			}
+		}
+		return edge{}, false
+	}
+
+	var traces []Trace
+	for _, seed := range all {
+		if len(traces) >= maxTraces {
+			break
+		}
+		if consumed[seed.t] {
+			continue
+		}
+		tr := Trace{seed.t.A, seed.t.B}
+		consumed[seed.t] = true
+		inTrace := map[uint64]bool{seed.t.A: true, seed.t.B: true}
+		for len(tr) < maxLen {
+			e, ok := next(tr[len(tr)-1])
+			if !ok || inTrace[e.t.B] {
+				break
+			}
+			consumed[e.t] = true
+			inTrace[e.t.B] = true
+			tr = append(tr, e.t.B)
+		}
+		traces = append(traces, tr)
+	}
+	return traces
+}
+
+// EdgeCoverage returns the fraction of an edge profile's dynamic weight
+// that falls on edges internal to the given traces — how much of the
+// observed control flow a trace cache built from them would fetch as
+// straight lines.
+func EdgeCoverage(traces []Trace, edges map[event.Tuple]uint64) float64 {
+	internal := make(map[event.Tuple]bool)
+	for _, tr := range traces {
+		for i := 1; i < len(tr); i++ {
+			internal[event.Tuple{A: tr[i-1], B: tr[i]}] = true
+		}
+	}
+	var covered, total uint64
+	for t, w := range edges {
+		total += w
+		if internal[t] {
+			covered += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}

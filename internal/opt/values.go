@@ -1,0 +1,88 @@
+// Package opt implements the paper's §2 motivating optimizations as
+// consumers of hardware profiles: frequent-value identification for
+// value-centric caching, hot-path trace formation from edge profiles,
+// delinquent-load identification over the cache simulator, and
+// problematic-branch identification over the branch predictors.
+//
+// Each consumer takes the accumulator-table profile the hardware profiler
+// produces at an interval boundary — it never sees the raw stream — so
+// these packages demonstrate (and their tests quantify) that the profiles
+// the Multi-Hash architecture catches are good enough to drive the
+// optimizations the paper motivates.
+package opt
+
+import (
+	"sort"
+
+	"hwprof/internal/event"
+)
+
+// TopValues aggregates a <loadPC, value> profile by value and returns the
+// n most frequent values in descending order of profiled occurrences.
+// Zhang et al. (paper §2) found ~50% of memory accesses dominated by ten
+// distinct values; this is the hardware path for discovering them.
+func TopValues(profile map[event.Tuple]uint64, n int) []uint64 {
+	agg := make(map[uint64]uint64)
+	for t, c := range profile {
+		agg[t.B] += c
+	}
+	type vc struct {
+		v uint64
+		c uint64
+	}
+	all := make([]vc, 0, len(agg))
+	for v, c := range agg {
+		all = append(all, vc{v, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].v < all[j].v
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].v
+	}
+	return out
+}
+
+// ValueCoverage reports how much of a load stream a frequent-value set
+// covers — the upper bound on what a frequent-value cache (Yang/Zhang et
+// al.) compresses.
+type ValueCoverage struct {
+	Covered uint64
+	Total   uint64
+}
+
+// Fraction returns Covered/Total, or 0 for an empty measurement.
+func (v ValueCoverage) Fraction() float64 {
+	if v.Total == 0 {
+		return 0
+	}
+	return float64(v.Covered) / float64(v.Total)
+}
+
+// MeasureValueCoverage streams up to limit load events from src and counts
+// how many carry a value in the given set.
+func MeasureValueCoverage(src event.Source, values []uint64, limit uint64) ValueCoverage {
+	set := make(map[uint64]bool, len(values))
+	for _, v := range values {
+		set[v] = true
+	}
+	var out ValueCoverage
+	for out.Total < limit {
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
+		out.Total++
+		if set[t.B] {
+			out.Covered++
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+// Package sampler implements the conventional profiling samplers that
+// stratified sampling was invented to beat (paper §4.2): a periodic
+// sampler that reports every Nth event and a random sampler that reports
+// each event with probability 1/N. Both depend on software to accumulate
+// the samples; the software-side estimate of a tuple's count is its
+// sample count × N.
+//
+// Together with internal/stratified they complete the paper's baseline
+// chain: periodic/random sampling → stratified sampling → the Multi-Hash
+// architecture, each converging faster than the last at the same message
+// bandwidth.
+package sampler
+
+import (
+	"fmt"
+
+	"hwprof/internal/event"
+	"hwprof/internal/xrand"
+)
+
+// Periodic samples every Nth event.
+type Periodic struct {
+	period uint64
+	seen   uint64
+
+	samples map[event.Tuple]uint64
+
+	// Messages counts samples sent to software so far.
+	Messages uint64
+	// Events counts observed tuples so far.
+	Events uint64
+}
+
+// NewPeriodic returns a sampler with the given period (N ≥ 1).
+func NewPeriodic(period uint64) (*Periodic, error) {
+	if period == 0 {
+		return nil, fmt.Errorf("sampler: period must be positive")
+	}
+	return &Periodic{period: period, samples: make(map[event.Tuple]uint64)}, nil
+}
+
+// Observe feeds one tuple; every period-th observation is sampled.
+func (s *Periodic) Observe(tp event.Tuple) {
+	s.Events++
+	s.seen++
+	if s.seen >= s.period {
+		s.seen = 0
+		s.samples[tp]++
+		s.Messages++
+	}
+}
+
+// EndInterval returns the software-side estimates (samples × period) and
+// clears the accumulation.
+func (s *Periodic) EndInterval() map[event.Tuple]uint64 {
+	out := make(map[event.Tuple]uint64, len(s.samples))
+	for tp, n := range s.samples {
+		out[tp] = n * s.period
+	}
+	s.samples = make(map[event.Tuple]uint64)
+	return out
+}
+
+// Random samples each event independently with probability 1/rate.
+type Random struct {
+	rate uint64
+	r    *xrand.Rand
+
+	samples map[event.Tuple]uint64
+
+	// Messages counts samples sent to software so far.
+	Messages uint64
+	// Events counts observed tuples so far.
+	Events uint64
+}
+
+// NewRandom returns a sampler with expected period `rate` (≥ 1), seeded
+// deterministically.
+func NewRandom(rate uint64, seed uint64) (*Random, error) {
+	if rate == 0 {
+		return nil, fmt.Errorf("sampler: rate must be positive")
+	}
+	return &Random{rate: rate, r: xrand.New(seed), samples: make(map[event.Tuple]uint64)}, nil
+}
+
+// Observe feeds one tuple; it is sampled with probability 1/rate.
+func (s *Random) Observe(tp event.Tuple) {
+	s.Events++
+	if s.r.Uint64n(s.rate) == 0 {
+		s.samples[tp]++
+		s.Messages++
+	}
+}
+
+// EndInterval returns the software-side estimates (samples × rate) and
+// clears the accumulation.
+func (s *Random) EndInterval() map[event.Tuple]uint64 {
+	out := make(map[event.Tuple]uint64, len(s.samples))
+	for tp, n := range s.samples {
+		out[tp] = n * s.rate
+	}
+	s.samples = make(map[event.Tuple]uint64)
+	return out
+}

@@ -1,0 +1,135 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"hwprof/internal/event"
+	"hwprof/internal/xrand"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := NewPeriodic(0); err == nil {
+		t.Error("periodic period 0 accepted")
+	}
+	if _, err := NewRandom(0, 1); err == nil {
+		t.Error("random rate 0 accepted")
+	}
+}
+
+func TestPeriodicExactEstimate(t *testing.T) {
+	s, err := NewPeriodic(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := event.Tuple{A: 1}
+	for i := 0; i < 1000; i++ {
+		s.Observe(tp)
+	}
+	est := s.EndInterval()
+	if est[tp] != 1000 {
+		t.Fatalf("estimate = %d, want 1000", est[tp])
+	}
+	if s.Messages != 100 {
+		t.Fatalf("messages = %d, want 100", s.Messages)
+	}
+}
+
+func TestPeriodicAliasesWithPeriodicStream(t *testing.T) {
+	// The classic failure mode periodic sampling is known for: a tuple
+	// recurring at exactly the sampling period is either always sampled
+	// (overestimated) or never (invisible).
+	s, _ := NewPeriodic(10)
+	hot := event.Tuple{A: 1}
+	cold := event.Tuple{A: 2}
+	for i := 0; i < 1000; i++ {
+		if i%10 == 9 {
+			s.Observe(hot) // lands on every sampling tick
+		} else {
+			s.Observe(cold)
+		}
+	}
+	est := s.EndInterval()
+	// hot occurs 100 times but is estimated at 1000; cold occurs 900
+	// times and is estimated at 0.
+	if est[hot] != 1000 || est[cold] != 0 {
+		t.Fatalf("aliasing estimates: hot=%d cold=%d", est[hot], est[cold])
+	}
+}
+
+func TestRandomUnbiasedEstimate(t *testing.T) {
+	s, err := NewRandom(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := event.Tuple{A: 1}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s.Observe(tp)
+	}
+	est := s.EndInterval()
+	if math.Abs(float64(est[tp])-n) > 0.1*n {
+		t.Fatalf("estimate = %d, want ~%d", est[tp], n)
+	}
+}
+
+func TestRandomResistsPeriodicStream(t *testing.T) {
+	// Random sampling has no phase to alias with.
+	s, _ := NewRandom(10, 5)
+	hot := event.Tuple{A: 1}
+	cold := event.Tuple{A: 2}
+	for i := 0; i < 100000; i++ {
+		if i%10 == 9 {
+			s.Observe(hot)
+		} else {
+			s.Observe(cold)
+		}
+	}
+	est := s.EndInterval()
+	if math.Abs(float64(est[hot])-10000) > 3000 {
+		t.Fatalf("hot estimate = %d, want ~10000", est[hot])
+	}
+	if math.Abs(float64(est[cold])-90000) > 9000 {
+		t.Fatalf("cold estimate = %d, want ~90000", est[cold])
+	}
+}
+
+func TestEndIntervalClears(t *testing.T) {
+	s, _ := NewPeriodic(2)
+	s.Observe(event.Tuple{A: 1})
+	s.Observe(event.Tuple{A: 1})
+	if len(s.EndInterval()) != 1 {
+		t.Fatal("first interval empty")
+	}
+	if len(s.EndInterval()) != 0 {
+		t.Fatal("second interval inherited samples")
+	}
+	r, _ := NewRandom(1, 1) // rate 1: sample everything
+	r.Observe(event.Tuple{A: 1})
+	if len(r.EndInterval()) != 1 {
+		t.Fatal("rate-1 random missed a sample")
+	}
+	if len(r.EndInterval()) != 0 {
+		t.Fatal("random second interval inherited samples")
+	}
+}
+
+func TestDeterministicRandomSampler(t *testing.T) {
+	mk := func() map[event.Tuple]uint64 {
+		s, _ := NewRandom(7, 42)
+		r := xrand.New(1)
+		for i := 0; i < 5000; i++ {
+			s.Observe(event.Tuple{A: r.Uint64n(20)})
+		}
+		return s.EndInterval()
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("random sampler not deterministic")
+	}
+	for tp, n := range a {
+		if b[tp] != n {
+			t.Fatal("random sampler not deterministic")
+		}
+	}
+}

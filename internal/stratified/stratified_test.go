@@ -1,0 +1,205 @@
+package stratified
+
+import (
+	"testing"
+
+	"hwprof/internal/event"
+	"hwprof/internal/xrand"
+)
+
+func validConfig() Config {
+	return Config{
+		TableEntries:      2048,
+		SamplingThreshold: 16,
+		AggEntries:        16,
+		AggFlushCount:     8,
+		BufferEntries:     100,
+		TagBits:           8,
+		Seed:              1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := map[string]func(*Config){
+		"zero table":        func(c *Config) { c.TableEntries = 0 },
+		"non power of two":  func(c *Config) { c.TableEntries = 1000 },
+		"zero sampling":     func(c *Config) { c.SamplingThreshold = 0 },
+		"negative agg":      func(c *Config) { c.AggEntries = -1 },
+		"agg without flush": func(c *Config) { c.AggFlushCount = 0 },
+		"zero buffer":       func(c *Config) { c.BufferEntries = 0 },
+		"oversized tag":     func(c *Config) { c.TagBits = 40 },
+	}
+	for name, mutate := range bad {
+		c := validConfig()
+		mutate(&c)
+		if _, err := New(c); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := New(validConfig()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestSamplingEstimate(t *testing.T) {
+	cfg := validConfig()
+	cfg.AggEntries = 0 // direct reporting for exactness
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := event.Tuple{A: 0x400100, B: 7}
+	for i := 0; i < 160; i++ {
+		s.Observe(tp)
+	}
+	est := s.EndInterval()
+	// 160 occurrences at threshold 16 → exactly 10 samples → estimate 160.
+	if got := est[tp]; got != 160 {
+		t.Fatalf("estimate = %d, want 160", got)
+	}
+}
+
+func TestEstimateQuantization(t *testing.T) {
+	cfg := validConfig()
+	cfg.AggEntries = 0
+	s, _ := New(cfg)
+	tp := event.Tuple{A: 1, B: 1}
+	for i := 0; i < 30; i++ { // 30 = 16 + 14: one sample, 14 in flight
+		s.Observe(tp)
+	}
+	est := s.EndInterval()
+	if got := est[tp]; got != 16 {
+		t.Fatalf("estimate = %d, want 16 (one sample)", got)
+	}
+}
+
+func TestInterruptAccounting(t *testing.T) {
+	cfg := validConfig()
+	cfg.AggEntries = 0
+	cfg.BufferEntries = 10
+	s, _ := New(cfg)
+	tp := event.Tuple{A: 2, B: 2}
+	// 25 samples worth of occurrences → 25 messages → 2 interrupts.
+	for i := 0; i < 25*16; i++ {
+		s.Observe(tp)
+	}
+	if s.Messages != 25 {
+		t.Fatalf("Messages = %d, want 25", s.Messages)
+	}
+	if s.Interrupts != 2 {
+		t.Fatalf("Interrupts = %d, want 2", s.Interrupts)
+	}
+}
+
+func TestAggregationReducesMessages(t *testing.T) {
+	mk := func(agg int) *Sampler {
+		cfg := validConfig()
+		cfg.AggEntries = agg
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	withAgg, without := mk(16), mk(0)
+	tp := event.Tuple{A: 3, B: 3}
+	for i := 0; i < 64*16; i++ { // 64 samples
+		withAgg.Observe(tp)
+		without.Observe(tp)
+	}
+	if withAgg.Messages >= without.Messages {
+		t.Fatalf("aggregation did not reduce messages: %d vs %d",
+			withAgg.Messages, without.Messages)
+	}
+	// Estimates must agree after the end-of-interval flush.
+	a, b := withAgg.EndInterval()[tp], without.EndInterval()[tp]
+	if a != b {
+		t.Fatalf("aggregated estimate %d != direct estimate %d", a, b)
+	}
+}
+
+func TestTagsReduceAliasSmearing(t *testing.T) {
+	// Two tuples forced to collide: without tags, samples smear to
+	// whichever tuple crossed last; with tags, the dominant tuple keeps
+	// the entry and the minor one is suppressed instead of inflated.
+	run := func(tagBits uint) map[event.Tuple]uint64 {
+		cfg := validConfig()
+		cfg.TableEntries = 1 // everything collides
+		cfg.AggEntries = 0
+		cfg.TagBits = tagBits
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heavy := event.Tuple{A: 10, B: 0}
+		light := event.Tuple{A: 20, B: 0}
+		r := xrand.New(5)
+		for i := 0; i < 3200; i++ {
+			if r.Intn(16) == 0 {
+				s.Observe(light)
+			} else {
+				s.Observe(heavy)
+			}
+		}
+		return s.EndInterval()
+	}
+	tagged := run(16)
+	if tagged[event.Tuple{A: 10, B: 0}] == 0 {
+		t.Fatal("tagged sampler lost the heavy tuple entirely")
+	}
+	// The heavy hitter should dominate the tagged estimate.
+	if tagged[event.Tuple{A: 20, B: 0}] > tagged[event.Tuple{A: 10, B: 0}] {
+		t.Fatalf("tagged sampler attributed more to the light tuple: %v", tagged)
+	}
+}
+
+func TestMissDrivenReplacement(t *testing.T) {
+	cfg := validConfig()
+	cfg.TableEntries = 1
+	cfg.AggEntries = 0
+	s, _ := New(cfg)
+	old := event.Tuple{A: 1, B: 0}
+	s.Observe(old) // resident, hits=1
+	newTuple := event.Tuple{A: 2, B: 0}
+	// First colliding observation: miss=1 == hits → not yet > → replaced?
+	// Policy: replace when misses > hits. hits=1, so the second miss
+	// replaces.
+	s.Observe(newTuple)
+	s.Observe(newTuple)
+	// Now newTuple should be resident: its next 16 observations sample it.
+	for i := 0; i < 16; i++ {
+		s.Observe(newTuple)
+	}
+	est := s.EndInterval()
+	if est[newTuple] == 0 {
+		t.Fatalf("replacement did not install new tuple: %v", est)
+	}
+}
+
+func TestEventsCounter(t *testing.T) {
+	s, _ := New(validConfig())
+	for i := 0; i < 37; i++ {
+		s.Observe(event.Tuple{A: uint64(i)})
+	}
+	if s.Events != 37 {
+		t.Fatalf("Events = %d, want 37", s.Events)
+	}
+}
+
+func TestEndIntervalClearsSoftwareState(t *testing.T) {
+	cfg := validConfig()
+	cfg.AggEntries = 0
+	s, _ := New(cfg)
+	tp := event.Tuple{A: 4}
+	for i := 0; i < 32; i++ {
+		s.Observe(tp)
+	}
+	first := s.EndInterval()
+	if first[tp] != 32 {
+		t.Fatalf("first interval estimate = %d", first[tp])
+	}
+	second := s.EndInterval()
+	if len(second) != 0 {
+		t.Fatalf("second interval inherited estimates: %v", second)
+	}
+}

@@ -1,0 +1,142 @@
+// Package trace implements a compact binary format for tuple streams, the
+// stand-in for the ATOM-instrumented program traces the paper profiled.
+//
+// Format:
+//
+//	header:  magic "HWPT" | version byte | kind byte
+//	records: per tuple, uvarint(zigzag(ΔA)) then uvarint(zigzag(ΔB)),
+//	         where ΔA/ΔB are deltas from the previous record
+//
+// Delta + zigzag + varint makes real instruction streams (monotone-ish PCs,
+// small value ranges) compress to a few bytes per event, which matters when
+// experiments stream hundreds of millions of events through files.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hwprof/internal/event"
+)
+
+// Magic identifies a hwprof trace file.
+const Magic = "HWPT"
+
+// Version is the current trace format version.
+const Version = 1
+
+// ErrBadMagic is returned when a stream does not begin with Magic.
+var ErrBadMagic = errors.New("trace: bad magic, not a hwprof trace")
+
+// zigzag encodes a signed delta as an unsigned varint-friendly value.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Writer streams tuples into an io.Writer in trace format.
+type Writer struct {
+	w     *bufio.Writer
+	prev  event.Tuple
+	buf   [2 * binary.MaxVarintLen64]byte
+	count uint64
+}
+
+// NewWriter writes a trace header for the given tuple kind and returns a
+// Writer. Call Flush when done.
+func NewWriter(w io.Writer, kind event.Kind) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return nil, fmt.Errorf("trace: writing version: %w", err)
+	}
+	if err := bw.WriteByte(byte(kind)); err != nil {
+		return nil, fmt.Errorf("trace: writing kind: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one tuple to the trace.
+func (w *Writer) Write(t event.Tuple) error {
+	n := binary.PutUvarint(w.buf[:], zigzag(int64(t.A)-int64(w.prev.A)))
+	n += binary.PutUvarint(w.buf[n:], zigzag(int64(t.B)-int64(w.prev.B)))
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record %d: %w", w.count, err)
+	}
+	w.prev = t
+	w.count++
+	return nil
+}
+
+// Count returns the number of tuples written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush writes any buffered data to the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader streams tuples out of a trace. It implements event.Source.
+type Reader struct {
+	r    *bufio.Reader
+	kind event.Kind
+	prev event.Tuple
+	err  error
+}
+
+// NewReader validates the header of r and returns a Reader positioned at
+// the first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+	return &Reader{r: br, kind: event.Kind(hdr[5])}, nil
+}
+
+// Kind returns the tuple kind declared in the trace header.
+func (r *Reader) Kind() event.Kind { return r.kind }
+
+// Next returns the next tuple. ok == false signals end of trace or error;
+// check Err to distinguish.
+func (r *Reader) Next() (event.Tuple, bool) {
+	if r.err != nil {
+		return event.Tuple{}, false
+	}
+	da, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err != io.EOF {
+			r.err = fmt.Errorf("trace: reading record: %w", err)
+		}
+		return event.Tuple{}, false
+	}
+	db, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		// A record with only its first half present is a truncated file.
+		r.err = fmt.Errorf("trace: truncated record: %w", err)
+		return event.Tuple{}, false
+	}
+	r.prev.A = uint64(int64(r.prev.A) + unzigzag(da))
+	r.prev.B = uint64(int64(r.prev.B) + unzigzag(db))
+	return r.prev, true
+}
+
+// Err returns the first non-EOF error encountered while reading, if any.
+func (r *Reader) Err() error { return r.err }
+
+var _ event.Source = (*Reader)(nil)

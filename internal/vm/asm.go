@@ -1,0 +1,246 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into a program (a slice of
+// instructions). The syntax, one instruction per line:
+//
+//	; comment (also #)
+//	label:
+//	    li   r1, 100
+//	    addi r1, r1, -1
+//	    ld   r2, r1, 8       ; r2 = mem[r1 + 8]
+//	    st   r2, r3, 0       ; mem[r3 + 0] = r2
+//	    bne  r1, r0, label
+//	    call subroutine
+//	    halt
+//
+// Labels are case-sensitive identifiers; registers are r0..r15;
+// immediates are decimal or 0x-hex, optionally negative.
+func Assemble(src string) ([]Instr, error) {
+	type pending struct {
+		instr Instr
+		label string // non-empty when Imm must be patched to a label
+		line  int
+	}
+	var prog []pending
+	labels := make(map[string]int)
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// A line may carry "label:" followed by an instruction.
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:colon])
+			if !isIdent(name) {
+				return nil, fmt.Errorf("vm: line %d: bad label %q", ln+1, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("vm: line %d: duplicate label %q", ln+1, name)
+			}
+			labels[name] = len(prog)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		in, labelRef, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("vm: line %d: %w", ln+1, err)
+		}
+		prog = append(prog, pending{instr: in, label: labelRef, line: ln + 1})
+	}
+
+	out := make([]Instr, len(prog))
+	for i, p := range prog {
+		if p.label != "" {
+			target, ok := labels[p.label]
+			if !ok {
+				return nil, fmt.Errorf("vm: line %d: undefined label %q", p.line, p.label)
+			}
+			p.instr.Imm = int64(target)
+		}
+		out[i] = p.instr
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("vm: empty program")
+	}
+	return out, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseInstr decodes one instruction line, returning the instruction and,
+// for control flow, the label its Imm must later resolve to.
+func parseInstr(line string) (Instr, string, error) {
+	fields := strings.Fields(line)
+	mnemonic := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	var args []string
+	if rest != "" {
+		for _, a := range strings.Split(rest, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+
+	switch mnemonic {
+	case "halt":
+		return Instr{Op: OpHalt}, "", need(0)
+	case "ret":
+		return Instr{Op: OpRet}, "", need(0)
+	case "li":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpLi, Rd: rd, Imm: imm}, "", nil
+	case "mov":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpMov, Rd: rd, Rs: rs}, "", nil
+	case "add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr":
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		op := map[string]Op{
+			"add": OpAdd, "sub": OpSub, "mul": OpMul, "div": OpDiv,
+			"mod": OpMod, "and": OpAnd, "or": OpOr, "xor": OpXor,
+			"shl": OpShl, "shr": OpShr,
+		}[mnemonic]
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rt, err := parseReg(args[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: op, Rd: rd, Rs: rs, Rt: rt}, "", nil
+	case "addi", "ld", "st":
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		op := map[string]Op{"addi": OpAddi, "ld": OpLd, "st": OpSt}[mnemonic]
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: op, Rd: rd, Rs: rs, Imm: imm}, "", nil
+	case "beq", "bne", "blt", "bge":
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		op := map[string]Op{"beq": OpBeq, "bne": OpBne, "blt": OpBlt, "bge": OpBge}[mnemonic]
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rt, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if !isIdent(args[2]) {
+			return Instr{}, "", fmt.Errorf("bad branch target %q", args[2])
+		}
+		return Instr{Op: op, Rs: rs, Rt: rt}, args[2], nil
+	case "jmp", "call":
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		op := OpJmp
+		if mnemonic == "call" {
+			op = OpCall
+		}
+		if !isIdent(args[0]) {
+			return Instr{}, "", fmt.Errorf("bad jump target %q", args[0])
+		}
+		return Instr{Op: op}, args[0], nil
+	default:
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,127 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	prog, err := Assemble(`
+        ; a comment
+        li r1, 5       # trailing comment
+loop:   addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 4 {
+		t.Fatalf("assembled %d instructions, want 4", len(prog))
+	}
+	if prog[0].Op != OpLi || prog[0].Rd != 1 || prog[0].Imm != 5 {
+		t.Fatalf("instr 0 = %v", prog[0])
+	}
+	if prog[2].Op != OpBne || prog[2].Imm != 1 {
+		t.Fatalf("branch target = %v", prog[2])
+	}
+}
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	src := `
+start:
+    li r1, 10
+    mov r2, r1
+    add r3, r1, r2
+    sub r3, r3, r1
+    mul r3, r3, r2
+    div r3, r3, r2
+    mod r4, r3, r2
+    and r4, r4, r1
+    or  r4, r4, r1
+    xor r4, r4, r4
+    shl r5, r1, r2
+    shr r5, r5, r2
+    addi r5, r5, 0x10
+    ld r6, r0, 0
+    st r6, r0, 1
+    beq r1, r2, start
+    bne r1, r2, start
+    blt r1, r2, start
+    bge r1, r2, start
+    jmp start
+    call sub1
+    halt
+sub1:
+    ret
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 23 {
+		t.Fatalf("assembled %d instructions, want 23", len(prog))
+	}
+	// Spot-check string rendering exists for each opcode.
+	for _, in := range prog {
+		if in.String() == "" {
+			t.Fatalf("empty String() for %v", in.Op)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty program":     "   \n ; nothing \n",
+		"unknown mnemonic":  "frob r1, r2",
+		"bad register":      "li r99, 1",
+		"bad register name": "li x1, 1",
+		"bad immediate":     "li r1, banana",
+		"missing operand":   "add r1, r2",
+		"extra operand":     "halt r1",
+		"undefined label":   "jmp nowhere\nhalt",
+		"duplicate label":   "a: halt\na: halt",
+		"bad label chars":   "1abc: halt",
+		"bad branch target": "beq r1, r2, 42\nhalt",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled without error", name)
+		}
+	}
+}
+
+func TestAssembleLabelOnOwnLine(t *testing.T) {
+	prog, err := Assemble("top:\n  jmp top\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].Op != OpJmp || prog[0].Imm != 0 {
+		t.Fatalf("label-on-own-line target: %v", prog[0])
+	}
+}
+
+func TestAssembleNegativeAndHexImmediates(t *testing.T) {
+	prog, err := Assemble("li r1, -42\nli r2, 0xff\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].Imm != -42 || prog[1].Imm != 255 {
+		t.Fatalf("immediates: %v %v", prog[0].Imm, prog[1].Imm)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" || OpHalt.String() != "halt" {
+		t.Fatal("opcode names wrong")
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Fatal("unknown opcode String")
+	}
+}
+
+func TestPCAddr(t *testing.T) {
+	if PCAddr(0) != TextBase || PCAddr(3) != TextBase+12 {
+		t.Fatal("PCAddr mapping wrong")
+	}
+}

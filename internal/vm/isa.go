@@ -1,0 +1,111 @@
+// Package vm implements a small deterministic register machine with
+// profiling instrumentation hooks.
+//
+// The paper generated its tuple streams by instrumenting Alpha binaries
+// with ATOM: every load contributed a <loadPC, value> tuple and every
+// branch a <branchPC, targetPC> tuple. This package is the reproduction's
+// equivalent instrumentation ecosystem: programs written in a RISC-like
+// assembly run on a Machine whose load and control-transfer events are
+// delivered to registered hooks, producing genuinely program-generated
+// value and edge streams (loop structure, value locality, call/return
+// edges) rather than purely statistical ones.
+//
+// The machine is word-oriented: 16 general registers (r0 is hardwired to
+// zero), a word-addressed data memory, a separate instruction memory, and
+// an internal return-address stack for call/ret.
+package vm
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op uint8
+
+// The instruction set. Arithmetic is three-register; loads and stores use
+// register+immediate addressing; branches compare two registers.
+const (
+	OpHalt Op = iota
+	OpLi      // li rd, imm        : rd = imm
+	OpMov     // mov rd, rs        : rd = rs
+	OpAdd     // add rd, rs, rt    : rd = rs + rt
+	OpSub     // sub rd, rs, rt
+	OpMul     // mul rd, rs, rt
+	OpDiv     // div rd, rs, rt    : traps on rt == 0
+	OpMod     // mod rd, rs, rt    : traps on rt == 0
+	OpAnd     // and rd, rs, rt
+	OpOr      // or rd, rs, rt
+	OpXor     // xor rd, rs, rt
+	OpShl     // shl rd, rs, rt    : rd = rs << (rt & 63)
+	OpShr     // shr rd, rs, rt    : logical shift right
+	OpAddi    // addi rd, rs, imm
+	OpLd      // ld rd, rs, imm    : rd = mem[rs + imm]   (value event)
+	OpSt      // st rs, rd, imm    : mem[rd + imm] = rs
+	OpBeq     // beq rs, rt, label (edge event)
+	OpBne     // bne rs, rt, label (edge event)
+	OpBlt     // blt rs, rt, label (edge event)
+	OpBge     // bge rs, rt, label (edge event)
+	OpJmp     // jmp label         (edge event)
+	OpCall    // call label        (edge event)
+	OpRet     // ret               (edge event)
+	opCount
+)
+
+var opNames = [...]string{
+	OpHalt: "halt", OpLi: "li", OpMov: "mov", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpMod: "mod", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpAddi: "addi", OpLd: "ld",
+	OpSt: "st", OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJmp: "jmp", OpCall: "call", OpRet: "ret",
+}
+
+// String returns the opcode's assembly mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NumRegs is the register file size; register 0 reads as zero and ignores
+// writes.
+const NumRegs = 16
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op  Op
+	Rd  uint8 // destination register (or source for st)
+	Rs  uint8
+	Rt  uint8
+	Imm int64 // immediate / branch target (instruction index)
+}
+
+// String renders the instruction as assembly.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpHalt, OpRet:
+		return in.Op.String()
+	case OpLi:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rd, in.Rs)
+	case OpAddi:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpLd:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpSt:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s r%d, r%d, @%d", in.Op, in.Rs, in.Rt, in.Imm)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s @%d", in.Op, in.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs, in.Rt)
+	}
+}
+
+// TextBase is the fictional address of instruction 0; instruction i sits
+// at TextBase + 4i. Tuples carry these addresses so hash inputs look like
+// real PCs.
+const TextBase = 0x400000
+
+// PCAddr converts an instruction index to its fictional byte address.
+func PCAddr(index int) uint64 { return TextBase + uint64(index)*4 }

@@ -1,0 +1,258 @@
+package vm
+
+import (
+	"fmt"
+
+	"hwprof/internal/event"
+)
+
+// Machine executes a program with profiling hooks. It is deterministic:
+// the same program, initial memory and step count always produce the same
+// event stream.
+type Machine struct {
+	prog []Instr
+	mem  []int64
+	init []int64 // initial memory image, for Reset
+
+	regs  [NumRegs]int64
+	pc    int
+	stack []int
+	halt  bool
+	steps uint64
+
+	// OnValue receives a <loadPC, value> tuple for every ld. Nil disables.
+	OnValue func(event.Tuple)
+	// OnEdge receives a <branchPC, targetPC> tuple for every control
+	// transfer: both outcomes of conditional branches, plus jmp, call and
+	// ret. Nil disables.
+	OnEdge func(event.Tuple)
+	// OnCond receives every conditional branch's PC address and outcome,
+	// for driving branch-predictor substrates. Nil disables.
+	OnCond func(pcAddr uint64, taken bool)
+	// OnMem receives every data-memory access: the instruction's PC
+	// address, the word address touched, and whether it was a store. It
+	// drives the cache-simulator substrate. Nil disables.
+	OnMem func(pcAddr uint64, wordAddr int64, store bool)
+}
+
+// maxCallDepth bounds the return-address stack, catching runaway
+// recursion deterministically.
+const maxCallDepth = 1 << 16
+
+// NewMachine builds a machine for prog with memWords words of zeroed data
+// memory.
+func NewMachine(prog []Instr, memWords int) (*Machine, error) {
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("vm: empty program")
+	}
+	if memWords < 0 {
+		return nil, fmt.Errorf("vm: negative memory size %d", memWords)
+	}
+	m := &Machine{
+		prog: prog,
+		mem:  make([]int64, memWords),
+		init: make([]int64, memWords),
+	}
+	return m, nil
+}
+
+// AssembleMachine assembles src and builds a machine in one step.
+func AssembleMachine(src string, memWords int) (*Machine, error) {
+	prog, err := Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewMachine(prog, memWords)
+}
+
+// SetMem writes vals into memory starting at word address addr and records
+// them in the initial image used by Reset.
+func (m *Machine) SetMem(addr int, vals ...int64) error {
+	if addr < 0 || addr+len(vals) > len(m.mem) {
+		return fmt.Errorf("vm: SetMem [%d, %d) outside memory of %d words", addr, addr+len(vals), len(m.mem))
+	}
+	copy(m.mem[addr:], vals)
+	copy(m.init[addr:], vals)
+	return nil
+}
+
+// Mem returns the word at addr (for inspecting results in tests and
+// examples).
+func (m *Machine) Mem(addr int) (int64, error) {
+	if addr < 0 || addr >= len(m.mem) {
+		return 0, fmt.Errorf("vm: Mem address %d outside memory of %d words", addr, len(m.mem))
+	}
+	return m.mem[addr], nil
+}
+
+// Reg returns register r's value.
+func (m *Machine) Reg(r int) int64 {
+	if r <= 0 || r >= NumRegs {
+		return 0
+	}
+	return m.regs[r]
+}
+
+// Halted reports whether the machine has executed halt.
+func (m *Machine) Halted() bool { return m.halt }
+
+// Steps returns the number of instructions executed since the last Reset.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// PC returns the current instruction index.
+func (m *Machine) PC() int { return m.pc }
+
+// Reset rewinds the machine to its initial state: registers and call stack
+// cleared, memory restored to the initial image, pc 0. Hooks are kept.
+func (m *Machine) Reset() {
+	m.regs = [NumRegs]int64{}
+	m.pc = 0
+	m.stack = m.stack[:0]
+	m.halt = false
+	m.steps = 0
+	copy(m.mem, m.init)
+}
+
+func (m *Machine) setReg(r uint8, v int64) {
+	if r != 0 {
+		m.regs[r] = v
+	}
+}
+
+func (m *Machine) edge(from int, to int) {
+	if m.OnEdge != nil {
+		m.OnEdge(event.Tuple{A: PCAddr(from), B: PCAddr(to)})
+	}
+}
+
+// Step executes one instruction. It returns an error on traps (bad memory
+// access, division by zero, call-stack violations) and is a no-op on a
+// halted machine.
+func (m *Machine) Step() error {
+	if m.halt {
+		return nil
+	}
+	if m.pc < 0 || m.pc >= len(m.prog) {
+		return fmt.Errorf("vm: pc %d outside program of %d instructions", m.pc, len(m.prog))
+	}
+	in := m.prog[m.pc]
+	cur := m.pc
+	next := m.pc + 1
+	m.steps++
+
+	switch in.Op {
+	case OpHalt:
+		m.halt = true
+		return nil
+	case OpLi:
+		m.setReg(in.Rd, in.Imm)
+	case OpMov:
+		m.setReg(in.Rd, m.regs[in.Rs])
+	case OpAdd:
+		m.setReg(in.Rd, m.regs[in.Rs]+m.regs[in.Rt])
+	case OpSub:
+		m.setReg(in.Rd, m.regs[in.Rs]-m.regs[in.Rt])
+	case OpMul:
+		m.setReg(in.Rd, m.regs[in.Rs]*m.regs[in.Rt])
+	case OpDiv:
+		if m.regs[in.Rt] == 0 {
+			return fmt.Errorf("vm: division by zero at pc %d", cur)
+		}
+		m.setReg(in.Rd, m.regs[in.Rs]/m.regs[in.Rt])
+	case OpMod:
+		if m.regs[in.Rt] == 0 {
+			return fmt.Errorf("vm: modulo by zero at pc %d", cur)
+		}
+		m.setReg(in.Rd, m.regs[in.Rs]%m.regs[in.Rt])
+	case OpAnd:
+		m.setReg(in.Rd, m.regs[in.Rs]&m.regs[in.Rt])
+	case OpOr:
+		m.setReg(in.Rd, m.regs[in.Rs]|m.regs[in.Rt])
+	case OpXor:
+		m.setReg(in.Rd, m.regs[in.Rs]^m.regs[in.Rt])
+	case OpShl:
+		m.setReg(in.Rd, m.regs[in.Rs]<<uint(m.regs[in.Rt]&63))
+	case OpShr:
+		m.setReg(in.Rd, int64(uint64(m.regs[in.Rs])>>uint(m.regs[in.Rt]&63)))
+	case OpAddi:
+		m.setReg(in.Rd, m.regs[in.Rs]+in.Imm)
+	case OpLd:
+		addr := m.regs[in.Rs] + in.Imm
+		if addr < 0 || addr >= int64(len(m.mem)) {
+			return fmt.Errorf("vm: load from %d outside memory of %d words at pc %d", addr, len(m.mem), cur)
+		}
+		v := m.mem[addr]
+		m.setReg(in.Rd, v)
+		if m.OnValue != nil {
+			m.OnValue(event.Tuple{A: PCAddr(cur), B: uint64(v)})
+		}
+		if m.OnMem != nil {
+			m.OnMem(PCAddr(cur), addr, false)
+		}
+	case OpSt:
+		addr := m.regs[in.Rs] + in.Imm
+		if addr < 0 || addr >= int64(len(m.mem)) {
+			return fmt.Errorf("vm: store to %d outside memory of %d words at pc %d", addr, len(m.mem), cur)
+		}
+		m.mem[addr] = m.regs[in.Rd]
+		if m.OnMem != nil {
+			m.OnMem(PCAddr(cur), addr, true)
+		}
+	case OpBeq, OpBne, OpBlt, OpBge:
+		a, b := m.regs[in.Rs], m.regs[in.Rt]
+		taken := false
+		switch in.Op {
+		case OpBeq:
+			taken = a == b
+		case OpBne:
+			taken = a != b
+		case OpBlt:
+			taken = a < b
+		case OpBge:
+			taken = a >= b
+		}
+		if taken {
+			next = int(in.Imm)
+		}
+		if m.OnCond != nil {
+			m.OnCond(PCAddr(cur), taken)
+		}
+		m.edge(cur, next)
+	case OpJmp:
+		next = int(in.Imm)
+		m.edge(cur, next)
+	case OpCall:
+		if len(m.stack) >= maxCallDepth {
+			return fmt.Errorf("vm: call stack overflow at pc %d", cur)
+		}
+		m.stack = append(m.stack, next)
+		next = int(in.Imm)
+		m.edge(cur, next)
+	case OpRet:
+		if len(m.stack) == 0 {
+			return fmt.Errorf("vm: ret with empty call stack at pc %d", cur)
+		}
+		next = m.stack[len(m.stack)-1]
+		m.stack = m.stack[:len(m.stack)-1]
+		m.edge(cur, next)
+	default:
+		return fmt.Errorf("vm: invalid opcode %d at pc %d", in.Op, cur)
+	}
+	m.pc = next
+	return nil
+}
+
+// Run executes until halt or maxSteps instructions (0 means no limit). It
+// returns the number of instructions executed.
+func (m *Machine) Run(maxSteps uint64) (uint64, error) {
+	start := m.steps
+	for !m.halt {
+		if maxSteps > 0 && m.steps-start >= maxSteps {
+			break
+		}
+		if err := m.Step(); err != nil {
+			return m.steps - start, err
+		}
+	}
+	return m.steps - start, nil
+}

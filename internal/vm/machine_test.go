@@ -1,0 +1,295 @@
+package vm
+
+import (
+	"testing"
+
+	"hwprof/internal/event"
+)
+
+func mustMachine(t *testing.T, src string, memWords int) *Machine {
+	t.Helper()
+	m, err := AssembleMachine(src, memWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestArithmetic(t *testing.T) {
+	m := mustMachine(t, `
+        li r1, 7
+        li r2, 3
+        add r3, r1, r2    ; 10
+        sub r4, r1, r2    ; 4
+        mul r5, r1, r2    ; 21
+        div r6, r1, r2    ; 2
+        mod r7, r1, r2    ; 1
+        and r8, r1, r2    ; 3
+        or  r9, r1, r2    ; 7
+        xor r10, r1, r2   ; 4
+        shl r11, r1, r2   ; 56
+        shr r12, r11, r2  ; 7
+        addi r13, r1, 100 ; 107
+        halt
+    `, 0)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int64{3: 10, 4: 4, 5: 21, 6: 2, 7: 1, 8: 3, 9: 7, 10: 4, 11: 56, 12: 7, 13: 107}
+	for r, v := range want {
+		if got := m.Reg(r); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+	if !m.Halted() {
+		t.Fatal("machine did not halt")
+	}
+}
+
+func TestR0IsHardwiredZero(t *testing.T) {
+	m := mustMachine(t, "li r0, 99\nmov r1, r0\nhalt", 0)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(0) != 0 || m.Reg(1) != 0 {
+		t.Fatalf("r0 = %d, r1 = %d", m.Reg(0), m.Reg(1))
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	m := mustMachine(t, `
+        li r1, 5
+        li r2, 42
+        st r2, r1, 3     ; mem[8] = 42
+        ld r3, r1, 3     ; r3 = mem[8]
+        halt
+    `, 16)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Mem(8); v != 42 {
+		t.Fatalf("mem[8] = %d", v)
+	}
+	if m.Reg(3) != 42 {
+		t.Fatalf("r3 = %d", m.Reg(3))
+	}
+}
+
+func TestBranchesAndLoops(t *testing.T) {
+	// Sum 1..10 = 55.
+	m := mustMachine(t, `
+        li r1, 10
+        li r2, 0
+loop:   beq r1, r0, done
+        add r2, r2, r1
+        addi r1, r1, -1
+        jmp loop
+done:   halt
+    `, 0)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(2) != 55 {
+		t.Fatalf("sum = %d, want 55", m.Reg(2))
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	m := mustMachine(t, `
+        li r1, 5
+        call double
+        call double
+        halt
+double: add r1, r1, r1
+        ret
+    `, 0)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(1) != 20 {
+		t.Fatalf("r1 = %d, want 20", m.Reg(1))
+	}
+}
+
+func TestTraps(t *testing.T) {
+	cases := map[string]struct {
+		src string
+		mem int
+	}{
+		"div by zero":      {"li r1, 1\ndiv r2, r1, r0\nhalt", 0},
+		"mod by zero":      {"li r1, 1\nmod r2, r1, r0\nhalt", 0},
+		"load oob":         {"li r1, 100\nld r2, r1, 0\nhalt", 16},
+		"load negative":    {"li r1, -1\nld r2, r1, 0\nhalt", 16},
+		"store oob":        {"li r1, 100\nst r1, r1, 0\nhalt", 16},
+		"ret empty stack":  {"ret", 0},
+		"pc falls off end": {"li r1, 1", 0},
+	}
+	for name, c := range cases {
+		m := mustMachine(t, c.src, c.mem)
+		if _, err := m.Run(0); err == nil {
+			t.Errorf("%s: no trap", name)
+		}
+	}
+}
+
+func TestCallStackOverflowTraps(t *testing.T) {
+	m := mustMachine(t, "rec: call rec\nhalt", 0)
+	if _, err := m.Run(0); err == nil {
+		t.Fatal("infinite recursion did not trap")
+	}
+}
+
+func TestMaxStepsStopsRun(t *testing.T) {
+	m := mustMachine(t, "spin: jmp spin", 0)
+	n, err := m.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 || m.Halted() {
+		t.Fatalf("ran %d steps, halted=%v", n, m.Halted())
+	}
+}
+
+func TestValueEvents(t *testing.T) {
+	m := mustMachine(t, `
+        li r1, 3
+loop:   beq r1, r0, done
+        ld r2, r0, 7     ; same pc, same value each time
+        addi r1, r1, -1
+        jmp loop
+done:   halt
+    `, 16)
+	if err := m.SetMem(7, 1234); err != nil {
+		t.Fatal(err)
+	}
+	var got []event.Tuple
+	m.OnValue = func(tp event.Tuple) { got = append(got, tp) }
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("saw %d value events, want 3", len(got))
+	}
+	for _, tp := range got {
+		if tp.A != PCAddr(2) || tp.B != 1234 {
+			t.Fatalf("value tuple %v, want {%#x 1234}", tp, PCAddr(2))
+		}
+	}
+}
+
+func TestEdgeEvents(t *testing.T) {
+	m := mustMachine(t, `
+        li r1, 2
+loop:   beq r1, r0, done   ; pc 1: not-taken ×2 then taken
+        addi r1, r1, -1
+        jmp loop           ; pc 3 -> pc 1
+done:   halt               ; pc 4
+    `, 0)
+	counts := map[event.Tuple]int{}
+	m.OnEdge = func(tp event.Tuple) { counts[tp]++ }
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	notTaken := event.Tuple{A: PCAddr(1), B: PCAddr(2)}
+	taken := event.Tuple{A: PCAddr(1), B: PCAddr(4)}
+	loopBack := event.Tuple{A: PCAddr(3), B: PCAddr(1)}
+	if counts[notTaken] != 2 || counts[taken] != 1 || counts[loopBack] != 2 {
+		t.Fatalf("edge counts = %v", counts)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := mustMachine(t, `
+        ld r1, r0, 0
+        addi r1, r1, 1
+        st r1, r0, 0
+        halt
+    `, 4)
+	if err := m.SetMem(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Mem(0); v != 11 {
+		t.Fatalf("mem[0] = %d after run", v)
+	}
+	m.Reset()
+	if v, _ := m.Mem(0); v != 10 {
+		t.Fatalf("mem[0] = %d after reset, want initial 10", v)
+	}
+	if m.Halted() || m.Steps() != 0 || m.PC() != 0 {
+		t.Fatal("reset did not clear execution state")
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Mem(0); v != 11 {
+		t.Fatalf("mem[0] = %d after rerun", v)
+	}
+}
+
+func TestDeterministicEventStream(t *testing.T) {
+	mk := func() []event.Tuple {
+		m := mustMachine(t, `
+            li r1, 20
+loop:       beq r1, r0, done
+            ld r2, r1, 0
+            addi r1, r1, -1
+            jmp loop
+done:       halt
+        `, 32)
+		var evs []event.Tuple
+		m.OnValue = func(tp event.Tuple) { evs = append(evs, tp) }
+		m.OnEdge = func(tp event.Tuple) { evs = append(evs, tp) }
+		if _, err := m.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("streams differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	if _, err := NewMachine(nil, 16); err == nil {
+		t.Error("empty program accepted")
+	}
+	if _, err := NewMachine([]Instr{{Op: OpHalt}}, -1); err == nil {
+		t.Error("negative memory accepted")
+	}
+}
+
+func TestSetMemValidation(t *testing.T) {
+	m := mustMachine(t, "halt", 4)
+	if err := m.SetMem(2, 1, 2, 3); err == nil {
+		t.Error("overflowing SetMem accepted")
+	}
+	if err := m.SetMem(-1, 1); err == nil {
+		t.Error("negative SetMem accepted")
+	}
+	if _, err := m.Mem(4); err == nil {
+		t.Error("oob Mem read accepted")
+	}
+}
+
+func TestStepOnHaltedIsNoOp(t *testing.T) {
+	m := mustMachine(t, "halt", 0)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	steps := m.Steps()
+	if err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() != steps {
+		t.Fatal("halted machine executed an instruction")
+	}
+}

@@ -1,0 +1,442 @@
+// Package progs is a library of real programs for the vm package's
+// instrumented machine. Each program exercises a classic workload shape —
+// sorting, hashing, pointer chasing, interpreter dispatch, recursion,
+// dense loops — so the value and edge streams they emit carry genuine
+// program structure (hot loop loads, dominant branch edges, call/return
+// pairs) for cross-checking the profilers against non-synthetic inputs.
+package progs
+
+import (
+	"fmt"
+	"sort"
+
+	"hwprof/internal/vm"
+)
+
+// Program couples assembly source with its memory requirements and
+// initial data.
+type Program struct {
+	// Name is the program's identifier (see All / ByName).
+	Name string
+	// Description says what the program computes and which profiling
+	// behaviour it exercises.
+	Description string
+	// Asm is the assembly source.
+	Asm string
+	// MemWords is the data-memory size the program needs.
+	MemWords int
+	// Init writes the program's initial data, if any.
+	Init func(*vm.Machine) error
+}
+
+// NewMachine assembles the program and applies its initial data.
+func (p Program) NewMachine() (*vm.Machine, error) {
+	m, err := vm.AssembleMachine(p.Asm, p.MemWords)
+	if err != nil {
+		return nil, fmt.Errorf("progs: %s: %w", p.Name, err)
+	}
+	if p.Init != nil {
+		if err := p.Init(m); err != nil {
+			return nil, fmt.Errorf("progs: %s: init: %w", p.Name, err)
+		}
+	}
+	return m, nil
+}
+
+// registry holds all programs by name.
+var registry = map[string]Program{}
+
+func register(p Program) { registry[p.Name] = p }
+
+// All returns every program, sorted by name.
+func All() []Program {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Program, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// ByName looks a program up.
+func ByName(name string) (Program, error) {
+	p, ok := registry[name]
+	if !ok {
+		names := make([]string, 0, len(registry))
+		for n := range registry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return Program{}, fmt.Errorf("progs: unknown program %q (have %v)", name, names)
+	}
+	return p, nil
+}
+
+func init() {
+	register(Program{
+		Name:        "sort",
+		Description: "LCG-fills a 64-word array and insertion-sorts it; hot inner-loop loads with high value reuse",
+		MemWords:    128,
+		Asm: `
+    li r5, 64        ; N
+    li r7, 12345     ; LCG seed
+    li r1, 0
+fill:
+    bge r1, r5, sorted_init
+    li r4, 1103515245
+    mul r7, r7, r4
+    li r4, 12345
+    add r7, r7, r4
+    li r4, 0x7fffffff
+    and r7, r7, r4
+    st r7, r1, 0
+    addi r1, r1, 1
+    jmp fill
+sorted_init:
+    li r1, 1         ; i = 1
+outer:
+    bge r1, r5, done
+    ld r3, r1, 0     ; key = mem[i]
+    mov r2, r1       ; j = i
+inner:
+    beq r2, r0, place
+    addi r4, r2, -1
+    ld r6, r4, 0     ; mem[j-1]
+    bge r3, r6, place
+    st r6, r2, 0     ; shift right
+    addi r2, r2, -1
+    jmp inner
+place:
+    st r3, r2, 0
+    addi r1, r1, 1
+    jmp outer
+done:
+    halt
+`,
+	})
+
+	register(Program{
+		Name:        "strhash",
+		Description: "polynomial-hashes 16 strings 50 times over; a few load PCs dominated by few distinct values",
+		MemWords:    600,
+		Init: func(m *vm.Machine) error {
+			// 16 strings, 16 words apart: word 0 is the length, then
+			// one character code per word.
+			words := []string{
+				"profile", "hardware", "multi", "hash", "interval",
+				"candidate", "tuple", "counter", "accumulate", "threshold",
+				"shield", "retain", "reset", "conserve", "update", "edge",
+			}
+			for i, w := range words {
+				base := i * 16
+				vals := make([]int64, 0, len(w)+1)
+				vals = append(vals, int64(len(w)))
+				for _, c := range w {
+					vals = append(vals, int64(c))
+				}
+				if err := m.SetMem(base, vals...); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Asm: `
+    li r1, 50         ; repeats
+rep:
+    beq r1, r0, end
+    li r2, 0          ; string index
+str_loop:
+    li r4, 16
+    bge r2, r4, rep_dec
+    li r4, 16
+    mul r3, r2, r4    ; ptr = 16 * index
+    ld r4, r3, 0      ; len
+    li r7, 0          ; h = 0
+    li r5, 0          ; k = 0
+char_loop:
+    bge r5, r4, store_hash
+    add r6, r3, r5
+    ld r6, r6, 1      ; c = mem[ptr + k + 1]
+    li r8, 31
+    mul r7, r7, r8
+    add r7, r7, r6
+    addi r5, r5, 1
+    jmp char_loop
+store_hash:
+    st r7, r2, 512    ; results[index] = h
+    addi r2, r2, 1
+    jmp str_loop
+rep_dec:
+    addi r1, r1, -1
+    jmp rep
+end:
+    halt
+`,
+	})
+
+	register(Program{
+		Name:        "treeins",
+		Description: "builds a 200-key binary search tree then runs 2000 lookups; pointer-chasing loads, data-dependent branches",
+		MemWords:    1024,
+		Asm: `
+    li r4, 8
+    st r4, r0, 1      ; heap pointer at mem[1], nodes from word 8
+    li r1, 0          ; i
+    li r5, 200        ; inserts
+    li r7, 99991      ; seed
+insert_loop:
+    bge r1, r5, lookup_init
+    li r4, 1103515245
+    mul r7, r7, r4
+    li r4, 12345
+    add r7, r7, r4
+    li r4, 0x7fffffff
+    and r7, r7, r4
+    li r4, 1021
+    mod r2, r7, r4    ; key = seed mod 1021
+    call insert
+    addi r1, r1, 1
+    jmp insert_loop
+
+insert:               ; insert key r2 (node = {key, left, right})
+    ld r3, r0, 0      ; root
+    bne r3, r0, walk
+    call alloc
+    st r6, r0, 0
+    ret
+walk:
+    ld r4, r3, 0
+    beq r4, r2, ins_done
+    blt r2, r4, go_left
+    ld r4, r3, 2
+    bne r4, r0, walk_right
+    call alloc
+    st r6, r3, 2
+    ret
+walk_right:
+    mov r3, r4
+    jmp walk
+go_left:
+    ld r4, r3, 1
+    bne r4, r0, walk_left
+    call alloc
+    st r6, r3, 1
+    ret
+walk_left:
+    mov r3, r4
+    jmp walk
+ins_done:
+    ret
+
+alloc:                ; new node with key r2 -> r6
+    ld r6, r0, 1
+    st r2, r6, 0
+    st r0, r6, 1
+    st r0, r6, 2
+    addi r4, r6, 3
+    st r4, r0, 1
+    ret
+
+lookup_init:
+    li r1, 0
+    li r5, 2000       ; lookups
+    li r7, 7777
+    li r9, 0          ; hits
+lookup_loop:
+    bge r1, r5, end
+    li r4, 1103515245
+    mul r7, r7, r4
+    li r4, 12345
+    add r7, r7, r4
+    li r4, 0x7fffffff
+    and r7, r7, r4
+    li r4, 1021
+    mod r2, r7, r4
+    call search
+    add r9, r9, r6
+    addi r1, r1, 1
+    jmp lookup_loop
+
+search:               ; search key r2 -> r6 = 1 if found
+    ld r3, r0, 0
+search_walk:
+    beq r3, r0, not_found
+    ld r4, r3, 0
+    beq r4, r2, found
+    blt r2, r4, search_left
+    ld r3, r3, 2
+    jmp search_walk
+search_left:
+    ld r3, r3, 1
+    jmp search_walk
+found:
+    li r6, 1
+    ret
+not_found:
+    li r6, 0
+    ret
+
+end:
+    st r9, r0, 2      ; hit count at mem[2]
+    halt
+`,
+	})
+
+	register(Program{
+		Name:        "interp",
+		Description: "a bytecode interpreter running a countdown loop; the dispatch chain makes a handful of branch edges extremely hot",
+		MemWords:    600,
+		Init: func(m *vm.Machine) error {
+			// Bytecode: push 1000; loop: push 1; sub; dup; jnz loop; halt.
+			return m.SetMem(0, 1, 1000, 1, 1, 3, 4, 5, 2, 0)
+		},
+		Asm: `
+    li r1, 0          ; bytecode ip
+    li r2, 512        ; operand stack pointer (next free)
+dispatch:
+    ld r3, r1, 0      ; opcode
+    addi r1, r1, 1
+    beq r3, r0, iend  ; 0 = halt
+    li r4, 1
+    beq r3, r4, op_push
+    li r4, 2
+    beq r3, r4, op_add
+    li r4, 3
+    beq r3, r4, op_sub
+    li r4, 4
+    beq r3, r4, op_dup
+    li r4, 5
+    beq r3, r4, op_jnz
+    jmp iend          ; unknown opcode
+op_push:
+    ld r4, r1, 0
+    addi r1, r1, 1
+    st r4, r2, 0
+    addi r2, r2, 1
+    jmp dispatch
+op_add:
+    addi r2, r2, -1
+    ld r4, r2, 0
+    addi r2, r2, -1
+    ld r5, r2, 0
+    add r4, r5, r4
+    st r4, r2, 0
+    addi r2, r2, 1
+    jmp dispatch
+op_sub:
+    addi r2, r2, -1
+    ld r4, r2, 0      ; b
+    addi r2, r2, -1
+    ld r5, r2, 0      ; a
+    sub r4, r5, r4
+    st r4, r2, 0
+    addi r2, r2, 1
+    jmp dispatch
+op_dup:
+    addi r4, r2, -1
+    ld r4, r4, 0
+    st r4, r2, 0
+    addi r2, r2, 1
+    jmp dispatch
+op_jnz:
+    ld r4, r1, 0      ; target
+    addi r1, r1, 1
+    addi r2, r2, -1
+    ld r5, r2, 0      ; popped condition
+    beq r5, r0, dispatch
+    mov r1, r4
+    jmp dispatch
+iend:
+    halt
+`,
+	})
+
+	register(Program{
+		Name:        "fib",
+		Description: "recursive fib(18); deep call/return edge profile",
+		MemWords:    256,
+		Asm: `
+    li r14, 100       ; spill stack base
+    li r1, 18
+    call fib
+    st r2, r0, 0      ; result at mem[0]
+    halt
+fib:                  ; fib(r1) -> r2
+    li r3, 2
+    blt r1, r3, base
+    st r1, r14, 0     ; push n
+    addi r14, r14, 1
+    addi r1, r1, -1
+    call fib
+    addi r14, r14, -1
+    ld r1, r14, 0     ; pop n
+    st r2, r14, 0     ; push fib(n-1)
+    addi r14, r14, 1
+    addi r1, r1, -2
+    call fib
+    addi r14, r14, -1
+    ld r3, r14, 0     ; pop fib(n-1)
+    add r2, r3, r2
+    ret
+base:
+    mov r2, r1
+    ret
+`,
+	})
+
+	register(Program{
+		Name:        "matmul",
+		Description: "12×12 integer matrix multiply; dense loop nest with strided loads",
+		MemWords:    512,
+		Init: func(m *vm.Machine) error {
+			a := make([]int64, 144)
+			b := make([]int64, 144)
+			for i := range a {
+				a[i] = int64(i%7 + 1)
+				b[i] = int64(i%5 + 1)
+			}
+			if err := m.SetMem(0, a...); err != nil {
+				return err
+			}
+			return m.SetMem(144, b...)
+		},
+		Asm: `
+    li r5, 12
+    li r1, 0
+mm_i:
+    bge r1, r5, mm_done
+    li r2, 0
+mm_j:
+    bge r2, r5, mm_i_next
+    li r4, 0
+    li r3, 0
+mm_k:
+    bge r3, r5, mm_store
+    mul r6, r1, r5
+    add r6, r6, r3
+    ld r6, r6, 0      ; A[i][k]
+    mul r7, r3, r5
+    add r7, r7, r2
+    ld r7, r7, 144    ; B[k][j]
+    mul r6, r6, r7
+    add r4, r4, r6
+    addi r3, r3, 1
+    jmp mm_k
+mm_store:
+    mul r6, r1, r5
+    add r6, r6, r2
+    st r4, r6, 288    ; C[i][j]
+    addi r2, r2, 1
+    jmp mm_j
+mm_i_next:
+    addi r1, r1, 1
+    jmp mm_i
+mm_done:
+    halt
+`,
+	})
+}

@@ -1,0 +1,264 @@
+package progs
+
+// The second tranche of programs: recursive divide-and-conquer, open
+// addressing, pointer chasing over a linked list, and a bit-serial CRC —
+// workload shapes the first tranche doesn't cover.
+
+func init() {
+	register(Program{
+		Name:        "quicksort",
+		Description: "recursive quicksort (Lomuto) over a 128-word LCG array; irregular recursion and data-dependent swaps",
+		MemWords:    2048,
+		Asm: `
+    li r5, 128        ; N
+    li r7, 424243     ; LCG seed
+    li r1, 0
+qfill:
+    bge r1, r5, qstart
+    li r4, 1103515245
+    mul r7, r7, r4
+    li r4, 12345
+    add r7, r7, r4
+    li r4, 0x7fffffff
+    and r7, r7, r4
+    st r7, r1, 0
+    addi r1, r1, 1
+    jmp qfill
+qstart:
+    li r14, 512       ; spill stack
+    li r1, 0          ; lo
+    li r2, 127        ; hi
+    call qsort
+    halt
+
+qsort:                ; qsort(lo=r1, hi=r2)
+    bge r1, r2, qs_ret
+    ld r3, r2, 0      ; pivot = mem[hi]
+    mov r4, r1        ; i = lo
+    mov r5, r1        ; j = lo
+qs_loop:
+    bge r5, r2, qs_place
+    ld r6, r5, 0
+    bge r6, r3, qs_next
+    ld r7, r4, 0      ; swap mem[i], mem[j]
+    st r6, r4, 0
+    st r7, r5, 0
+    addi r4, r4, 1
+qs_next:
+    addi r5, r5, 1
+    jmp qs_loop
+qs_place:
+    ld r7, r4, 0      ; swap mem[i], mem[hi]
+    ld r6, r2, 0
+    st r6, r4, 0
+    st r7, r2, 0
+    st r2, r14, 0     ; push hi
+    addi r14, r14, 1
+    st r4, r14, 0     ; push p
+    addi r14, r14, 1
+    addi r2, r4, -1   ; qsort(lo, p-1)
+    call qsort
+    addi r14, r14, -1
+    ld r4, r14, 0     ; pop p
+    addi r14, r14, -1
+    ld r2, r14, 0     ; pop hi
+    addi r1, r4, 1    ; qsort(p+1, hi)
+    call qsort
+qs_ret:
+    ret
+`,
+	})
+
+	register(Program{
+		Name:        "hashtable",
+		Description: "open-addressing hash table: 180 inserts then 2000 probes over a 256-slot table; clustered probe chains",
+		MemWords:    2048,
+		Asm: `
+    li r1, 0          ; i
+    li r5, 180        ; inserts
+    li r7, 31337      ; seed
+ht_fill:
+    bge r1, r5, ht_lookups
+    li r4, 1103515245
+    mul r7, r7, r4
+    li r4, 12345
+    add r7, r7, r4
+    li r4, 0x7fffffff
+    and r7, r7, r4
+    li r4, 99999
+    mod r2, r7, r4
+    addi r2, r2, 1    ; key in [1, 99999]
+    call ht_insert
+    addi r1, r1, 1
+    jmp ht_fill
+
+ht_insert:            ; insert key r2 (table at 1024, 256 slots, 0 empty)
+    li r4, 255
+    and r3, r2, r4    ; idx = key & 255
+hti_probe:
+    addi r11, r3, 1024
+    ld r6, r11, 0
+    beq r6, r0, hti_put
+    beq r6, r2, hti_done
+    addi r3, r3, 1
+    li r4, 255
+    and r3, r3, r4
+    jmp hti_probe
+hti_put:
+    st r2, r11, 0
+hti_done:
+    ret
+
+ht_lookups:
+    li r1, 0
+    li r5, 2000
+    li r7, 555
+    li r9, 0          ; hits
+htl_loop:
+    bge r1, r5, ht_end
+    li r4, 1103515245
+    mul r7, r7, r4
+    li r4, 12345
+    add r7, r7, r4
+    li r4, 0x7fffffff
+    and r7, r7, r4
+    li r4, 99999
+    mod r2, r7, r4
+    addi r2, r2, 1
+    call ht_find
+    add r9, r9, r6
+    addi r1, r1, 1
+    jmp htl_loop
+
+ht_find:              ; find key r2 -> r6 (1 found, 0 not)
+    li r4, 255
+    and r3, r2, r4
+    li r8, 0          ; probes
+htf_probe:
+    li r4, 256
+    bge r8, r4, htf_miss   ; scanned whole table
+    addi r11, r3, 1024
+    ld r6, r11, 0
+    beq r6, r0, htf_miss
+    beq r6, r2, htf_hit
+    addi r3, r3, 1
+    li r4, 255
+    and r3, r3, r4
+    addi r8, r8, 1
+    jmp htf_probe
+htf_hit:
+    li r6, 1
+    ret
+htf_miss:
+    li r6, 0
+    ret
+
+ht_end:
+    st r9, r0, 1      ; hit count at mem[1]
+    halt
+`,
+	})
+
+	register(Program{
+		Name:        "llsum",
+		Description: "builds a 300-node linked list in shuffled order and sum-traverses it 40 times; serial pointer chasing",
+		MemWords:    2048,
+		Asm: `
+    ; Nodes are {value, nextAddr} pairs bump-allocated from 8; the list is
+    ; threaded through memory in LCG-shuffled allocation order so the
+    ; traversal is non-streaming. head kept in r10.
+    li r4, 8
+    st r4, r0, 1      ; heap at mem[1]
+    li r10, 0         ; head = null
+    li r1, 0
+    li r5, 300
+    li r7, 777777
+ll_build:
+    bge r1, r5, ll_sums
+    li r4, 1103515245
+    mul r7, r7, r4
+    li r4, 12345
+    add r7, r7, r4
+    li r4, 0x7fffffff
+    and r7, r7, r4
+    li r4, 1000
+    mod r2, r7, r4    ; value
+    ld r6, r0, 1      ; node = heap
+    st r2, r6, 0      ; node.value
+    st r10, r6, 1     ; node.next = head
+    mov r10, r6       ; head = node
+    addi r4, r6, 2
+    st r4, r0, 1      ; heap += 2
+    addi r1, r1, 1
+    jmp ll_build
+
+ll_sums:
+    li r1, 0
+    li r5, 40         ; traversals
+    li r9, 0          ; checksum
+ll_pass:
+    bge r1, r5, ll_end
+    mov r3, r10       ; cur = head
+ll_walk:
+    beq r3, r0, ll_next_pass
+    ld r4, r3, 0      ; value
+    add r9, r9, r4
+    ld r3, r3, 1      ; cur = cur.next
+    jmp ll_walk
+ll_next_pass:
+    addi r1, r1, 1
+    jmp ll_pass
+ll_end:
+    st r9, r0, 2      ; checksum at mem[2]
+    halt
+`,
+	})
+
+	register(Program{
+		Name:        "crcbits",
+		Description: "bit-serial CRC-32 over 256 LCG words; a maximally data-dependent branch per bit",
+		MemWords:    512,
+		Asm: `
+    li r1, 0
+    li r5, 256
+    li r7, 90210
+crc_fill:
+    bge r1, r5, crc_start
+    li r4, 1103515245
+    mul r7, r7, r4
+    li r4, 12345
+    add r7, r7, r4
+    li r4, 0x7fffffff
+    and r7, r7, r4
+    st r7, r1, 0
+    addi r1, r1, 1
+    jmp crc_fill
+crc_start:
+    li r7, 0xEDB88320 ; reflected CRC-32 polynomial
+    li r9, 0xffffffff ; crc register
+    li r1, 0
+crc_w:
+    bge r1, r5, crc_done
+    ld r2, r1, 0
+    li r3, 32         ; bits per word
+crc_b:
+    beq r3, r0, crc_wnext
+    xor r4, r9, r2
+    li r6, 1
+    and r4, r4, r6    ; low-bit difference
+    shr r9, r9, r6
+    shr r2, r2, r6
+    beq r4, r0, crc_nb
+    xor r9, r9, r7
+crc_nb:
+    addi r3, r3, -1
+    jmp crc_b
+crc_wnext:
+    addi r1, r1, 1
+    jmp crc_w
+crc_done:
+    st r9, r0, 300    ; digest at mem[300]
+    halt
+`,
+	})
+}

@@ -1,0 +1,92 @@
+package progs
+
+import "testing"
+
+func runProg(t *testing.T, name string) interface {
+	Mem(int) (int64, error)
+} {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestQuicksortSorts(t *testing.T) {
+	m := runProg(t, "quicksort")
+	prev := int64(-1)
+	for i := 0; i < 128; i++ {
+		v, err := m.Mem(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("array not sorted at %d: %d < %d", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHashtableHitCount(t *testing.T) {
+	m := runProg(t, "hashtable")
+	hits, _ := m.Mem(1)
+	// The lookup keys are drawn from [1, 99999] with ~180 resident:
+	// expect a small but nonzero hit count out of 2000 probes.
+	if hits < 0 || hits > 2000 {
+		t.Fatalf("hit count %d out of range", hits)
+	}
+	// The table itself must have ~180 occupied slots (inserts may
+	// collide on duplicate keys).
+	occupied := 0
+	for i := 0; i < 256; i++ {
+		v, _ := m.Mem(1024 + i)
+		if v != 0 {
+			occupied++
+		}
+	}
+	if occupied < 170 || occupied > 180 {
+		t.Fatalf("occupied slots = %d, want ~180", occupied)
+	}
+}
+
+func TestLlsumChecksum(t *testing.T) {
+	m := runProg(t, "llsum")
+	sum, _ := m.Mem(2)
+	if sum <= 0 {
+		t.Fatalf("checksum = %d", sum)
+	}
+	// The checksum is 40 traversals of the same list: divisible by 40.
+	if sum%40 != 0 {
+		t.Fatalf("checksum %d not divisible by the 40 traversals", sum)
+	}
+	// And the node values are < 1000 each over 300 nodes.
+	if sum > 40*300*1000 {
+		t.Fatalf("checksum %d implausibly large", sum)
+	}
+}
+
+func TestCrcbitsDigest(t *testing.T) {
+	m := runProg(t, "crcbits")
+	digest, _ := m.Mem(300)
+	if digest == 0 {
+		t.Fatal("zero digest")
+	}
+	// Deterministic across runs.
+	m2 := runProg(t, "crcbits")
+	digest2, _ := m2.Mem(300)
+	if digest != digest2 {
+		t.Fatalf("digest not deterministic: %#x vs %#x", digest, digest2)
+	}
+	// 32-bit quantity by construction.
+	if uint64(digest) > 0xffffffff {
+		t.Fatalf("digest %#x exceeds 32 bits", digest)
+	}
+}

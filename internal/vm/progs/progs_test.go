@@ -1,0 +1,221 @@
+package progs
+
+import (
+	"testing"
+
+	"hwprof/internal/event"
+	"hwprof/internal/vm"
+)
+
+func TestAllProgramsAssembleAndRun(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m, err := p.NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps, err := m.Run(50_000_000)
+			if err != nil {
+				t.Fatalf("trap after %d steps: %v", steps, err)
+			}
+			if !m.Halted() {
+				t.Fatalf("did not halt within %d steps", steps)
+			}
+			if steps < 100 {
+				t.Fatalf("suspiciously short run: %d steps", steps)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("sort"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("missing"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestAllSortedAndDescribed(t *testing.T) {
+	ps := All()
+	if len(ps) < 6 {
+		t.Fatalf("only %d programs registered", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Name >= ps[i].Name {
+			t.Fatalf("All() not sorted: %q >= %q", ps[i-1].Name, ps[i].Name)
+		}
+	}
+	for _, p := range ps {
+		if p.Description == "" {
+			t.Errorf("%s has no description", p.Name)
+		}
+	}
+}
+
+func TestSortActuallySorts(t *testing.T) {
+	p, _ := ByName("sort")
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	for i := 0; i < 64; i++ {
+		v, err := m.Mem(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("array not sorted at %d: %d < %d", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFibComputesCorrectValue(t *testing.T) {
+	p, _ := ByName("fib")
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Mem(0)
+	if v != 2584 { // fib(18)
+		t.Fatalf("fib(18) = %d, want 2584", v)
+	}
+}
+
+func TestMatmulSpotCheck(t *testing.T) {
+	p, _ := ByName("matmul")
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// C[0][0] = Σ_k A[0][k]·B[k][0] with A[i]=i%7+1, B[i]=i%5+1.
+	want := int64(0)
+	for k := 0; k < 12; k++ {
+		a := int64(k%7 + 1)
+		b := int64((k*12)%5 + 1)
+		want += a * b
+	}
+	got, _ := m.Mem(288)
+	if got != want {
+		t.Fatalf("C[0][0] = %d, want %d", got, want)
+	}
+}
+
+func TestTreeinsProducesHits(t *testing.T) {
+	p, _ := ByName("treeins")
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := m.Mem(2)
+	if hits <= 0 || hits > 2000 {
+		t.Fatalf("lookup hits = %d, want in (0, 2000]", hits)
+	}
+}
+
+func TestStrhashStoresResults(t *testing.T) {
+	p, _ := ByName("strhash")
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[int64]bool{}
+	for i := 0; i < 16; i++ {
+		v, _ := m.Mem(512 + i)
+		if v == 0 {
+			t.Fatalf("hash %d is zero", i)
+		}
+		distinct[v] = true
+	}
+	if len(distinct) != 16 {
+		t.Fatalf("only %d distinct hashes of 16 strings", len(distinct))
+	}
+}
+
+func TestInterpHotEdges(t *testing.T) {
+	// The dispatch loop must make a few edges dominate the edge stream —
+	// that's the property the profiler experiments rely on.
+	p, _ := ByName("interp")
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[event.Tuple]int{}
+	total := 0
+	m.OnEdge = func(tp event.Tuple) { counts[tp]++; total++ }
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if total < 5000 {
+		t.Fatalf("only %d edge events", total)
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/float64(total) < 0.05 {
+		t.Fatalf("hottest edge holds only %.1f%% of stream", 100*float64(max)/float64(total))
+	}
+}
+
+func TestProgramsEmitBothEventKinds(t *testing.T) {
+	for _, p := range All() {
+		m, err := p.NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		values, edges := 0, 0
+		m.OnValue = func(event.Tuple) { values++ }
+		m.OnEdge = func(event.Tuple) { edges++ }
+		if _, err := m.Run(0); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if values == 0 {
+			t.Errorf("%s emits no value events", p.Name)
+		}
+		if edges == 0 {
+			t.Errorf("%s emits no edge events", p.Name)
+		}
+	}
+}
+
+func TestEventSourceOverProgram(t *testing.T) {
+	p, _ := ByName("sort")
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := vm.NewEventSource(m, event.KindValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Loop = true
+	n := 0
+	for n < 20000 {
+		if _, ok := src.Next(); !ok {
+			t.Fatalf("looping program stream ended at %d: %v", n, src.Err())
+		}
+		n++
+	}
+}

@@ -1,0 +1,67 @@
+package vm
+
+import (
+	"fmt"
+
+	"hwprof/internal/event"
+)
+
+// EventSource adapts a running Machine into an event.Source for one tuple
+// kind. The machine advances lazily: each Next steps the program until it
+// emits an event of the requested kind. With Loop set, a halted machine is
+// Reset and re-run, yielding an unbounded stream — how the experiments
+// stretch finite programs to million-event intervals, analogous to the
+// paper running 500M instructions of each benchmark.
+type EventSource struct {
+	m    *Machine
+	kind event.Kind
+
+	// Loop restarts the program on halt instead of ending the stream.
+	Loop bool
+
+	queue []event.Tuple
+	err   error
+}
+
+// NewEventSource attaches to m and captures events of the given kind
+// (KindValue or KindEdge). It overwrites the corresponding machine hook.
+func NewEventSource(m *Machine, kind event.Kind) (*EventSource, error) {
+	s := &EventSource{m: m, kind: kind}
+	switch kind {
+	case event.KindValue:
+		m.OnValue = func(tp event.Tuple) { s.queue = append(s.queue, tp) }
+	case event.KindEdge:
+		m.OnEdge = func(tp event.Tuple) { s.queue = append(s.queue, tp) }
+	default:
+		return nil, fmt.Errorf("vm: no event source for kind %v", kind)
+	}
+	return s, nil
+}
+
+// Next returns the next profiling event; ok == false means the program
+// halted (with Loop unset) or trapped — check Err.
+func (s *EventSource) Next() (event.Tuple, bool) {
+	for len(s.queue) == 0 {
+		if s.err != nil {
+			return event.Tuple{}, false
+		}
+		if s.m.Halted() {
+			if !s.Loop {
+				return event.Tuple{}, false
+			}
+			s.m.Reset()
+		}
+		if err := s.m.Step(); err != nil {
+			s.err = err
+			return event.Tuple{}, false
+		}
+	}
+	tp := s.queue[0]
+	s.queue = s.queue[1:]
+	return tp, true
+}
+
+// Err returns the machine trap that ended the stream, if any.
+func (s *EventSource) Err() error { return s.err }
+
+var _ event.Source = (*EventSource)(nil)

@@ -1,0 +1,101 @@
+package vm
+
+import (
+	"testing"
+
+	"hwprof/internal/event"
+)
+
+func TestEventSourceValues(t *testing.T) {
+	m := mustMachine(t, `
+        li r1, 3
+loop:   beq r1, r0, done
+        ld r2, r0, 0
+        addi r1, r1, -1
+        jmp loop
+done:   halt
+    `, 8)
+	if err := m.SetMem(0, 55); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewEventSource(m, event.KindValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := event.Collect(src, 0)
+	if len(got) != 3 {
+		t.Fatalf("collected %d events, want 3", len(got))
+	}
+	if src.Err() != nil {
+		t.Fatal(src.Err())
+	}
+}
+
+func TestEventSourceLoop(t *testing.T) {
+	m := mustMachine(t, "ld r1, r0, 0\nhalt", 4)
+	src, err := NewEventSource(m, event.KindValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Loop = true
+	// One load per program run; looping must deliver arbitrarily many.
+	for i := 0; i < 100; i++ {
+		if _, ok := src.Next(); !ok {
+			t.Fatalf("looping source ended at event %d", i)
+		}
+	}
+}
+
+func TestEventSourceEndsOnHalt(t *testing.T) {
+	m := mustMachine(t, "ld r1, r0, 0\nhalt", 4)
+	src, _ := NewEventSource(m, event.KindValue)
+	if _, ok := src.Next(); !ok {
+		t.Fatal("no first event")
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("source continued past halt")
+	}
+	if src.Err() != nil {
+		t.Fatalf("halt reported as error: %v", src.Err())
+	}
+}
+
+func TestEventSourceSurfacesTraps(t *testing.T) {
+	m := mustMachine(t, "li r1, 100\nld r2, r1, 0\nhalt", 4)
+	src, _ := NewEventSource(m, event.KindValue)
+	if _, ok := src.Next(); ok {
+		t.Fatal("event delivered from trapping program")
+	}
+	if src.Err() == nil {
+		t.Fatal("trap not surfaced via Err")
+	}
+	// Error is sticky.
+	if _, ok := src.Next(); ok {
+		t.Fatal("source continued after trap")
+	}
+}
+
+func TestEventSourceEdges(t *testing.T) {
+	m := mustMachine(t, `
+        li r1, 5
+loop:   addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    `, 0)
+	src, err := NewEventSource(m, event.KindEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := event.Collect(src, 0)
+	// 4 taken + 1 not-taken edges from the bne.
+	if len(got) != 5 {
+		t.Fatalf("collected %d edges, want 5", len(got))
+	}
+}
+
+func TestEventSourceRejectsGenericKind(t *testing.T) {
+	m := mustMachine(t, "halt", 0)
+	if _, err := NewEventSource(m, event.KindGeneric); err == nil {
+		t.Fatal("generic kind accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Package vpred implements classic load-value predictors: last-value and
+// stride.
+//
+// The paper's §2 motivates value profiling with value specialization and
+// frequent-value compression (Calder et al.; Zhang et al.). A load whose
+// profile is dominated by one value is exactly a load a last-value
+// predictor captures, so these predictors serve two roles in the
+// reproduction: an independent consumer of value profiles (the profiler's
+// candidates should be the predictable loads) and another event source —
+// value *mispredictions* can be profiled just like cache misses and branch
+// mispredictions.
+package vpred
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Predictor predicts a load's value from its PC before the load resolves,
+// then trains on the actual value.
+type Predictor interface {
+	// Predict returns the predicted value and whether the predictor has
+	// confidence to predict at all.
+	Predict(pc uint64) (value uint64, ok bool)
+	// Update trains the predictor with the load's actual value.
+	Update(pc uint64, value uint64)
+}
+
+// lvEntry is one last-value table row.
+type lvEntry struct {
+	tag   uint64
+	value uint64
+	conf  uint8 // 2-bit confidence
+	valid bool
+}
+
+// LastValue predicts that a load produces the same value as last time,
+// gated by a 2-bit confidence counter.
+type LastValue struct {
+	table []lvEntry
+	mask  uint64
+}
+
+// NewLastValue builds a last-value predictor with `entries` rows
+// (power of two).
+func NewLastValue(entries int) (*LastValue, error) {
+	if entries <= 0 || bits.OnesCount(uint(entries)) != 1 {
+		return nil, fmt.Errorf("vpred: entries %d must be a positive power of two", entries)
+	}
+	return &LastValue{table: make([]lvEntry, entries), mask: uint64(entries - 1)}, nil
+}
+
+func (p *LastValue) index(pc uint64) *lvEntry { return &p.table[(pc>>2)&p.mask] }
+
+// Predict returns the last value seen at pc when confidence is high.
+func (p *LastValue) Predict(pc uint64) (uint64, bool) {
+	e := p.index(pc)
+	if !e.valid || e.tag != pc || e.conf < 2 {
+		return 0, false
+	}
+	return e.value, true
+}
+
+// Update trains the entry: matching values raise confidence, mismatches
+// lower it and eventually replace the value.
+func (p *LastValue) Update(pc uint64, value uint64) {
+	e := p.index(pc)
+	if !e.valid || e.tag != pc {
+		*e = lvEntry{tag: pc, value: value, conf: 1, valid: true}
+		return
+	}
+	if e.value == value {
+		if e.conf < 3 {
+			e.conf++
+		}
+		return
+	}
+	if e.conf > 0 {
+		e.conf--
+		return
+	}
+	e.value = value
+	e.conf = 1
+}
+
+// strideEntry is one stride-predictor row.
+type strideEntry struct {
+	tag    uint64
+	last   uint64
+	stride int64
+	conf   uint8
+	valid  bool
+}
+
+// Stride predicts value = last + stride, capturing induction variables
+// and array walks that defeat a last-value predictor.
+type Stride struct {
+	table []strideEntry
+	mask  uint64
+}
+
+// NewStride builds a stride predictor with `entries` rows (power of two).
+func NewStride(entries int) (*Stride, error) {
+	if entries <= 0 || bits.OnesCount(uint(entries)) != 1 {
+		return nil, fmt.Errorf("vpred: entries %d must be a positive power of two", entries)
+	}
+	return &Stride{table: make([]strideEntry, entries), mask: uint64(entries - 1)}, nil
+}
+
+func (p *Stride) index(pc uint64) *strideEntry { return &p.table[(pc>>2)&p.mask] }
+
+// Predict returns last + stride when the stride has been confirmed.
+func (p *Stride) Predict(pc uint64) (uint64, bool) {
+	e := p.index(pc)
+	if !e.valid || e.tag != pc || e.conf < 2 {
+		return 0, false
+	}
+	return uint64(int64(e.last) + e.stride), true
+}
+
+// Update confirms or re-learns the stride.
+func (p *Stride) Update(pc uint64, value uint64) {
+	e := p.index(pc)
+	if !e.valid || e.tag != pc {
+		*e = strideEntry{tag: pc, last: value, valid: true}
+		return
+	}
+	observed := int64(value) - int64(e.last)
+	if observed == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else if e.conf > 0 {
+		e.conf--
+	} else {
+		e.stride = observed
+	}
+	e.last = value
+}
+
+// Stats accumulates prediction accuracy.
+type Stats struct {
+	Loads      uint64 // all loads observed
+	Predicted  uint64 // loads the predictor was confident on
+	Correct    uint64 // confident predictions that matched
+	Mispredict uint64 // confident predictions that missed
+}
+
+// Coverage is Predicted/Loads; Accuracy is Correct/Predicted. Both 0 when
+// undefined.
+func (s Stats) Coverage() float64 {
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.Predicted) / float64(s.Loads)
+}
+
+// Accuracy returns Correct/Predicted, or 0 before any prediction.
+func (s Stats) Accuracy() float64 {
+	if s.Predicted == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Predicted)
+}
+
+// Harness couples a predictor with statistics and an optional
+// misprediction tap.
+type Harness struct {
+	P Predictor
+	Stats
+	// OnMispredict, if non-nil, receives (pc, actual) for every confident
+	// prediction that missed — a profile-ready event stream.
+	OnMispredict func(pc, actual uint64)
+}
+
+// Resolve runs one load through the predictor.
+func (h *Harness) Resolve(pc, value uint64) {
+	h.Loads++
+	if pred, ok := h.P.Predict(pc); ok {
+		h.Predicted++
+		if pred == value {
+			h.Correct++
+		} else {
+			h.Mispredict++
+			if h.OnMispredict != nil {
+				h.OnMispredict(pc, value)
+			}
+		}
+	}
+	h.P.Update(pc, value)
+}

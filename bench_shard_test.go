@@ -1,0 +1,142 @@
+// Benchmarks of the batched streaming API and the sharded concurrent
+// engine against the per-event sequential baseline, in events/sec. The
+// interesting comparison is events/s at 1, 2, 4 and 8 shards vs. the
+// sequential numbers on a multi-core runner; on a single-core machine the
+// sharded engine can only show its routing overhead.
+//
+// Every variant does the same work per iteration: observe one event of a
+// pre-generated gcc-analog slab, crossing an interval boundary every
+// IntervalLength events.
+package hwprof_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hwprof"
+)
+
+// benchSlab returns cap tuples of the gcc analog (the suite's most
+// tuple-diverse stream), generated once and shared by all benchmarks.
+var benchSlab = func() func(b *testing.B) []hwprof.Tuple {
+	var slab []hwprof.Tuple
+	return func(b *testing.B) []hwprof.Tuple {
+		b.Helper()
+		if slab == nil {
+			w, err := hwprof.NewWorkload("gcc", hwprof.KindValue, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			slab = make([]hwprof.Tuple, 1<<19)
+			for i := range slab {
+				slab[i], _ = w.Next()
+			}
+		}
+		return slab
+	}
+}()
+
+func benchShardConfig() hwprof.Config {
+	cfg := hwprof.BestMultiHash(hwprof.ShortIntervalConfig())
+	cfg.Seed = 1
+	return cfg
+}
+
+func reportEventsPerSec(b *testing.B) {
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkEngineSequential is the pre-redesign baseline: one virtual
+// Observe call per event through a single MultiHash.
+func BenchmarkEngineSequential(b *testing.B) {
+	cfg := benchShardConfig()
+	p, err := hwprof.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slab := benchSlab(b)
+	mask := len(slab) - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := uint64(0)
+	for i := 0; i < b.N; i++ {
+		p.Observe(slab[i&mask])
+		if n++; n == cfg.IntervalLength {
+			p.EndInterval()
+			n = 0
+		}
+	}
+	reportEventsPerSec(b)
+}
+
+// BenchmarkEngineBatched is the batched streaming fast path on the same
+// single MultiHash: ObserveBatch in DefaultBatchSize chunks.
+func BenchmarkEngineBatched(b *testing.B) {
+	cfg := benchShardConfig()
+	p, err := hwprof.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slab := benchSlab(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	observeAll(b, p, slab, cfg.IntervalLength)
+	reportEventsPerSec(b)
+}
+
+// BenchmarkEngineSharded measures the concurrent engine at 1, 2, 4 and 8
+// shards. The acceptance bar for the redesign is >= 2x the sequential
+// events/s at 4 shards on a multi-core runner.
+func BenchmarkEngineSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := benchShardConfig()
+			sp, err := hwprof.NewSharded(cfg, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sp.Close()
+			slab := benchSlab(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			observeAll(b, sp, slab, cfg.IntervalLength)
+			reportEventsPerSec(b)
+		})
+	}
+}
+
+// observeAll streams b.N events of slab into p in DefaultBatchSize chunks,
+// ending an interval every intervalLength events. p's ObserveBatch fast
+// path is used when it has one.
+func observeAll(b *testing.B, p hwprof.StreamProfiler, slab []hwprof.Tuple, intervalLength uint64) {
+	type batcher interface{ ObserveBatch([]hwprof.Tuple) }
+	bp, batched := p.(batcher)
+	const chunk = 512
+	pos, n := 0, uint64(0)
+	for done := 0; done < b.N; {
+		want := b.N - done
+		if want > chunk {
+			want = chunk
+		}
+		if rem := int(intervalLength - n); want > rem {
+			want = rem
+		}
+		if pos+want > len(slab) {
+			pos = 0
+		}
+		batch := slab[pos : pos+want]
+		if batched {
+			bp.ObserveBatch(batch)
+		} else {
+			for _, tp := range batch {
+				p.Observe(tp)
+			}
+		}
+		pos += want
+		done += want
+		if n += uint64(want); n == intervalLength {
+			p.EndInterval()
+			n = 0
+		}
+	}
+}

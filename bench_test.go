@@ -251,26 +251,29 @@ func BenchmarkAblationHashQuality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		weak := base
 		weak.WeakHash = true
-		ePaper := meanErrorOn(b, &stridedSource{}, base, 4)
-		eWeak := meanErrorOn(b, &stridedSource{}, weak, 4)
+		ePaper := meanErrorOn(b, hwprof.NewSliceSource(stridedTuples(base, 5)), base, 4)
+		eWeak := meanErrorOn(b, hwprof.NewSliceSource(stridedTuples(weak, 5)), weak, 4)
 		b.ReportMetric(ePaper*100, "%err-paperhash")
 		b.ReportMetric(eWeak*100, "%err-weakhash")
 	}
 }
 
-// stridedSource emits a stream whose hot tuples are 8 nearby PCs and whose
+// stridedTuples builds a stream whose hot tuples are 8 nearby PCs and whose
 // noise tuples are large-stride addresses — the structured inputs that
 // collapse onto a handful of buckets under a shifted-xor hash but disperse
 // under the paper's randomize tables.
-type stridedSource struct{ n uint64 }
-
-func (s *stridedSource) Next() (hwprof.Tuple, bool) {
-	s.n++
-	if s.n%3 != 0 {
-		return hwprof.Tuple{A: 0x400000 + (s.n%8)*4, B: s.n % 8}, true
+func stridedTuples(cfg hwprof.Config, intervals int) []hwprof.Tuple {
+	out := make([]hwprof.Tuple, cfg.IntervalLength*uint64(intervals))
+	for i := range out {
+		n := uint64(i + 1)
+		if n%3 != 0 {
+			out[i] = hwprof.Tuple{A: 0x400000 + (n%8)*4, B: n % 8}
+			continue
+		}
+		k := n / 3
+		out[i] = hwprof.Tuple{A: 0x800000 + (k<<15)*4, B: 0}
 	}
-	k := s.n / 3
-	return hwprof.Tuple{A: 0x800000 + (k<<15)*4, B: 0}, true
+	return out
 }
 
 // BenchmarkObserveThroughput measures the simulator's hot path: one event

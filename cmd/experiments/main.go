@@ -26,6 +26,7 @@ func main() {
 		shortIvs = flag.Int("short-intervals", 0, "profile intervals per 10K-regime run (default 50)")
 		longIvs  = flag.Int("long-intervals", 0, "profile intervals per 1M-regime run (default 5)")
 		benchs   = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
+		batch    = flag.Int("batch", 0, "tuple batch size of the streaming drivers (default 512; results are batch-size independent)")
 	)
 	flag.Parse()
 
@@ -33,6 +34,7 @@ func main() {
 		Seed:           *seed,
 		ShortIntervals: *shortIvs,
 		LongIntervals:  *longIvs,
+		BatchSize:      *batch,
 	}
 	if *benchs != "" {
 		opts.Benchmarks = strings.Split(*benchs, ",")

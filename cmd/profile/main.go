@@ -8,6 +8,7 @@
 //	profile -workload gcc -intervals 10
 //	profile -trace gcc.trace -tables 4 -conservative
 //	profile -program interp -kind edge -interval 10000 -threshold 1
+//	profile -workload gcc -shards 4 -exact=false   # concurrent, throughput mode
 package main
 
 import (
@@ -37,10 +38,15 @@ func main() {
 
 		intervals = flag.Int("intervals", 5, "number of profile intervals to run")
 		top       = flag.Int("top", 10, "candidates to print per interval")
+
+		shards = flag.Int("shards", 1, "profile concurrently over this many shards (storage is split across them)")
+		batch  = flag.Int("batch", 0, "tuple batch size of the streaming driver (default 512)")
+		exact  = flag.Bool("exact", true, "run the perfect profiler alongside and report per-interval error")
 	)
 	flag.Parse()
 	if err := run(*traceFile, *workload, *program, *kindName, *seed, *interval,
-		*threshold, *entries, *tables, *conserv, *reset, *retain, *intervals, *top); err != nil {
+		*threshold, *entries, *tables, *conserv, *reset, *retain, *intervals, *top,
+		*shards, *batch, *exact); err != nil {
 		fmt.Fprintln(os.Stderr, "profile:", err)
 		os.Exit(1)
 	}
@@ -48,7 +54,7 @@ func main() {
 
 func run(traceFile, workload, program, kindName string, seed, interval uint64,
 	threshold float64, entries, tables int, conserv, reset, retain bool,
-	intervals, top int) error {
+	intervals, top, shards, batch int, exact bool) error {
 
 	var kind hwprof.Kind
 	switch kindName {
@@ -100,24 +106,45 @@ func run(traceFile, workload, program, kindName string, seed, interval uint64,
 		Retain:             retain,
 		Seed:               seed + 7,
 	}
-	p, err := hwprof.New(cfg)
-	if err != nil {
-		return err
+	// Build the profiler: one MultiHash, or the sharded concurrent engine
+	// with the same aggregate storage split across shards.
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", shards)
+	}
+	var p hwprof.StreamProfiler
+	if shards > 1 {
+		sp, err := hwprof.NewSharded(cfg, shards)
+		if err != nil {
+			return err
+		}
+		defer sp.Close()
+		p = sp
+	} else {
+		mh, err := hwprof.New(cfg)
+		if err != nil {
+			return err
+		}
+		p = mh
 	}
 	bytes, err := hwprof.StorageBytes(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("configuration %v, storage %d bytes, threshold count %d\n",
-		cfg, bytes, cfg.ThresholdCount())
+	fmt.Printf("configuration %v, %d shard(s), storage %d bytes, threshold count %d\n",
+		cfg, shards, bytes, cfg.ThresholdCount())
 
 	thresh := cfg.ThresholdCount()
-	n, err := hwprof.Run(hwprof.Limit(src, interval*uint64(intervals)), p, interval,
+	rc := hwprof.RunConfig{IntervalLength: interval, BatchSize: batch, NoPerfect: !exact}
+	n, err := hwprof.RunWith(hwprof.Limit(src, interval*uint64(intervals)), p, rc,
 		func(i int, perfect, hardware map[hwprof.Tuple]uint64) {
-			iv := hwprof.EvalInterval(perfect, hardware, thresh)
-			fmt.Printf("\ninterval %d: error %.2f%% (FP %.2f / FN %.2f / NP %.2f / NN %.2f), %d perfect candidates\n",
-				i, iv.Total*100, iv.FalsePos*100, iv.FalseNeg*100,
-				iv.NeutralPos*100, iv.NeutralNeg*100, iv.PerfectCandidates)
+			if perfect != nil {
+				iv := hwprof.EvalInterval(perfect, hardware, thresh)
+				fmt.Printf("\ninterval %d: error %.2f%% (FP %.2f / FN %.2f / NP %.2f / NN %.2f), %d perfect candidates\n",
+					i, iv.Total*100, iv.FalsePos*100, iv.FalseNeg*100,
+					iv.NeutralPos*100, iv.NeutralNeg*100, iv.PerfectCandidates)
+			} else {
+				fmt.Printf("\ninterval %d:\n", i)
+			}
 			printTop(hardware, thresh, top)
 		})
 	if err != nil {

@@ -20,7 +20,7 @@ func main() {
 		workload = flag.String("workload", "", "synthetic benchmark analog (one of: burg deltablue gcc go li m88ksim sis vortex)")
 		program  = flag.String("program", "", "VM program (one of: fib interp matmul sort strhash treeins)")
 		kindName = flag.String("kind", "value", "tuple kind: value or edge")
-		n        = flag.Uint64("n", 1_000_000, "number of events to write")
+		n        = flag.Uint64("n", 1_000_000, "number of events to write; 0 means no limit (write until the source ends — only -program supports this)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		out      = flag.String("o", "", "output file (default stdout)")
 	)
@@ -42,15 +42,24 @@ func run(workload, program, kindName string, n, seed uint64, out string) error {
 		return fmt.Errorf("unknown kind %q (want value or edge)", kindName)
 	}
 
+	// WriteTrace treats n == 0 as "no limit": acceptable only for sources
+	// that actually end. A non-looped program run halts; the synthetic
+	// workload generators never do, so an unlimited workload trace would
+	// hang forever — reject it up front.
 	var src hwprof.Source
 	var err error
 	switch {
 	case workload != "" && program != "":
 		return fmt.Errorf("specify only one of -workload and -program")
 	case workload != "":
+		if n == 0 {
+			return fmt.Errorf("-n 0 (no limit) needs a bounded source, and workload %q is unbounded; give -n a positive count", workload)
+		}
 		src, err = hwprof.NewWorkload(workload, kind, seed)
 	case program != "":
-		src, err = hwprof.NewProgramSource(program, kind, true)
+		// With a limit the program loops to fill the quota; without one it
+		// runs exactly once so the stream is bounded.
+		src, err = hwprof.NewProgramSource(program, kind, n != 0)
 	default:
 		return fmt.Errorf("one of -workload or -program is required")
 	}

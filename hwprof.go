@@ -20,6 +20,10 @@
 //	}
 //	profile := p.EndInterval() // map[Tuple]count for the interval
 //
+// For throughput, drive a profiler with the batched streaming API
+// (RunWith), or profile concurrently with the sharded engine
+// (NewSharded / RunParallel) — both preserve exact interval semantics.
+//
 // See the examples/ directory for complete programs, DESIGN.md for the
 // system inventory and EXPERIMENTS.md for the paper-vs-measured record.
 package hwprof
@@ -32,6 +36,7 @@ import (
 	"hwprof/internal/event"
 	"hwprof/internal/hwmodel"
 	"hwprof/internal/metrics"
+	"hwprof/internal/shard"
 	"hwprof/internal/synth"
 	"hwprof/internal/trace"
 	"hwprof/internal/vm"
@@ -55,6 +60,21 @@ const (
 // Source is a stream of profiling events.
 type Source = event.Source
 
+// BatchSource is the bulk counterpart of Source: NextBatch fills a slice
+// with consecutive tuples and returns how many were written (0 means the
+// stream is exhausted).
+type BatchSource = event.BatchSource
+
+// Batched returns a BatchSource view of src: the source itself when it
+// already implements BatchSource, an adapter that loops Next otherwise.
+func Batched(src Source) BatchSource { return event.Batched(src) }
+
+// NewSliceSource returns a Source/BatchSource that yields the given tuples
+// in order. The slice is not copied.
+func NewSliceSource(tuples []Tuple) *event.SliceSource {
+	return event.NewSliceSource(tuples)
+}
+
 // Config describes a profiler configuration; see the field documentation
 // in the core package and the presets below.
 type Config = core.Config
@@ -62,6 +82,22 @@ type Config = core.Config
 // Profiler is the Multi-Hash profiling architecture (the single-hash
 // architecture when Config.NumTables == 1).
 type Profiler = core.MultiHash
+
+// StreamProfiler is the interface every profiler in this module satisfies:
+// per-event observation plus interval snapshots. *Profiler,
+// *ShardedProfiler and *Perfect all implement it (and the batch fast path
+// of core.BatchProfiler besides).
+type StreamProfiler = core.Profiler
+
+// ShardedProfiler is the sharded concurrent engine: N MultiHash shards fed
+// by per-shard goroutines behind the same Observe / ObserveBatch /
+// EndInterval surface as Profiler. See internal/shard for the equivalence
+// argument. Call Close when done to release the shard goroutines.
+type ShardedProfiler = shard.Profiler
+
+// ShardedConfig describes a sharded engine: the aggregate profiler
+// configuration plus shard count and batching knobs.
+type ShardedConfig = shard.Config
 
 // Perfect is the oracle profiler used for error evaluation.
 type Perfect = core.Perfect
@@ -75,6 +111,20 @@ type ErrorSummary = metrics.Summary
 
 // New builds a profiler from cfg.
 func New(cfg Config) (*Profiler, error) { return core.NewMultiHash(cfg) }
+
+// NewSharded builds a sharded concurrent engine that subdivides cfg's
+// storage across the given number of shards (cfg.TotalEntries must divide
+// evenly). The result profiles concurrently but reports intervals exactly
+// like a sequential ensemble of the split configurations; Close it when
+// done.
+func NewSharded(cfg Config, shards int) (*ShardedProfiler, error) {
+	return shard.New(shard.Config{Core: cfg, NumShards: shards})
+}
+
+// NewShardedFrom builds a sharded engine with explicit batching knobs.
+func NewShardedFrom(cfg ShardedConfig) (*ShardedProfiler, error) {
+	return shard.New(cfg)
+}
 
 // NewPerfect returns an oracle profiler.
 func NewPerfect() *Perfect { return core.NewPerfect() }
@@ -94,15 +144,79 @@ func BestSingleHash(base Config) Config { return core.BestSingleHash(base) }
 // (4 tables, conservative update, no resetting, retaining).
 func BestMultiHash(base Config) Config { return core.BestMultiHash(base) }
 
+// IntervalFunc receives, for each completed interval, the interval's index
+// (from 0), the perfect profile (nil when the oracle is disabled) and the
+// hardware profile. The maps are owned by the callee and remain valid
+// after the callback returns.
+type IntervalFunc = core.IntervalFunc
+
+// RunConfig carries the knobs of the batched drivers: the interval length,
+// the batch size of the source→profiler hot loop, and — for RunParallel's
+// convenience constructor path — the shard count.
+type RunConfig struct {
+	// IntervalLength is the number of events per profile interval.
+	IntervalLength uint64
+
+	// BatchSize is the number of tuples moved per batch; 0 selects
+	// event.DefaultBatchSize. Interval boundaries are placed identically
+	// at every batch size.
+	BatchSize int
+
+	// Shards is the shard count used when a driver builds its own
+	// ShardedProfiler; 0 or 1 means sequential.
+	Shards int
+
+	// NoPerfect disables the perfect (oracle) profiler; the callback then
+	// receives a nil perfect map. Throughput-oriented runs want this: the
+	// oracle's map insert per event costs more than the whole hardware
+	// model.
+	NoPerfect bool
+}
+
+// RunWith feeds src through hw (and, unless disabled, a perfect profiler)
+// on the batched fast path, invoking fn at each interval boundary, and
+// returns the number of complete intervals processed. It accepts any
+// StreamProfiler — *Profiler, *ShardedProfiler, *Perfect — and uses the
+// ObserveBatch fast path of those that have one.
+func RunWith(src Source, hw StreamProfiler, cfg RunConfig, fn IntervalFunc) (int, error) {
+	return core.RunBatched(src, hw, core.RunConfig{
+		IntervalLength: cfg.IntervalLength,
+		BatchSize:      cfg.BatchSize,
+		NoPerfect:      cfg.NoPerfect,
+	}, fn)
+}
+
+// RunParallel builds a ShardedProfiler from cfg and rc (rc.Shards shards,
+// default 1), streams src through it on the batch path, and closes it
+// before returning. It is the one-call form of NewSharded + RunWith +
+// Close. The returned profiles are exactly those of the sharded engine;
+// see internal/shard for why they match a sequential ensemble.
+func RunParallel(src Source, cfg Config, rc RunConfig, fn IntervalFunc) (int, error) {
+	shards := rc.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	sp, err := shard.New(shard.Config{Core: cfg, NumShards: shards, BatchSize: rc.BatchSize})
+	if err != nil {
+		return 0, err
+	}
+	defer sp.Close()
+	return RunWith(src, sp, rc, fn)
+}
+
 // Run feeds src through hw and a perfect profiler, invoking fn at each
 // interval boundary with the exact and hardware profiles, and returns the
 // number of complete intervals processed.
+//
+// Deprecated: Run is the legacy positional form. New code should use
+// RunWith, which batches the hot loop and carries its knobs in a RunConfig;
+// Run is now a thin wrapper over it and keeps its exact semantics.
 func Run(src Source, hw *Profiler, intervalLength uint64, fn func(index int, perfect, hardware map[Tuple]uint64)) (int, error) {
 	var cb core.IntervalFunc
 	if fn != nil {
 		cb = func(i int, p, h map[event.Tuple]uint64) { fn(i, p, h) }
 	}
-	return core.Run(src, hw, intervalLength, cb)
+	return RunWith(src, hw, RunConfig{IntervalLength: intervalLength}, cb)
 }
 
 // EvalInterval computes the paper's error breakdown for one interval.
@@ -167,13 +281,16 @@ func NewProgramSource(name string, kind Kind, loop bool) (Source, error) {
 }
 
 // WriteTrace streams src into w in the repository's binary trace format,
-// returning the number of tuples written.
+// returning the number of tuples written. max bounds the tuple count;
+// max == 0 means no limit, writing until src is exhausted — beware that
+// many of this module's sources (workload generators, looped programs) are
+// unbounded, so an unlimited WriteTrace over them never returns.
 func WriteTrace(w io.Writer, kind Kind, src Source, max uint64) (uint64, error) {
 	tw, err := trace.NewWriter(w, kind)
 	if err != nil {
 		return 0, err
 	}
-	for tw.Count() < max {
+	for max == 0 || tw.Count() < max {
 		tp, ok := src.Next()
 		if !ok {
 			break

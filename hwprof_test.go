@@ -2,6 +2,7 @@ package hwprof_test
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"hwprof"
@@ -115,6 +116,111 @@ func TestTraceRoundTripViaFacade(t *testing.T) {
 	}
 	if n != 5000 || r.Err() != nil {
 		t.Fatalf("read %d tuples, err %v", n, r.Err())
+	}
+}
+
+func TestWriteTraceZeroMeansNoLimit(t *testing.T) {
+	// max == 0 writes until the source is exhausted — here, all 1234
+	// tuples of a bounded slice.
+	w, _ := hwprof.NewWorkload("li", hwprof.KindValue, 3)
+	tuples := make([]hwprof.Tuple, 1234)
+	for i := range tuples {
+		tuples[i], _ = w.Next()
+	}
+	var buf bytes.Buffer
+	written, err := hwprof.WriteTrace(&buf, hwprof.KindValue, hwprof.NewSliceSource(tuples), 0)
+	if err != nil || written != 1234 {
+		t.Fatalf("WriteTrace(max=0) = %d, %v; want all 1234", written, err)
+	}
+	r, err := hwprof.OpenTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1234 {
+		t.Fatalf("read back %d tuples", n)
+	}
+}
+
+// TestRunWithMatchesRun: the options-form batched driver and the legacy
+// positional driver produce identical interval profiles.
+func TestRunWithMatchesRun(t *testing.T) {
+	cfg := hwprof.BestMultiHash(hwprof.ShortIntervalConfig())
+	w, _ := hwprof.NewWorkload("gcc", hwprof.KindValue, 5)
+	tuples := make([]hwprof.Tuple, 3*cfg.IntervalLength)
+	for i := range tuples {
+		tuples[i], _ = w.Next()
+	}
+
+	collect := func(run func(p *hwprof.Profiler, fn hwprof.IntervalFunc) (int, error)) []map[hwprof.Tuple]uint64 {
+		t.Helper()
+		p, err := hwprof.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []map[hwprof.Tuple]uint64
+		n, err := run(p, func(_ int, _, h map[hwprof.Tuple]uint64) { out = append(out, h) })
+		if err != nil || n != 3 {
+			t.Fatalf("run = %d, %v", n, err)
+		}
+		return out
+	}
+
+	legacy := collect(func(p *hwprof.Profiler, fn hwprof.IntervalFunc) (int, error) {
+		return hwprof.Run(hwprof.NewSliceSource(tuples), p, cfg.IntervalLength, fn)
+	})
+	batched := collect(func(p *hwprof.Profiler, fn hwprof.IntervalFunc) (int, error) {
+		return hwprof.RunWith(hwprof.NewSliceSource(tuples), p,
+			hwprof.RunConfig{IntervalLength: cfg.IntervalLength, BatchSize: 77}, fn)
+	})
+	if !reflect.DeepEqual(legacy, batched) {
+		t.Fatal("RunWith diverges from legacy Run")
+	}
+}
+
+// TestShardedFacade drives the sharded engine end-to-end through the
+// facade: NewSharded + RunWith, and the one-call RunParallel, must agree.
+func TestShardedFacade(t *testing.T) {
+	cfg := hwprof.BestMultiHash(hwprof.ShortIntervalConfig())
+	cfg.Seed = 6
+	w, _ := hwprof.NewWorkload("m88ksim", hwprof.KindValue, 4)
+	tuples := make([]hwprof.Tuple, 2*cfg.IntervalLength)
+	for i := range tuples {
+		tuples[i], _ = w.Next()
+	}
+	rc := hwprof.RunConfig{IntervalLength: cfg.IntervalLength, Shards: 4, NoPerfect: true}
+
+	sp, err := hwprof.NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manual []map[hwprof.Tuple]uint64
+	n, err := hwprof.RunWith(hwprof.NewSliceSource(tuples), sp, rc,
+		func(_ int, _, h map[hwprof.Tuple]uint64) { manual = append(manual, h) })
+	sp.Close()
+	if err != nil || n != 2 {
+		t.Fatalf("RunWith over sharded engine = %d, %v", n, err)
+	}
+
+	var oneCall []map[hwprof.Tuple]uint64
+	n, err = hwprof.RunParallel(hwprof.NewSliceSource(tuples), cfg, rc,
+		func(_ int, _, h map[hwprof.Tuple]uint64) { oneCall = append(oneCall, h) })
+	if err != nil || n != 2 {
+		t.Fatalf("RunParallel = %d, %v", n, err)
+	}
+	if !reflect.DeepEqual(manual, oneCall) {
+		t.Fatal("RunParallel diverges from NewSharded + RunWith")
+	}
+	for i, h := range oneCall {
+		if len(h) == 0 {
+			t.Fatalf("interval %d: empty sharded profile on a hot workload", i)
+		}
 	}
 }
 

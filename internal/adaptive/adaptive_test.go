@@ -66,15 +66,20 @@ func run(t *testing.T, a *Profiler, src event.Source, n uint64) []*Boundary {
 	return out
 }
 
-// stableSource yields the same few hot tuples forever: minimal variation.
-func stableSource(seed uint64) event.Source {
+// stableSource yields the same few hot tuples throughout: minimal
+// variation. The n tuples are pre-generated into a SliceSource so the
+// stream is replayable and batch-capable.
+func stableSource(seed uint64, n int) event.Source {
 	r := xrand.New(seed)
-	return event.FuncSource(func() (event.Tuple, bool) {
+	tuples := make([]event.Tuple, n)
+	for i := range tuples {
 		if r.Intn(10) < 8 {
-			return event.Tuple{A: uint64(r.Intn(5)), B: 1}, true
+			tuples[i] = event.Tuple{A: uint64(r.Intn(5)), B: 1}
+		} else {
+			tuples[i] = event.Tuple{A: r.Uint64(), B: 2} // unique noise
 		}
-		return event.Tuple{A: r.Uint64(), B: 2}, true // unique noise
-	})
+	}
+	return event.NewSliceSource(tuples)
 }
 
 // churnSource changes its hot set every `dwell` events. Note the scale
@@ -82,17 +87,18 @@ func stableSource(seed uint64) event.Source {
 // over all phases and look stable; variation peaks when the interval is
 // comparable to the dwell, so that consecutive intervals see different
 // phases.
-func churnSource(seed, dwell uint64) event.Source {
+func churnSource(seed, dwell uint64, n int) event.Source {
 	r := xrand.New(seed)
-	n := uint64(0)
-	return event.FuncSource(func() (event.Tuple, bool) {
-		n++
-		epoch := n / dwell
+	tuples := make([]event.Tuple, n)
+	for i := range tuples {
+		epoch := uint64(i+1) / dwell
 		if r.Intn(10) < 8 {
-			return event.Tuple{A: epoch<<32 | uint64(r.Intn(5)), B: 1}, true
+			tuples[i] = event.Tuple{A: epoch<<32 | uint64(r.Intn(5)), B: 1}
+		} else {
+			tuples[i] = event.Tuple{A: r.Uint64(), B: 2}
 		}
-		return event.Tuple{A: r.Uint64(), B: 2}, true
-	})
+	}
+	return event.NewSliceSource(tuples)
 }
 
 func TestGrowsOnStableWorkload(t *testing.T) {
@@ -100,7 +106,7 @@ func TestGrowsOnStableWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run(t, a, stableSource(1), 400_000)
+	run(t, a, stableSource(1, 400_000), 400_000)
 	if a.IntervalLength() <= 10_000 {
 		t.Fatalf("interval did not grow on a stable workload: %d", a.IntervalLength())
 	}
@@ -113,7 +119,7 @@ func TestShrinksOnChurningWorkload(t *testing.T) {
 	}
 	// Hot set churns every ~interval: consecutive intervals see different
 	// candidate sets, so the controller must shrink at least once.
-	bs := run(t, a, churnSource(2, 50_000), 600_000)
+	bs := run(t, a, churnSource(2, 50_000, 600_000), 600_000)
 	shrunk := false
 	for _, b := range bs {
 		if b.Adapted == Shrunk {
@@ -133,7 +139,7 @@ func TestRespectsBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run(t, a, stableSource(3), 500_000)
+	run(t, a, stableSource(3, 500_000), 500_000)
 	if a.IntervalLength() > 20_000 {
 		t.Fatalf("interval %d above MaxLength", a.IntervalLength())
 	}
@@ -141,7 +147,7 @@ func TestRespectsBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run(t, a2, churnSource(4, 500), 500_000)
+	run(t, a2, churnSource(4, 500, 500_000), 500_000)
 	if a2.IntervalLength() < 5_000 {
 		t.Fatalf("interval %d below MinLength", a2.IntervalLength())
 	}
@@ -155,7 +161,7 @@ func TestThresholdScalesWithLength(t *testing.T) {
 	if a.ThresholdCount() != 100 {
 		t.Fatalf("threshold at 10K = %d", a.ThresholdCount())
 	}
-	run(t, a, stableSource(5), 400_000)
+	run(t, a, stableSource(5, 400_000), 400_000)
 	if a.IntervalLength() > 10_000 {
 		want := a.IntervalLength() / 100 // 1% threshold
 		if a.ThresholdCount() != want {
@@ -170,7 +176,7 @@ func TestBoundariesCarryProfiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bs := run(t, a, stableSource(6), 50_000)
+	bs := run(t, a, stableSource(6, 50_000), 50_000)
 	if len(bs) == 0 {
 		t.Fatal("no boundaries")
 	}
@@ -198,7 +204,7 @@ func TestSettleDamping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bs := run(t, a, stableSource(7), 300_000)
+	bs := run(t, a, stableSource(7, 300_000), 300_000)
 	// No two adaptations may be closer than Settle boundaries apart.
 	last := -10
 	for i, b := range bs {

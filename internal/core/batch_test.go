@@ -1,0 +1,138 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hwprof/internal/event"
+	"hwprof/internal/xrand"
+)
+
+// batchStream builds a deterministic mixed stream long enough to exercise
+// promotion, shielding and retention across several intervals.
+func batchStream(seed uint64, n int) []event.Tuple {
+	r := xrand.New(seed)
+	out := make([]event.Tuple, 0, n)
+	for len(out) < n {
+		if r.Intn(10) < 6 {
+			out = append(out, event.Tuple{A: uint64(r.Intn(8)), B: 0xbeef})
+		} else {
+			out = append(out, event.Tuple{A: r.Uint64(), B: r.Uint64()})
+		}
+	}
+	return out
+}
+
+// TestObserveBatchMatchesObserve proves the batch fast path is semantically
+// identical to per-event observation: same stream, same config and seed,
+// identical interval profiles — whatever the batch partitioning.
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	cfg := BestMultiHash(validConfig())
+	cfg.Seed = 11
+	in := batchStream(3, 25_000)
+
+	for _, chunk := range []int{1, 7, 64, 513, 25_000} {
+		seq := newMH(t, cfg)
+		bat := newMH(t, cfg)
+		for _, tp := range in {
+			seq.Observe(tp)
+		}
+		for pos := 0; pos < len(in); pos += chunk {
+			end := pos + chunk
+			if end > len(in) {
+				end = len(in)
+			}
+			bat.ObserveBatch(in[pos:end])
+		}
+		if seq.EventsThisInterval() != bat.EventsThisInterval() {
+			t.Fatalf("chunk %d: event counts diverge: %d vs %d",
+				chunk, seq.EventsThisInterval(), bat.EventsThisInterval())
+		}
+		if s, b := seq.EndInterval(), bat.EndInterval(); !reflect.DeepEqual(s, b) {
+			t.Fatalf("chunk %d: profiles diverge:\n observe: %v\n batch:   %v", chunk, s, b)
+		}
+	}
+}
+
+func TestPerfectObserveBatch(t *testing.T) {
+	in := batchStream(5, 4_000)
+	a, b := NewPerfect(), NewPerfect()
+	for _, tp := range in {
+		a.Observe(tp)
+	}
+	b.ObserveBatch(in)
+	if x, y := a.EndInterval(), b.EndInterval(); !reflect.DeepEqual(x, y) {
+		t.Fatal("Perfect batch path diverges from per-event path")
+	}
+}
+
+// TestRunBatchedMatchesRun proves batch size never moves an interval
+// boundary or changes a profile.
+func TestRunBatchedMatchesRun(t *testing.T) {
+	cfg := BestMultiHash(validConfig())
+	cfg.Seed = 9
+	in := batchStream(8, int(3*cfg.IntervalLength+777)) // trailing partial interval
+
+	type boundary struct {
+		perfect, hardware map[event.Tuple]uint64
+	}
+	collect := func(batchSize int) []boundary {
+		t.Helper()
+		m := newMH(t, cfg)
+		var out []boundary
+		n, err := RunBatched(event.NewSliceSource(in), m,
+			RunConfig{IntervalLength: cfg.IntervalLength, BatchSize: batchSize},
+			func(_ int, p, h map[event.Tuple]uint64) {
+				out = append(out, boundary{p, h})
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 3 {
+			t.Fatalf("batch %d: ran %d intervals, want 3", batchSize, n)
+		}
+		return out
+	}
+
+	want := collect(1)
+	for _, batchSize := range []int{13, 512, 100_000} {
+		got := collect(batchSize)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("batch size %d changes interval profiles", batchSize)
+		}
+	}
+}
+
+func TestRunBatchedRejectsBadConfig(t *testing.T) {
+	m := newMH(t, validConfig())
+	if _, err := RunBatched(event.NewSliceSource(nil), m, RunConfig{}, nil); err == nil {
+		t.Fatal("zero interval length accepted")
+	}
+	if _, err := RunBatched(event.NewSliceSource(nil), m,
+		RunConfig{IntervalLength: 10, BatchSize: -1}, nil); err == nil {
+		t.Fatal("negative batch size accepted")
+	}
+}
+
+// TestRunNoPerfect checks the oracle really is off: the callback sees a nil
+// perfect map but an intact hardware profile.
+func TestRunNoPerfect(t *testing.T) {
+	cfg := BestMultiHash(validConfig())
+	in := batchStream(2, int(cfg.IntervalLength))
+	m := newMH(t, cfg)
+	calls := 0
+	_, err := RunBatched(event.NewSliceSource(in), m,
+		RunConfig{IntervalLength: cfg.IntervalLength, NoPerfect: true},
+		func(_ int, p, h map[event.Tuple]uint64) {
+			calls++
+			if p != nil {
+				t.Fatal("perfect profile delivered with NoPerfect set")
+			}
+			if len(h) == 0 {
+				t.Fatal("hardware profile empty")
+			}
+		})
+	if err != nil || calls != 1 {
+		t.Fatalf("calls = %d, err = %v", calls, err)
+	}
+}

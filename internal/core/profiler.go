@@ -18,6 +18,26 @@ type Profiler interface {
 	EndInterval() map[event.Tuple]uint64
 }
 
+// BatchProfiler is a Profiler with a bulk observation fast path.
+// ObserveBatch(batch) must be equivalent to calling Observe on each tuple
+// of batch in order; implementations use the batch boundary to hoist
+// per-call overhead out of the per-event loop.
+type BatchProfiler interface {
+	Profiler
+	ObserveBatch(batch []event.Tuple)
+}
+
+// ObserveAll feeds batch through p, using the bulk path when p has one.
+func ObserveAll(p Profiler, batch []event.Tuple) {
+	if bp, ok := p.(BatchProfiler); ok {
+		bp.ObserveBatch(batch)
+		return
+	}
+	for _, tp := range batch {
+		p.Observe(tp)
+	}
+}
+
 // MultiHash is the paper's profiling architecture: n tagless hash tables of
 // saturating counters in front of a bounded fully-associative accumulator
 // table. With NumTables == 1 it is exactly the single-hash architecture of
@@ -30,6 +50,7 @@ type MultiHash struct {
 	acc    *accum.Table
 
 	idxBuf []uint32
+	one    [1]event.Tuple // scratch so Observe can reuse the batch loop
 	events uint64
 }
 
@@ -91,52 +112,72 @@ func (m *MultiHash) EventsThisInterval() uint64 { return m.events }
 //     frequency). With R1 the tuple's hash counters are zeroed on
 //     successful promotion.
 func (m *MultiHash) Observe(tp event.Tuple) {
-	m.events++
+	m.one[0] = tp
+	m.ObserveBatch(m.one[:])
+}
 
-	resident := m.acc.Inc(tp)
-	if resident && !m.cfg.NoShield {
-		return
-	}
+// ObserveBatch feeds every tuple of batch through the architecture, in
+// order, with the exact semantics of per-tuple Observe calls. The hot-loop
+// state (accumulator, hash family, banks, policy flags, index buffer) is
+// hoisted into locals once per batch instead of being re-loaded through the
+// receiver on every event.
+func (m *MultiHash) ObserveBatch(batch []event.Tuple) {
+	m.events += uint64(len(batch))
 
-	idxs := m.fam.Indexes(tp, m.idxBuf[:0])
-	m.idxBuf = idxs
+	acc, fam, banks := m.acc, m.fam, m.banks
+	shield := !m.cfg.NoShield
+	conservative := m.cfg.ConservativeUpdate
+	resetOnPromote := m.cfg.ResetOnPromote
+	thresh := m.thresh
+	idxBuf := m.idxBuf
 
-	if m.cfg.ConservativeUpdate {
-		min := m.banks[0].Get(idxs[0])
+	for _, tp := range batch {
+		resident := acc.Inc(tp)
+		if resident && shield {
+			continue
+		}
+
+		idxs := fam.Indexes(tp, idxBuf[:0])
+		idxBuf = idxs
+
+		if conservative {
+			min := banks[0].Get(idxs[0])
+			for i := 1; i < len(idxs); i++ {
+				if v := banks[i].Get(idxs[i]); v < min {
+					min = v
+				}
+			}
+			for i, idx := range idxs {
+				if banks[i].Get(idx) == min {
+					banks[i].Inc(idx)
+				}
+			}
+		} else {
+			for i, idx := range idxs {
+				banks[i].Inc(idx)
+			}
+		}
+
+		if resident {
+			continue // already accumulated; nothing to promote
+		}
+
+		min := banks[0].Get(idxs[0])
 		for i := 1; i < len(idxs); i++ {
-			if v := m.banks[i].Get(idxs[i]); v < min {
+			if v := banks[i].Get(idxs[i]); v < min {
 				min = v
 			}
 		}
-		for i, idx := range idxs {
-			if m.banks[i].Get(idx) == min {
-				m.banks[i].Inc(idx)
+		if min < thresh {
+			continue
+		}
+		if acc.Insert(tp, min) && resetOnPromote {
+			for i, idx := range idxs {
+				banks[i].Reset(idx)
 			}
 		}
-	} else {
-		for i, idx := range idxs {
-			m.banks[i].Inc(idx)
-		}
 	}
-
-	if resident {
-		return // already accumulated; nothing to promote
-	}
-
-	min := m.banks[0].Get(idxs[0])
-	for i := 1; i < len(idxs); i++ {
-		if v := m.banks[i].Get(idxs[i]); v < min {
-			min = v
-		}
-	}
-	if min < m.thresh {
-		return
-	}
-	if m.acc.Insert(tp, min) && m.cfg.ResetOnPromote {
-		for i, idx := range idxs {
-			m.banks[i].Reset(idx)
-		}
-	}
+	m.idxBuf = idxBuf
 }
 
 // EndInterval snapshots the accumulator (the hardware profile for the
@@ -161,7 +202,7 @@ func (m *MultiHash) Candidates() []event.Tuple { return m.acc.Candidates() }
 // AccumLen returns the number of occupied accumulator entries.
 func (m *MultiHash) AccumLen() int { return m.acc.Len() }
 
-var _ Profiler = (*MultiHash)(nil)
+var _ BatchProfiler = (*MultiHash)(nil)
 
 // Perfect is the oracle profiler: it counts every tuple exactly with
 // unbounded storage. The evaluation's error metrics compare hardware
@@ -178,6 +219,14 @@ func NewPerfect() *Perfect {
 // Observe counts one occurrence of tp.
 func (p *Perfect) Observe(tp event.Tuple) { p.counts[tp]++ }
 
+// ObserveBatch counts every tuple of batch, loading the counts map once.
+func (p *Perfect) ObserveBatch(batch []event.Tuple) {
+	counts := p.counts
+	for _, tp := range batch {
+		counts[tp]++
+	}
+}
+
 // EndInterval returns the exact interval profile and starts a new interval.
 func (p *Perfect) EndInterval() map[event.Tuple]uint64 {
 	snap := p.counts
@@ -188,34 +237,91 @@ func (p *Perfect) EndInterval() map[event.Tuple]uint64 {
 // Distinct returns the number of distinct tuples seen this interval.
 func (p *Perfect) Distinct() int { return len(p.counts) }
 
-var _ Profiler = (*Perfect)(nil)
+var _ BatchProfiler = (*Perfect)(nil)
 
 // IntervalFunc receives, for each completed interval, the interval's index
 // (from 0), the perfect profile and the hardware profile. The maps are owned
 // by the callee and remain valid after the callback returns.
 type IntervalFunc func(index int, perfect, hardware map[event.Tuple]uint64)
 
+// RunConfig tunes the batched driver.
+type RunConfig struct {
+	// IntervalLength is the number of events per profile interval.
+	IntervalLength uint64
+
+	// BatchSize is the number of tuples read and observed per batch; 0
+	// selects event.DefaultBatchSize. Batches never straddle an interval
+	// boundary, so boundary placement is identical at every batch size.
+	BatchSize int
+
+	// NoPerfect skips the perfect (oracle) profiler even when fn is
+	// non-nil; fn then receives a nil perfect map. The oracle costs one
+	// map operation per event — far more than the hardware model — so
+	// throughput-oriented runs want it off.
+	NoPerfect bool
+}
+
 // Run feeds src through both hw and a perfect profiler, invoking fn at
 // every interval boundary, and returns the number of complete intervals
 // processed. A trailing partial interval is discarded, as in the paper's
-// methodology. fn may be nil when only side effects on hw are wanted.
+// methodology. fn may be nil when only side effects on hw are wanted; the
+// perfect profiler is skipped entirely in that case.
+//
+// Run is the positional form of RunBatched with the default batch size.
 func Run(src event.Source, hw Profiler, intervalLength uint64, fn IntervalFunc) (int, error) {
-	if intervalLength == 0 {
+	return RunBatched(src, hw, RunConfig{IntervalLength: intervalLength}, fn)
+}
+
+// RunBatched is the batched driver: it pulls tuples from src in batches
+// (through src's own BatchSource fast path when it has one) and feeds them
+// to hw and the oracle in bulk, invoking fn at every interval boundary.
+// Interval semantics are exactly those of the per-event driver; only the
+// per-call overhead changes.
+func RunBatched(src event.Source, hw Profiler, cfg RunConfig, fn IntervalFunc) (int, error) {
+	if cfg.IntervalLength == 0 {
 		return 0, fmt.Errorf("core: interval length must be positive")
 	}
-	perfect := NewPerfect()
-	var n uint64
+	if cfg.BatchSize < 0 {
+		return 0, fmt.Errorf("core: batch size %d must be non-negative", cfg.BatchSize)
+	}
+	batchSize := cfg.BatchSize
+	if batchSize == 0 {
+		batchSize = event.DefaultBatchSize
+	}
+	if uint64(batchSize) > cfg.IntervalLength {
+		batchSize = int(cfg.IntervalLength)
+	}
+
+	var perfect *Perfect
+	if fn != nil && !cfg.NoPerfect {
+		perfect = NewPerfect()
+	}
+	batched := event.Batched(src)
+	buf := make([]event.Tuple, batchSize)
+
+	var n uint64 // events so far in the current interval
 	intervals := 0
 	for {
-		tp, ok := src.Next()
-		if !ok {
+		// Clip the read so a batch never crosses the interval boundary.
+		want := buf
+		if remaining := cfg.IntervalLength - n; uint64(len(want)) > remaining {
+			want = want[:remaining]
+		}
+		got := batched.NextBatch(want)
+		if got == 0 {
 			break
 		}
-		hw.Observe(tp)
-		perfect.Observe(tp)
-		n++
-		if n == intervalLength {
-			p := perfect.EndInterval()
+		batch := want[:got]
+		ObserveAll(hw, batch)
+		if perfect != nil {
+			perfect.ObserveBatch(batch)
+		}
+		n += uint64(got)
+		if n == cfg.IntervalLength {
+			var p map[event.Tuple]uint64
+			if perfect != nil {
+				p = perfect.EndInterval()
+			}
 			h := hw.EndInterval()
 			if fn != nil {
 				fn(intervals, p, h)

@@ -93,6 +93,48 @@ type Source interface {
 	Next() (t Tuple, ok bool)
 }
 
+// DefaultBatchSize is the batch length used by the batched drivers when the
+// caller does not choose one. 512 tuples (8 KB) is large enough to amortize
+// per-call overhead to noise yet small enough to stay resident in L1.
+const DefaultBatchSize = 512
+
+// BatchSource is the bulk counterpart of Source: NextBatch fills buf with
+// up to len(buf) consecutive tuples of the stream and returns how many were
+// written. A return of 0 means the stream is exhausted (implementations
+// must not return 0 for a non-empty buf unless they are done). Producers
+// that can fill a slice in one pass (slices, trace readers, generators)
+// implement it directly; everything else goes through Batched.
+type BatchSource interface {
+	NextBatch(buf []Tuple) int
+}
+
+// batchAdapter lifts a plain Source to a BatchSource one Next at a time.
+type batchAdapter struct{ src Source }
+
+func (a batchAdapter) Next() (Tuple, bool) { return a.src.Next() }
+
+func (a batchAdapter) NextBatch(buf []Tuple) int {
+	for i := range buf {
+		t, ok := a.src.Next()
+		if !ok {
+			return i
+		}
+		buf[i] = t
+	}
+	return len(buf)
+}
+
+// Batched returns a BatchSource view of src. Sources that already implement
+// BatchSource are returned as-is; anything else is wrapped in an adapter
+// that loops Next, so the batch path is always available even if only the
+// per-call overhead above the source is amortized.
+func Batched(src Source) BatchSource {
+	if b, ok := src.(BatchSource); ok {
+		return b
+	}
+	return batchAdapter{src}
+}
+
 // SliceSource adapts a slice of tuples into a Source. It is the simplest
 // Source and is used heavily in tests.
 type SliceSource struct {
@@ -116,6 +158,17 @@ func (s *SliceSource) Next() (Tuple, bool) {
 	return t, true
 }
 
+// NextBatch copies up to len(buf) tuples of the remaining slice into buf in
+// one pass, making SliceSource the canonical zero-overhead BatchSource.
+func (s *SliceSource) NextBatch(buf []Tuple) int {
+	n := copy(buf, s.tuples[s.pos:])
+	s.pos += n
+	return n
+}
+
+// Len returns the number of tuples not yet yielded.
+func (s *SliceSource) Len() int { return len(s.tuples) - s.pos }
+
 // Reset rewinds the source to the beginning of the slice.
 func (s *SliceSource) Reset() { s.pos = 0 }
 
@@ -125,16 +178,39 @@ type FuncSource func() (Tuple, bool)
 // Next invokes the wrapped function.
 func (f FuncSource) Next() (Tuple, bool) { return f() }
 
-// Limit wraps src so that at most n tuples are produced.
+// limited bounds a source while preserving its batch capability, so Limit
+// does not knock a stream off the fast path.
+type limited struct {
+	src       Source
+	batch     BatchSource // Batched(src), resolved once
+	remaining uint64
+}
+
+func (l *limited) Next() (Tuple, bool) {
+	if l.remaining == 0 {
+		return Tuple{}, false
+	}
+	l.remaining--
+	return l.src.Next()
+}
+
+func (l *limited) NextBatch(buf []Tuple) int {
+	if l.remaining == 0 {
+		return 0
+	}
+	if uint64(len(buf)) > l.remaining {
+		buf = buf[:l.remaining]
+	}
+	n := l.batch.NextBatch(buf)
+	l.remaining -= uint64(n)
+	return n
+}
+
+// Limit wraps src so that at most n tuples are produced. The result is a
+// BatchSource whenever that helps: batch reads delegate to src's own
+// NextBatch when it has one.
 func Limit(src Source, n uint64) Source {
-	remaining := n
-	return FuncSource(func() (Tuple, bool) {
-		if remaining == 0 {
-			return Tuple{}, false
-		}
-		remaining--
-		return src.Next()
-	})
+	return &limited{src: src, batch: Batched(src), remaining: n}
 }
 
 // Concat returns a Source that yields all tuples of each source in turn.

@@ -109,6 +109,78 @@ func TestCollectMax(t *testing.T) {
 	}
 }
 
+func TestSliceSourceNextBatch(t *testing.T) {
+	in := []Tuple{{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}}
+	s := NewSliceSource(in)
+	buf := make([]Tuple, 2)
+	if n := s.NextBatch(buf); n != 2 || buf[0] != in[0] || buf[1] != in[1] {
+		t.Fatalf("first batch = %v (%d)", buf, n)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d after first batch", s.Len())
+	}
+	// Mixing Next and NextBatch keeps one shared cursor.
+	if tp, ok := s.Next(); !ok || tp != in[2] {
+		t.Fatalf("Next after batch = %v, %v", tp, ok)
+	}
+	if n := s.NextBatch(buf); n != 2 || buf[0] != in[3] || buf[1] != in[4] {
+		t.Fatalf("final batch = %v (%d)", buf, n)
+	}
+	if n := s.NextBatch(buf); n != 0 {
+		t.Fatalf("exhausted batch = %d", n)
+	}
+}
+
+func TestBatchedAdapter(t *testing.T) {
+	// A plain Source gets the looping adapter...
+	calls := 0
+	src := FuncSource(func() (Tuple, bool) {
+		calls++
+		if calls > 5 {
+			return Tuple{}, false
+		}
+		return Tuple{uint64(calls), 0}, true
+	})
+	b := Batched(src)
+	buf := make([]Tuple, 3)
+	if n := b.NextBatch(buf); n != 3 || buf[2].A != 3 {
+		t.Fatalf("adapter batch = %v (%d)", buf[:n], n)
+	}
+	if n := b.NextBatch(buf); n != 2 {
+		t.Fatalf("short batch = %d, want 2", n)
+	}
+	if n := b.NextBatch(buf); n != 0 {
+		t.Fatalf("exhausted adapter = %d", n)
+	}
+
+	// ...while a BatchSource passes through unwrapped.
+	ss := NewSliceSource([]Tuple{{9, 9}})
+	if got := Batched(ss); got != BatchSource(ss) {
+		t.Fatal("Batched re-wrapped a BatchSource")
+	}
+}
+
+func TestLimitIsBatchSource(t *testing.T) {
+	in := make([]Tuple, 10)
+	for i := range in {
+		in[i] = Tuple{uint64(i), 0}
+	}
+	lim, ok := Limit(NewSliceSource(in), 7).(BatchSource)
+	if !ok {
+		t.Fatal("Limit does not preserve the batch path")
+	}
+	buf := make([]Tuple, 4)
+	if n := lim.NextBatch(buf); n != 4 {
+		t.Fatalf("first limited batch = %d", n)
+	}
+	if n := lim.NextBatch(buf); n != 3 || buf[2].A != 6 {
+		t.Fatalf("clipped batch = %v (%d)", buf[:n], n)
+	}
+	if n := lim.NextBatch(buf); n != 0 {
+		t.Fatalf("limited source not exhausted: %d", n)
+	}
+}
+
 func TestTupleIsComparableMapKey(t *testing.T) {
 	f := func(a1, b1, a2, b2 uint64) bool {
 		m := map[Tuple]int{}

@@ -273,11 +273,11 @@ func TestMultiHashBeatsSingleHashShape(t *testing.T) {
 	single.Seed = 8
 	multi := core.BestMultiHash(base)
 	multi.Seed = 8
-	sMean, _, err := runConfig("gcc", event.KindValue, single, 5, 1)
+	sMean, _, err := runConfig("gcc", event.KindValue, single, 5, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mMean, _, err := runConfig("gcc", event.KindValue, multi, 5, 1)
+	mMean, _, err := runConfig("gcc", event.KindValue, multi, 5, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

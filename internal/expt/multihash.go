@@ -35,7 +35,7 @@ func multiHashSweep(opts Options, base core.Config, tableCounts []int) (Table, e
 				cfg.ResetOnPromote = cr.reset
 				cfg.Retain = true
 				cfg.Seed = opts.Seed + 7
-				mean, _, err := runConfig(bench, event.KindValue, cfg, intervals, opts.Seed)
+				mean, _, err := runConfig(bench, event.KindValue, cfg, intervals, opts.Seed, opts.BatchSize)
 				if err != nil {
 					return Table{}, err
 				}
@@ -85,7 +85,7 @@ func bestSweep(opts Options, kind event.Kind, base core.Config, tableCounts []in
 	for _, bench := range opts.Benchmarks {
 		run := func(label string, cfg core.Config) error {
 			cfg.Seed = opts.Seed + 7
-			mean, _, err := runConfig(bench, kind, cfg, intervals, opts.Seed)
+			mean, _, err := runConfig(bench, kind, cfg, intervals, opts.Seed, opts.BatchSize)
 			if err != nil {
 				return err
 			}

@@ -20,7 +20,7 @@ func Fig13(opts Options) (bsh, multi []Series, err error) {
 		var out []Series
 		for _, bench := range opts.Benchmarks {
 			cfg.Seed = opts.Seed + 7
-			per, err := runSeries(bench, event.KindValue, cfg, intervals, opts.Seed)
+			per, err := runSeries(bench, event.KindValue, cfg, intervals, opts.Seed, opts.BatchSize)
 			if err != nil {
 				return nil, err
 			}

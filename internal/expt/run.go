@@ -24,6 +24,12 @@ type Options struct {
 
 	// Benchmarks restricts the analog suite; nil means all eight.
 	Benchmarks []string
+
+	// BatchSize is the tuple batch length of the streaming drivers; 0
+	// selects event.DefaultBatchSize. It never changes results — interval
+	// boundaries are placed identically at every batch size — only the
+	// per-event overhead of the harness.
+	BatchSize int
 }
 
 // withDefaults fills in zero fields.
@@ -58,8 +64,8 @@ func (o Options) intervalsFor(cfg core.Config) int {
 // retained, every hot tuple re-warming through the hash tables) carries
 // negligible weight; at our scaled-down interval counts it would dominate.
 // Fig13 reports raw per-interval series including warm-up.
-func runConfig(bench string, kind event.Kind, cfg core.Config, intervals int, seed uint64) (metrics.Interval, []metrics.Interval, error) {
-	per, err := runSeries(bench, kind, cfg, intervals+1, seed)
+func runConfig(bench string, kind event.Kind, cfg core.Config, intervals int, seed uint64, batchSize int) (metrics.Interval, []metrics.Interval, error) {
+	per, err := runSeries(bench, kind, cfg, intervals+1, seed, batchSize)
 	if err != nil {
 		return metrics.Interval{}, nil, err
 	}
@@ -70,9 +76,10 @@ func runConfig(bench string, kind event.Kind, cfg core.Config, intervals int, se
 	return sum.Mean(), per, nil
 }
 
-// runSeries streams exactly `intervals` profile intervals and returns each
-// interval's error, including the cold-start interval.
-func runSeries(bench string, kind event.Kind, cfg core.Config, intervals int, seed uint64) ([]metrics.Interval, error) {
+// runSeries streams exactly `intervals` profile intervals on the batched
+// driver and returns each interval's error, including the cold-start
+// interval.
+func runSeries(bench string, kind event.Kind, cfg core.Config, intervals int, seed uint64, batchSize int) ([]metrics.Interval, error) {
 	g, err := synth.NewBenchmark(bench, kind, seed)
 	if err != nil {
 		return nil, err
@@ -84,7 +91,8 @@ func runSeries(bench string, kind event.Kind, cfg core.Config, intervals int, se
 	src := event.Limit(g, cfg.IntervalLength*uint64(intervals))
 	var sum metrics.Summary
 	thresh := cfg.ThresholdCount()
-	n, err := core.Run(src, m, cfg.IntervalLength, func(_ int, p, h map[event.Tuple]uint64) {
+	rc := core.RunConfig{IntervalLength: cfg.IntervalLength, BatchSize: batchSize}
+	n, err := core.RunBatched(src, m, rc, func(_ int, p, h map[event.Tuple]uint64) {
 		sum.Add(metrics.EvalInterval(p, h, thresh))
 	})
 	if err != nil {

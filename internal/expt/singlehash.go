@@ -35,7 +35,7 @@ func Fig7(opts Options) (short, long Table, err error) {
 				cfg.Retain = pr.retain
 				cfg.ResetOnPromote = pr.reset
 				cfg.Seed = opts.Seed + 7
-				mean, _, err := runConfig(bench, event.KindValue, cfg, intervals, opts.Seed)
+				mean, _, err := runConfig(bench, event.KindValue, cfg, intervals, opts.Seed, opts.BatchSize)
 				if err != nil {
 					return Table{}, err
 				}

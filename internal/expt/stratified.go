@@ -95,7 +95,7 @@ func StratifiedCompare(opts Options) (Table, error) {
 
 		mhCfg := core.BestMultiHash(base)
 		mhCfg.Seed = opts.Seed + 7
-		mhMean, _, err := runConfig(bench, event.KindValue, mhCfg, intervals, opts.Seed)
+		mhMean, _, err := runConfig(bench, event.KindValue, mhCfg, intervals, opts.Seed, opts.BatchSize)
 		if err != nil {
 			return Table{}, err
 		}

@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hwprof/internal/event"
+	"hwprof/internal/xrand"
+)
+
+// TestConcurrentProducersAndIntervals drives the full concurrent lifecycle
+// the engine promises to support — several producer goroutines calling
+// Observe/ObserveBatch while another goroutine cuts interval boundaries —
+// and is meaningful chiefly under -race: every router, channel and pool
+// interaction is exercised across goroutines.
+func TestConcurrentProducersAndIntervals(t *testing.T) {
+	engine := newEngine(t, Config{Core: baseConfig(), NumShards: 4, BatchSize: 32, QueueDepth: 2})
+
+	const producers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			batch := make([]event.Tuple, 64)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range batch {
+					batch[i] = event.Tuple{A: uint64(r.Intn(32)), B: uint64(r.Intn(4))}
+				}
+				engine.ObserveBatch(batch)
+				engine.Observe(event.Tuple{A: seed, B: 0xff})
+			}
+		}(uint64(p + 1))
+	}
+
+	// Concurrent interval boundaries: each must return a self-consistent
+	// (possibly empty) snapshot without panicking or deadlocking.
+	for i := 0; i < 25; i++ {
+		profile := engine.EndInterval()
+		for tp, c := range profile {
+			if c == 0 {
+				t.Errorf("interval %d: tuple %v reported with zero count", i, tp)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(stop)
+	wg.Wait()
+	engine.EndInterval() // drain whatever the producers left behind
+}
+
+// TestCloseLeaksNoGoroutines builds and tears down engines and checks the
+// goroutine count settles back to the baseline.
+func TestCloseLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		engine, err := New(Config{Core: baseConfig(), NumShards: 8, QueueDepth: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine.ObserveBatch(workload(t, 5_000))
+		engine.EndInterval()
+		engine.Close()
+	}
+	// Allow the runtime a moment to retire exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, got)
+	}
+}
+
+// TestCloseDuringProduction: Close must wait for the shard goroutines even
+// when producers race it; racing producers either complete or panic with
+// the documented use-after-Close message, and nothing deadlocks.
+func TestCloseDuringProduction(t *testing.T) {
+	engine, err := New(Config{Core: baseConfig(), NumShards: 4, BatchSize: 16, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			defer func() { recover() }() // use-after-Close panic is the documented outcome
+			r := xrand.New(seed)
+			for i := 0; i < 10_000; i++ {
+				engine.Observe(event.Tuple{A: r.Uint64() % 64, B: 1})
+			}
+		}(uint64(p + 1))
+	}
+	time.Sleep(time.Millisecond)
+	engine.Close()
+	wg.Wait()
+}

@@ -1,0 +1,353 @@
+// Package shard implements the sharded concurrent profiling engine: N
+// independent MultiHash profilers (shards) fed through per-shard worker
+// goroutines, presenting the same Profiler surface as a single MultiHash.
+//
+// # Why sharding is exact
+//
+// The paper's architecture is naturally partitionable. A tuple's treatment
+// — which hash counters it touches, when it crosses the candidate
+// threshold, which accumulator entry counts it — depends only on state
+// that the tuple itself addresses. Two tuples interact only when they
+// share hash-counter buckets or compete for accumulator entries, and both
+// of those structures live entirely inside one MultiHash. Routing every
+// occurrence of a tuple to the same shard (a pure function of the tuple's
+// bits) therefore preserves per-interval semantics exactly:
+//
+//   - every shard sees precisely the sub-stream of tuples that route to
+//     it, in stream order (the router serializes, and each shard's bounded
+//     channel is FIFO with a single consumer);
+//   - a shard's interval profile is identical to feeding that sub-stream
+//     through a sequential MultiHash built from the same split
+//     configuration (Config.ShardConfig);
+//   - shards partition the tuple space, so the per-shard profiles are
+//     disjoint and the merged interval profile is their union.
+//
+// TestShardedEquivalence in this package proves the property end-to-end.
+//
+// # Storage split
+//
+// Total modeled storage is conserved: each shard receives TotalEntries /
+// NumShards hash counters (the per-table power-of-two shape is revalidated
+// on the split config) and ceil(AccumCapacity / NumShards) accumulator
+// entries. Each shard competes for 1/N of the counters with ~1/N of the
+// stream, so aliasing pressure — and hence expected error — stays
+// comparable to the unsharded profiler; it is not bit-identical to one
+// monolithic MultiHash, only to the split-config ensemble above.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+)
+
+// Defaults for the engine's tuning knobs.
+const (
+	// DefaultBatchSize is the per-shard batch buffer length.
+	DefaultBatchSize = event.DefaultBatchSize
+	// DefaultQueueDepth is the bounded per-shard channel depth, in
+	// batches. Deep enough to keep workers busy across router hiccups,
+	// shallow enough to bound buffered memory and interval-drain latency.
+	DefaultQueueDepth = 8
+)
+
+// Config describes a sharded profiling engine. Core is the aggregate
+// (unsharded) profiler configuration; its storage is split evenly across
+// NumShards shards.
+type Config struct {
+	// Core is the aggregate profiler configuration that the engine
+	// subdivides. Core.TotalEntries must be divisible by NumShards and
+	// each shard's per-table share must remain a power of two.
+	Core core.Config
+
+	// NumShards is the number of concurrent shards (>= 1).
+	NumShards int
+
+	// BatchSize is the length of the per-shard batch buffers; 0 selects
+	// DefaultBatchSize.
+	BatchSize int
+
+	// QueueDepth is the bounded per-shard channel depth in batches; 0
+	// selects DefaultQueueDepth.
+	QueueDepth int
+}
+
+// withDefaults fills in the zero tuning knobs.
+func (c Config) withDefaults() Config {
+	if c.BatchSize == 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable: the tuning knobs
+// are sane and every shard's split configuration is itself valid.
+func (c Config) Validate() error {
+	if c.NumShards < 1 {
+		return fmt.Errorf("shard: NumShards %d must be >= 1", c.NumShards)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("shard: BatchSize %d must be non-negative", c.BatchSize)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("shard: QueueDepth %d must be non-negative", c.QueueDepth)
+	}
+	if c.Core.TotalEntries%c.NumShards != 0 {
+		return fmt.Errorf("shard: TotalEntries %d not divisible by NumShards %d",
+			c.Core.TotalEntries, c.NumShards)
+	}
+	for i := 0; i < c.NumShards; i++ {
+		if err := c.ShardConfig(i).Validate(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ShardConfig returns the split configuration of shard i: 1/NumShards of
+// the hash counters, ceil(1/NumShards) of the accumulator entries, the
+// aggregate interval length and threshold (candidacy is defined against
+// the whole interval, not the shard's share of it), and a per-shard hash
+// seed so shards alias independently.
+func (c Config) ShardConfig(i int) core.Config {
+	sc := c.Core
+	sc.TotalEntries = c.Core.TotalEntries / c.NumShards
+	cap := c.Core.EffectiveAccumCapacity()
+	sc.AccumCapacity = (cap + c.NumShards - 1) / c.NumShards
+	sc.Seed = shardSeed(c.Core.Seed, i)
+	return sc
+}
+
+// shardSeed derives shard i's hash seed from the aggregate seed.
+func shardSeed(seed uint64, i int) uint64 {
+	return mix64(seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+}
+
+// RouteHash is the stable tuple-to-shard hash: a SplitMix64-style mix of
+// both tuple members, independent of (and uncorrelated with) the byte-table
+// hash functions inside the shards. It is a pure function of the tuple, so
+// every occurrence of a tuple routes to the same shard — the property the
+// equivalence argument rests on.
+func RouteHash(tp event.Tuple) uint64 {
+	return mix64(mix64(tp.A) ^ tp.B)
+}
+
+// mix64 is the SplitMix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// request is one unit of work on a shard's channel: either a pooled batch
+// of tuples to observe, or (batch == nil) an interval barrier to answer
+// with the shard's snapshot.
+type request struct {
+	batch *[]event.Tuple
+	out   chan<- map[event.Tuple]uint64
+}
+
+// Profiler is the sharded concurrent engine. It implements the same
+// Observe / ObserveBatch / EndInterval surface as core.MultiHash and may be
+// driven by core.Run and core.RunBatched unchanged.
+//
+// Observe, ObserveBatch and EndInterval are safe for concurrent use by
+// multiple producer goroutines: the router serializes under a mutex, and
+// EndInterval drains every shard to quiescence before snapshotting, so an
+// interval boundary is a consistent cut of everything routed before the
+// call. Events routed concurrently with an EndInterval land in one
+// interval or the other, exactly as concurrent Observe calls on a locked
+// sequential profiler would.
+//
+// A Profiler owns NumShards goroutines; Close releases them. Using a
+// closed Profiler panics.
+type Profiler struct {
+	cfg     Config
+	workers []*worker
+	pool    sync.Pool // *[]event.Tuple, capacity cfg.BatchSize
+
+	mu      sync.Mutex
+	pending []*[]event.Tuple // per shard, partially filled route buffers
+	events  uint64
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// worker is one shard: a MultiHash and the goroutine that feeds it.
+type worker struct {
+	mh *core.MultiHash
+	ch chan request
+}
+
+// New builds the engine and starts its shard goroutines.
+func New(cfg Config) (*Profiler, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Profiler{
+		cfg:     cfg,
+		workers: make([]*worker, cfg.NumShards),
+		pending: make([]*[]event.Tuple, cfg.NumShards),
+	}
+	p.pool.New = func() any {
+		buf := make([]event.Tuple, 0, cfg.BatchSize)
+		return &buf
+	}
+	// Build every shard before starting any goroutine, so a failure here
+	// leaks nothing.
+	for i := range p.workers {
+		mh, err := core.NewMultiHash(cfg.ShardConfig(i))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		p.workers[i] = &worker{mh: mh, ch: make(chan request, cfg.QueueDepth)}
+		p.pending[i] = p.pool.Get().(*[]event.Tuple)
+	}
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go p.serve(w)
+	}
+	return p, nil
+}
+
+// serve is the shard goroutine: it drains batches into the shard's
+// MultiHash and answers interval barriers with snapshots.
+func (p *Profiler) serve(w *worker) {
+	defer p.wg.Done()
+	for req := range w.ch {
+		if req.batch == nil {
+			req.out <- w.mh.EndInterval()
+			continue
+		}
+		w.mh.ObserveBatch(*req.batch)
+		*req.batch = (*req.batch)[:0]
+		p.pool.Put(req.batch)
+	}
+}
+
+// Config returns the configuration the engine was built with (with
+// defaults filled in).
+func (p *Profiler) Config() Config { return p.cfg }
+
+// NumShards returns the shard count.
+func (p *Profiler) NumShards() int { return p.cfg.NumShards }
+
+// ShardOf returns the shard index tp routes to.
+func (p *Profiler) ShardOf(tp event.Tuple) int {
+	return int(RouteHash(tp) % uint64(p.cfg.NumShards))
+}
+
+// EventsThisInterval returns how many events have been routed since the
+// last interval boundary.
+func (p *Profiler) EventsThisInterval() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.events
+}
+
+// Observe routes one event to its shard.
+func (p *Profiler) Observe(tp event.Tuple) {
+	p.mu.Lock()
+	defer p.mu.Unlock() // deferred so a use-after-Close panic releases the lock
+	p.checkOpen()
+	p.route(tp)
+	p.events++
+}
+
+// ObserveBatch routes every tuple of batch to its shard, taking the router
+// lock once for the whole batch. batch is not retained.
+func (p *Profiler) ObserveBatch(batch []event.Tuple) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkOpen()
+	for _, tp := range batch {
+		p.route(tp)
+	}
+	p.events += uint64(len(batch))
+}
+
+// route appends tp to its shard's pending buffer, shipping the buffer to
+// the shard when full. Callers hold p.mu.
+func (p *Profiler) route(tp event.Tuple) {
+	s := int(RouteHash(tp) % uint64(len(p.workers)))
+	buf := p.pending[s]
+	*buf = append(*buf, tp)
+	if len(*buf) == cap(*buf) {
+		p.workers[s].ch <- request{batch: buf}
+		p.pending[s] = p.pool.Get().(*[]event.Tuple)
+	}
+}
+
+// checkOpen panics if the engine has been closed. Callers hold p.mu.
+func (p *Profiler) checkOpen() {
+	if p.closed {
+		panic("shard: Profiler used after Close")
+	}
+}
+
+// EndInterval flushes the pending route buffers, drains every shard to
+// quiescence, snapshots each shard, applies each shard's interval-boundary
+// policy, and returns the union of the shard snapshots — the engine's
+// profile for the interval just finished.
+func (p *Profiler) EndInterval() map[event.Tuple]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkOpen()
+
+	// Flush partial buffers so the barrier below follows every event of
+	// the interval in each shard's FIFO.
+	for s, buf := range p.pending {
+		if len(*buf) > 0 {
+			p.workers[s].ch <- request{batch: buf}
+			p.pending[s] = p.pool.Get().(*[]event.Tuple)
+		}
+	}
+
+	out := make(chan map[event.Tuple]uint64, len(p.workers))
+	for _, w := range p.workers {
+		w.ch <- request{out: out}
+	}
+
+	// Shards partition the tuple space, so the union is disjoint.
+	var merged map[event.Tuple]uint64
+	for range p.workers {
+		snap := <-out
+		if merged == nil {
+			merged = snap
+			continue
+		}
+		for tp, c := range snap {
+			merged[tp] = c
+		}
+	}
+	p.events = 0
+	return merged
+}
+
+// Close flushes nothing: events of the unfinished interval are discarded,
+// matching the drivers' treatment of a trailing partial interval. It stops
+// every shard goroutine and waits for them to exit; after Close the
+// Profiler panics on use. Close is idempotent.
+func (p *Profiler) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, w := range p.workers {
+		close(w.ch)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+var _ core.BatchProfiler = (*Profiler)(nil)

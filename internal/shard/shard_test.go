@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+	"hwprof/internal/synth"
+)
+
+// baseConfig is the paper's best multi-hash profiler in the 10K regime,
+// whose 2048 counters split evenly over 1, 2, 4 or 8 shards.
+func baseConfig() core.Config {
+	cfg := core.BestMultiHash(core.ShortIntervalConfig())
+	cfg.Seed = 42
+	return cfg
+}
+
+func newEngine(t *testing.T, cfg Config) *Profiler {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// workload drains n events of a synthetic benchmark analog.
+func workload(t *testing.T, n uint64) []event.Tuple {
+	t.Helper()
+	g, err := synth.NewBenchmark("gcc", event.KindValue, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return event.Collect(event.Limit(g, n), 0)
+}
+
+// TestShardedEquivalence is the engine's core correctness property: for a
+// fixed workload, the concurrent engine's interval profiles are identical
+// — same tuples, same counts — to routing each tuple to its shard and
+// running every shard's sub-stream through a sequential MultiHash built
+// from the same split configuration.
+func TestShardedEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfg := Config{Core: baseConfig(), NumShards: shards, BatchSize: 64, QueueDepth: 2}
+		engine := newEngine(t, cfg)
+
+		seq := make([]*core.MultiHash, shards)
+		for i := range seq {
+			m, err := core.NewMultiHash(cfg.ShardConfig(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq[i] = m
+		}
+
+		const intervals = 3
+		ivLen := cfg.Core.IntervalLength
+		tuples := workload(t, uint64(intervals)*ivLen)
+		for iv := 0; iv < intervals; iv++ {
+			chunk := tuples[uint64(iv)*ivLen : uint64(iv+1)*ivLen]
+			engine.ObserveBatch(chunk)
+			for _, tp := range chunk {
+				seq[engine.ShardOf(tp)].Observe(tp)
+			}
+
+			got := engine.EndInterval()
+			want := make(map[event.Tuple]uint64)
+			for _, m := range seq {
+				for tp, c := range m.EndInterval() {
+					want[tp] = c
+				}
+			}
+			if len(want) == 0 {
+				t.Fatalf("%d shards interval %d: empty reference profile", shards, iv)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%d shards interval %d: profiles diverge\n got:  %v\n want: %v",
+					shards, iv, got, want)
+			}
+		}
+	}
+}
+
+// TestObserveMatchesObserveBatch: the two producer entry points route
+// identically.
+func TestObserveMatchesObserveBatch(t *testing.T) {
+	cfg := Config{Core: baseConfig(), NumShards: 4}
+	one, bat := newEngine(t, cfg), newEngine(t, cfg)
+	tuples := workload(t, cfg.Core.IntervalLength)
+	for _, tp := range tuples {
+		one.Observe(tp)
+	}
+	bat.ObserveBatch(tuples)
+	if a, b := one.EndInterval(), bat.EndInterval(); !reflect.DeepEqual(a, b) {
+		t.Fatal("Observe and ObserveBatch diverge")
+	}
+}
+
+func TestRouteHashStability(t *testing.T) {
+	engine := newEngine(t, Config{Core: baseConfig(), NumShards: 8})
+	tp := event.Tuple{A: 0x1234, B: 0x9876}
+	s := engine.ShardOf(tp)
+	for i := 0; i < 100; i++ {
+		if engine.ShardOf(tp) != s {
+			t.Fatal("routing is not stable")
+		}
+	}
+	// The route hash must spread distinct tuples over all shards.
+	seen := make(map[int]bool)
+	for _, tp := range workload(t, 10_000) {
+		seen[engine.ShardOf(tp)] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("10K events reached only %d of 8 shards", len(seen))
+	}
+}
+
+// TestStorageSplitConserved: sharding must not grow (or shrink) the
+// modeled hash storage, and the accumulator capacity may only grow by the
+// ceiling slack.
+func TestStorageSplitConserved(t *testing.T) {
+	cfg := Config{Core: baseConfig(), NumShards: 4}
+	totalEntries, totalAccum := 0, 0
+	for i := 0; i < cfg.NumShards; i++ {
+		sc := cfg.ShardConfig(i)
+		totalEntries += sc.TotalEntries
+		totalAccum += sc.EffectiveAccumCapacity()
+	}
+	if totalEntries != cfg.Core.TotalEntries {
+		t.Fatalf("hash counters not conserved: %d vs %d", totalEntries, cfg.Core.TotalEntries)
+	}
+	want := cfg.Core.EffectiveAccumCapacity()
+	if totalAccum < want || totalAccum >= want+cfg.NumShards {
+		t.Fatalf("accumulator capacity %d outside [%d, %d)", totalAccum, want, want+cfg.NumShards)
+	}
+}
+
+func TestShardSeedsDistinct(t *testing.T) {
+	cfg := Config{Core: baseConfig(), NumShards: 8}
+	seen := make(map[uint64]bool)
+	for i := 0; i < cfg.NumShards; i++ {
+		seen[cfg.ShardConfig(i).Seed] = true
+	}
+	if len(seen) != cfg.NumShards {
+		t.Fatalf("only %d distinct shard seeds", len(seen))
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := map[string]Config{
+		"zero shards":       {Core: baseConfig(), NumShards: 0},
+		"indivisible split": {Core: baseConfig(), NumShards: 3},
+		"negative batch":    {Core: baseConfig(), NumShards: 2, BatchSize: -1},
+		"negative queue":    {Core: baseConfig(), NumShards: 2, QueueDepth: -1},
+		"invalid core":      {NumShards: 2},
+	}
+	for name, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestEventsThisInterval(t *testing.T) {
+	engine := newEngine(t, Config{Core: baseConfig(), NumShards: 2})
+	engine.ObserveBatch(workload(t, 1234))
+	if got := engine.EventsThisInterval(); got != 1234 {
+		t.Fatalf("EventsThisInterval = %d, want 1234", got)
+	}
+	engine.EndInterval()
+	if got := engine.EventsThisInterval(); got != 0 {
+		t.Fatalf("EventsThisInterval after boundary = %d, want 0", got)
+	}
+}
+
+func TestCloseIdempotentAndUseAfterClosePanics(t *testing.T) {
+	engine, err := New(Config{Core: baseConfig(), NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Close()
+	engine.Close() // must not panic or deadlock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe after Close did not panic")
+		}
+	}()
+	engine.Observe(event.Tuple{A: 1})
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,7 +48,17 @@ func main() {
 	if err := run(*traceFile, *workload, *program, *kindName, *seed, *interval,
 		*threshold, *entries, *tables, *conserv, *reset, *retain, *intervals, *top,
 		*shards, *batch, *exact); err != nil {
-		fmt.Fprintln(os.Stderr, "profile:", err)
+		// Trace faults get a classified message: whatever profiles were
+		// reported before the fault are real, but the stream they came from
+		// is damaged and the run must fail loudly rather than look complete.
+		switch {
+		case errors.Is(err, hwprof.ErrTraceTruncated):
+			fmt.Fprintf(os.Stderr, "profile: input trace is truncated (cut-off file or interrupted write): %v\n", err)
+		case errors.Is(err, hwprof.ErrTraceCorrupt):
+			fmt.Fprintf(os.Stderr, "profile: input trace is corrupt (checksum or framing mismatch): %v\n", err)
+		default:
+			fmt.Fprintln(os.Stderr, "profile:", err)
+		}
 		os.Exit(1)
 	}
 }

@@ -57,7 +57,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	src := &flowGen{r: xrand.New(7)}
+	src := hwprof.FromNexter(&flowGen{r: xrand.New(7)})
 	_, err = hwprof.Run(hwprof.Limit(src, cfg.IntervalLength*4), profiler,
 		cfg.IntervalLength, func(i int, perfect, hardware map[hwprof.Tuple]uint64) {
 			iv := hwprof.EvalInterval(perfect, hardware, cfg.ThresholdCount())

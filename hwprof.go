@@ -29,6 +29,8 @@
 package hwprof
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"hwprof/internal/adaptive"
@@ -57,8 +59,19 @@ const (
 	KindGeneric = event.KindGeneric
 )
 
-// Source is a stream of profiling events.
+// Source is a stream of profiling events. A stream ends either cleanly or
+// with a failure; Err distinguishes the two, and every driver in this
+// package checks it when a stream ends.
 type Source = event.Source
+
+// Nexter is the minimal error-free stream surface: Next alone, no Err.
+// Lift one into a Source with FromNexter.
+type Nexter = event.Nexter
+
+// FromNexter adapts an error-free event producer into a Source whose Err
+// is permanently nil. Producers that already satisfy Source are returned
+// unchanged.
+func FromNexter(n Nexter) Source { return event.FromNexter(n) }
 
 // BatchSource is the bulk counterpart of Source: NextBatch fills a slice
 // with consecutive tuples and returns how many were written (0 means the
@@ -92,8 +105,28 @@ type StreamProfiler = core.Profiler
 // ShardedProfiler is the sharded concurrent engine: N MultiHash shards fed
 // by per-shard goroutines behind the same Observe / ObserveBatch /
 // EndInterval surface as Profiler. See internal/shard for the equivalence
-// argument. Call Close when done to release the shard goroutines.
+// argument.
+//
+// Shut it down with Close (graceful: queued batches drain first) or Drain
+// (same, but the unfinished interval's profile is returned). A panic in a
+// shard worker is contained and surfaced through Err rather than crashing
+// the process, and use after Close records ErrClosed instead of
+// panicking.
 type ShardedProfiler = shard.Profiler
+
+// ErrClosed is reported (via ShardedProfiler.Err or Drain) when a sharded
+// engine is used after Close.
+var ErrClosed = shard.ErrClosed
+
+// ErrTraceTruncated matches (via errors.Is) trace-reader failures caused
+// by a stream that ends before its format allows — a cut-off file or
+// interrupted write.
+var ErrTraceTruncated = trace.ErrTruncated
+
+// ErrTraceCorrupt matches (via errors.Is) trace-reader failures caused by
+// inconsistent bytes: checksum mismatches, record-count mismatches, or
+// undecodable framing.
+var ErrTraceCorrupt = trace.ErrCorrupt
 
 // ShardedConfig describes a sharded engine: the aggregate profiler
 // configuration plus shard count and batching knobs.
@@ -178,8 +211,22 @@ type RunConfig struct {
 // returns the number of complete intervals processed. It accepts any
 // StreamProfiler — *Profiler, *ShardedProfiler, *Perfect — and uses the
 // ObserveBatch fast path of those that have one.
+//
+// The returned error reflects the stream and the engine, not just the
+// configuration: a source that fails mid-stream (src.Err() != nil, e.g. a
+// truncated trace) and a sharded engine that fails terminally (a contained
+// worker panic, see ShardedProfiler.Err) both surface here together with
+// the count of intervals completed before the failure.
 func RunWith(src Source, hw StreamProfiler, cfg RunConfig, fn IntervalFunc) (int, error) {
-	return core.RunBatched(src, hw, core.RunConfig{
+	return RunWithContext(context.Background(), src, hw, cfg, fn)
+}
+
+// RunWithContext is RunWith under a context: cancellation or deadline
+// expiry stops the run between batches and returns ctx.Err() alongside the
+// intervals completed. The profiler is left open so the caller can Drain
+// the partial interval or keep using it.
+func RunWithContext(ctx context.Context, src Source, hw StreamProfiler, cfg RunConfig, fn IntervalFunc) (int, error) {
+	return core.RunBatchedContext(ctx, src, hw, core.RunConfig{
 		IntervalLength: cfg.IntervalLength,
 		BatchSize:      cfg.BatchSize,
 		NoPerfect:      cfg.NoPerfect,
@@ -190,8 +237,19 @@ func RunWith(src Source, hw StreamProfiler, cfg RunConfig, fn IntervalFunc) (int
 // default 1), streams src through it on the batch path, and closes it
 // before returning. It is the one-call form of NewSharded + RunWith +
 // Close. The returned profiles are exactly those of the sharded engine;
-// see internal/shard for why they match a sequential ensemble.
+// see internal/shard for why they match a sequential ensemble. Stream
+// failures and contained worker panics come back as the returned error,
+// with the completed-interval count preserved.
 func RunParallel(src Source, cfg Config, rc RunConfig, fn IntervalFunc) (int, error) {
+	return RunParallelContext(context.Background(), src, cfg, rc, fn)
+}
+
+// RunParallelContext is RunParallel under a context, for cancellation and
+// deadlines: the run stops between batches once ctx is done and returns
+// ctx.Err() alongside the intervals completed. The engine is always shut
+// down gracefully — queued batches drain before the shards stop — whatever
+// ends the run.
+func RunParallelContext(ctx context.Context, src Source, cfg Config, rc RunConfig, fn IntervalFunc) (int, error) {
 	shards := rc.Shards
 	if shards == 0 {
 		shards = 1
@@ -200,8 +258,11 @@ func RunParallel(src Source, cfg Config, rc RunConfig, fn IntervalFunc) (int, er
 	if err != nil {
 		return 0, err
 	}
-	defer sp.Close()
-	return RunWith(src, sp, rc, fn)
+	n, err := RunWithContext(ctx, src, sp, rc, fn)
+	if _, derr := sp.Drain(); err == nil && derr != nil {
+		err = derr
+	}
+	return n, err
 }
 
 // Run feeds src through hw and a perfect profiler, invoking fn at each
@@ -293,17 +354,25 @@ func WriteTrace(w io.Writer, kind Kind, src Source, max uint64) (uint64, error) 
 	for max == 0 || tw.Count() < max {
 		tp, ok := src.Next()
 		if !ok {
+			// A failed source must not leave behind a trace that reads back
+			// as complete: report the failure instead of sealing the file.
+			if err := src.Err(); err != nil {
+				return tw.Count(), fmt.Errorf("hwprof: source failed after %d events: %w", tw.Count(), err)
+			}
 			break
 		}
 		if err := tw.Write(tp); err != nil {
 			return tw.Count(), err
 		}
 	}
-	return tw.Count(), tw.Flush()
+	return tw.Count(), tw.Close()
 }
 
 // OpenTrace wraps a binary trace stream as a Source. The returned reader
-// also exposes the trace's tuple kind.
+// also exposes the trace's tuple kind. When the stream ends, the reader's
+// Err method distinguishes a cleanly finished trace (nil) from truncation
+// or corruption (ErrTraceTruncated / ErrTraceCorrupt); the Run drivers
+// check it automatically and return the failure.
 func OpenTrace(r io.Reader) (*trace.Reader, error) { return trace.NewReader(r) }
 
 // AdaptiveConfig parameterizes the adaptive interval-length extension

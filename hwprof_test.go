@@ -2,6 +2,8 @@ package hwprof_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -322,5 +324,113 @@ func TestInterleaveFacade(t *testing.T) {
 	}
 	if _, err := hwprof.Interleave(0, a); err == nil {
 		t.Fatal("zero quantum accepted")
+	}
+}
+
+// countingNexter is a minimal error-free producer: Next only, no Err.
+type countingNexter struct{ n uint64 }
+
+func (c *countingNexter) Next() (hwprof.Tuple, bool) {
+	c.n++
+	return hwprof.Tuple{A: c.n % 64, B: 1}, true
+}
+
+// TestFromNexterFacade: an Err-less producer lifts into a Source with a
+// permanently nil Err; a real Source passes through unchanged.
+func TestFromNexterFacade(t *testing.T) {
+	src := hwprof.FromNexter(&countingNexter{})
+	if _, ok := src.Next(); !ok || src.Err() != nil {
+		t.Fatalf("adapted nexter: ok=%v err=%v", ok, src.Err())
+	}
+	w, _ := hwprof.NewWorkload("li", hwprof.KindValue, 1)
+	if hwprof.FromNexter(w) != w {
+		t.Fatal("a Source was re-wrapped instead of passed through")
+	}
+}
+
+// TestRunParallelContextFacade: cancellation stops the one-call parallel
+// driver with ctx.Err() and the engine is torn down for the caller.
+func TestRunParallelContextFacade(t *testing.T) {
+	cfg := hwprof.BestMultiHash(hwprof.ShortIntervalConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	n, err := hwprof.RunParallelContext(ctx, hwprof.FromNexter(&countingNexter{}), cfg,
+		hwprof.RunConfig{IntervalLength: cfg.IntervalLength, Shards: 2, NoPerfect: true},
+		func(i int, _, _ map[hwprof.Tuple]uint64) {
+			if i == 1 {
+				cancel()
+			}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n < 2 {
+		t.Fatalf("intervals = %d, want at least the 2 before cancellation", n)
+	}
+}
+
+// TestDrainViaFacade: the exported engine salvages a partial interval and
+// then reports ErrClosed on further use.
+func TestDrainViaFacade(t *testing.T) {
+	cfg := hwprof.BestMultiHash(hwprof.ShortIntervalConfig())
+	sp, err := hwprof.NewSharded(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := hwprof.NewWorkload("gcc", hwprof.KindValue, 3)
+	for i := uint64(0); i < cfg.IntervalLength/2; i++ {
+		tp, _ := w.Next()
+		sp.Observe(tp)
+	}
+	profile, err := sp.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile) == 0 {
+		t.Fatal("Drain lost the half interval")
+	}
+	sp.Observe(hwprof.Tuple{A: 1})
+	if !errors.Is(sp.Err(), hwprof.ErrClosed) {
+		t.Fatalf("use after Drain: Err = %v, want ErrClosed", sp.Err())
+	}
+	if _, err := sp.Drain(); !errors.Is(err, hwprof.ErrClosed) {
+		t.Fatalf("second Drain: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestRunWithReportsTraceFaults: the facade's headline robustness promise —
+// profiling a damaged trace file ends with a matchable error, not a
+// silently shortened run.
+func TestRunWithReportsTraceFaults(t *testing.T) {
+	cfg := hwprof.BestMultiHash(hwprof.ShortIntervalConfig())
+	var buf bytes.Buffer
+	w, _ := hwprof.NewWorkload("li", hwprof.KindValue, 4)
+	if _, err := hwprof.WriteTrace(&buf, hwprof.KindValue, hwprof.Limit(w, 2*cfg.IntervalLength), 0); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	run := func(data []byte) error {
+		r, err := hwprof.OpenTrace(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := hwprof.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = hwprof.RunWith(r, p, hwprof.RunConfig{IntervalLength: cfg.IntervalLength, NoPerfect: true}, nil)
+		return err
+	}
+
+	if err := run(data); err != nil {
+		t.Fatalf("intact trace: %v", err)
+	}
+	if err := run(data[:len(data)*3/4]); !errors.Is(err, hwprof.ErrTraceTruncated) {
+		t.Fatalf("truncated trace: err = %v, want ErrTraceTruncated", err)
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	if err := run(flipped); !errors.Is(err, hwprof.ErrTraceCorrupt) {
+		t.Fatalf("corrupt trace: err = %v, want ErrTraceCorrupt", err)
 	}
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -111,6 +114,71 @@ func TestRunBatchedRejectsBadConfig(t *testing.T) {
 	if _, err := RunBatched(event.NewSliceSource(nil), m,
 		RunConfig{IntervalLength: 10, BatchSize: -1}, nil); err == nil {
 		t.Fatal("negative batch size accepted")
+	}
+}
+
+// failingSource yields tuples until fail events have been delivered, then
+// ends the stream with a sticky error — a mid-stream I/O failure.
+type failingSource struct {
+	tuples []event.Tuple
+	fail   int
+	pos    int
+	err    error
+}
+
+func (s *failingSource) Next() (event.Tuple, bool) {
+	if s.pos >= s.fail {
+		s.err = errInjected
+		return event.Tuple{}, false
+	}
+	tp := s.tuples[s.pos]
+	s.pos++
+	return tp, true
+}
+
+func (s *failingSource) Err() error { return s.err }
+
+var errInjected = fmt.Errorf("injected stream fault")
+
+// TestRunBatchedPropagatesSourceError: a source that fails mid-stream must
+// turn into a returned error, with the intervals completed before the
+// failure still delivered.
+func TestRunBatchedPropagatesSourceError(t *testing.T) {
+	cfg := BestMultiHash(validConfig())
+	in := batchStream(5, int(cfg.IntervalLength)*3)
+	m := newMH(t, cfg)
+	src := &failingSource{tuples: in, fail: int(cfg.IntervalLength)*2 + 37}
+	calls := 0
+	n, err := RunBatched(src, m, RunConfig{IntervalLength: cfg.IntervalLength},
+		func(int, map[event.Tuple]uint64, map[event.Tuple]uint64) { calls++ })
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want wrapped errInjected", err)
+	}
+	if n != 2 || calls != 2 {
+		t.Fatalf("intervals = %d, calls = %d; want 2 complete intervals before the fault", n, calls)
+	}
+}
+
+// TestRunBatchedContextCancel: cancelling the context stops the run
+// between batches with ctx.Err().
+func TestRunBatchedContextCancel(t *testing.T) {
+	cfg := BestMultiHash(validConfig())
+	m := newMH(t, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	// Cancel after the first interval's callback: the driver must notice at
+	// the next batch boundary and stop.
+	n, err := RunBatchedContext(ctx, event.NewSliceSource(batchStream(6, int(cfg.IntervalLength)*5)), m,
+		RunConfig{IntervalLength: cfg.IntervalLength, NoPerfect: true},
+		func(int, map[event.Tuple]uint64, map[event.Tuple]uint64) {
+			calls++
+			cancel()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n != 1 || calls != 1 {
+		t.Fatalf("intervals = %d, calls = %d; want exactly 1 before cancellation", n, calls)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hwprof/internal/accum"
@@ -272,12 +273,34 @@ func Run(src event.Source, hw Profiler, intervalLength uint64, fn IntervalFunc) 
 	return RunBatched(src, hw, RunConfig{IntervalLength: intervalLength}, fn)
 }
 
+// Failer is implemented by profilers that can fail terminally out of band
+// — the sharded engine surfaces worker panics this way. The drivers check
+// it between batches so an engine failure aborts a run promptly instead of
+// streaming millions of events into a dead profiler.
+type Failer interface {
+	Err() error
+}
+
 // RunBatched is the batched driver: it pulls tuples from src in batches
 // (through src's own BatchSource fast path when it has one) and feeds them
 // to hw and the oracle in bulk, invoking fn at every interval boundary.
 // Interval semantics are exactly those of the per-event driver; only the
 // per-call overhead changes.
+//
+// The returned error reflects the stream and the engine, not just the
+// configuration: a source that fails mid-stream (src.Err() != nil) and a
+// profiler that fails terminally (Failer) both surface here, with the
+// count of intervals completed before the failure.
 func RunBatched(src event.Source, hw Profiler, cfg RunConfig, fn IntervalFunc) (int, error) {
+	return RunBatchedContext(context.Background(), src, hw, cfg, fn)
+}
+
+// RunBatchedContext is RunBatched under a context: cancellation or
+// deadline expiry stops the run between batches and returns ctx.Err()
+// alongside the number of intervals completed. The profiler is left open —
+// shutting it down (and salvaging the partial interval) is the caller's
+// choice.
+func RunBatchedContext(ctx context.Context, src event.Source, hw Profiler, cfg RunConfig, fn IntervalFunc) (int, error) {
 	if cfg.IntervalLength == 0 {
 		return 0, fmt.Errorf("core: interval length must be positive")
 	}
@@ -296,12 +319,23 @@ func RunBatched(src event.Source, hw Profiler, cfg RunConfig, fn IntervalFunc) (
 	if fn != nil && !cfg.NoPerfect {
 		perfect = NewPerfect()
 	}
+	failer, _ := hw.(Failer)
 	batched := event.Batched(src)
 	buf := make([]event.Tuple, batchSize)
 
 	var n uint64 // events so far in the current interval
 	intervals := 0
 	for {
+		select {
+		case <-ctx.Done():
+			return intervals, ctx.Err()
+		default:
+		}
+		if failer != nil {
+			if err := failer.Err(); err != nil {
+				return intervals, fmt.Errorf("core: profiler failed: %w", err)
+			}
+		}
 		// Clip the read so a batch never crosses the interval boundary.
 		want := buf
 		if remaining := cfg.IntervalLength - n; uint64(len(want)) > remaining {
@@ -309,6 +343,9 @@ func RunBatched(src event.Source, hw Profiler, cfg RunConfig, fn IntervalFunc) (
 		}
 		got := batched.NextBatch(want)
 		if got == 0 {
+			if err := batched.Err(); err != nil {
+				return intervals, fmt.Errorf("core: source failed mid-stream: %w", err)
+			}
 			break
 		}
 		batch := want[:got]
@@ -328,6 +365,11 @@ func RunBatched(src event.Source, hw Profiler, cfg RunConfig, fn IntervalFunc) (
 			}
 			intervals++
 			n = 0
+		}
+	}
+	if failer != nil {
+		if err := failer.Err(); err != nil {
+			return intervals, fmt.Errorf("core: profiler failed: %w", err)
 		}
 	}
 	return intervals, nil

@@ -84,13 +84,29 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// Source is a stream of profiling events. Next returns the next tuple in
-// the stream and whether one was available; ok == false means the stream is
-// exhausted. Implementations are typically deterministic generators
-// (internal/synth), instrumented interpreters (internal/vm) or trace-file
-// readers (internal/trace).
-type Source interface {
+// Nexter is the minimal pull surface of an event stream: Next returns the
+// next tuple and whether one was available. It exists so error-free
+// producers (fixed slices, closures in tests) can be written without an
+// Err method and lifted into full Sources with FromNexter.
+type Nexter interface {
 	Next() (t Tuple, ok bool)
+}
+
+// Source is a stream of profiling events. Next returns the next tuple in
+// the stream and whether one was available; ok == false means the stream
+// ended — either exhausted or failed. Err distinguishes the two: it
+// returns nil after a clean end of stream and the terminal error after a
+// failure (I/O error, truncated trace, trapped interpreter). Err must be
+// sticky — once non-nil it keeps returning the same error and Next keeps
+// returning ok == false.
+//
+// Implementations are typically deterministic generators (internal/synth),
+// instrumented interpreters (internal/vm) or trace-file readers
+// (internal/trace). Error-free producers can implement just Nexter and be
+// adapted with FromNexter.
+type Source interface {
+	Nexter
+	Err() error
 }
 
 // DefaultBatchSize is the batch length used by the batched drivers when the
@@ -100,18 +116,41 @@ const DefaultBatchSize = 512
 
 // BatchSource is the bulk counterpart of Source: NextBatch fills buf with
 // up to len(buf) consecutive tuples of the stream and returns how many were
-// written. A return of 0 means the stream is exhausted (implementations
-// must not return 0 for a non-empty buf unless they are done). Producers
-// that can fill a slice in one pass (slices, trace readers, generators)
-// implement it directly; everything else goes through Batched.
+// written. A return of 0 means the stream ended (implementations must not
+// return 0 for a non-empty buf unless they are done); as with Source, Err
+// reports whether the end was clean or a failure, and a short (partial)
+// batch is legal at any time. Producers that can fill a slice in one pass
+// (slices, trace readers, generators) implement it directly; everything
+// else goes through Batched.
 type BatchSource interface {
 	NextBatch(buf []Tuple) int
+	Err() error
+}
+
+// nexterSource lifts an error-free Nexter into a Source whose Err is
+// always nil.
+type nexterSource struct{ n Nexter }
+
+func (s nexterSource) Next() (Tuple, bool) { return s.n.Next() }
+func (s nexterSource) Err() error          { return nil }
+
+// FromNexter adapts an error-free event producer into a Source: its Err is
+// permanently nil, so end of stream always reads as clean. Producers that
+// already satisfy Source are returned unchanged, which makes FromNexter a
+// safe compatibility shim around any pre-existing stream type.
+func FromNexter(n Nexter) Source {
+	if s, ok := n.(Source); ok {
+		return s
+	}
+	return nexterSource{n}
 }
 
 // batchAdapter lifts a plain Source to a BatchSource one Next at a time.
 type batchAdapter struct{ src Source }
 
 func (a batchAdapter) Next() (Tuple, bool) { return a.src.Next() }
+
+func (a batchAdapter) Err() error { return a.src.Err() }
 
 func (a batchAdapter) NextBatch(buf []Tuple) int {
 	for i := range buf {
@@ -148,6 +187,9 @@ func NewSliceSource(tuples []Tuple) *SliceSource {
 	return &SliceSource{tuples: tuples}
 }
 
+// Err always returns nil: a slice cannot fail.
+func (s *SliceSource) Err() error { return nil }
+
 // Next returns the next tuple in the underlying slice.
 func (s *SliceSource) Next() (Tuple, bool) {
 	if s.pos >= len(s.tuples) {
@@ -172,11 +214,15 @@ func (s *SliceSource) Len() int { return len(s.tuples) - s.pos }
 // Reset rewinds the source to the beginning of the slice.
 func (s *SliceSource) Reset() { s.pos = 0 }
 
-// FuncSource adapts a function into a Source.
+// FuncSource adapts a function into a Source. The function cannot report
+// errors; a stream that can fail should implement Source directly.
 type FuncSource func() (Tuple, bool)
 
 // Next invokes the wrapped function.
 func (f FuncSource) Next() (Tuple, bool) { return f() }
+
+// Err always returns nil; FuncSource streams end only cleanly.
+func (f FuncSource) Err() error { return nil }
 
 // limited bounds a source while preserving its batch capability, so Limit
 // does not knock a stream off the fast path.
@@ -193,6 +239,10 @@ func (l *limited) Next() (Tuple, bool) {
 	l.remaining--
 	return l.src.Next()
 }
+
+// Err reports the wrapped source's error: hitting the limit is a clean
+// end, but an underlying failure is still visible through the wrapper.
+func (l *limited) Err() error { return l.src.Err() }
 
 func (l *limited) NextBatch(buf []Tuple) int {
 	if l.remaining == 0 {
@@ -213,18 +263,38 @@ func Limit(src Source, n uint64) Source {
 	return &limited{src: src, batch: Batched(src), remaining: n}
 }
 
-// Concat returns a Source that yields all tuples of each source in turn.
-func Concat(sources ...Source) Source {
-	i := 0
-	return FuncSource(func() (Tuple, bool) {
-		for i < len(sources) {
-			if t, ok := sources[i].Next(); ok {
-				return t, true
-			}
-			i++
+// concatenated yields each source's stream in turn, stopping at the first
+// source that fails so an error never silently splices two streams.
+type concatenated struct {
+	sources []Source
+	i       int
+}
+
+func (c *concatenated) Next() (Tuple, bool) {
+	for c.i < len(c.sources) {
+		if t, ok := c.sources[c.i].Next(); ok {
+			return t, true
 		}
-		return Tuple{}, false
-	})
+		if c.sources[c.i].Err() != nil {
+			return Tuple{}, false
+		}
+		c.i++
+	}
+	return Tuple{}, false
+}
+
+func (c *concatenated) Err() error {
+	if c.i < len(c.sources) {
+		return c.sources[c.i].Err()
+	}
+	return nil
+}
+
+// Concat returns a Source that yields all tuples of each source in turn.
+// A source that ends with an error ends the concatenated stream there, and
+// Err reports that error.
+func Concat(sources ...Source) Source {
+	return &concatenated{sources: sources}
 }
 
 // Collect drains src into a slice, up to max tuples (max == 0 means no

@@ -1,6 +1,7 @@
 package event
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -101,6 +102,64 @@ func TestConcatEmpty(t *testing.T) {
 		t.Fatalf("Concat() yielded %v", got)
 	}
 }
+
+// erring is a source that fails after delivering its tuples.
+type erring struct {
+	tuples []Tuple
+	cause  error
+	pos    int
+}
+
+func (e *erring) Next() (Tuple, bool) {
+	if e.pos < len(e.tuples) {
+		e.pos++
+		return e.tuples[e.pos-1], true
+	}
+	return Tuple{}, false
+}
+
+func (e *erring) Err() error {
+	if e.pos >= len(e.tuples) {
+		return e.cause
+	}
+	return nil
+}
+
+// TestConcatStopsAtFailingSource: a failed sub-stream ends the
+// concatenation and surfaces its error; later sources are never consulted.
+func TestConcatStopsAtFailingSource(t *testing.T) {
+	cause := errors.New("stream died")
+	bad := &erring{tuples: []Tuple{{1, 0}}, cause: cause}
+	tail := NewSliceSource([]Tuple{{9, 9}})
+	src := Concat(bad, tail)
+	got := Collect(src, 0)
+	if len(got) != 1 || got[0] != (Tuple{1, 0}) {
+		t.Fatalf("Concat over failing source yielded %v", got)
+	}
+	if !errors.Is(src.Err(), cause) {
+		t.Fatalf("Err = %v, want the sub-source failure", src.Err())
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("Concat resumed past a failed source")
+	}
+}
+
+// TestFromNexterPassThrough: FromNexter returns Sources unchanged and
+// gives Err-less producers a permanently nil Err.
+func TestFromNexterPassThrough(t *testing.T) {
+	s := NewSliceSource([]Tuple{{1, 1}})
+	if FromNexter(s) != Source(s) {
+		t.Fatal("a Source was re-wrapped")
+	}
+	lifted := FromNexter(nexterOnly{})
+	if _, ok := lifted.Next(); !ok || lifted.Err() != nil {
+		t.Fatalf("lifted nexter: ok=%v err=%v", ok, lifted.Err())
+	}
+}
+
+type nexterOnly struct{}
+
+func (nexterOnly) Next() (Tuple, bool) { return Tuple{A: 1}, true }
 
 func TestCollectMax(t *testing.T) {
 	in := []Tuple{{1, 1}, {2, 2}, {3, 3}}

@@ -1,0 +1,202 @@
+// Package faultinject provides composable fault injectors for the
+// profiling pipeline: sources that fail, stall or panic at configurable
+// points, io.Readers that cut streams short or corrupt them (for the trace
+// layer), and shard-worker hooks that detonate inside the engine's own
+// goroutines. The chaos tests build on these to assert that the engine
+// degrades gracefully — faults surface as returned errors, never as
+// crashed processes, leaked goroutines or deadlocks.
+//
+// Everything here is deterministic: faults fire at exact operation counts,
+// not probabilities, so a chaos test that fails reproduces exactly.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"hwprof/internal/event"
+)
+
+// ErrInjected is the default error delivered by injectors that are not
+// given a specific one. Chaos tests match it with errors.Is to confirm the
+// error the pipeline reports is the injected fault, not a side effect.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// FailingSource yields the wrapped source's stream until After events have
+// been delivered, then ends the stream with a sticky error — the model of
+// a mid-stream I/O failure in a trace-backed source. It implements both
+// event.Source and event.BatchSource; batch reads shrink to the events
+// remaining before the fault, so it also exercises short-read handling.
+type FailingSource struct {
+	Inner event.Source
+	After uint64 // events delivered before the failure
+	Cause error  // error to report; nil selects ErrInjected
+
+	delivered uint64
+	err       error
+}
+
+// Next returns the next event until the configured failure point.
+func (s *FailingSource) Next() (event.Tuple, bool) {
+	if s.err != nil {
+		return event.Tuple{}, false
+	}
+	if s.delivered >= s.After {
+		s.trip()
+		return event.Tuple{}, false
+	}
+	tp, ok := s.Inner.Next()
+	if !ok {
+		s.err = s.Inner.Err()
+		return event.Tuple{}, false
+	}
+	s.delivered++
+	return tp, true
+}
+
+// NextBatch fills buf up to the failure point: batches shrink as the fault
+// approaches and the read after the last event returns 0 with Err set.
+func (s *FailingSource) NextBatch(buf []event.Tuple) int {
+	if s.err != nil {
+		return 0
+	}
+	if remaining := s.After - s.delivered; uint64(len(buf)) > remaining {
+		buf = buf[:remaining]
+	}
+	if len(buf) == 0 {
+		s.trip()
+		return 0
+	}
+	n := event.Batched(s.Inner).NextBatch(buf)
+	s.delivered += uint64(n)
+	if n == 0 {
+		s.err = s.Inner.Err()
+	}
+	return n
+}
+
+func (s *FailingSource) trip() {
+	if s.Cause != nil {
+		s.err = s.Cause
+		return
+	}
+	s.err = fmt.Errorf("%w: source failed after %d events", ErrInjected, s.delivered)
+}
+
+// Err reports the injected (or inherited) stream failure.
+func (s *FailingSource) Err() error { return s.err }
+
+// PanickingSource panics on the Next call after After events — the model
+// of a source whose internal state is corrupted outright rather than
+// failing cleanly.
+type PanickingSource struct {
+	Inner event.Source
+	After uint64
+
+	delivered uint64
+}
+
+// Next panics once After events have been delivered.
+func (s *PanickingSource) Next() (event.Tuple, bool) {
+	if s.delivered >= s.After {
+		panic(fmt.Sprintf("faultinject: source panic after %d events", s.delivered))
+	}
+	tp, ok := s.Inner.Next()
+	if ok {
+		s.delivered++
+	}
+	return tp, ok
+}
+
+// Err delegates to the wrapped source; the panic never gets this far.
+func (s *PanickingSource) Err() error { return s.Inner.Err() }
+
+// SlowSource delays every Every-th event by Delay — enough to hold a
+// stream mid-interval so cancellation and deadline paths can be exercised
+// deterministically.
+type SlowSource struct {
+	Inner event.Source
+	Every uint64
+	Delay time.Duration
+
+	n uint64
+}
+
+// Next forwards to the wrapped source, sleeping first on every Every-th
+// call.
+func (s *SlowSource) Next() (event.Tuple, bool) {
+	s.n++
+	if s.Every > 0 && s.n%s.Every == 0 {
+		time.Sleep(s.Delay)
+	}
+	return s.Inner.Next()
+}
+
+// Err delegates to the wrapped source.
+func (s *SlowSource) Err() error { return s.Inner.Err() }
+
+// TruncatedReader exposes only the first N bytes of an io.Reader and then
+// reports EOF — a file that was cut off mid-write, as the trace layer
+// would meet it.
+func TruncatedReader(r io.Reader, n int64) io.Reader { return io.LimitReader(r, n) }
+
+// FailingReader reads from R until After bytes have been delivered, then
+// returns Cause (ErrInjected if nil) — a device-level I/O failure beneath
+// the trace reader.
+type FailingReader struct {
+	R     io.Reader
+	After int64
+	Cause error
+
+	read int64
+}
+
+// Read delivers bytes until the failure point.
+func (f *FailingReader) Read(p []byte) (int, error) {
+	if f.read >= f.After {
+		if f.Cause != nil {
+			return 0, f.Cause
+		}
+		return 0, fmt.Errorf("%w: read failed after %d bytes", ErrInjected, f.read)
+	}
+	if remaining := f.After - f.read; int64(len(p)) > remaining {
+		p = p[:remaining]
+	}
+	n, err := f.R.Read(p)
+	f.read += int64(n)
+	return n, err
+}
+
+// PanicWorkerHook returns a shard.Config.WorkerHook that panics exactly
+// once, on the n-th batch (1-based) handled across all shards. The counter
+// is atomic: hooks run concurrently in every shard's worker goroutine.
+func PanicWorkerHook(n uint64) func(shard int, batch []event.Tuple) {
+	var count atomic.Uint64
+	return func(shard int, batch []event.Tuple) {
+		if count.Add(1) == n {
+			panic(fmt.Sprintf("faultinject: worker panic in shard %d on batch %d", shard, n))
+		}
+	}
+}
+
+// SlowWorkerHook returns a shard.Config.WorkerHook that sleeps for d on
+// every batch of one shard, modeling a straggler that backs up its queue
+// while the other shards run ahead.
+func SlowWorkerHook(shard int, d time.Duration) func(shard int, batch []event.Tuple) {
+	return func(s int, batch []event.Tuple) {
+		if s == shard {
+			time.Sleep(d)
+		}
+	}
+}
+
+var (
+	_ event.Source      = (*FailingSource)(nil)
+	_ event.BatchSource = (*FailingSource)(nil)
+	_ event.Source      = (*PanickingSource)(nil)
+	_ event.Source      = (*SlowSource)(nil)
+	_ io.Reader         = (*FailingReader)(nil)
+)

@@ -1,0 +1,115 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"hwprof/internal/event"
+)
+
+func tuples(n int) []event.Tuple {
+	out := make([]event.Tuple, n)
+	for i := range out {
+		out[i] = event.Tuple{A: uint64(i), B: uint64(i * 2)}
+	}
+	return out
+}
+
+func TestFailingSourceNext(t *testing.T) {
+	src := &FailingSource{Inner: event.NewSliceSource(tuples(100)), After: 7}
+	for i := 0; i < 7; i++ {
+		if _, ok := src.Next(); !ok {
+			t.Fatalf("event %d: stream ended early", i)
+		}
+		if src.Err() != nil {
+			t.Fatalf("event %d: premature error %v", i, src.Err())
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("event delivered past the failure point")
+	}
+	if !errors.Is(src.Err(), ErrInjected) {
+		t.Fatalf("Err = %v, want ErrInjected", src.Err())
+	}
+	// Sticky.
+	if _, ok := src.Next(); ok || !errors.Is(src.Err(), ErrInjected) {
+		t.Fatal("failure not sticky")
+	}
+}
+
+func TestFailingSourceBatchShortReads(t *testing.T) {
+	cause := errors.New("disk on fire")
+	src := &FailingSource{Inner: event.NewSliceSource(tuples(100)), After: 10, Cause: cause}
+	buf := make([]event.Tuple, 8)
+	if n := src.NextBatch(buf); n != 8 {
+		t.Fatalf("first batch = %d, want 8", n)
+	}
+	// The next batch must shrink to the 2 events left before the fault.
+	if n := src.NextBatch(buf); n != 2 {
+		t.Fatalf("short read = %d, want 2", n)
+	}
+	if src.Err() != nil {
+		t.Fatalf("error before the fault point: %v", src.Err())
+	}
+	if n := src.NextBatch(buf); n != 0 {
+		t.Fatalf("post-fault batch = %d, want 0", n)
+	}
+	if !errors.Is(src.Err(), cause) {
+		t.Fatalf("Err = %v, want the provided cause", src.Err())
+	}
+}
+
+func TestPanickingSource(t *testing.T) {
+	src := &PanickingSource{Inner: event.NewSliceSource(tuples(10)), After: 3}
+	for i := 0; i < 3; i++ {
+		src.Next()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("source did not panic at the configured point")
+		}
+	}()
+	src.Next()
+}
+
+func TestSlowSourceDelays(t *testing.T) {
+	src := &SlowSource{Inner: event.NewSliceSource(tuples(4)), Every: 2, Delay: 20 * time.Millisecond}
+	start := time.Now()
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("4 events with a delay every 2 took only %v", d)
+	}
+}
+
+func TestFailingReader(t *testing.T) {
+	data := bytes.Repeat([]byte{0xab}, 100)
+	fr := &FailingReader{R: bytes.NewReader(data), After: 25}
+	got, err := io.ReadAll(fr)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if len(got) != 25 {
+		t.Fatalf("delivered %d bytes before failing, want 25", len(got))
+	}
+}
+
+func TestPanicWorkerHookFiresOnce(t *testing.T) {
+	hook := PanicWorkerHook(2)
+	hook(0, nil) // batch 1: no panic
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		hook(1, nil)
+		return
+	}
+	if !panicked() {
+		t.Fatal("hook did not panic on its configured batch")
+	}
+	hook(2, nil) // batch 3: fired already, must stay quiet
+}

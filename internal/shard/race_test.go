@@ -1,14 +1,37 @@
 package shard
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"hwprof/internal/core"
 	"hwprof/internal/event"
 	"hwprof/internal/xrand"
 )
+
+// checkGoroutines records the current goroutine count and registers a
+// cleanup that fails the test if the count has not settled back to the
+// baseline by the end — the goleak-style assertion every teardown path in
+// this file runs under.
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Allow the runtime a moment to retire exited goroutines.
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			runtime.Gosched()
+			time.Sleep(10 * time.Millisecond)
+		}
+		if got := runtime.NumGoroutine(); got > before {
+			t.Errorf("goroutines leaked: %d before, %d after", before, got)
+		}
+	})
+}
 
 // TestConcurrentProducersAndIntervals drives the full concurrent lifecycle
 // the engine promises to support — several producer goroutines calling
@@ -16,6 +39,7 @@ import (
 // and is meaningful chiefly under -race: every router, channel and pool
 // interaction is exercised across goroutines.
 func TestConcurrentProducersAndIntervals(t *testing.T) {
+	checkGoroutines(t)
 	engine := newEngine(t, Config{Core: baseConfig(), NumShards: 4, BatchSize: 32, QueueDepth: 2})
 
 	const producers = 4
@@ -62,7 +86,7 @@ func TestConcurrentProducersAndIntervals(t *testing.T) {
 // TestCloseLeaksNoGoroutines builds and tears down engines and checks the
 // goroutine count settles back to the baseline.
 func TestCloseLeaksNoGoroutines(t *testing.T) {
-	before := runtime.NumGoroutine()
+	checkGoroutines(t)
 	for i := 0; i < 10; i++ {
 		engine, err := New(Config{Core: baseConfig(), NumShards: 8, QueueDepth: 1})
 		if err != nil {
@@ -72,21 +96,61 @@ func TestCloseLeaksNoGoroutines(t *testing.T) {
 		engine.EndInterval()
 		engine.Close()
 	}
-	// Allow the runtime a moment to retire exited goroutines.
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		runtime.Gosched()
-		time.Sleep(10 * time.Millisecond)
-	}
-	if got := runtime.NumGoroutine(); got > before {
-		t.Fatalf("goroutines leaked: %d before, %d after", before, got)
+}
+
+// TestDrainLeaksNoGoroutines: the salvage path must release the shard
+// goroutines exactly like Close, with the partial profile intact.
+func TestDrainLeaksNoGoroutines(t *testing.T) {
+	checkGoroutines(t)
+	for i := 0; i < 10; i++ {
+		engine, err := New(Config{Core: baseConfig(), NumShards: 8, QueueDepth: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine.ObserveBatch(workload(t, 5_000))
+		profile, err := engine.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(profile) == 0 {
+			t.Fatal("Drain lost the partial interval")
+		}
 	}
 }
 
-// TestCloseDuringProduction: Close must wait for the shard goroutines even
-// when producers race it; racing producers either complete or panic with
-// the documented use-after-Close message, and nothing deadlocks.
+// TestCancellationLeaksNoGoroutines: cancelling a batched run over the
+// engine mid-interval must stop the driver promptly and leave nothing
+// behind once the engine is drained.
+func TestCancellationLeaksNoGoroutines(t *testing.T) {
+	checkGoroutines(t)
+	engine, err := New(Config{Core: baseConfig(), NumShards: 4, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	events := 0
+	src := event.FuncSource(func() (event.Tuple, bool) {
+		events++
+		if events == int(baseConfig().IntervalLength)/2 {
+			cancel() // mid-interval: the driver must notice at the next batch
+		}
+		return event.Tuple{A: uint64(events % 64), B: 1}, true
+	})
+	_, err = core.RunBatchedContext(ctx, src, engine,
+		core.RunConfig{IntervalLength: baseConfig().IntervalLength}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := engine.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseDuringProduction: Close must drain gracefully even when
+// producers race it; racing producers either land their events or no-op
+// with ErrClosed recorded, and nothing panics or deadlocks.
 func TestCloseDuringProduction(t *testing.T) {
+	checkGoroutines(t)
 	engine, err := New(Config{Core: baseConfig(), NumShards: 4, BatchSize: 16, QueueDepth: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -96,7 +160,6 @@ func TestCloseDuringProduction(t *testing.T) {
 		wg.Add(1)
 		go func(seed uint64) {
 			defer wg.Done()
-			defer func() { recover() }() // use-after-Close panic is the documented outcome
 			r := xrand.New(seed)
 			for i := 0; i < 10_000; i++ {
 				engine.Observe(event.Tuple{A: r.Uint64() % 64, B: 1})
@@ -106,4 +169,8 @@ func TestCloseDuringProduction(t *testing.T) {
 	time.Sleep(time.Millisecond)
 	engine.Close()
 	wg.Wait()
+	// The only acceptable post-race error is the recorded use-after-close.
+	if err := engine.Err(); err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatalf("unexpected engine error: %v", err)
+	}
 }

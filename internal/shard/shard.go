@@ -36,12 +36,19 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"hwprof/internal/core"
 	"hwprof/internal/event"
 )
+
+// ErrClosed is reported when a Profiler is used after Close or Drain. The
+// public surface never panics on use-after-close: observation calls become
+// no-ops that record ErrClosed (visible through Err), and Drain returns it
+// directly.
+var ErrClosed = errors.New("shard: profiler is closed")
 
 // Defaults for the engine's tuning knobs.
 const (
@@ -72,9 +79,19 @@ type Config struct {
 	// QueueDepth is the bounded per-shard channel depth in batches; 0
 	// selects DefaultQueueDepth.
 	QueueDepth int
+
+	// WorkerHook, when non-nil, runs in each shard's worker goroutine
+	// immediately before a batch is observed, with the shard index and the
+	// batch. It exists for fault injection and tests: a panic inside the
+	// hook is contained exactly like a panic in the shard's profiler, and
+	// a sleep inside it models a slow shard. Leave nil in production.
+	WorkerHook func(shard int, batch []event.Tuple)
 }
 
-// withDefaults fills in the zero tuning knobs.
+// withDefaults fills in the zero tuning knobs. New applies it before
+// Validate, so a zero BatchSize or QueueDepth means "use the default"
+// on the constructor path but is rejected when Validate is called on a
+// configuration directly.
 func (c Config) withDefaults() Config {
 	if c.BatchSize == 0 {
 		c.BatchSize = DefaultBatchSize
@@ -87,15 +104,20 @@ func (c Config) withDefaults() Config {
 
 // Validate reports whether the configuration is usable: the tuning knobs
 // are sane and every shard's split configuration is itself valid.
+//
+// Validate checks a fully resolved configuration, in which BatchSize and
+// QueueDepth must be positive — an engine cannot run with zero-length
+// batch buffers or unbuffered shard queues. New runs withDefaults before
+// validating, so the zero values still mean "default" when constructing.
 func (c Config) Validate() error {
 	if c.NumShards < 1 {
 		return fmt.Errorf("shard: NumShards %d must be >= 1", c.NumShards)
 	}
-	if c.BatchSize < 0 {
-		return fmt.Errorf("shard: BatchSize %d must be non-negative", c.BatchSize)
+	if c.BatchSize < 1 {
+		return fmt.Errorf("shard: BatchSize %d must be positive (the zero value selects the default only through New)", c.BatchSize)
 	}
-	if c.QueueDepth < 0 {
-		return fmt.Errorf("shard: QueueDepth %d must be non-negative", c.QueueDepth)
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("shard: QueueDepth %d must be positive (the zero value selects the default only through New)", c.QueueDepth)
 	}
 	if c.Core.TotalEntries%c.NumShards != 0 {
 		return fmt.Errorf("shard: TotalEntries %d not divisible by NumShards %d",
@@ -165,8 +187,20 @@ type request struct {
 // interval or the other, exactly as concurrent Observe calls on a locked
 // sequential profiler would.
 //
-// A Profiler owns NumShards goroutines; Close releases them. Using a
-// closed Profiler panics.
+// # Failure containment
+//
+// A panic inside a shard worker (the shard's MultiHash or a WorkerHook)
+// does not crash the process: it is recovered in the worker, recorded as
+// the engine's terminal error, and surfaced through Err. A failed shard
+// keeps consuming — and discarding — its queue so producers and interval
+// barriers never block on it; the engine degrades to reporting the
+// healthy shards' profiles alongside the non-nil Err.
+//
+// A Profiler owns NumShards goroutines. Close shuts them down gracefully,
+// letting every queued batch drain first; Drain does the same but also
+// returns the unfinished interval's profile. Using a closed Profiler does
+// not panic: observations become no-ops, snapshots come back nil, and
+// ErrClosed is reported through Err (or directly from Drain).
 type Profiler struct {
 	cfg     Config
 	workers []*worker
@@ -177,13 +211,20 @@ type Profiler struct {
 	events  uint64
 	closed  bool
 
+	errMu sync.Mutex
+	err   error // first terminal failure: worker panic or use-after-close
+
 	wg sync.WaitGroup
 }
 
-// worker is one shard: a MultiHash and the goroutine that feeds it.
+// worker is one shard: a MultiHash, the channel that feeds it, and the
+// failure flag of the goroutine serving it. failed is touched only by the
+// worker goroutine itself.
 type worker struct {
-	mh *core.MultiHash
-	ch chan request
+	idx    int
+	mh     *core.MultiHash
+	ch     chan request
+	failed bool
 }
 
 // New builds the engine and starts its shard goroutines.
@@ -208,7 +249,7 @@ func New(cfg Config) (*Profiler, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		p.workers[i] = &worker{mh: mh, ch: make(chan request, cfg.QueueDepth)}
+		p.workers[i] = &worker{idx: i, mh: mh, ch: make(chan request, cfg.QueueDepth)}
 		p.pending[i] = p.pool.Get().(*[]event.Tuple)
 	}
 	for _, w := range p.workers {
@@ -219,18 +260,67 @@ func New(cfg Config) (*Profiler, error) {
 }
 
 // serve is the shard goroutine: it drains batches into the shard's
-// MultiHash and answers interval barriers with snapshots.
+// MultiHash and answers interval barriers with snapshots. It never exits
+// early — even after a panic the loop keeps consuming so producers and
+// barriers cannot block on a dead shard — and it only returns when the
+// channel is closed by Close/Drain.
 func (p *Profiler) serve(w *worker) {
 	defer p.wg.Done()
 	for req := range w.ch {
-		if req.batch == nil {
-			req.out <- w.mh.EndInterval()
-			continue
+		p.handle(w, req)
+	}
+}
+
+// handle processes one request, converting a panic — in the shard's
+// profiler or in a WorkerHook — into a terminal engine error instead of
+// crashing the process. After a failure the shard discards batches and
+// answers barriers with nil snapshots.
+func (p *Profiler) handle(w *worker, req request) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.failed = true
+			p.fail(fmt.Errorf("shard %d: worker panic: %v", w.idx, r))
+			if req.out != nil {
+				req.out <- nil // the barrier must still be answered
+			}
+		}
+	}()
+	if req.batch == nil {
+		if w.failed {
+			req.out <- nil
+			return
+		}
+		req.out <- w.mh.EndInterval()
+		return
+	}
+	if !w.failed {
+		if p.cfg.WorkerHook != nil {
+			p.cfg.WorkerHook(w.idx, *req.batch)
 		}
 		w.mh.ObserveBatch(*req.batch)
-		*req.batch = (*req.batch)[:0]
-		p.pool.Put(req.batch)
 	}
+	*req.batch = (*req.batch)[:0]
+	p.pool.Put(req.batch)
+}
+
+// fail records the engine's first terminal error; later failures keep the
+// original, which is the one that explains the cascade.
+func (p *Profiler) fail(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.errMu.Unlock()
+}
+
+// Err returns the engine's terminal error, if any: a contained worker
+// panic, or ErrClosed after the profiler was used post-Close. A healthy
+// engine — including one that was cleanly closed and never misused —
+// reports nil.
+func (p *Profiler) Err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
 }
 
 // Config returns the configuration the engine was built with (with
@@ -253,21 +343,29 @@ func (p *Profiler) EventsThisInterval() uint64 {
 	return p.events
 }
 
-// Observe routes one event to its shard.
+// Observe routes one event to its shard. After Close it is a no-op that
+// records ErrClosed (see Err) instead of panicking.
 func (p *Profiler) Observe(tp event.Tuple) {
 	p.mu.Lock()
-	defer p.mu.Unlock() // deferred so a use-after-Close panic releases the lock
-	p.checkOpen()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.fail(ErrClosed)
+		return
+	}
 	p.route(tp)
 	p.events++
 }
 
 // ObserveBatch routes every tuple of batch to its shard, taking the router
-// lock once for the whole batch. batch is not retained.
+// lock once for the whole batch. batch is not retained. After Close it is
+// a no-op that records ErrClosed (see Err) instead of panicking.
 func (p *Profiler) ObserveBatch(batch []event.Tuple) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.checkOpen()
+	if p.closed {
+		p.fail(ErrClosed)
+		return
+	}
 	for _, tp := range batch {
 		p.route(tp)
 	}
@@ -286,22 +384,27 @@ func (p *Profiler) route(tp event.Tuple) {
 	}
 }
 
-// checkOpen panics if the engine has been closed. Callers hold p.mu.
-func (p *Profiler) checkOpen() {
-	if p.closed {
-		panic("shard: Profiler used after Close")
-	}
-}
-
 // EndInterval flushes the pending route buffers, drains every shard to
 // quiescence, snapshots each shard, applies each shard's interval-boundary
 // policy, and returns the union of the shard snapshots — the engine's
-// profile for the interval just finished.
+// profile for the interval just finished. A failed shard contributes
+// nothing (its loss is reported through Err); after Close, EndInterval
+// returns nil and records ErrClosed.
 func (p *Profiler) EndInterval() map[event.Tuple]uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.checkOpen()
+	if p.closed {
+		p.fail(ErrClosed)
+		return nil
+	}
+	merged := p.barrier()
+	p.events = 0
+	return merged
+}
 
+// barrier flushes partial route buffers, posts a snapshot barrier to every
+// shard, and merges the answers. Callers hold p.mu.
+func (p *Profiler) barrier() map[event.Tuple]uint64 {
 	// Flush partial buffers so the barrier below follows every event of
 	// the interval in each shard's FIFO.
 	for s, buf := range p.pending {
@@ -316,7 +419,8 @@ func (p *Profiler) EndInterval() map[event.Tuple]uint64 {
 		w.ch <- request{out: out}
 	}
 
-	// Shards partition the tuple space, so the union is disjoint.
+	// Shards partition the tuple space, so the union is disjoint. Failed
+	// shards answer nil.
 	var merged map[event.Tuple]uint64
 	for range p.workers {
 		snap := <-out
@@ -328,26 +432,43 @@ func (p *Profiler) EndInterval() map[event.Tuple]uint64 {
 			merged[tp] = c
 		}
 	}
-	p.events = 0
 	return merged
 }
 
-// Close flushes nothing: events of the unfinished interval are discarded,
-// matching the drivers' treatment of a trailing partial interval. It stops
-// every shard goroutine and waits for them to exit; after Close the
-// Profiler panics on use. Close is idempotent.
-func (p *Profiler) Close() {
+// Drain gracefully shuts the engine down and salvages the unfinished
+// interval: it flushes the pending route buffers, lets every shard work
+// through its queue, snapshots the partial interval, stops the shard
+// goroutines, and returns the partial interval's profile — exactly the
+// events observed since the last boundary, as a sequential replay of each
+// shard's sub-stream would report them. The error is the engine's terminal
+// error (nil for a healthy engine, the panic error for a degraded one) or
+// ErrClosed when the engine was already shut down.
+func (p *Profiler) Drain() (map[event.Tuple]uint64, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return
+		return nil, ErrClosed
 	}
 	p.closed = true
+	merged := p.barrier()
+	p.events = 0
+	// The barrier answers only after each shard worked through its queue,
+	// so every channel is empty here and close just releases the workers.
 	for _, w := range p.workers {
 		close(w.ch)
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
+	return merged, p.Err()
+}
+
+// Close shuts the engine down gracefully: queued batches are flushed into
+// the shards, the shard goroutines stop, and their storage is released.
+// The unfinished interval's profile is computed but discarded — call Drain
+// instead to keep it. After Close the Profiler records ErrClosed on use
+// rather than panicking. Close is idempotent.
+func (p *Profiler) Close() {
+	p.Drain()
 }
 
 var _ core.BatchProfiler = (*Profiler)(nil)

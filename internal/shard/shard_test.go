@@ -1,7 +1,10 @@
 package shard
 
 import (
+	"errors"
 	"reflect"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"hwprof/internal/core"
@@ -164,6 +167,25 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsZeroKnobsDirectly: Validate checks a fully resolved
+// configuration, so the zero tuning knobs — which mean "default" only on
+// the New constructor path, where withDefaults runs first — are invalid
+// when Validate is called directly.
+func TestValidateRejectsZeroKnobsDirectly(t *testing.T) {
+	if err := (Config{Core: baseConfig(), NumShards: 2, QueueDepth: 1}).Validate(); err == nil {
+		t.Error("Validate accepted BatchSize 0")
+	}
+	if err := (Config{Core: baseConfig(), NumShards: 2, BatchSize: 64}).Validate(); err == nil {
+		t.Error("Validate accepted QueueDepth 0")
+	}
+	// The same zero knobs construct fine through New (defaults fill in),
+	// and the engine reports the defaulted values.
+	engine := newEngine(t, Config{Core: baseConfig(), NumShards: 2})
+	if got := engine.Config(); got.BatchSize != DefaultBatchSize || got.QueueDepth != DefaultQueueDepth {
+		t.Errorf("defaults not applied: BatchSize %d, QueueDepth %d", got.BatchSize, got.QueueDepth)
+	}
+}
+
 func TestEventsThisInterval(t *testing.T) {
 	engine := newEngine(t, Config{Core: baseConfig(), NumShards: 2})
 	engine.ObserveBatch(workload(t, 1234))
@@ -176,17 +198,114 @@ func TestEventsThisInterval(t *testing.T) {
 	}
 }
 
-func TestCloseIdempotentAndUseAfterClosePanics(t *testing.T) {
+func TestCloseIdempotentAndUseAfterCloseReportsErrClosed(t *testing.T) {
 	engine, err := New(Config{Core: baseConfig(), NumShards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	engine.Close()
 	engine.Close() // must not panic or deadlock
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Observe after Close did not panic")
-		}
-	}()
+	if err := engine.Err(); err != nil {
+		t.Fatalf("clean Close left error %v", err)
+	}
+	// Use after Close must not panic: the misuse is recorded instead.
 	engine.Observe(event.Tuple{A: 1})
+	if !errors.Is(engine.Err(), ErrClosed) {
+		t.Fatalf("Err after use-after-Close = %v, want ErrClosed", engine.Err())
+	}
+	engine.ObserveBatch([]event.Tuple{{A: 2}})
+	if snap := engine.EndInterval(); snap != nil {
+		t.Fatal("EndInterval after Close returned a profile")
+	}
+	if _, err := engine.Drain(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Drain after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestDrainReturnsPartialInterval is the graceful-shutdown contract: Drain
+// on a half-full interval returns exactly the events observed since the
+// last boundary, verified against a sequential replay of each shard's
+// sub-stream through the same split configurations.
+func TestDrainReturnsPartialInterval(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		cfg := Config{Core: baseConfig(), NumShards: shards, BatchSize: 64, QueueDepth: 2}
+		engine, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		seq := make([]*core.MultiHash, shards)
+		for i := range seq {
+			m, err := core.NewMultiHash(cfg.ShardConfig(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq[i] = m
+		}
+
+		// One full interval, then a half interval left unfinished.
+		ivLen := cfg.Core.IntervalLength
+		tuples := workload(t, ivLen+ivLen/2)
+		engine.ObserveBatch(tuples[:ivLen])
+		engine.EndInterval()
+		engine.ObserveBatch(tuples[ivLen:])
+		for _, tp := range tuples[:ivLen] {
+			seq[engine.ShardOf(tp)].Observe(tp)
+		}
+		for _, m := range seq {
+			m.EndInterval()
+		}
+		for _, tp := range tuples[ivLen:] {
+			seq[engine.ShardOf(tp)].Observe(tp)
+		}
+
+		got, err := engine.Drain()
+		if err != nil {
+			t.Fatalf("%d shards: Drain: %v", shards, err)
+		}
+		want := make(map[event.Tuple]uint64)
+		for _, m := range seq {
+			for tp, c := range m.EndInterval() {
+				want[tp] = c
+			}
+		}
+		if len(want) == 0 {
+			t.Fatalf("%d shards: empty reference partial profile", shards)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%d shards: Drain diverges from sequential replay\n got:  %v\n want: %v",
+				shards, got, want)
+		}
+	}
+}
+
+// TestWorkerPanicContained: a panic inside a shard worker must not crash
+// the process or deadlock the engine; it surfaces through Err and the
+// remaining shards keep reporting.
+func TestWorkerPanicContained(t *testing.T) {
+	cfg := Config{Core: baseConfig(), NumShards: 4, BatchSize: 8, QueueDepth: 2}
+	var fired atomic.Bool
+	cfg.WorkerHook = func(shard int, batch []event.Tuple) {
+		if shard == 1 && fired.CompareAndSwap(false, true) {
+			panic("injected shard fault")
+		}
+	}
+	engine, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	engine.ObserveBatch(workload(t, 10_000))
+	profile := engine.EndInterval() // must not deadlock on the failed shard
+	if err := engine.Err(); err == nil || !strings.Contains(err.Error(), "worker panic") {
+		t.Fatalf("Err = %v, want contained worker panic", err)
+	}
+	// The healthy shards' profile still comes through.
+	if len(profile) == 0 {
+		t.Fatal("all shards lost to one worker panic")
+	}
+	// The engine keeps absorbing events without blocking after the failure.
+	engine.ObserveBatch(workload(t, 10_000))
+	engine.EndInterval()
 }

@@ -238,6 +238,10 @@ func (g *Generator) Next() (event.Tuple, bool) {
 	}
 }
 
+// Err always returns nil: the generator is a pure function of its model
+// and seed and cannot fail mid-stream.
+func (g *Generator) Err() error { return nil }
+
 var _ event.Source = (*Generator)(nil)
 
 // benchmarks is the analog suite, tuned to the shape targets in DESIGN.md.
@@ -341,22 +345,45 @@ func Interleave(quantum uint64, sources ...event.Source) (event.Source, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("synth: interleave needs at least one source")
 	}
-	cur, used := 0, uint64(0)
-	return event.FuncSource(func() (event.Tuple, bool) {
-		for tries := 0; tries < len(sources); tries++ {
-			if used >= quantum {
-				cur = (cur + 1) % len(sources)
-				used = 0
-			}
-			tp, ok := sources[cur].Next()
-			if ok {
-				used++
-				return tp, true
-			}
-			// Source exhausted: rotate to the next one immediately.
-			cur = (cur + 1) % len(sources)
-			used = 0
-		}
-		return event.Tuple{}, false
-	}), nil
+	return &interleaved{quantum: quantum, sources: sources}, nil
 }
+
+// interleaved is the round-robin merge behind Interleave. A failed source
+// ends the merged stream immediately — a multiprogrammed trace with one
+// corrupt constituent is corrupt as a whole — and Err surfaces the failure.
+type interleaved struct {
+	quantum uint64
+	sources []event.Source
+	cur     int
+	used    uint64
+	err     error
+}
+
+func (s *interleaved) Next() (event.Tuple, bool) {
+	if s.err != nil {
+		return event.Tuple{}, false
+	}
+	for tries := 0; tries < len(s.sources); tries++ {
+		if s.used >= s.quantum {
+			s.cur = (s.cur + 1) % len(s.sources)
+			s.used = 0
+		}
+		tp, ok := s.sources[s.cur].Next()
+		if ok {
+			s.used++
+			return tp, true
+		}
+		if err := s.sources[s.cur].Err(); err != nil {
+			s.err = fmt.Errorf("synth: interleave source %d: %w", s.cur, err)
+			return event.Tuple{}, false
+		}
+		// Source exhausted cleanly: rotate to the next one immediately.
+		s.cur = (s.cur + 1) % len(s.sources)
+		s.used = 0
+	}
+	return event.Tuple{}, false
+}
+
+// Err returns the failure of the constituent source that ended the merged
+// stream, if any.
+func (s *interleaved) Err() error { return s.err }

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"errors"
 	"testing"
 
 	"hwprof/internal/core"
@@ -270,5 +271,49 @@ func TestInterleavedProfiling(t *testing.T) {
 	}
 	if mean := sum.Mean().Total; mean > 0.05 {
 		t.Fatalf("multiprogrammed error %v, want < 5%%", mean)
+	}
+}
+
+// failingTestSource delivers its tuples and then fails.
+type failingTestSource struct {
+	tuples []event.Tuple
+	cause  error
+	pos    int
+}
+
+func (f *failingTestSource) Next() (event.Tuple, bool) {
+	if f.pos < len(f.tuples) {
+		f.pos++
+		return f.tuples[f.pos-1], true
+	}
+	return event.Tuple{}, false
+}
+
+func (f *failingTestSource) Err() error {
+	if f.pos >= len(f.tuples) {
+		return f.cause
+	}
+	return nil
+}
+
+// TestInterleaveSurfacesSourceError: a sub-stream failure ends the merged
+// stream with the failure attributed to the failing source.
+func TestInterleaveSurfacesSourceError(t *testing.T) {
+	cause := errors.New("trace unplugged")
+	bad := &failingTestSource{tuples: []event.Tuple{{A: 1}}, cause: cause}
+	good := event.NewSliceSource([]event.Tuple{{A: 2}, {A: 2}, {A: 2}})
+	src, err := Interleave(2, bad, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := event.Collect(src, 0)
+	if len(got) == 0 {
+		t.Fatal("nothing delivered before the failure")
+	}
+	if !errors.Is(src.Err(), cause) {
+		t.Fatalf("Err = %v, want the sub-source failure", src.Err())
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("merged stream resumed past a failed source")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -157,30 +158,215 @@ func TestShortHeader(t *testing.T) {
 	}
 }
 
-func TestTruncatedRecord(t *testing.T) {
+// writeTrace serializes tuples at an explicit format version.
+func writeTrace(t *testing.T, version byte, kind event.Kind, tuples []event.Tuple) []byte {
+	t.Helper()
 	var buf bytes.Buffer
-	w, _ := NewWriter(&buf, event.KindValue)
-	if err := w.Write(event.Tuple{A: 1 << 40, B: 2}); err != nil {
+	w, err := NewWriterVersion(&buf, kind, version)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Flush(); err != nil {
+	for _, tp := range tuples {
+		if err := w.Write(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Chop the final byte: the record's second varint is now incomplete.
-	data := buf.Bytes()[:buf.Len()-1]
+	return buf.Bytes()
+}
+
+// readAll drains a serialized trace, returning the tuples and the reader's
+// final error state.
+func readAll(t *testing.T, data []byte) ([]event.Tuple, error) {
+	t.Helper()
 	r, err := NewReader(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := r.Next(); ok {
-		t.Fatal("truncated record decoded successfully")
+	var out []event.Tuple
+	for {
+		tp, ok := r.Next()
+		if !ok {
+			break
+		}
+		out = append(out, tp)
 	}
-	if r.Err() == nil {
-		t.Fatal("truncation not reported via Err")
-	}
-	// Error is sticky.
+	// The reader must stay ended and keep its error sticky.
 	if _, ok := r.Next(); ok {
-		t.Fatal("reader kept producing after error")
+		t.Fatal("reader kept producing after end of stream")
+	}
+	return out, r.Err()
+}
+
+var truncationTuples = []event.Tuple{
+	{A: 1 << 40, B: 2}, {A: 1 << 41, B: 3}, {A: 5, B: 1 << 50},
+}
+
+func TestTruncatedRecordV1(t *testing.T) {
+	data := writeTrace(t, VersionDelta, event.KindValue, truncationTuples[:1])
+	// Chop the final byte: the record's second varint is now incomplete.
+	_, err := readAll(t, data[:len(data)-1])
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestTruncatedV2 cuts a v2 trace at every possible byte length and checks
+// each prefix reports truncation — the framing makes any cut detectable,
+// including cuts at record boundaries that v1 cannot see.
+func TestTruncatedV2(t *testing.T) {
+	data := writeTrace(t, Version, event.KindValue, truncationTuples)
+	for cut := 6; cut < len(data); cut++ {
+		if _, err := readAll(t, data[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d of %d: err = %v, want ErrTruncated", cut, len(data), err)
+		}
+	}
+	if _, err := readAll(t, data); err != nil {
+		t.Fatalf("uncut trace: %v", err)
+	}
+}
+
+// TestBitFlipV2 flips one bit at a time across the whole file and checks
+// that no flip yields the original tuples with a nil error: every
+// corruption is either detected or confined to the header check.
+func TestBitFlipV2(t *testing.T) {
+	orig := writeTrace(t, Version, event.KindValue, truncationTuples)
+	want, err := readAll(t, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i < len(orig); i++ { // header bytes are validated by NewReader
+		for bit := 0; bit < 8; bit++ {
+			data := append([]byte(nil), orig...)
+			data[i] ^= 1 << bit
+			r, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("flip byte %d bit %d: header rejected: %v", i, bit, err)
+			}
+			var got []event.Tuple
+			for {
+				tp, ok := r.Next()
+				if !ok {
+					break
+				}
+				got = append(got, tp)
+			}
+			if r.Err() == nil && !reflect.DeepEqual(got, want) {
+				t.Fatalf("flip byte %d bit %d: silently changed the decoded stream", i, bit)
+			}
+			if r.Err() == nil && reflect.DeepEqual(got, want) {
+				t.Fatalf("flip byte %d bit %d: undetected corruption", i, bit)
+			}
+		}
+	}
+}
+
+// TestPrefixReadDetectsCorruption: a reader that consumes only the first
+// records of a multi-block trace must still catch a bit flip in the part
+// it reads — the per-block CRC is checked before any record of the block
+// is delivered, so integrity does not depend on reaching the footer.
+func TestPrefixReadDetectsCorruption(t *testing.T) {
+	r := xrand.New(11)
+	in := make([]event.Tuple, 20_000)
+	for i := range in {
+		in[i] = event.Tuple{A: r.Uint64(), B: r.Uint64()}
+	}
+	data := writeTrace(t, Version, event.KindGeneric, in)
+	if len(data) < 2*blockTarget {
+		t.Fatalf("need a multi-block trace, got %d bytes", len(data))
+	}
+	data[100] ^= 0x08 // inside the first block's payload
+
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ask for just one record — far less than a block, nowhere near the
+	// footer.
+	if _, ok := rd.Next(); ok {
+		t.Fatal("record delivered from a corrupt block")
+	}
+	if !errors.Is(rd.Err(), ErrCorrupt) {
+		t.Fatalf("Err = %v, want ErrCorrupt", rd.Err())
+	}
+}
+
+// TestV1StillReadable: the v2 reader must keep decoding legacy traces.
+func TestV1StillReadable(t *testing.T) {
+	in := []event.Tuple{{A: 0x400000, B: 7}, {A: 0x400004, B: 9}, {A: 1, B: 2}}
+	data := writeTrace(t, VersionDelta, event.KindEdge, in)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != VersionDelta {
+		t.Fatalf("Version = %d, want %d", r.Version(), VersionDelta)
+	}
+	got, err := readAll(t, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("v1 round trip: got %v, want %v", got, in)
+	}
+}
+
+// TestFooterCountMismatch hand-edits the footer's record count.
+func TestFooterCountMismatch(t *testing.T) {
+	data := writeTrace(t, Version, event.KindValue, truncationTuples)
+	// Footer layout: ... 0x00 terminator | uvarint(count=3) | crc32. The
+	// count is the second-to-last-5th byte; with 3 records it is one byte.
+	data[len(data)-5] = 7
+	if _, err := readAll(t, data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWriterCloseIdempotent: double Close is fine, Write after Close is not.
+func TestWriterCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, event.KindValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(event.Tuple{A: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Fatal("second Close wrote more bytes")
+	}
+	if err := w.Write(event.Tuple{A: 2}); err == nil {
+		t.Fatal("Write after Close accepted")
+	}
+}
+
+// TestMultiBlock pushes enough records to span several blocks and checks
+// the block framing is invisible to the reader.
+func TestMultiBlock(t *testing.T) {
+	r := xrand.New(3)
+	in := make([]event.Tuple, 40_000) // ~8-10 bytes/record ≫ one block
+	for i := range in {
+		in[i] = event.Tuple{A: r.Uint64(), B: r.Uint64()}
+	}
+	data := writeTrace(t, Version, event.KindGeneric, in)
+	if len(data) < 3*blockTarget {
+		t.Fatalf("expected multi-block trace, got %d bytes", len(data))
+	}
+	got, err := readAll(t, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatal("multi-block round trip diverged")
 	}
 }
 

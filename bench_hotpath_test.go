@@ -1,0 +1,17 @@
+// Hot-path perf-trajectory benchmarks: the same fixed-seed cases that
+// cmd/benchrun measures into BENCH_*.json, exposed to `go test -bench` so
+// CI can smoke them and developers can run individual cases with -bench
+// filters (e.g. -bench 'HotPath/observe-batch/multi$').
+package hwprof_test
+
+import (
+	"testing"
+
+	"hwprof/internal/benchsuite"
+)
+
+func BenchmarkHotPath(b *testing.B) {
+	for _, c := range benchsuite.Suite() {
+		b.Run(c.Name, c.F)
+	}
+}

@@ -1,0 +1,146 @@
+// benchrun executes the fixed-seed hot-path benchmark suite
+// (internal/benchsuite) and emits the results as JSON — the format of the
+// repository's BENCH_*.json perf-trajectory files.
+//
+// Usage:
+//
+//	go run ./cmd/benchrun -out baseline.json
+//	...change the hot path...
+//	go run ./cmd/benchrun -baseline baseline.json -out BENCH_3.json
+//
+// With -baseline the previous run is embedded in the output and a
+// per-case speedup (baseline ns/event ÷ current ns/event, falling back to
+// ns/op for component cases) is computed, so a single committed file
+// carries the before/after pair.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hwprof/internal/benchsuite"
+)
+
+// CaseResult is one benchmark case's measurement.
+type CaseResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerEvent  float64 `json:"ns_per_event,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_*.json document.
+type Report struct {
+	Date      string             `json:"date"`
+	GoVersion string             `json:"go"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	Benchtime string             `json:"benchtime"`
+	Cases     []CaseResult       `json:"cases"`
+	Baseline  *Report            `json:"baseline,omitempty"`
+	Speedup   map[string]float64 `json:"speedup,omitempty"`
+}
+
+// headline returns the case's per-event cost when it has one, else ns/op.
+func (c CaseResult) headline() float64 {
+	if c.NsPerEvent > 0 {
+		return c.NsPerEvent
+	}
+	return c.NsPerOp
+}
+
+func run(benchtime time.Duration) Report {
+	rep := Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: benchtime.String(),
+	}
+	for _, c := range benchsuite.Suite() {
+		fmt.Fprintf(os.Stderr, "running %-28s ", c.Name)
+		var last testing.BenchmarkResult
+		f := c.F
+		// testing.Benchmark has no benchtime knob outside `go test`, so
+		// grow iterations ourselves until the measured time is credible.
+		last = testing.Benchmark(func(b *testing.B) { f(b) })
+		for last.T < benchtime && last.N < 1<<30 {
+			n := last.N * 4
+			last = testing.Benchmark(func(b *testing.B) {
+				if b.N < n {
+					b.N = n
+				}
+				f(b)
+			})
+		}
+		res := CaseResult{
+			Name:        c.Name,
+			Iterations:  last.N,
+			NsPerOp:     float64(last.T.Nanoseconds()) / float64(last.N),
+			NsPerEvent:  last.Extra["ns/event"],
+			AllocsPerOp: last.AllocsPerOp(),
+			BytesPerOp:  last.AllocedBytesPerOp(),
+		}
+		rep.Cases = append(rep.Cases, res)
+		fmt.Fprintf(os.Stderr, "%10.2f ns/op %8.2f ns/event %4d allocs/op\n",
+			res.NsPerOp, res.NsPerEvent, res.AllocsPerOp)
+	}
+	return rep
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	baselinePath := flag.String("baseline", "", "previous benchrun JSON to embed for before/after comparison")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measured time per case")
+	flag.Parse()
+
+	rep := run(*benchtime)
+
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun: parsing baseline:", err)
+			os.Exit(1)
+		}
+		base.Baseline = nil // never nest more than one level
+		base.Speedup = nil
+		rep.Baseline = &base
+		rep.Speedup = make(map[string]float64, len(rep.Cases))
+		byName := make(map[string]CaseResult, len(base.Cases))
+		for _, c := range base.Cases {
+			byName[c.Name] = c
+		}
+		for _, c := range rep.Cases {
+			if b, ok := byName[c.Name]; ok && c.headline() > 0 {
+				rep.Speedup[c.Name] = b.headline() / c.headline()
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+}

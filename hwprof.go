@@ -204,6 +204,13 @@ type RunConfig struct {
 	// oracle's map insert per event costs more than the whole hardware
 	// model.
 	NoPerfect bool
+
+	// ReuseProfiles recycles the interval-profile maps back into the
+	// profilers after each callback, making interval boundaries
+	// allocation-free in steady state. The callback must then finish with
+	// the maps before returning — they are invalid afterwards. Runs with a
+	// nil callback always recycle; the maps are never observed.
+	ReuseProfiles bool
 }
 
 // RunWith feeds src through hw (and, unless disabled, a perfect profiler)
@@ -230,6 +237,7 @@ func RunWithContext(ctx context.Context, src Source, hw StreamProfiler, cfg RunC
 		IntervalLength: cfg.IntervalLength,
 		BatchSize:      cfg.BatchSize,
 		NoPerfect:      cfg.NoPerfect,
+		ReuseProfiles:  cfg.ReuseProfiles,
 	}, fn)
 }
 

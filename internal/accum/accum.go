@@ -17,29 +17,53 @@
 //     threshold. Retained entries restart counting from zero, may be evicted
 //     by new promotions, and become non-replaceable again the moment they
 //     re-cross the threshold.
+//
+// # Data layout
+//
+// The table is a flat, open-addressed struct-of-arrays store: tuples,
+// counts, insertion sequence numbers and flag bytes live in parallel
+// slices sized at construction, probed linearly from a mixed hash of the
+// tuple. The per-event Inc is a probe over contiguous memory with no
+// pointer chasing, Insert never allocates, and deletion uses backward
+// shifting so no tombstones accumulate — the software analog of the small
+// fully-associative CAM the paper builds, where every lookup touches a
+// fixed block of silicon and nothing is heap-managed. Eviction scans the
+// whole (tiny) table, like the hardware's parallel compare.
 package accum
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"hwprof/internal/event"
 )
 
-// entry is one accumulator row.
-type entry struct {
-	tuple       event.Tuple
-	count       uint64
-	replaceable bool
-	seq         uint64 // insertion order, for deterministic eviction
-}
+// meta flag bits.
+const (
+	occupied    = 1 << 0
+	replaceable = 1 << 1
+)
 
 // Table is a bounded, fully-associative accumulator table.
 type Table struct {
 	capacity  int
 	threshold uint64
-	entries   map[event.Tuple]*entry
-	seq       uint64
+	seq       uint64 // last insertion sequence number handed out
+	live      int    // occupied slots
+	mask      uint32 // len(slices) - 1; power-of-two slot count
+
+	// Parallel slot arrays (struct-of-arrays): the per-event probe loop
+	// touches meta and tuples only, counts on a hit.
+	tuples []event.Tuple
+	counts []uint64
+	seqs   []uint64
+	meta   []uint8
+
+	// EndInterval scratch for the retaining rebuild, reused across
+	// intervals so interval boundaries allocate nothing.
+	keepTuples []event.Tuple
+	keepSeqs   []uint64
 }
 
 // New returns an accumulator with the given entry capacity and candidate
@@ -51,11 +75,49 @@ func New(capacity int, threshold uint64) (*Table, error) {
 	if threshold == 0 {
 		return nil, fmt.Errorf("accum: threshold must be positive")
 	}
+	// Slot count: power of two at least twice the capacity, so the load
+	// factor never exceeds 1/2 and linear probe chains stay short.
+	slots := 1 << bits.Len(uint(2*capacity-1))
+	if slots < 8 {
+		slots = 8
+	}
 	return &Table{
-		capacity:  capacity,
-		threshold: threshold,
-		entries:   make(map[event.Tuple]*entry, capacity),
+		capacity:   capacity,
+		threshold:  threshold,
+		mask:       uint32(slots - 1),
+		tuples:     make([]event.Tuple, slots),
+		counts:     make([]uint64, slots),
+		seqs:       make([]uint64, slots),
+		meta:       make([]uint8, slots),
+		keepTuples: make([]event.Tuple, 0, capacity),
+		keepSeqs:   make([]uint64, 0, capacity),
 	}, nil
+}
+
+// slotHash mixes a tuple into its home slot. Murmur3-style finalizer over
+// both members; independent of the profilers' byte-table hash functions.
+func slotHash(tp event.Tuple) uint32 {
+	x := tp.A ^ (tp.B * 0x9e3779b97f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return uint32(x)
+}
+
+// slot probes for tp: (slot index, true) when resident, else (first free
+// slot on tp's probe path, false). Termination is guaranteed by the ≤ 1/2
+// load factor.
+func (t *Table) slot(tp event.Tuple) (uint32, bool) {
+	i := slotHash(tp) & t.mask
+	for t.meta[i]&occupied != 0 {
+		if t.tuples[i] == tp {
+			return i, true
+		}
+		i = (i + 1) & t.mask
+	}
+	return i, false
 }
 
 // Capacity returns the table's entry capacity.
@@ -65,21 +127,21 @@ func (t *Table) Capacity() int { return t.capacity }
 func (t *Table) Threshold() uint64 { return t.threshold }
 
 // Len returns the number of occupied entries.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return t.live }
 
 // Contains reports whether tp currently has an entry.
 func (t *Table) Contains(tp event.Tuple) bool {
-	_, ok := t.entries[tp]
+	_, ok := t.slot(tp)
 	return ok
 }
 
 // Count returns the current count for tp and whether tp is present.
 func (t *Table) Count(tp event.Tuple) (uint64, bool) {
-	e, ok := t.entries[tp]
+	i, ok := t.slot(tp)
 	if !ok {
 		return 0, false
 	}
-	return e.count, true
+	return t.counts[i], true
 }
 
 // Inc counts one occurrence of a resident tuple. A retained (replaceable)
@@ -87,13 +149,14 @@ func (t *Table) Count(tp event.Tuple) (uint64, bool) {
 // of the interval, exactly as in §5.4.1. Inc reports whether the tuple was
 // resident.
 func (t *Table) Inc(tp event.Tuple) bool {
-	e, ok := t.entries[tp]
+	i, ok := t.slot(tp)
 	if !ok {
 		return false
 	}
-	e.count++
-	if e.replaceable && e.count >= t.threshold {
-		e.replaceable = false
+	c := t.counts[i] + 1
+	t.counts[i] = c
+	if t.meta[i]&replaceable != 0 && c >= t.threshold {
+		t.meta[i] &^= replaceable
 	}
 	return true
 }
@@ -103,64 +166,120 @@ func (t *Table) Inc(tp event.Tuple) bool {
 // evicts the replaceable entry with the smallest count (oldest first on
 // ties). Insert fails — and the table is unchanged — when every entry is
 // occupied and non-replaceable. Inserting a tuple that is already resident
-// is a no-op reported as success.
+// is a no-op reported as success. Insert never heap-allocates.
 func (t *Table) Insert(tp event.Tuple, initial uint64) bool {
-	if _, ok := t.entries[tp]; ok {
+	i, ok := t.slot(tp)
+	if ok {
 		return true
 	}
-	if len(t.entries) >= t.capacity {
-		victim := t.victim()
-		if victim == nil {
+	if t.live >= t.capacity {
+		v, ok := t.victim()
+		if !ok {
 			return false
 		}
-		delete(t.entries, victim.tuple)
+		t.remove(v)
+		// The backward shift may have reshaped tp's probe chain;
+		// re-probe for the free slot.
+		i, _ = t.slot(tp)
 	}
 	t.seq++
-	t.entries[tp] = &entry{
-		tuple:       tp,
-		count:       initial,
-		replaceable: initial < t.threshold,
-		seq:         t.seq,
+	t.tuples[i] = tp
+	t.counts[i] = initial
+	t.seqs[i] = t.seq
+	m := uint8(occupied)
+	if initial < t.threshold {
+		m |= replaceable
 	}
+	t.meta[i] = m
+	t.live++
 	return true
 }
 
 // victim selects the replaceable entry with the smallest count, breaking
-// ties by age (smaller seq first). Returns nil when nothing is replaceable.
-func (t *Table) victim() *entry {
-	var v *entry
-	for _, e := range t.entries {
-		if !e.replaceable {
+// ties by age (smaller seq first) — a full scan, like the hardware's
+// parallel compare across its handful of entries. ok is false when nothing
+// is replaceable.
+func (t *Table) victim() (idx uint32, ok bool) {
+	var (
+		bestCount uint64
+		bestSeq   uint64
+	)
+	for i := range t.meta {
+		if t.meta[i]&(occupied|replaceable) != occupied|replaceable {
 			continue
 		}
-		if v == nil || e.count < v.count || (e.count == v.count && e.seq < v.seq) {
-			v = e
+		c, s := t.counts[i], t.seqs[i]
+		if !ok || c < bestCount || (c == bestCount && s < bestSeq) {
+			idx, bestCount, bestSeq, ok = uint32(i), c, s, true
 		}
 	}
-	return v
+	return idx, ok
+}
+
+// remove deletes the entry at slot i by backward shifting: entries after
+// the hole whose probe chain passes through it are moved back, so the
+// table never carries tombstones and probe chains stay minimal.
+func (t *Table) remove(i uint32) {
+	t.live--
+	mask := t.mask
+	j := i
+	for {
+		t.meta[i] = 0
+		for {
+			j = (j + 1) & mask
+			if t.meta[j]&occupied == 0 {
+				return
+			}
+			// The entry at j (home slot h) may fill hole i only if i
+			// lies on its probe path, i.e. cyclically within [h, j).
+			h := slotHash(t.tuples[j]) & mask
+			if (j-h)&mask >= (j-i)&mask {
+				break
+			}
+		}
+		t.tuples[i] = t.tuples[j]
+		t.counts[i] = t.counts[j]
+		t.seqs[i] = t.seqs[j]
+		t.meta[i] = t.meta[j]
+		i = j
+	}
 }
 
 // Snapshot returns the current per-tuple counts. The map is freshly
 // allocated and safe for the caller to keep across EndInterval.
 func (t *Table) Snapshot() map[event.Tuple]uint64 {
-	out := make(map[event.Tuple]uint64, len(t.entries))
-	for tp, e := range t.entries {
-		out[tp] = e.count
+	return t.SnapshotInto(nil)
+}
+
+// SnapshotInto writes the current per-tuple counts into dst and returns
+// it, allocating a map only when dst is nil. dst must be empty — the
+// drivers recycle interval maps through clear() and hand them back here,
+// making steady-state interval boundaries allocation-free.
+func (t *Table) SnapshotInto(dst map[event.Tuple]uint64) map[event.Tuple]uint64 {
+	if dst == nil {
+		dst = make(map[event.Tuple]uint64, t.live)
 	}
-	return out
+	for i := range t.meta {
+		if t.meta[i]&occupied != 0 {
+			dst[t.tuples[i]] = t.counts[i]
+		}
+	}
+	return dst
 }
 
 // Candidates returns the tuples whose counts reached the threshold, sorted
 // by descending count (ties by tuple for determinism).
 func (t *Table) Candidates() []event.Tuple {
 	var out []event.Tuple
-	for tp, e := range t.entries {
-		if e.count >= t.threshold {
-			out = append(out, tp)
+	counts := make(map[event.Tuple]uint64, t.live)
+	for i := range t.meta {
+		if t.meta[i]&occupied != 0 && t.counts[i] >= t.threshold {
+			out = append(out, t.tuples[i])
+			counts[t.tuples[i]] = t.counts[i]
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		ci, cj := t.entries[out[i]].count, t.entries[out[j]].count
+		ci, cj := counts[out[i]], counts[out[j]]
 		if ci != cj {
 			return ci > cj
 		}
@@ -173,23 +292,44 @@ func (t *Table) Candidates() []event.Tuple {
 }
 
 // EndInterval applies the interval-boundary policy and prepares the table
-// for the next interval.
+// for the next interval. It never allocates: the retaining rebuild runs
+// through scratch buffers owned by the table.
 //
 // With retain == false the table is simply flushed. With retain == true
 // (§5.4.1) entries that finished below the threshold are flushed, and
 // entries at or above it are kept with their counters reset to zero and
 // marked replaceable.
 func (t *Table) EndInterval(retain bool) {
-	if !retain {
-		clear(t.entries)
+	if !retain || t.live == 0 {
+		t.clearAll()
 		return
 	}
-	for tp, e := range t.entries {
-		if e.count < t.threshold {
-			delete(t.entries, tp)
-			continue
+	// Collect the survivors, then rebuild the probe structure from
+	// scratch — deleting the sub-threshold majority in place would
+	// backward-shift most of the table anyway. Sequence numbers are
+	// preserved: retained entries keep their age for eviction tie-breaks.
+	keepT, keepS := t.keepTuples[:0], t.keepSeqs[:0]
+	for i := range t.meta {
+		if t.meta[i]&occupied != 0 && t.counts[i] >= t.threshold {
+			keepT = append(keepT, t.tuples[i])
+			keepS = append(keepS, t.seqs[i])
 		}
-		e.count = 0
-		e.replaceable = true
 	}
+	t.clearAll()
+	for k, tp := range keepT {
+		i, _ := t.slot(tp)
+		t.tuples[i] = tp
+		t.counts[i] = 0
+		t.seqs[i] = keepS[k]
+		t.meta[i] = occupied | replaceable
+		t.live++
+	}
+	t.keepTuples, t.keepSeqs = keepT, keepS
+}
+
+// clearAll empties the table. Only the meta bytes need zeroing; the other
+// arrays are dead until their slots are re-occupied.
+func (t *Table) clearAll() {
+	clear(t.meta)
+	t.live = 0
 }

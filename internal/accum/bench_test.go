@@ -1,0 +1,76 @@
+package accum
+
+import (
+	"testing"
+
+	"hwprof/internal/event"
+)
+
+// BenchmarkIncResident measures the shield-path hit: one probe of a
+// resident tuple plus its count bump. This is the hottest accumulator
+// operation (every shielded event takes it).
+func BenchmarkIncResident(b *testing.B) {
+	tab, err := New(100, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples := make([]event.Tuple, 64)
+	for i := range tuples {
+		tuples[i] = event.Tuple{A: uint64(i) * 0x9E3779B9, B: uint64(i)}
+		tab.Insert(tuples[i], 100)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Inc(tuples[i&63])
+	}
+}
+
+// BenchmarkIncMiss measures the shield-path miss: a probe that finds no
+// entry (the common case for cold tuples).
+func BenchmarkIncMiss(b *testing.B) {
+	tab, err := New(100, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		tab.Insert(event.Tuple{A: uint64(i) * 0x9E3779B9, B: uint64(i)}, 100)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Inc(event.Tuple{A: uint64(i) | 1<<63, B: 7})
+	}
+}
+
+// BenchmarkInsertEvict measures promotion into a full table of replaceable
+// entries: victim scan, backward-shift removal, and insertion.
+func BenchmarkInsertEvict(b *testing.B) {
+	tab, err := New(100, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tab.Insert(event.Tuple{A: uint64(i), B: 0}, uint64(i)) // all below threshold: replaceable
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Insert(event.Tuple{A: uint64(i) + 100, B: 1}, 500)
+	}
+}
+
+// BenchmarkSnapshotInto measures the interval-boundary snapshot with a
+// recycled destination map (the steady state under profile reuse).
+func BenchmarkSnapshotInto(b *testing.B) {
+	tab, err := New(100, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tab.Insert(event.Tuple{A: uint64(i), B: 0}, 100)
+	}
+	dst := tab.SnapshotInto(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clear(dst)
+		dst = tab.SnapshotInto(dst)
+	}
+}

@@ -1,0 +1,197 @@
+package accum
+
+// Differential test: the open-addressed table must match a map-based
+// reference (a transcription of the original implementation) operation for
+// operation, including eviction victim choice and retained-entry state.
+
+import (
+	"sort"
+	"testing"
+
+	"hwprof/internal/event"
+	"hwprof/internal/xrand"
+)
+
+type mapEntry struct {
+	count       uint64
+	replaceable bool
+	seq         uint64
+}
+
+type mapAccum struct {
+	capacity  int
+	threshold uint64
+	entries   map[event.Tuple]*mapEntry
+	seq       uint64
+}
+
+func newMapAccum(capacity int, threshold uint64) *mapAccum {
+	return &mapAccum{capacity: capacity, threshold: threshold,
+		entries: make(map[event.Tuple]*mapEntry, capacity)}
+}
+
+func (t *mapAccum) inc(tp event.Tuple) bool {
+	e, ok := t.entries[tp]
+	if !ok {
+		return false
+	}
+	e.count++
+	if e.replaceable && e.count >= t.threshold {
+		e.replaceable = false
+	}
+	return true
+}
+
+func (t *mapAccum) insert(tp event.Tuple, initial uint64) bool {
+	if _, ok := t.entries[tp]; ok {
+		return true
+	}
+	if len(t.entries) >= t.capacity {
+		var vt event.Tuple
+		var v *mapEntry
+		for etp, e := range t.entries {
+			if !e.replaceable {
+				continue
+			}
+			if v == nil || e.count < v.count || (e.count == v.count && e.seq < v.seq) {
+				v, vt = e, etp
+			}
+		}
+		if v == nil {
+			return false
+		}
+		delete(t.entries, vt)
+	}
+	t.seq++
+	t.entries[tp] = &mapEntry{count: initial, replaceable: initial < t.threshold, seq: t.seq}
+	return true
+}
+
+func (t *mapAccum) endInterval(retain bool) {
+	if !retain {
+		clear(t.entries)
+		return
+	}
+	for tp, e := range t.entries {
+		if e.count < t.threshold {
+			delete(t.entries, tp)
+			continue
+		}
+		e.count = 0
+		e.replaceable = true
+	}
+}
+
+func (t *mapAccum) sortedTuples() []event.Tuple {
+	out := make([]event.Tuple, 0, len(t.entries))
+	for tp := range t.entries {
+		out = append(out, tp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// TestDifferentialVsMapReference drives a long random operation stream
+// through both implementations, comparing full state (presence, counts,
+// candidates) continuously and across retain/flush boundaries.
+func TestDifferentialVsMapReference(t *testing.T) {
+	for _, retain := range []bool{false, true} {
+		name := "flush"
+		if retain {
+			name = "retain"
+		}
+		t.Run(name, func(t *testing.T) {
+			const capacity, threshold = 10, 20
+			opt, err := New(capacity, threshold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newMapAccum(capacity, threshold)
+
+			r := xrand.New(0xACC)
+			// Small tuple universe so inserts collide with residents,
+			// evictions recur, and retained entries get re-promoted.
+			tuple := func() event.Tuple {
+				return event.Tuple{A: r.Uint64() % 40, B: r.Uint64() % 3}
+			}
+			for op := 0; op < 300_000; op++ {
+				switch r.Uint64() % 100 {
+				case 0: // interval boundary
+					opt.EndInterval(retain)
+					ref.endInterval(retain)
+				case 1, 2, 3, 4, 5: // promotion attempt
+					tp := tuple()
+					initial := r.Uint64() % (2 * threshold)
+					if o, rf := opt.Insert(tp, initial), ref.insert(tp, initial); o != rf {
+						t.Fatalf("op %d: Insert(%v, %d) = %v, ref %v", op, tp, initial, o, rf)
+					}
+				default:
+					tp := tuple()
+					if o, rf := opt.Inc(tp), ref.inc(tp); o != rf {
+						t.Fatalf("op %d: Inc(%v) = %v, ref %v", op, tp, o, rf)
+					}
+				}
+				if opt.Len() != len(ref.entries) {
+					t.Fatalf("op %d: Len %d, ref %d", op, opt.Len(), len(ref.entries))
+				}
+				// Periodic deep compare; every op would be quadratic.
+				if op%500 == 0 {
+					for _, tp := range ref.sortedTuples() {
+						oc, ok := opt.Count(tp)
+						if !ok || oc != ref.entries[tp].count {
+							t.Fatalf("op %d: Count(%v) = %d (present %v), ref %d",
+								op, tp, oc, ok, ref.entries[tp].count)
+						}
+					}
+					snap := opt.SnapshotInto(nil)
+					if len(snap) != len(ref.entries) {
+						t.Fatalf("op %d: snapshot size %d, ref %d", op, len(snap), len(ref.entries))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBackwardShiftRemovalKeepsProbes fills the table through enough
+// insert/evict churn that backward-shift deletion must repair probe
+// sequences, then verifies every survivor remains findable.
+func TestBackwardShiftRemovalKeepsProbes(t *testing.T) {
+	const capacity, threshold = 32, 5
+	tab, err := New(capacity, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(0x5317F7)
+	resident := make(map[event.Tuple]uint64)
+	for op := 0; op < 100_000; op++ {
+		tp := event.Tuple{A: r.Uint64() % 4096, B: 0}
+		initial := r.Uint64() % threshold // all replaceable: eviction every insert once full
+		if tab.Insert(tp, initial) {
+			if _, ok := resident[tp]; !ok {
+				resident[tp] = initial
+			}
+		}
+		// Rebuild the expected resident set from the table itself only via
+		// the public surface; cross-check counts for a sample.
+		if op%1000 == 0 {
+			snap := tab.SnapshotInto(nil)
+			for stp, c := range snap {
+				if got, ok := tab.Count(stp); !ok || got != c {
+					t.Fatalf("op %d: snapshot says %v=%d but Count says %d (present %v)",
+						op, stp, c, got, ok)
+				}
+			}
+			if len(snap) > capacity {
+				t.Fatalf("op %d: %d entries exceed capacity %d", op, len(snap), capacity)
+			}
+			resident = snap
+		}
+	}
+	_ = resident
+}

@@ -1,0 +1,105 @@
+//go:build !race
+
+package core
+
+// Steady-state allocation gates. Race instrumentation allocates shadow
+// memory on its own, so these run only in non-race builds; CI's bench
+// smoke job enforces the same bound through -benchmem.
+
+import (
+	"testing"
+
+	"hwprof/internal/event"
+)
+
+// allocProfiler builds a warmed-up multi-hash profiler plus a workload
+// batch for steady-state measurement.
+func allocProfiler(t *testing.T, cfg Config) (*MultiHash, []event.Tuple) {
+	t.Helper()
+	m, err := NewMultiHash(cfg)
+	if err != nil {
+		t.Fatalf("NewMultiHash: %v", err)
+	}
+	batch := diffWorkload(cfg.Seed, int(cfg.IntervalLength))
+	// One full interval warms the accumulator scratch and the snapshot
+	// spare; afterwards the hot path must be allocation-free.
+	m.ObserveBatch(batch)
+	m.Recycle(m.EndInterval())
+	return m, batch
+}
+
+// TestObserveBatchZeroAlloc demands that steady-state ObserveBatch —
+// including promotions, evictions, and interval boundaries with recycled
+// profiles — performs zero heap allocations, on both the fused and the
+// generic paths.
+func TestObserveBatchZeroAlloc(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"fused-C1", Config{
+			IntervalLength: 2000, ThresholdPercent: 1, TotalEntries: 2048,
+			NumTables: 4, CounterWidth: 24,
+			ConservativeUpdate: true, Retain: true, Seed: 11,
+		}},
+		{"fused-C0", Config{
+			IntervalLength: 2000, ThresholdPercent: 1, TotalEntries: 2048,
+			NumTables: 4, CounterWidth: 24, ResetOnPromote: true, Seed: 12,
+		}},
+		{"single", Config{
+			IntervalLength: 2000, ThresholdPercent: 1, TotalEntries: 2048,
+			NumTables: 1, CounterWidth: 24, Retain: true, Seed: 13,
+		}},
+		{"generic-noshield", Config{
+			IntervalLength: 2000, ThresholdPercent: 1, TotalEntries: 2048,
+			NumTables: 4, CounterWidth: 24, NoShield: true, Seed: 14,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, batch := allocProfiler(t, tc.cfg)
+			if n := testing.AllocsPerRun(10, func() {
+				m.ObserveBatch(batch)
+				m.Recycle(m.EndInterval())
+			}); n != 0 {
+				t.Errorf("steady-state interval allocates %.1f times, want 0", n)
+			}
+		})
+	}
+}
+
+// TestRunBatchedZeroAllocBoundary demands that the batched driver with
+// ReuseProfiles recycles interval maps instead of reallocating them.
+func TestRunBatchedZeroAllocBoundary(t *testing.T) {
+	cfg := Config{
+		IntervalLength: 1000, ThresholdPercent: 1, TotalEntries: 2048,
+		NumTables: 4, CounterWidth: 24,
+		ConservativeUpdate: true, Retain: true, Seed: 21,
+	}
+	m, err := NewMultiHash(cfg)
+	if err != nil {
+		t.Fatalf("NewMultiHash: %v", err)
+	}
+	stream := diffWorkload(99, 64_000)
+	// Warm one run so the driver's batch buffer, accumulator scratch, and
+	// snapshot spare all reach steady-state capacity.
+	run := func() {
+		src := event.NewSliceSource(stream)
+		if _, err := RunBatched(src, m, RunConfig{
+			IntervalLength: cfg.IntervalLength,
+			NoPerfect:      true,
+			ReuseProfiles:  true,
+		}, nil); err != nil {
+			t.Fatalf("RunBatched: %v", err)
+		}
+	}
+	run()
+	// The driver allocates its batch buffer and context plumbing per call;
+	// amortized over 64 intervals the boundary cost must vanish. Allow the
+	// handful of fixed per-run allocations.
+	const perRunFixed = 16
+	if n := testing.AllocsPerRun(5, run); n > perRunFixed {
+		t.Errorf("64-interval run allocates %.0f times, want <= %d (fixed per-run setup only)",
+			n, perRunFixed)
+	}
+}

@@ -10,18 +10,19 @@ type DebugStats struct {
 // DebugCounterStats summarizes per-table counter loads; test/diagnostic use.
 func (m *MultiHash) DebugCounterStats(thresh uint64) DebugStats {
 	var s DebugStats
-	for _, b := range m.banks {
+	size := m.set.Size()
+	for t := 0; t < m.set.Tables(); t++ {
 		above := 0
 		sum := 0.0
-		for i := 0; i < b.Len(); i++ {
-			v := b.Get(uint32(i))
+		for i := 0; i < size; i++ {
+			v := m.set.Get(t, uint32(i))
 			if v >= thresh {
 				above++
 			}
 			sum += float64(v)
 		}
 		s.AboveThresh = append(s.AboveThresh, above)
-		s.Avg = append(s.Avg, sum/float64(b.Len()))
+		s.Avg = append(s.Avg, sum/float64(size))
 	}
 	s.AccumLen = m.acc.Len()
 	return s

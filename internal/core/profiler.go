@@ -43,16 +43,26 @@ func ObserveAll(p Profiler, batch []event.Tuple) {
 // saturating counters in front of a bounded fully-associative accumulator
 // table. With NumTables == 1 it is exactly the single-hash architecture of
 // §5; with NumTables > 1 it is the multi-hash architecture of §6.
+//
+// The software data layout mirrors the silicon (DESIGN.md §9): the n
+// counter banks share one contiguous packed array with an epoch-based O(1)
+// flush (counter.Set), the accumulator is a flat open-addressed
+// struct-of-arrays table (accum.Table), and for the common shielded
+// configurations the n hash functions evaluate fused in a single table
+// pass (hashfn.Fused). The steady-state observation path performs no heap
+// allocation.
 type MultiHash struct {
 	cfg    Config
 	thresh uint64
 	fam    hashfn.Indexer
-	banks  []*counter.Bank
+	fused  *hashfn.Fused // non-nil: specialized shielded loops apply
+	set    *counter.Set
 	acc    *accum.Table
 
 	idxBuf []uint32
 	one    [1]event.Tuple // scratch so Observe can reuse the batch loop
 	events uint64
+	spare  map[event.Tuple]uint64 // recycled snapshot map, see Recycle
 }
 
 // NewMultiHash builds a profiler for the given configuration.
@@ -70,13 +80,13 @@ func NewMultiHash(cfg Config) (*MultiHash, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building hash family: %w", err)
 	}
-	banks := make([]*counter.Bank, cfg.NumTables)
-	for i := range banks {
-		b, err := counter.NewBank(cfg.PerTableEntries(), cfg.CounterWidth)
-		if err != nil {
-			return nil, fmt.Errorf("core: building counter bank %d: %w", i, err)
-		}
-		banks[i] = b
+	var fused *hashfn.Fused
+	if f, ok := fam.(*hashfn.Family); ok {
+		fused, _ = f.Fuse()
+	}
+	set, err := counter.NewSet(cfg.NumTables, cfg.PerTableEntries(), cfg.CounterWidth)
+	if err != nil {
+		return nil, fmt.Errorf("core: building counter banks: %w", err)
 	}
 	acc, err := accum.New(cfg.EffectiveAccumCapacity(), cfg.ThresholdCount())
 	if err != nil {
@@ -86,7 +96,8 @@ func NewMultiHash(cfg Config) (*MultiHash, error) {
 		cfg:    cfg,
 		thresh: cfg.ThresholdCount(),
 		fam:    fam,
-		banks:  banks,
+		fused:  fused,
+		set:    set,
 		acc:    acc,
 		idxBuf: make([]uint32, 0, cfg.NumTables),
 	}, nil
@@ -118,14 +129,117 @@ func (m *MultiHash) Observe(tp event.Tuple) {
 }
 
 // ObserveBatch feeds every tuple of batch through the architecture, in
-// order, with the exact semantics of per-tuple Observe calls. The hot-loop
-// state (accumulator, hash family, banks, policy flags, index buffer) is
-// hoisted into locals once per batch instead of being re-loaded through the
-// receiver on every event.
+// order, with the exact semantics of per-tuple Observe calls. The common
+// shielded configurations dispatch to branch-light specialized loops over
+// the fused hash evaluator and the flat counter set; everything else (no
+// shielding, weak-hash ablations, wide geometries) takes the generic loop.
 func (m *MultiHash) ObserveBatch(batch []event.Tuple) {
 	m.events += uint64(len(batch))
+	if m.fused != nil && !m.cfg.NoShield {
+		if m.cfg.ConservativeUpdate {
+			m.observeFusedConservative(batch)
+		} else {
+			m.observeFused(batch)
+		}
+		return
+	}
+	m.observeGeneric(batch)
+}
 
-	acc, fam, banks := m.acc, m.fam, m.banks
+// observeFused is the specialized loop for shielded, non-conservative (C0)
+// configurations: every counter increments, so the promotion minimum falls
+// out of the increment pass. One fused table pass yields all n indexes;
+// per-event work is the accumulator probe plus n contiguous counter
+// updates, with no per-event allocation or pointer chasing.
+func (m *MultiHash) observeFused(batch []event.Tuple) {
+	acc, fu, set := m.acc, m.fused, m.set
+	n := fu.Len()
+	size := set.Size()
+	thresh := m.thresh
+	resetOnPromote := m.cfg.ResetOnPromote
+
+	for _, tp := range batch {
+		if acc.Inc(tp) {
+			continue // resident and shielded: the exact counter took it
+		}
+		packed := fu.Packed(tp)
+		min := ^uint64(0)
+		p := packed
+		for base := 0; base < n*size; base += size {
+			if v := set.IncAt(base + int(p&hashfn.FusedMask)); v < min {
+				min = v
+			}
+			p >>= 16
+		}
+		if min < thresh {
+			continue
+		}
+		if acc.Insert(tp, min) && resetOnPromote {
+			p = packed
+			for base := 0; base < n*size; base += size {
+				set.ResetAt(base + int(p&hashfn.FusedMask))
+				p >>= 16
+			}
+		}
+	}
+}
+
+// observeFusedConservative is the specialized loop for shielded
+// conservative-update (C1) configurations: only the minimum-valued
+// counters increment. The post-update minimum needed for promotion is
+// derived without a third pass — every counter at the pre-update minimum
+// advances by one (saturation aside), so the updated minimum is pre+1.
+func (m *MultiHash) observeFusedConservative(batch []event.Tuple) {
+	acc, fu, set := m.acc, m.fused, m.set
+	n := fu.Len()
+	size := set.Size()
+	thresh := m.thresh
+	max := set.Max()
+	resetOnPromote := m.cfg.ResetOnPromote
+
+	var js [4]int // fused families have at most 4 functions
+	for _, tp := range batch {
+		if acc.Inc(tp) {
+			continue
+		}
+		p := fu.Packed(tp)
+		min := ^uint64(0)
+		base := 0
+		for t := 0; t < n; t++ {
+			j := base + int(p&hashfn.FusedMask)
+			js[t] = j
+			if v := set.GetAt(j); v < min {
+				min = v
+			}
+			p >>= 16
+			base += size
+		}
+		for t := 0; t < n; t++ {
+			if set.GetAt(js[t]) == min {
+				set.IncAt(js[t])
+			}
+		}
+		if min < max {
+			min++ // the updated minimum: every minimal counter advanced
+		}
+		if min < thresh {
+			continue
+		}
+		if acc.Insert(tp, min) && resetOnPromote {
+			for t := 0; t < n; t++ {
+				set.ResetAt(js[t])
+			}
+		}
+	}
+}
+
+// observeGeneric is the fully general loop, used when shielding is off or
+// the hash family cannot fuse (weak-hash ablation, more than 4 tables,
+// index widths over 16 bits). Semantics are identical to the specialized
+// loops on their shared configurations.
+func (m *MultiHash) observeGeneric(batch []event.Tuple) {
+	acc, fam, set := m.acc, m.fam, m.set
+	size := set.Size()
 	shield := !m.cfg.NoShield
 	conservative := m.cfg.ConservativeUpdate
 	resetOnPromote := m.cfg.ResetOnPromote
@@ -142,20 +256,21 @@ func (m *MultiHash) ObserveBatch(batch []event.Tuple) {
 		idxBuf = idxs
 
 		if conservative {
-			min := banks[0].Get(idxs[0])
+			min := set.GetAt(int(idxs[0]))
 			for i := 1; i < len(idxs); i++ {
-				if v := banks[i].Get(idxs[i]); v < min {
+				if v := set.GetAt(i*size + int(idxs[i])); v < min {
 					min = v
 				}
 			}
 			for i, idx := range idxs {
-				if banks[i].Get(idx) == min {
-					banks[i].Inc(idx)
+				j := i*size + int(idx)
+				if set.GetAt(j) == min {
+					set.IncAt(j)
 				}
 			}
 		} else {
 			for i, idx := range idxs {
-				banks[i].Inc(idx)
+				set.IncAt(i*size + int(idx))
 			}
 		}
 
@@ -163,9 +278,9 @@ func (m *MultiHash) ObserveBatch(batch []event.Tuple) {
 			continue // already accumulated; nothing to promote
 		}
 
-		min := banks[0].Get(idxs[0])
+		min := set.GetAt(int(idxs[0]))
 		for i := 1; i < len(idxs); i++ {
-			if v := banks[i].Get(idxs[i]); v < min {
+			if v := set.GetAt(i*size + int(idxs[i])); v < min {
 				min = v
 			}
 		}
@@ -174,7 +289,7 @@ func (m *MultiHash) ObserveBatch(batch []event.Tuple) {
 		}
 		if acc.Insert(tp, min) && resetOnPromote {
 			for i, idx := range idxs {
-				banks[i].Reset(idx)
+				set.ResetAt(i*size + int(idx))
 			}
 		}
 	}
@@ -183,16 +298,30 @@ func (m *MultiHash) ObserveBatch(batch []event.Tuple) {
 
 // EndInterval snapshots the accumulator (the hardware profile for the
 // finished interval), applies the retaining policy, flushes every hash
-// table (§5: "At the end of an interval, the hash table is flushed"), and
-// returns the snapshot.
+// table (§5: "At the end of an interval, the hash table is flushed" — an
+// O(1) epoch bump here), and returns the snapshot. The snapshot map is
+// freshly allocated unless a previous one was handed back via Recycle, in
+// which case the interval boundary performs no allocation at all.
 func (m *MultiHash) EndInterval() map[event.Tuple]uint64 {
-	snap := m.acc.Snapshot()
+	snap := m.acc.SnapshotInto(m.spare)
+	m.spare = nil
 	m.acc.EndInterval(m.cfg.Retain)
-	for _, b := range m.banks {
-		b.Flush()
-	}
+	m.set.Flush()
 	m.events = 0
 	return snap
+}
+
+// Recycle hands an interval snapshot back to the profiler for reuse: the
+// map is cleared and becomes the backing store of a future EndInterval.
+// Callers must no longer touch a recycled map. The batched drivers call
+// this automatically when RunConfig.ReuseProfiles is set (or when no
+// interval callback consumes the profiles).
+func (m *MultiHash) Recycle(snap map[event.Tuple]uint64) {
+	if snap == nil {
+		return
+	}
+	clear(snap)
+	m.spare = snap
 }
 
 // Candidates returns the tuples currently at or above the candidate
@@ -210,6 +339,7 @@ var _ BatchProfiler = (*MultiHash)(nil)
 // profiles against Perfect's interval profiles.
 type Perfect struct {
 	counts map[event.Tuple]uint64
+	spare  map[event.Tuple]uint64 // recycled interval map, see Recycle
 }
 
 // NewPerfect returns an empty oracle profiler.
@@ -228,11 +358,30 @@ func (p *Perfect) ObserveBatch(batch []event.Tuple) {
 	}
 }
 
-// EndInterval returns the exact interval profile and starts a new interval.
+// EndInterval returns the exact interval profile and starts a new
+// interval. The next interval counts into a previously recycled map when
+// one is available (its buckets are already grown to interval size)
+// instead of reallocating from scratch.
 func (p *Perfect) EndInterval() map[event.Tuple]uint64 {
 	snap := p.counts
-	p.counts = make(map[event.Tuple]uint64, len(snap))
+	if p.spare != nil {
+		p.counts = p.spare
+		p.spare = nil
+	} else {
+		p.counts = make(map[event.Tuple]uint64, len(snap))
+	}
 	return snap
+}
+
+// Recycle hands an interval profile back to the oracle for reuse: the map
+// is cleared (clear() keeps its grown bucket array) and backs a future
+// interval. Callers must no longer touch a recycled map.
+func (p *Perfect) Recycle(snap map[event.Tuple]uint64) {
+	if snap == nil {
+		return
+	}
+	clear(snap)
+	p.spare = snap
 }
 
 // Distinct returns the number of distinct tuples seen this interval.
@@ -240,9 +389,24 @@ func (p *Perfect) Distinct() int { return len(p.counts) }
 
 var _ BatchProfiler = (*Perfect)(nil)
 
+// Recycler is implemented by profilers that can take an interval snapshot
+// map back for reuse (MultiHash, Perfect and the sharded engine all do).
+// Recycling makes steady-state interval boundaries allocation-free; a
+// recycled map must no longer be touched by the caller.
+type Recycler interface {
+	Recycle(m map[event.Tuple]uint64)
+}
+
+var (
+	_ Recycler = (*MultiHash)(nil)
+	_ Recycler = (*Perfect)(nil)
+)
+
 // IntervalFunc receives, for each completed interval, the interval's index
 // (from 0), the perfect profile and the hardware profile. The maps are owned
-// by the callee and remain valid after the callback returns.
+// by the callee and remain valid after the callback returns — unless the
+// run was configured with ReuseProfiles, in which case they are recycled
+// the moment the callback returns.
 type IntervalFunc func(index int, perfect, hardware map[event.Tuple]uint64)
 
 // RunConfig tunes the batched driver.
@@ -260,6 +424,13 @@ type RunConfig struct {
 	// map operation per event — far more than the hardware model — so
 	// throughput-oriented runs want it off.
 	NoPerfect bool
+
+	// ReuseProfiles recycles the interval maps back into the profilers
+	// (see Recycler) as soon as fn returns, making steady-state interval
+	// boundaries allocation-free. fn must then consume the maps during
+	// the callback and not retain them. When fn is nil the driver always
+	// recycles: nobody else can be holding the maps.
+	ReuseProfiles bool
 }
 
 // Run feeds src through both hw and a perfect profiler, invoking fn at
@@ -320,6 +491,10 @@ func RunBatchedContext(ctx context.Context, src event.Source, hw Profiler, cfg R
 		perfect = NewPerfect()
 	}
 	failer, _ := hw.(Failer)
+	var recycler Recycler
+	if cfg.ReuseProfiles || fn == nil {
+		recycler, _ = hw.(Recycler)
+	}
 	batched := event.Batched(src)
 	buf := make([]event.Tuple, batchSize)
 
@@ -362,6 +537,12 @@ func RunBatchedContext(ctx context.Context, src event.Source, hw Profiler, cfg R
 			h := hw.EndInterval()
 			if fn != nil {
 				fn(intervals, p, h)
+			}
+			if recycler != nil {
+				recycler.Recycle(h)
+			}
+			if perfect != nil && cfg.ReuseProfiles {
+				perfect.Recycle(p)
 			}
 			intervals++
 			n = 0

@@ -103,11 +103,11 @@ func TestShieldingStopsHashUpdates(t *testing.T) {
 		m.Observe(hot) // promoted at the 100th observation
 	}
 	idx := m.fam.Indexes(hot, nil)[0]
-	after := m.banks[0].Get(idx)
+	after := m.set.Get(0, idx)
 	for i := 0; i < 50; i++ {
 		m.Observe(hot)
 	}
-	if got := m.banks[0].Get(idx); got != after {
+	if got := m.set.Get(0, idx); got != after {
 		t.Fatalf("hash counter moved from %d to %d while tuple was shielded", after, got)
 	}
 	if c, _ := m.acc.Count(hot); c != 150 {
@@ -126,7 +126,7 @@ func TestNoShieldKeepsUpdatingHash(t *testing.T) {
 		m.Observe(hot)
 	}
 	idx := m.fam.Indexes(hot, nil)[0]
-	if got := m.banks[0].Get(idx); got != 150 {
+	if got := m.set.Get(0, idx); got != 150 {
 		t.Fatalf("unshielded hash counter = %d, want 150", got)
 	}
 	if c, _ := m.acc.Count(hot); c != 150 {
@@ -144,7 +144,7 @@ func TestResetOnPromoteZeroesCounters(t *testing.T) {
 		m.Observe(hot)
 	}
 	for i, idx := range m.fam.Indexes(hot, nil) {
-		if got := m.banks[i].Get(idx); got != 0 {
+		if got := m.set.Get(i, idx); got != 0 {
 			t.Fatalf("table %d counter = %d after promote with R1", i, got)
 		}
 	}
@@ -160,7 +160,7 @@ func TestNoResetLeavesCounters(t *testing.T) {
 		m.Observe(hot)
 	}
 	idx := m.fam.Indexes(hot, nil)[0]
-	if got := m.banks[0].Get(idx); got != 100 {
+	if got := m.set.Get(0, idx); got != 100 {
 		t.Fatalf("R0 counter = %d, want 100", got)
 	}
 }
@@ -172,9 +172,9 @@ func TestEndIntervalFlushesHashTables(t *testing.T) {
 		m.Observe(tp)
 	}
 	m.EndInterval()
-	for ti, b := range m.banks {
-		for i := 0; i < b.Len(); i++ {
-			if b.Get(uint32(i)) != 0 {
+	for ti := 0; ti < m.set.Tables(); ti++ {
+		for i := 0; i < m.set.Size(); i++ {
+			if m.set.Get(ti, uint32(i)) != 0 {
 				t.Fatalf("table %d entry %d nonzero after EndInterval", ti, i)
 			}
 		}
@@ -204,7 +204,7 @@ func TestRetainAcrossIntervals(t *testing.T) {
 		t.Fatalf("retained tuple second-interval count = %d, want exactly 150", got)
 	}
 	idx := m.fam.Indexes(hot, nil)[0]
-	if got := m.banks[0].Get(idx); got != 0 {
+	if got := m.set.Get(0, idx); got != 0 {
 		t.Fatalf("retained tuple leaked %d hash increments", got)
 	}
 }
@@ -227,7 +227,7 @@ func TestNoRetainRequiresRewarm(t *testing.T) {
 	// 100 increments of pressure on it (versus 0 when retained). That
 	// pressure is what retaining removes (§5.4.1).
 	idx := m.fam.Indexes(hot, nil)[0]
-	if got := m.banks[0].Get(idx); got != 100 {
+	if got := m.set.Get(0, idx); got != 100 {
 		t.Fatalf("unretained tuple exerted %d hash increments, want 100", got)
 	}
 	snap := m.EndInterval()
@@ -258,7 +258,7 @@ func TestConservativeUpdateOverestimateInvariant(t *testing.T) {
 	for tp, want := range truth {
 		min := ^uint64(0)
 		for i, idx := range m.fam.Indexes(tp, nil) {
-			if v := m.banks[i].Get(idx); v < min {
+			if v := m.set.Get(i, idx); v < min {
 				min = v
 			}
 		}
@@ -292,7 +292,7 @@ func TestConservativeUpdateTightens(t *testing.T) {
 	est := func(m *MultiHash, tp event.Tuple) uint64 {
 		min := ^uint64(0)
 		for i, idx := range m.fam.Indexes(tp, nil) {
-			if v := m.banks[i].Get(idx); v < min {
+			if v := m.set.Get(i, idx); v < min {
 				min = v
 			}
 		}

@@ -2,9 +2,27 @@
 // the paper's hash tables.
 //
 // The paper's configuration uses 2K entries of 3-byte counters (6 KB total,
-// §7). A hardware counter cannot exceed its width, so Bank saturates at
+// §7). A hardware counter cannot exceed its width, so counters saturate at
 // 2^width − 1 rather than wrapping; wrapping would silently turn a heavy
 // hitter into a light one, which no hardware designer would ship.
+//
+// # Data layout
+//
+// For widths up to 24 bits (the paper's default) a counter is packed into
+// one uint32 word: the count in the low width bits and an epoch tag in the
+// remaining high bits. The end-of-interval flush is then O(1) — bump the
+// epoch, and every counter whose tag no longer matches reads as zero —
+// instead of zeroing thousands of words per interval; a full sweep happens
+// only when the tag wraps (every 2^(32−width) flushes). This mirrors the
+// silicon trick of lazy SRAM clearing via a generation bit, and keeps the
+// modeled 2K-counter store in 8 KB of contiguous memory instead of 16 KB
+// of spread-out uint64 words. Widths above 24 bits fall back to a plain
+// uint64 array with an eager flush.
+//
+// A multi-table profiler should allocate all its banks as one Set: the
+// n tables then share a single contiguous backing array (per-bank offsets)
+// and one epoch, so the per-event n-table loop walks one cache-friendly
+// allocation and the interval flush is a single epoch bump.
 package counter
 
 import "fmt"
@@ -12,16 +30,36 @@ import "fmt"
 // DefaultWidth is the counter width used throughout the paper: 3 bytes.
 const DefaultWidth = 24
 
-// Bank is a bank of saturating counters of a fixed bit width.
-type Bank struct {
-	counts []uint64
-	max    uint64
+// maxPackedWidth is the widest counter the packed representation holds:
+// width bits of count must leave at least 8 bits of epoch tag in a uint32.
+const maxPackedWidth = 24
+
+// Set is n same-shaped banks of saturating counters in one contiguous
+// backing array, flushed together by a shared epoch. Bank t's counter i
+// lives at flat offset t*Size() + i.
+type Set struct {
+	tables int
+	size   int
 	width  uint
+	max    uint64
+
+	// Packed path (width <= maxPackedWidth).
+	words    []uint32
+	cmask    uint32 // low-width count mask
+	epoch    uint32 // current generation; tags != epoch read as zero
+	epochMax uint32 // largest representable tag; wrapping forces a sweep
+
+	// Fallback path (width > maxPackedWidth): plain words, eager flush.
+	wide []uint64
 }
 
-// NewBank returns a bank of size counters, each width bits wide.
-// width must be in [1, 64]; size must be positive.
-func NewBank(size int, width uint) (*Bank, error) {
+// NewSet returns tables banks of size counters each, width bits wide,
+// sharing one backing array and one flush epoch. width must be in
+// [1, 64]; tables and size must be positive.
+func NewSet(tables, size int, width uint) (*Set, error) {
+	if tables <= 0 {
+		return nil, fmt.Errorf("counter: table count %d must be positive", tables)
+	}
 	if size <= 0 {
 		return nil, fmt.Errorf("counter: bank size %d must be positive", size)
 	}
@@ -32,57 +70,187 @@ func NewBank(size int, width uint) (*Bank, error) {
 	if width < 64 {
 		max = 1<<width - 1
 	}
-	return &Bank{counts: make([]uint64, size), max: max, width: width}, nil
+	s := &Set{tables: tables, size: size, width: width, max: max}
+	if width <= maxPackedWidth {
+		s.words = make([]uint32, tables*size)
+		s.cmask = uint32(1)<<width - 1
+		s.epochMax = uint32(1)<<(32-width) - 1
+	} else {
+		s.wide = make([]uint64, tables*size)
+	}
+	return s, nil
 }
 
-// Len returns the number of counters in the bank.
-func (b *Bank) Len() int { return len(b.counts) }
+// Tables returns the number of banks in the set.
+func (s *Set) Tables() int { return s.tables }
+
+// Size returns the number of counters per bank.
+func (s *Set) Size() int { return s.size }
 
 // Width returns the counter width in bits.
-func (b *Bank) Width() uint { return b.width }
+func (s *Set) Width() uint { return s.width }
 
 // Max returns the saturation value, 2^width − 1.
-func (b *Bank) Max() uint64 { return b.max }
+func (s *Set) Max() uint64 { return s.max }
 
-// Get returns the value of counter i.
-func (b *Bank) Get(i uint32) uint64 { return b.counts[i] }
+// Base returns the flat offset of bank t, for hot loops that precompute
+// GetAt/IncAt indexes.
+func (s *Set) Base(t int) int { return t * s.size }
 
-// Inc increments counter i by 1, saturating at Max, and returns the new
-// value.
-func (b *Bank) Inc(i uint32) uint64 {
-	if b.counts[i] < b.max {
-		b.counts[i]++
+// GetAt returns the value of the counter at flat offset j.
+func (s *Set) GetAt(j int) uint64 {
+	if s.wide != nil {
+		return s.wide[j]
 	}
-	return b.counts[i]
+	w := s.words[j]
+	if w>>s.width != s.epoch {
+		return 0
+	}
+	return uint64(w & s.cmask)
 }
 
-// Add increments counter i by delta, saturating at Max, and returns the new
-// value.
-func (b *Bank) Add(i uint32, delta uint64) uint64 {
-	c := b.counts[i]
-	if delta > b.max-c {
-		c = b.max
+// IncAt increments the counter at flat offset j by 1, saturating at Max,
+// and returns the new value.
+func (s *Set) IncAt(j int) uint64 {
+	if s.wide != nil {
+		if s.wide[j] < s.max {
+			s.wide[j]++
+		}
+		return s.wide[j]
+	}
+	w := s.words[j]
+	var c uint32
+	if w>>s.width == s.epoch {
+		c = w & s.cmask
+	}
+	if uint64(c) < s.max {
+		c++
+	}
+	s.words[j] = s.epoch<<s.width | c
+	return uint64(c)
+}
+
+// AddAt increments the counter at flat offset j by delta, saturating at
+// Max, and returns the new value.
+func (s *Set) AddAt(j int, delta uint64) uint64 {
+	if s.wide != nil {
+		c := s.wide[j]
+		if delta > s.max-c {
+			c = s.max
+		} else {
+			c += delta
+		}
+		s.wide[j] = c
+		return c
+	}
+	w := s.words[j]
+	var c uint64
+	if w>>s.width == s.epoch {
+		c = uint64(w & s.cmask)
+	}
+	if delta > s.max-c {
+		c = s.max
 	} else {
 		c += delta
 	}
-	b.counts[i] = c
+	s.words[j] = s.epoch<<s.width | uint32(c)
 	return c
 }
 
-// Reset zeroes counter i.
-func (b *Bank) Reset(i uint32) { b.counts[i] = 0 }
-
-// Flush zeroes every counter (the end-of-interval hash-table flush).
-func (b *Bank) Flush() {
-	for i := range b.counts {
-		b.counts[i] = 0
+// ResetAt zeroes the counter at flat offset j.
+func (s *Set) ResetAt(j int) {
+	if s.wide != nil {
+		s.wide[j] = 0
+		return
 	}
+	s.words[j] = s.epoch << s.width
 }
+
+// Get returns the value of bank t's counter i.
+func (s *Set) Get(t int, i uint32) uint64 { return s.GetAt(t*s.size + int(i)) }
+
+// Inc increments bank t's counter i by 1, saturating at Max, and returns
+// the new value.
+func (s *Set) Inc(t int, i uint32) uint64 { return s.IncAt(t*s.size + int(i)) }
+
+// Add increments bank t's counter i by delta, saturating at Max, and
+// returns the new value.
+func (s *Set) Add(t int, i uint32, delta uint64) uint64 {
+	return s.AddAt(t*s.size+int(i), delta)
+}
+
+// Reset zeroes bank t's counter i.
+func (s *Set) Reset(t int, i uint32) { s.ResetAt(t*s.size + int(i)) }
+
+// Flush zeroes every counter of every bank (the end-of-interval hash-table
+// flush). On the packed path this is O(1): the epoch advances and stale
+// tags read as zero; only a wrapped tag forces a real sweep.
+func (s *Set) Flush() {
+	if s.wide != nil {
+		clear(s.wide)
+		return
+	}
+	if s.epoch == s.epochMax {
+		clear(s.words)
+		s.epoch = 0
+		return
+	}
+	s.epoch++
+}
+
+// Bytes returns the storage the set occupies in a hardware realization:
+// Tables × Size × width bits, rounded up to whole bytes per counter as the
+// paper does (3-byte counters).
+func (s *Set) Bytes() int {
+	perCounter := (int(s.width) + 7) / 8
+	return s.tables * s.size * perCounter
+}
+
+// Bank is a single bank of saturating counters of a fixed bit width: a
+// one-table Set, kept as the standalone surface for callers that do not
+// batch several tables together.
+type Bank struct {
+	set *Set
+}
+
+// NewBank returns a bank of size counters, each width bits wide.
+// width must be in [1, 64]; size must be positive.
+func NewBank(size int, width uint) (*Bank, error) {
+	s, err := NewSet(1, size, width)
+	if err != nil {
+		return nil, err
+	}
+	return &Bank{set: s}, nil
+}
+
+// Len returns the number of counters in the bank.
+func (b *Bank) Len() int { return b.set.size }
+
+// Width returns the counter width in bits.
+func (b *Bank) Width() uint { return b.set.width }
+
+// Max returns the saturation value, 2^width − 1.
+func (b *Bank) Max() uint64 { return b.set.max }
+
+// Get returns the value of counter i.
+func (b *Bank) Get(i uint32) uint64 { return b.set.GetAt(int(i)) }
+
+// Inc increments counter i by 1, saturating at Max, and returns the new
+// value.
+func (b *Bank) Inc(i uint32) uint64 { return b.set.IncAt(int(i)) }
+
+// Add increments counter i by delta, saturating at Max, and returns the new
+// value.
+func (b *Bank) Add(i uint32, delta uint64) uint64 { return b.set.AddAt(int(i), delta) }
+
+// Reset zeroes counter i.
+func (b *Bank) Reset(i uint32) { b.set.ResetAt(int(i)) }
+
+// Flush zeroes every counter (the end-of-interval hash-table flush) —
+// O(1) on the packed path, see Set.Flush.
+func (b *Bank) Flush() { b.set.Flush() }
 
 // Bytes returns the storage this bank occupies in a hardware realization:
 // Len × width bits, rounded up to whole bytes per counter as the paper does
 // (3-byte counters).
-func (b *Bank) Bytes() int {
-	perCounter := (int(b.width) + 7) / 8
-	return b.Len() * perCounter
-}
+func (b *Bank) Bytes() int { return b.set.Bytes() }

@@ -1,0 +1,118 @@
+package hashfn
+
+import (
+	"testing"
+
+	"hwprof/internal/event"
+	"hwprof/internal/xrand"
+)
+
+// TestFusedMatchesIndex verifies that the packed evaluator reproduces
+// every member function's Index for every family shape it accepts.
+func TestFusedMatchesIndex(t *testing.T) {
+	shapes := []struct {
+		n    int
+		bits uint
+	}{
+		{1, 9}, {2, 9}, {4, 9}, {4, 16}, {3, 1}, {4, 11},
+	}
+	for _, sh := range shapes {
+		fam, err := NewFamily(0xF00D+uint64(sh.n), sh.n, sh.bits)
+		if err != nil {
+			t.Fatalf("NewFamily(%d, %d): %v", sh.n, sh.bits, err)
+		}
+		fu, ok := fam.Fuse()
+		if !ok {
+			t.Fatalf("Fuse failed for n=%d bits=%d", sh.n, sh.bits)
+		}
+		if fu.Len() != sh.n {
+			t.Fatalf("Fused.Len() = %d, want %d", fu.Len(), sh.n)
+		}
+		r := xrand.New(uint64(sh.bits))
+		for trial := 0; trial < 20_000; trial++ {
+			tp := event.Tuple{A: r.Uint64(), B: r.Uint64()}
+			p := fu.Packed(tp)
+			for i := 0; i < sh.n; i++ {
+				want := fam.Func(i).Index(tp)
+				got := uint32(p >> (fusedFieldBits * i) & FusedMask)
+				if got != want {
+					t.Fatalf("n=%d bits=%d func %d tuple %v: packed index %d, want %d",
+						sh.n, sh.bits, i, tp, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFuseRejectsUnfusableShapes checks that oversized and degenerate
+// families refuse to fuse instead of producing a corrupt evaluator.
+func TestFuseRejectsUnfusableShapes(t *testing.T) {
+	cases := []struct {
+		n    int
+		bits uint
+	}{
+		{5, 9},  // too many functions for 4 packed fields
+		{2, 17}, // index wider than a packed field
+		{4, 0},  // degenerate single-bucket width
+	}
+	for _, c := range cases {
+		fam, err := NewFamily(1, c.n, c.bits)
+		if err != nil {
+			t.Fatalf("NewFamily(%d, %d): %v", c.n, c.bits, err)
+		}
+		if _, ok := fam.Fuse(); ok {
+			t.Errorf("Fuse accepted n=%d bits=%d", c.n, c.bits)
+		}
+	}
+}
+
+// TestFusedFieldIsolation drives structured tuples designed to carry into
+// neighbouring fields if the packing leaked: all-ones bytes and values at
+// field boundaries.
+func TestFusedFieldIsolation(t *testing.T) {
+	fam, err := NewFamily(0xBAD, 4, 16) // widest fields: no mask slack
+	if err != nil {
+		t.Fatal(err)
+	}
+	fu, ok := fam.Fuse()
+	if !ok {
+		t.Fatal("Fuse failed")
+	}
+	tuples := []event.Tuple{
+		{A: 0, B: 0},
+		{A: ^uint64(0), B: ^uint64(0)},
+		{A: 0xFFFF_FFFF_0000_0000, B: 0x0000_0000_FFFF_FFFF},
+		{A: 0x8080808080808080, B: 0x7F7F7F7F7F7F7F7F},
+	}
+	for _, tp := range tuples {
+		p := fu.Packed(tp)
+		for i := 0; i < 4; i++ {
+			want := fam.Func(i).Index(tp)
+			got := uint32(p >> (fusedFieldBits * i) & FusedMask)
+			if got != want {
+				t.Errorf("tuple %v func %d: packed %d, want %d", tp, i, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkFusedPacked4 measures one packed evaluation of a 4-function
+// family — the multi-hash hot path's replacement for 4 Index calls.
+func BenchmarkFusedPacked4(b *testing.B) {
+	fam, err := NewFamily(1, 4, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fu, ok := fam.Fuse()
+	if !ok {
+		b.Fatal("Fuse failed")
+	}
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= fu.Packed(event.Tuple{A: uint64(i) * 0x9E37, B: uint64(i)})
+	}
+	benchSink = sink
+}
+
+var benchSink uint64

@@ -30,18 +30,21 @@ import (
 // (one per tuple member, so pc and value randomize independently) plus an
 // index width.
 //
-// For speed, the flip(randomize(A)) and randomize(B) steps are folded into
-// per-byte-lane contribution tables at construction: input byte i of A
-// contributes tabA[b] at output lane 7−i (randomize then flip), and input
-// byte i of B contributes tabB[b] at lane i. Index is then sixteen table
-// loads xored together — the same dataflow the paper's hardwired hash
+// For speed, the whole recipe is folded into per-byte-lane contribution
+// tables at construction. Input byte i of A contributes tabA[b] at output
+// lane 7−i (randomize then flip), and input byte i of B contributes
+// tabB[b] at lane i; because xorfold distributes over xor, each
+// contribution is further pre-folded down to the index width. Index is
+// then sixteen uint32 table loads xored together — already masked, no
+// fold loop at runtime, and half the table footprint of 64-bit
+// contributions. This is the same dataflow the paper's hardwired hash
 // would realize in silicon.
 type Func struct {
 	tabA [256]byte
 	tabB [256]byte
 
-	contribA [8][256]uint64
-	contribB [8][256]uint64
+	foldA [8][256]uint32
+	foldB [8][256]uint32
 
 	bits uint
 	mask uint64
@@ -59,10 +62,15 @@ func New(seed uint64, indexBits uint) (*Func, error) {
 	r := xrand.New(seed)
 	fillByteTable(&f.tabA, r)
 	fillByteTable(&f.tabB, r)
+	if indexBits == 0 {
+		return f, nil // all contributions fold to 0: every tuple indexes entry 0
+	}
 	for lane := 0; lane < 8; lane++ {
 		for b := 0; b < 256; b++ {
-			f.contribA[lane][b] = uint64(f.tabA[b]) << (8 * (7 - lane))
-			f.contribB[lane][b] = uint64(f.tabB[b]) << (8 * lane)
+			contribA := uint64(f.tabA[b]) << (8 * (7 - lane))
+			contribB := uint64(f.tabB[b]) << (8 * lane)
+			f.foldA[lane][b] = uint32(xorfold(contribA, indexBits))
+			f.foldB[lane][b] = uint32(xorfold(contribB, indexBits))
 		}
 	}
 	return f, nil
@@ -109,21 +117,18 @@ func xorfold(v uint64, n uint) uint64 {
 	return out
 }
 
-// Index returns the table index for tuple t.
+// Index returns the table index for tuple t. The contributions are
+// pre-folded and pre-masked, so this is sixteen loads and fifteen xors.
 func (f *Func) Index(t event.Tuple) uint32 {
-	if f.bits == 0 {
-		return 0
-	}
 	a, b := t.A, t.B
-	v := f.contribA[0][byte(a)] ^ f.contribB[0][byte(b)] ^
-		f.contribA[1][byte(a>>8)] ^ f.contribB[1][byte(b>>8)] ^
-		f.contribA[2][byte(a>>16)] ^ f.contribB[2][byte(b>>16)] ^
-		f.contribA[3][byte(a>>24)] ^ f.contribB[3][byte(b>>24)] ^
-		f.contribA[4][byte(a>>32)] ^ f.contribB[4][byte(b>>32)] ^
-		f.contribA[5][byte(a>>40)] ^ f.contribB[5][byte(b>>40)] ^
-		f.contribA[6][byte(a>>48)] ^ f.contribB[6][byte(b>>48)] ^
-		f.contribA[7][byte(a>>56)] ^ f.contribB[7][byte(b>>56)]
-	return uint32(xorfold(v, f.bits) & f.mask)
+	return f.foldA[0][byte(a)] ^ f.foldB[0][byte(b)] ^
+		f.foldA[1][byte(a>>8)] ^ f.foldB[1][byte(b>>8)] ^
+		f.foldA[2][byte(a>>16)] ^ f.foldB[2][byte(b>>16)] ^
+		f.foldA[3][byte(a>>24)] ^ f.foldB[3][byte(b>>24)] ^
+		f.foldA[4][byte(a>>32)] ^ f.foldB[4][byte(b>>32)] ^
+		f.foldA[5][byte(a>>40)] ^ f.foldB[5][byte(b>>40)] ^
+		f.foldA[6][byte(a>>48)] ^ f.foldB[6][byte(b>>48)] ^
+		f.foldA[7][byte(a>>56)] ^ f.foldB[7][byte(b>>56)]
 }
 
 // indexSlow is the literal transcription of the paper's recipe, kept as
@@ -167,6 +172,78 @@ func (fam *Family) Len() int { return len(fam.funcs) }
 
 // Func returns the i-th function.
 func (fam *Family) Func(i int) *Func { return fam.funcs[i] }
+
+// Funcs returns the family's functions, for hot loops that index through
+// them directly instead of appending into a slice.
+func (fam *Family) Funcs() []*Func { return fam.funcs }
+
+// fusedFieldBits is the per-function field width inside a Fused table
+// word: 16 bits per index, so a uint64 word carries up to 4 functions.
+const fusedFieldBits = 16
+
+// FusedMask extracts one index field from a Fused packed word.
+const FusedMask = uint64(1)<<fusedFieldBits - 1
+
+// Fused evaluates every function of a small family in one table pass.
+//
+// Each function's pre-folded per-lane contributions occupy a disjoint
+// 16-bit field of a shared uint64 contribution word; because xor acts on
+// the fields independently, sixteen loads from the fused tables compute
+// all n indexes simultaneously — exactly as the n hardwired hash units of
+// the paper's multi-hash design share their input bytes and evaluate in
+// parallel. Against n separate Func evaluations this divides both the
+// load count and the hot table footprint by n (the fused tables total
+// 32 KB regardless of n).
+type Fused struct {
+	tabA [8][256]uint64
+	tabB [8][256]uint64
+	n    int
+}
+
+// Fuse returns a fused evaluator for the family, or ok == false when the
+// family does not fit one (more than 4 functions, index width over 16
+// bits, or the degenerate width 0).
+func (fam *Family) Fuse() (*Fused, bool) {
+	n := len(fam.funcs)
+	if n > 4 {
+		return nil, false
+	}
+	bits := fam.funcs[0].bits
+	if bits == 0 || bits > fusedFieldBits {
+		return nil, false
+	}
+	fu := &Fused{n: n}
+	for lane := 0; lane < 8; lane++ {
+		for b := 0; b < 256; b++ {
+			var a64, b64 uint64
+			for i, f := range fam.funcs {
+				a64 |= uint64(f.foldA[lane][b]) << (fusedFieldBits * i)
+				b64 |= uint64(f.foldB[lane][b]) << (fusedFieldBits * i)
+			}
+			fu.tabA[lane][b] = a64
+			fu.tabB[lane][b] = b64
+		}
+	}
+	return fu, true
+}
+
+// Len returns the number of packed index fields.
+func (fu *Fused) Len() int { return fu.n }
+
+// Packed returns all n indexes of t in one word: function i's index is
+// (Packed >> (16*i)) & FusedMask. Fields are pre-masked to the family's
+// index width.
+func (fu *Fused) Packed(t event.Tuple) uint64 {
+	a, b := t.A, t.B
+	return fu.tabA[0][byte(a)] ^ fu.tabB[0][byte(b)] ^
+		fu.tabA[1][byte(a>>8)] ^ fu.tabB[1][byte(b>>8)] ^
+		fu.tabA[2][byte(a>>16)] ^ fu.tabB[2][byte(b>>16)] ^
+		fu.tabA[3][byte(a>>24)] ^ fu.tabB[3][byte(b>>24)] ^
+		fu.tabA[4][byte(a>>32)] ^ fu.tabB[4][byte(b>>32)] ^
+		fu.tabA[5][byte(a>>40)] ^ fu.tabB[5][byte(b>>40)] ^
+		fu.tabA[6][byte(a>>48)] ^ fu.tabB[6][byte(b>>48)] ^
+		fu.tabA[7][byte(a>>56)] ^ fu.tabB[7][byte(b>>56)]
+}
 
 // Indexes computes the index of t under every function in the family,
 // appending into dst to avoid allocation on the hot path.

@@ -210,6 +210,8 @@ type Profiler struct {
 	pending []*[]event.Tuple // per shard, partially filled route buffers
 	events  uint64
 	closed  bool
+	spare   map[event.Tuple]uint64   // recycled merge map, see Recycle
+	snaps   []map[event.Tuple]uint64 // barrier merge scratch, len NumShards
 
 	errMu sync.Mutex
 	err   error // first terminal failure: worker panic or use-after-close
@@ -237,6 +239,7 @@ func New(cfg Config) (*Profiler, error) {
 		cfg:     cfg,
 		workers: make([]*worker, cfg.NumShards),
 		pending: make([]*[]event.Tuple, cfg.NumShards),
+		snaps:   make([]map[event.Tuple]uint64, cfg.NumShards),
 	}
 	p.pool.New = func() any {
 		buf := make([]event.Tuple, 0, cfg.BatchSize)
@@ -404,6 +407,13 @@ func (p *Profiler) EndInterval() map[event.Tuple]uint64 {
 
 // barrier flushes partial route buffers, posts a snapshot barrier to every
 // shard, and merges the answers. Callers hold p.mu.
+//
+// The merge target is a previously recycled map when one is available, and
+// after merging each shard's snapshot is recycled back into that shard's
+// MultiHash — safe because the barrier leaves every worker quiescent, and
+// the next channel send orders the recycled map's reuse after this write.
+// In steady state (caller recycles, see Recycle) an interval boundary
+// therefore allocates nothing.
 func (p *Profiler) barrier() map[event.Tuple]uint64 {
 	// Flush partial buffers so the barrier below follows every event of
 	// the interval in each shard's FIFO.
@@ -419,20 +429,50 @@ func (p *Profiler) barrier() map[event.Tuple]uint64 {
 		w.ch <- request{out: out}
 	}
 
+	snaps := p.snaps
+	for i := range p.workers {
+		snaps[i] = <-out // answers arrive in arbitrary shard order
+	}
+
 	// Shards partition the tuple space, so the union is disjoint. Failed
-	// shards answer nil.
+	// shards answer nil; when every shard has failed the interval is lost
+	// and the profile is nil, as before.
 	var merged map[event.Tuple]uint64
-	for range p.workers {
-		snap := <-out
-		if merged == nil {
-			merged = snap
+	for i, snap := range snaps {
+		if snap == nil {
 			continue
+		}
+		if merged == nil {
+			if merged = p.spare; merged == nil {
+				merged = make(map[event.Tuple]uint64, 2*len(snap))
+			}
+			p.spare = nil
 		}
 		for tp, c := range snap {
 			merged[tp] = c
 		}
+		// Hand the shard's snapshot back to a (quiescent) shard profiler
+		// for its next interval. Which shard gets which map is
+		// irrelevant; one spare each is what matters.
+		clear(snap)
+		p.workers[i].mh.Recycle(snap)
+		snaps[i] = nil
 	}
 	return merged
+}
+
+// Recycle hands an interval profile back to the engine for reuse as a
+// future merge target (see core.Recycler). The map is cleared; callers
+// must no longer touch it. The batched drivers call this automatically
+// under RunConfig.ReuseProfiles.
+func (p *Profiler) Recycle(m map[event.Tuple]uint64) {
+	if m == nil {
+		return
+	}
+	clear(m)
+	p.mu.Lock()
+	p.spare = m
+	p.mu.Unlock()
 }
 
 // Drain gracefully shuts the engine down and salvages the unfinished

@@ -1,0 +1,160 @@
+// Command profctl is the profiling daemon's client: it opens a session
+// with a profiled instance, streams a tuple stream to it (a trace file, a
+// synthetic workload, or an instrumented VM program), and prints the
+// interval profiles the daemon returns.
+//
+// Usage:
+//
+//	profctl -addr localhost:9123 -workload gcc -intervals 10
+//	profctl -addr localhost:9123 -trace gcc.trace -tables 4 -shards 4
+//
+// On a block-policy daemon the printed profiles are bit-identical to a
+// local `profile` run over the same flags and seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hwprof"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "localhost:9123", "profiled daemon address (host:port)")
+
+		traceFile = flag.String("trace", "", "read tuples from this trace file")
+		workload  = flag.String("workload", "", "generate tuples from this synthetic benchmark analog")
+		program   = flag.String("program", "", "generate tuples from this VM program (looped)")
+		kindName  = flag.String("kind", "value", "tuple kind for -workload/-program: value or edge")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+
+		interval  = flag.Uint64("interval", 10_000, "profile interval length in events")
+		threshold = flag.Float64("threshold", 1, "candidate threshold in percent of interval length")
+		entries   = flag.Int("entries", 2048, "total hash-table counters")
+		tables    = flag.Int("tables", 4, "number of hash tables")
+		conserv   = flag.Bool("conservative", true, "use conservative update (C1)")
+		reset     = flag.Bool("reset", false, "reset counters on promotion (R1)")
+		retain    = flag.Bool("retain", true, "retain candidates across intervals (P1)")
+
+		intervals = flag.Int("intervals", 5, "number of profile intervals to stream")
+		top       = flag.Int("top", 10, "candidates to print per interval")
+
+		shards = flag.Int("shards", 1, "shards the daemon should run for this session")
+		batch  = flag.Int("batch", 0, "tuples per batch frame (default 512)")
+	)
+	flag.Parse()
+	if err := run(*addr, *traceFile, *workload, *program, *kindName, *seed,
+		*interval, *threshold, *entries, *tables, *conserv, *reset, *retain,
+		*intervals, *top, *shards, *batch); err != nil {
+		fmt.Fprintln(os.Stderr, "profctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, traceFile, workload, program, kindName string, seed, interval uint64,
+	threshold float64, entries, tables int, conserv, reset, retain bool,
+	intervals, top, shards, batch int) error {
+
+	var kind hwprof.Kind
+	switch kindName {
+	case "value":
+		kind = hwprof.KindValue
+	case "edge":
+		kind = hwprof.KindEdge
+	default:
+		return fmt.Errorf("unknown kind %q", kindName)
+	}
+
+	var src hwprof.Source
+	switch {
+	case traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, err := hwprof.OpenTrace(f)
+		if err != nil {
+			return err
+		}
+		src = r
+	case workload != "":
+		g, err := hwprof.NewWorkload(workload, kind, seed)
+		if err != nil {
+			return err
+		}
+		src = g
+	case program != "":
+		p, err := hwprof.NewProgramSource(program, kind, true)
+		if err != nil {
+			return err
+		}
+		src = p
+	default:
+		return fmt.Errorf("one of -trace, -workload or -program is required")
+	}
+
+	cfg := hwprof.Config{
+		IntervalLength:     interval,
+		ThresholdPercent:   threshold,
+		TotalEntries:       entries,
+		NumTables:          tables,
+		CounterWidth:       24,
+		ConservativeUpdate: conserv,
+		ResetOnPromote:     reset,
+		Retain:             retain,
+		Seed:               seed + 7,
+	}
+	sess, err := hwprof.Dial(addr, cfg, hwprof.RunConfig{Shards: shards, BatchSize: batch})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session %d at %s: %v, policy %s\n",
+		sess.ID(), addr, cfg, map[bool]string{false: "block", true: "shed"}[sess.Shedding()])
+
+	thresh := cfg.ThresholdCount()
+	n, err := sess.Run(hwprof.Limit(src, interval*uint64(intervals)),
+		func(i int, counts map[hwprof.Tuple]uint64) {
+			fmt.Printf("\ninterval %d:\n", i)
+			printTop(counts, thresh, top)
+		})
+	if err != nil {
+		return err
+	}
+	if n < intervals {
+		fmt.Printf("\nstream ended after %d of %d intervals\n", n, intervals)
+	}
+	return nil
+}
+
+// printTop lists the interval's hottest captured candidates.
+func printTop(counts map[hwprof.Tuple]uint64, thresh uint64, top int) {
+	type entry struct {
+		t hwprof.Tuple
+		c uint64
+	}
+	var cands []entry
+	for t, c := range counts {
+		if c >= thresh {
+			cands = append(cands, entry{t, c})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].c != cands[j].c {
+			return cands[i].c > cands[j].c
+		}
+		if cands[i].t.A != cands[j].t.A {
+			return cands[i].t.A < cands[j].t.A
+		}
+		return cands[i].t.B < cands[j].t.B
+	})
+	if len(cands) > top {
+		cands = cands[:top]
+	}
+	for _, e := range cands {
+		fmt.Printf("  <%#x, %#x>  ×%d\n", e.t.A, e.t.B, e.c)
+	}
+}

@@ -8,7 +8,7 @@
 //	profile -workload gcc -intervals 10
 //	profile -trace gcc.trace -tables 4 -conservative
 //	profile -program interp -kind edge -interval 10000 -threshold 1
-//	profile -workload gcc -shards 4 -exact=false   # concurrent, throughput mode
+//	profile -workload gcc -shards 4 -exact=false -reuse-profiles   # concurrent, throughput mode
 package main
 
 import (
@@ -43,11 +43,12 @@ func main() {
 		shards = flag.Int("shards", 1, "profile concurrently over this many shards (storage is split across them)")
 		batch  = flag.Int("batch", 0, "tuple batch size of the streaming driver (default 512)")
 		exact  = flag.Bool("exact", true, "run the perfect profiler alongside and report per-interval error")
+		reuse  = flag.Bool("reuse-profiles", false, "recycle interval-profile maps (allocation-free boundaries; maps are invalid after each interval is printed)")
 	)
 	flag.Parse()
 	if err := run(*traceFile, *workload, *program, *kindName, *seed, *interval,
 		*threshold, *entries, *tables, *conserv, *reset, *retain, *intervals, *top,
-		*shards, *batch, *exact); err != nil {
+		*shards, *batch, *exact, *reuse); err != nil {
 		// Trace faults get a classified message: whatever profiles were
 		// reported before the fault are real, but the stream they came from
 		// is damaged and the run must fail loudly rather than look complete.
@@ -65,7 +66,7 @@ func main() {
 
 func run(traceFile, workload, program, kindName string, seed, interval uint64,
 	threshold float64, entries, tables int, conserv, reset, retain bool,
-	intervals, top, shards, batch int, exact bool) error {
+	intervals, top, shards, batch int, exact, reuse bool) error {
 
 	var kind hwprof.Kind
 	switch kindName {
@@ -145,7 +146,9 @@ func run(traceFile, workload, program, kindName string, seed, interval uint64,
 		cfg, shards, bytes, cfg.ThresholdCount())
 
 	thresh := cfg.ThresholdCount()
-	rc := hwprof.RunConfig{IntervalLength: interval, BatchSize: batch, NoPerfect: !exact}
+	// -reuse-profiles is safe here because printTop finishes with each map
+	// inside the callback; nothing retains an interval's profile after it.
+	rc := hwprof.RunConfig{IntervalLength: interval, BatchSize: batch, NoPerfect: !exact, ReuseProfiles: reuse}
 	n, err := hwprof.RunWith(hwprof.Limit(src, interval*uint64(intervals)), p, rc,
 		func(i int, perfect, hardware map[hwprof.Tuple]uint64) {
 			if perfect != nil {

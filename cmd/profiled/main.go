@@ -1,0 +1,119 @@
+// Command profiled is the profiling daemon: it serves the hwprof wire
+// protocol over TCP, running one sharded profiling engine per client
+// session and returning interval profiles as the stream crosses interval
+// boundaries, with telemetry exposed over HTTP in Prometheus text form.
+//
+// Usage:
+//
+//	profiled -listen :9123 -telemetry :9124
+//	profiled -listen :9123 -shed -queue 32 -max-sessions 512
+//
+// SIGINT/SIGTERM drain gracefully: every session's queued batches are
+// profiled, its final partial profile and goodbye are sent, and the process
+// exits 0. A second signal — or the -drain-timeout deadline — force-closes
+// whatever remains.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hwprof/internal/server"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":9123", "TCP address to serve the wire protocol on")
+		telemetry    = flag.String("telemetry", ":9124", "HTTP address for /metrics and /healthz; empty disables")
+		queue        = flag.Int("queue", server.DefaultQueueDepth, "per-session queue depth in batches")
+		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrent sessions")
+		maxShards    = flag.Int("max-shards", server.DefaultMaxShards, "clamp on per-session shard count")
+		shed         = flag.Bool("shed", false, "shed (drop and count) batches when a session queue is full instead of blocking the stream")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline before force-closing sessions")
+		quiet        = flag.Bool("quiet", false, "suppress per-session log lines")
+	)
+	flag.Parse()
+	if err := run(*listen, *telemetry, *queue, *maxSessions, *maxShards, *shed, *drainTimeout, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "profiled:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, telemetry string, queue, maxSessions, maxShards int, shed bool, drainTimeout time.Duration, quiet bool) error {
+	logf := log.Printf
+	if quiet {
+		logf = nil
+	}
+	srv := server.New(server.Config{
+		QueueDepth:  queue,
+		MaxSessions: maxSessions,
+		MaxShards:   maxShards,
+		Shed:        shed,
+		Logf:        logf,
+	})
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", listen, err)
+	}
+	log.Printf("profiled: serving wire protocol on %s", ln.Addr())
+
+	var tsrv *http.Server
+	if telemetry != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.Metrics().Registry.Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		tsrv = &http.Server{Addr: telemetry, Handler: mux}
+		tln, err := net.Listen("tcp", telemetry)
+		if err != nil {
+			return fmt.Errorf("telemetry listen %s: %w", telemetry, err)
+		}
+		log.Printf("profiled: telemetry on http://%s/metrics", tln.Addr())
+		go func() {
+			if err := tsrv.Serve(tln); err != nil && err != http.ErrServerClosed {
+				log.Printf("profiled: telemetry server: %v", err)
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		log.Printf("profiled: %v: draining sessions (deadline %v)", s, drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	go func() {
+		<-sig // a second signal force-closes immediately
+		cancel()
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("profiled: forced shutdown: %v", err)
+	} else {
+		log.Printf("profiled: drained cleanly")
+	}
+	if tsrv != nil {
+		tsrv.Close()
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,435 @@
+// Package client implements the remote-profiling client: it dials a
+// profiled daemon, opens a session for a profiler configuration, streams
+// event batches over the wire protocol, and delivers the interval profiles
+// the daemon returns.
+//
+// A Session runs one background goroutine that reads server frames and
+// feeds the Profiles channel; the caller's goroutine writes. Run is the
+// high-level driver — stream a whole Source, invoke a callback per interval
+// profile, drain — and mirrors hwprof.RunParallel closely enough that, on a
+// block-policy server, the two produce bit-identical profiles for the same
+// configuration, seed and stream.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+	"hwprof/internal/wire"
+)
+
+// ErrSessionClosed is returned by operations on a session that was already
+// closed or drained.
+var ErrSessionClosed = errors.New("client: session is closed")
+
+// Options tunes a session.
+type Options struct {
+	// Shards is the shard count the daemon should run for this session;
+	// 0 or 1 means sequential. Daemons may clamp it.
+	Shards int
+
+	// BatchSize is the number of tuples per batch frame; 0 selects
+	// event.DefaultBatchSize.
+	BatchSize int
+
+	// DialTimeout bounds the TCP connect; 0 means 10 seconds.
+	DialTimeout time.Duration
+}
+
+// Profile is one interval profile as delivered by the daemon.
+type Profile struct {
+	// Index is the interval index within the session, from 0.
+	Index uint64
+
+	// Shed is the cumulative count of events the daemon dropped under its
+	// shed backpressure policy; 0 on a block-policy daemon.
+	Shed uint64
+
+	// Final marks the drain reply: the unfinished interval's partial
+	// profile.
+	Final bool
+
+	// Counts is the profile: captured count per tuple.
+	Counts map[event.Tuple]uint64
+}
+
+// Session is one open profiling session with a daemon.
+type Session struct {
+	conn net.Conn
+	wc   *wire.Conn
+	ack  wire.HelloAck
+
+	batchSize int
+	pending   []event.Tuple
+	enc       []byte
+
+	profiles chan Profile
+
+	mu       sync.Mutex
+	writeErr error
+	readErr  error
+	goodbye  bool
+	closed   bool
+}
+
+// Dial connects to a daemon at addr (TCP host:port), opens a session for
+// cfg, and returns it once the daemon has acknowledged. The configuration
+// is validated locally first, so most mistakes fail before touching the
+// network.
+func Dial(addr string, cfg core.Config, opts Options) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	timeout := opts.DialTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	s, err := open(conn, cfg, opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// open performs the handshake and Hello/HelloAck exchange over conn and
+// starts the session's reader.
+func open(conn net.Conn, cfg core.Config, opts Options) (*Session, error) {
+	wc := wire.NewConn(conn)
+	if err := wc.ClientHandshake(); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	hello := wire.Hello{Config: cfg, Shards: opts.Shards}
+	if err := wc.WriteFrame(wire.MsgHello, wire.AppendHello(nil, hello)); err != nil {
+		return nil, fmt.Errorf("client: sending hello: %w", err)
+	}
+	typ, payload, err := wc.ReadFrame()
+	if err != nil {
+		return nil, fmt.Errorf("client: waiting for hello-ack: %w", err)
+	}
+	switch typ {
+	case wire.MsgHelloAck:
+	case wire.MsgError:
+		if e, derr := wire.DecodeError(payload); derr == nil {
+			return nil, fmt.Errorf("client: session refused: %w", e)
+		}
+		return nil, fmt.Errorf("client: session refused with undecodable error")
+	default:
+		return nil, fmt.Errorf("%w: expected hello-ack, got frame type %d", wire.ErrProtocol, typ)
+	}
+	ack, err := wire.DecodeHelloAck(payload)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = event.DefaultBatchSize
+	}
+	s := &Session{
+		conn:      conn,
+		wc:        wc,
+		ack:       ack,
+		batchSize: batchSize,
+		pending:   make([]event.Tuple, 0, batchSize),
+		profiles:  make(chan Profile, 64),
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+// ID returns the daemon-assigned session id.
+func (s *Session) ID() uint64 { return s.ack.SessionID }
+
+// Shedding reports whether the daemon applies the shed backpressure policy
+// to this session; a shedding session's profiles are lossy and carry the
+// cumulative Shed count.
+func (s *Session) Shedding() bool { return s.ack.Shed }
+
+// Profiles returns the channel of interval profiles, delivered in interval
+// order as the daemon completes them. The channel closes when the session
+// ends — after the final (drain) profile and goodbye, or on failure (see
+// Err). Consume it promptly: an unread channel eventually backpressures
+// the daemon and, through it, the stream.
+func (s *Session) Profiles() <-chan Profile { return s.profiles }
+
+// readLoop is the session's reader goroutine: it decodes server frames
+// into the Profiles channel until goodbye, error frame, or stream failure.
+func (s *Session) readLoop() {
+	defer close(s.profiles)
+	for {
+		typ, payload, err := s.wc.ReadFrame()
+		if err != nil {
+			if err != io.EOF {
+				s.failRead(fmt.Errorf("client: reading: %w", err))
+			} else {
+				s.failRead(fmt.Errorf("client: daemon closed the stream: %w", io.ErrUnexpectedEOF))
+			}
+			return
+		}
+		switch typ {
+		case wire.MsgProfile:
+			m, derr := wire.DecodeProfile(payload)
+			if derr != nil {
+				s.failRead(fmt.Errorf("client: %w", derr))
+				return
+			}
+			s.profiles <- Profile{Index: m.Index, Shed: m.Shed, Final: m.Final, Counts: m.Counts}
+		case wire.MsgGoodbye:
+			s.mu.Lock()
+			s.goodbye = true
+			s.mu.Unlock()
+			return
+		case wire.MsgError:
+			if e, derr := wire.DecodeError(payload); derr == nil {
+				s.failRead(fmt.Errorf("client: %w", e))
+			} else {
+				s.failRead(fmt.Errorf("client: undecodable error frame: %w", derr))
+			}
+			return
+		default:
+			s.failRead(fmt.Errorf("%w: unexpected frame type %d", wire.ErrProtocol, typ))
+			return
+		}
+	}
+}
+
+// failRead records the reader's terminal error.
+func (s *Session) failRead(err error) {
+	s.mu.Lock()
+	if s.readErr == nil {
+		s.readErr = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the session's terminal error, if any: a failed write, a
+// server-reported error, or a broken stream. A session that ended with a
+// clean goodbye reports nil.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.writeErr != nil {
+		return s.writeErr
+	}
+	return s.readErr
+}
+
+// Observe queues one event for the daemon, flushing a batch frame when the
+// batch is full.
+func (s *Session) Observe(tp event.Tuple) error {
+	s.pending = append(s.pending, tp)
+	if len(s.pending) >= s.batchSize {
+		return s.Flush()
+	}
+	return nil
+}
+
+// ObserveBatch queues every tuple of batch, flushing as frames fill.
+func (s *Session) ObserveBatch(batch []event.Tuple) error {
+	for len(batch) > 0 {
+		n := copy(s.pending[len(s.pending):cap(s.pending)], batch)
+		s.pending = s.pending[:len(s.pending)+n]
+		batch = batch[n:]
+		if len(s.pending) >= s.batchSize {
+			if err := s.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush sends the pending events, if any, as one batch frame.
+func (s *Session) Flush() error {
+	s.mu.Lock()
+	closed, werr := s.closed, s.writeErr
+	s.mu.Unlock()
+	if closed {
+		return ErrSessionClosed
+	}
+	if werr != nil {
+		return werr
+	}
+	if len(s.pending) == 0 {
+		return nil
+	}
+	s.enc = wire.AppendBatch(s.enc[:0], s.pending)
+	s.pending = s.pending[:0]
+	if err := s.wc.WriteFrame(wire.MsgBatch, s.enc); err != nil {
+		err = s.failWrite(err)
+		return err
+	}
+	return nil
+}
+
+// failWrite records a write failure, preferring an already-recorded server
+// error (the usual root cause of a write failing) over the raw I/O error.
+func (s *Session) failWrite(err error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readErr != nil {
+		err = s.readErr
+	}
+	if s.writeErr == nil {
+		s.writeErr = fmt.Errorf("client: writing: %w", err)
+	}
+	return s.writeErr
+}
+
+// Drain finishes the session gracefully: pending events are flushed, the
+// daemon drains its queue and replies with the unfinished interval's
+// partial profile, and the connection closes. Any complete-interval
+// profiles still in flight are discarded — consume Profiles first (or use
+// Run) if you want them. Drain returns the partial profile's counts.
+func (s *Session) Drain() (map[event.Tuple]uint64, error) {
+	if err := s.Flush(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
+	defer s.conn.Close()
+	if err := s.wc.WriteFrame(wire.MsgDrain, nil); err != nil {
+		err = s.failWrite(err)
+		s.conn.Close()
+		for range s.profiles {
+			// Unblock the reader so it can observe the closed connection.
+		}
+		return nil, err
+	}
+	var final map[event.Tuple]uint64
+	for p := range s.profiles {
+		if p.Final {
+			final = p.Counts
+		}
+	}
+	s.mu.Lock()
+	ok, readErr := s.goodbye, s.readErr
+	s.mu.Unlock()
+	if !ok {
+		if readErr != nil {
+			return final, readErr
+		}
+		return final, fmt.Errorf("client: session ended without goodbye")
+	}
+	return final, nil
+}
+
+// Close abandons the session: a best-effort goodbye frame, then the
+// connection closes. Profiles in flight and the unfinished interval are
+// discarded. Close is idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.wc.WriteFrame(wire.MsgGoodbye, nil)
+	err := s.conn.Close()
+	for range s.profiles {
+		// Unblock the reader so it can observe the closed connection.
+	}
+	return err
+}
+
+// Run streams all of src through the session and invokes fn — when non-nil
+// — for each complete interval profile, in interval order, then drains the
+// session. The final partial interval is discarded, mirroring
+// hwprof.RunParallel. It returns the number of complete intervals
+// delivered and the first error among the source, the stream and the
+// daemon. fn runs on a separate goroutine from the source reads, but its
+// calls are sequential. Run consumes the session: after it returns the
+// session is closed.
+func (s *Session) Run(src event.Source, fn func(index int, counts map[event.Tuple]uint64)) (int, error) {
+	intervals := 0
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for p := range s.profiles {
+			if p.Final {
+				continue
+			}
+			if fn != nil {
+				fn(int(p.Index), p.Counts)
+			}
+			intervals++
+		}
+	}()
+
+	batched := event.Batched(src)
+	buf := make([]event.Tuple, s.batchSize)
+	var streamErr error
+	for {
+		got := batched.NextBatch(buf)
+		if got == 0 {
+			if err := batched.Err(); err != nil {
+				streamErr = fmt.Errorf("client: source failed mid-stream: %w", err)
+			}
+			break
+		}
+		if err := s.ObserveBatch(buf[:got]); err != nil {
+			streamErr = err
+			break
+		}
+	}
+
+	// Ask the daemon to drain; the consumer above sees every in-flight
+	// profile first because the reader delivers in order and closes the
+	// channel only at the end. On any failure, close the connection instead
+	// so the reader (and with it the consumer) is guaranteed to unblock.
+	drainErr := streamErr
+	if drainErr == nil {
+		drainErr = s.Flush()
+	}
+	if drainErr == nil {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		if werr := s.wc.WriteFrame(wire.MsgDrain, nil); werr != nil {
+			drainErr = s.failWrite(werr)
+		}
+	}
+	if drainErr != nil {
+		s.conn.Close()
+	}
+	<-consumed
+	s.conn.Close()
+	s.mu.Lock()
+	s.closed = true
+	goodbye, readErr := s.goodbye, s.readErr
+	s.mu.Unlock()
+
+	if streamErr != nil {
+		return intervals, streamErr
+	}
+	if drainErr != nil {
+		if readErr != nil {
+			return intervals, readErr // the server's explanation beats the raw I/O error
+		}
+		return intervals, drainErr
+	}
+	if !goodbye {
+		if readErr != nil {
+			return intervals, readErr
+		}
+		return intervals, fmt.Errorf("client: session ended without goodbye")
+	}
+	return intervals, nil
+}

@@ -1,0 +1,308 @@
+// Package server implements the profiling daemon: a TCP server that
+// multiplexes many client sessions, each running its own sharded profiling
+// engine over the event stream its client sends, returning one interval
+// profile per completed interval over the wire protocol of internal/wire.
+//
+// # Session model
+//
+// One connection is one session (multi-tenancy is many concurrent
+// connections). A session owns a shard.Profiler built from the client's
+// Hello configuration, two goroutines — a reader decoding frames off the
+// socket and a worker feeding the engine and writing profiles back — and a
+// bounded queue of decoded batches between them. The worker places interval
+// boundaries by event count exactly where the local batched driver
+// (core.RunBatchedContext) would, so a remote session's profiles are
+// bit-identical to a local RunParallel over the same stream, configuration
+// and seed.
+//
+// # Backpressure
+//
+// The queue between reader and worker is bounded. Under the default block
+// policy a full queue stops the reader, which stops reading the socket,
+// which backpressures the client through TCP — no event is ever lost.
+// Under the shed policy a full queue drops the batch instead; the session
+// keeps its cumulative shed count and reports it in every Profile frame, so
+// the client always knows how much of its stream was sacrificed. Shedding
+// trades accuracy for ingest availability; profiles of a shedding session
+// are not comparable to a local run.
+//
+// # Failure containment
+//
+// Every session failure — corrupt frame, protocol violation, client
+// disconnect, engine failure, contained panic — tears down that session
+// only: the engine is drained and discarded, the connection closed, the
+// failure counted in telemetry. Other sessions never observe it. A panic in
+// a session goroutine is recovered, reported to the client as a
+// CodeInternal error when the socket still works, and contained the same
+// way.
+//
+// # Shutdown
+//
+// Shutdown stops accepting, then asks every live session to finish the way
+// a client Drain would: the worker drains the queued batches into the
+// engine, sends the final partial profile and a Goodbye, and closes. A
+// context deadline bounds how long stragglers may take before their
+// connections are force-closed.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"hwprof/internal/event"
+	"hwprof/internal/telemetry"
+)
+
+// Defaults for the server's tuning knobs.
+const (
+	// DefaultQueueDepth is the per-session queue bound, in batches.
+	DefaultQueueDepth = 16
+	// DefaultMaxSessions caps concurrent sessions.
+	DefaultMaxSessions = 256
+	// DefaultMaxShards caps the per-session shard count a client may
+	// request; requests beyond it are clamped, not refused.
+	DefaultMaxShards = 16
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// QueueDepth is the per-session batch queue bound; 0 selects
+	// DefaultQueueDepth.
+	QueueDepth int
+
+	// MaxSessions caps concurrent sessions; further connections are
+	// refused with CodeOverload. 0 selects DefaultMaxSessions.
+	MaxSessions int
+
+	// MaxShards clamps the shard count a session may request; 0 selects
+	// DefaultMaxShards.
+	MaxShards int
+
+	// Shed selects the shed backpressure policy: a full session queue
+	// drops batches (counted and reported to the client) instead of
+	// blocking the socket.
+	Shed bool
+
+	// Logf receives one line per session lifecycle event; nil disables
+	// logging (tests) — use log.Printf for the daemon.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults fills in the zero knobs.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.MaxShards == 0 {
+		c.MaxShards = DefaultMaxShards
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Metrics is the daemon's telemetry surface: every field is registered in
+// Registry and exported over the telemetry HTTP endpoint in Prometheus
+// text form.
+type Metrics struct {
+	// Registry holds every metric below, ready to serve.
+	Registry *telemetry.Registry
+
+	// SessionsActive is the number of live sessions.
+	SessionsActive *telemetry.Gauge
+	// SessionsTotal counts sessions ever accepted.
+	SessionsTotal *telemetry.Counter
+	// SessionErrors counts sessions torn down by a failure (disconnect,
+	// corrupt frame, protocol violation, engine failure, panic).
+	SessionErrors *telemetry.Counter
+	// CorruptFrames counts frames rejected by checksum or decode.
+	CorruptFrames *telemetry.Counter
+	// EventsTotal counts profiling events accepted into engines.
+	EventsTotal *telemetry.Counter
+	// BatchesTotal counts batch frames accepted.
+	BatchesTotal *telemetry.Counter
+	// EventsShed counts events dropped under the shed policy.
+	EventsShed *telemetry.Counter
+	// IntervalsTotal counts interval profiles returned to clients.
+	IntervalsTotal *telemetry.Counter
+	// QueueDepth is the aggregate number of queued batches across
+	// sessions.
+	QueueDepth *telemetry.Gauge
+	// IntervalLatency observes the seconds from an interval boundary
+	// being crossed to its profile frame being written.
+	IntervalLatency *telemetry.Histogram
+}
+
+// newMetrics registers the daemon's metrics in a fresh registry.
+func newMetrics() *Metrics {
+	r := telemetry.NewRegistry()
+	return &Metrics{
+		Registry:       r,
+		SessionsActive: r.Gauge("hwprof_sessions_active", "Live profiling sessions."),
+		SessionsTotal:  r.Counter("hwprof_sessions_total", "Sessions accepted since start."),
+		SessionErrors:  r.Counter("hwprof_session_errors_total", "Sessions torn down by a failure."),
+		CorruptFrames:  r.Counter("hwprof_frames_corrupt_total", "Frames rejected by checksum or decode."),
+		EventsTotal:    r.Counter("hwprof_events_total", "Profiling events accepted into engines."),
+		BatchesTotal:   r.Counter("hwprof_batches_total", "Batch frames accepted."),
+		EventsShed:     r.Counter("hwprof_events_shed_total", "Events dropped under the shed backpressure policy."),
+		IntervalsTotal: r.Counter("hwprof_intervals_total", "Interval profiles returned to clients."),
+		QueueDepth:     r.Gauge("hwprof_queue_depth", "Queued batches across all sessions."),
+		IntervalLatency: r.Histogram("hwprof_interval_latency_seconds",
+			"Seconds from interval boundary to profile frame written.",
+			[]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}),
+	}
+}
+
+// Server is the profiling daemon.
+type Server struct {
+	cfg       Config
+	metrics   *Metrics
+	batchPool sync.Pool // *[]event.Tuple, shared decode buffers
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*session
+	nextID   uint64
+	draining atomic.Bool
+	closed   bool
+
+	wg sync.WaitGroup // one per live session (covers both its goroutines)
+}
+
+// New builds a daemon from cfg.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		metrics:  newMetrics(),
+		sessions: make(map[uint64]*session),
+	}
+	s.batchPool.New = func() any {
+		buf := make([]event.Tuple, 0, event.DefaultBatchSize)
+		return &buf
+	}
+	return s
+}
+
+// Metrics returns the daemon's telemetry surface.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Addr returns the listener's address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on addr (TCP) and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts sessions on ln until the listener is closed (by Shutdown).
+// It returns nil after a clean Shutdown and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.startSession(conn)
+	}
+}
+
+// startSession admits conn as a session, or refuses it over the wire when
+// the server is full or draining.
+func (s *Server) startSession(conn net.Conn) {
+	s.mu.Lock()
+	if s.draining.Load() || len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		go refuse(conn, "session limit reached or server draining")
+		return
+	}
+	s.nextID++
+	sess := newSession(s, s.nextID, conn)
+	s.sessions[sess.id] = sess
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.metrics.SessionsTotal.Inc()
+	s.metrics.SessionsActive.Add(1)
+	go sess.run()
+}
+
+// removeSession unregisters a finished session.
+func (s *Server) removeSession(id uint64) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	s.metrics.SessionsActive.Add(-1)
+	s.wg.Done()
+}
+
+// Shutdown drains the daemon gracefully: it stops accepting, asks every
+// session to finish as a client Drain would (queued batches processed,
+// final partial profile and Goodbye sent), and waits. When ctx expires
+// first, remaining sessions are force-closed and ctx.Err() returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	live := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range live {
+		sess.beginDrain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// logf logs through the configured sink.
+func (s *Server) logf(format string, args ...any) { s.cfg.Logf(format, args...) }

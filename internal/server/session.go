@@ -1,0 +1,409 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+	"hwprof/internal/shard"
+	"hwprof/internal/wire"
+)
+
+// item is one unit of work on a session's queue: a decoded batch, a drain
+// request, a client goodbye, or a reader-side failure to act on.
+type item struct {
+	batch   *[]event.Tuple
+	drain   bool
+	goodbye bool
+	err     error // reader failure: tear the session down
+	code    byte  // wire error code to report for err, 0 = don't report
+}
+
+// session is one client connection: its engine, its queue, and the two
+// goroutines moving frames through them.
+type session struct {
+	srv  *Server
+	id   uint64
+	conn net.Conn
+	wc   *wire.Conn
+
+	cfg    core.Config
+	shards int
+	eng    *shard.Profiler
+
+	queue    chan item
+	shed     atomic.Uint64 // cumulative events dropped under shed policy
+	draining atomic.Bool   // server-initiated drain in progress
+
+	enc []byte // reused frame-encoding buffer (worker goroutine only)
+}
+
+// newSession wraps conn; the engine is built later, from the Hello.
+func newSession(s *Server, id uint64, conn net.Conn) *session {
+	return &session{
+		srv:   s,
+		id:    id,
+		conn:  conn,
+		wc:    wire.NewConn(conn),
+		queue: make(chan item, s.cfg.QueueDepth),
+	}
+}
+
+// refuse answers a connection the server will not serve: handshake, one
+// overload error frame, close. Runs on its own goroutine; failures are
+// irrelevant because the connection is doomed either way.
+func refuse(conn net.Conn, msg string) {
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	if err := wc.ServerHandshake(); err != nil {
+		return
+	}
+	wc.WriteFrame(wire.MsgError, wire.AppendError(nil, wire.ErrorMsg{Code: wire.CodeOverload, Msg: msg}))
+}
+
+// run is the session's lifecycle: handshake and Hello on the reader
+// goroutine, then the reader loop, with the worker spun off in between.
+// Every exit path unregisters the session and closes the connection.
+func (s *session) run() {
+	defer s.srv.removeSession(s.id)
+	defer s.conn.Close()
+	defer s.recoverPanic("session")
+
+	if err := s.wc.ServerHandshake(); err != nil {
+		s.srv.metrics.SessionErrors.Inc()
+		s.srv.logf("session %d: handshake: %v", s.id, err)
+		return
+	}
+	if !s.openEngine() {
+		s.srv.metrics.SessionErrors.Inc()
+		return
+	}
+	s.srv.logf("session %d: open from %s: %v, %d shard(s)", s.id, s.conn.RemoteAddr(), s.cfg, s.shards)
+
+	done := make(chan struct{})
+	go s.work(done)
+	s.read()
+	<-done // the worker owns teardown of the engine and the final frames
+}
+
+// openEngine performs the Hello/HelloAck exchange and builds the session's
+// engine. It reports whether the session is live; on failure the client has
+// already been told why (when the socket allowed it).
+func (s *session) openEngine() bool {
+	typ, payload, err := s.wc.ReadFrame()
+	if err != nil {
+		s.srv.logf("session %d: reading hello: %v", s.id, err)
+		return false
+	}
+	if typ != wire.MsgHello {
+		s.refuseWith(wire.CodeProtocol, fmt.Sprintf("expected hello, got frame type %d", typ))
+		return false
+	}
+	h, err := wire.DecodeHello(payload)
+	if err != nil {
+		s.srv.metrics.CorruptFrames.Inc()
+		s.refuseWith(wire.CodeProtocol, fmt.Sprintf("undecodable hello: %v", err))
+		return false
+	}
+	if err := h.Config.Validate(); err != nil {
+		s.refuseWith(wire.CodeConfig, err.Error())
+		return false
+	}
+	shards := h.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > s.srv.cfg.MaxShards {
+		shards = s.srv.cfg.MaxShards
+	}
+	// Shard counts must divide the counter storage; fall back to
+	// sequential rather than refusing a stream we could serve.
+	for shards > 1 && h.Config.TotalEntries%shards != 0 {
+		shards--
+	}
+	eng, err := shard.New(shard.Config{Core: h.Config, NumShards: shards})
+	if err != nil {
+		s.refuseWith(wire.CodeConfig, err.Error())
+		return false
+	}
+	s.cfg, s.shards, s.eng = h.Config, shards, eng
+	ack := wire.HelloAck{SessionID: s.id, Shed: s.srv.cfg.Shed, QueueDepth: s.srv.cfg.QueueDepth}
+	if err := s.wc.WriteFrame(wire.MsgHelloAck, wire.AppendHelloAck(s.enc[:0], ack)); err != nil {
+		s.srv.logf("session %d: writing hello-ack: %v", s.id, err)
+		eng.Close()
+		return false
+	}
+	return true
+}
+
+// refuseWith best-effort reports a session-opening failure to the client.
+func (s *session) refuseWith(code byte, msg string) {
+	s.srv.logf("session %d: refused (code %d): %s", s.id, code, msg)
+	s.wc.WriteFrame(wire.MsgError, wire.AppendError(nil, wire.ErrorMsg{Code: code, Msg: msg}))
+}
+
+// read is the reader loop: decode frames, enqueue work. It exits on drain,
+// goodbye, or failure — always after handing the worker a final control
+// item — and closes the queue on the way out (it is the sole producer), so
+// the worker always terminates.
+func (s *session) read() {
+	defer close(s.queue)
+	defer s.recoverPanic("reader")
+	for {
+		typ, payload, err := s.wc.ReadFrame()
+		if err != nil {
+			s.readFailed(err)
+			return
+		}
+		switch typ {
+		case wire.MsgBatch:
+			buf := s.srv.batchPool.Get().(*[]event.Tuple)
+			*buf, err = wire.DecodeBatch(payload, (*buf)[:0])
+			if err != nil {
+				s.srv.batchPool.Put(buf)
+				s.srv.metrics.CorruptFrames.Inc()
+				s.enqueue(item{err: fmt.Errorf("undecodable batch: %w", err), code: wire.CodeProtocol})
+				return
+			}
+			s.enqueueBatch(buf)
+		case wire.MsgDrain:
+			s.enqueue(item{drain: true})
+			return
+		case wire.MsgGoodbye:
+			s.enqueue(item{goodbye: true})
+			return
+		default:
+			s.enqueue(item{err: fmt.Errorf("unexpected frame type %d", typ), code: wire.CodeProtocol})
+			return
+		}
+	}
+}
+
+// readFailed classifies a reader failure and hands the worker the
+// consequence: a server-initiated drain turns a closed read side into a
+// graceful finish; everything else tears the session down.
+func (s *session) readFailed(err error) {
+	if s.draining.Load() {
+		// Shutdown closed the read side; finish like a client drain.
+		s.enqueue(item{drain: true})
+		return
+	}
+	switch {
+	case errors.Is(err, wire.ErrCorrupt):
+		s.srv.metrics.CorruptFrames.Inc()
+		s.enqueue(item{err: err, code: wire.CodeProtocol})
+	case errors.Is(err, io.EOF):
+		// Disconnect without goodbye: mid-stream failure, not a clean end.
+		s.enqueue(item{err: errors.New("client disconnected mid-stream")})
+	default:
+		s.enqueue(item{err: fmt.Errorf("read failed: %w", err)})
+	}
+}
+
+// enqueue hands the worker a control item, blocking until it fits: control
+// items are never shed, whatever the backpressure policy.
+func (s *session) enqueue(it item) {
+	s.srv.metrics.QueueDepth.Add(1)
+	s.queue <- it
+}
+
+// enqueueBatch hands the worker a batch under the backpressure policy:
+// block (default) stalls the socket — and through it, via TCP, the client —
+// while shed drops the batch and counts its events instead.
+func (s *session) enqueueBatch(buf *[]event.Tuple) {
+	if s.srv.cfg.Shed {
+		select {
+		case s.queue <- item{batch: buf}:
+			s.srv.metrics.QueueDepth.Add(1)
+		default:
+			n := uint64(len(*buf))
+			s.shed.Add(n)
+			s.srv.metrics.EventsShed.Add(n)
+			s.srv.batchPool.Put(buf)
+		}
+		return
+	}
+	s.srv.metrics.QueueDepth.Add(1)
+	s.queue <- item{batch: buf}
+}
+
+// work runs the worker loop, then — whatever ended it, including a
+// contained panic — keeps consuming the queue until the reader closes it,
+// so the reader can never block on a dead worker.
+func (s *session) work(done chan<- struct{}) {
+	defer close(done)
+	s.workLoop()
+	for it := range s.queue {
+		s.srv.metrics.QueueDepth.Add(-1)
+		if it.batch != nil {
+			*it.batch = (*it.batch)[:0]
+			s.srv.batchPool.Put(it.batch)
+		}
+	}
+}
+
+// workLoop is the worker: feed the engine, place interval boundaries,
+// write profiles. It is the connection's only writer after the HelloAck.
+// After a terminal event (drain, goodbye, failure) it keeps consuming —
+// and discarding — the queue until the reader closes it.
+func (s *session) workLoop() {
+	defer s.recoverPanic("worker")
+
+	var (
+		events   uint64 // events observed in the current interval
+		interval uint64 // completed intervals, = next profile index
+		dead     bool   // terminal state reached; drain the queue only
+	)
+	for it := range s.queue {
+		s.srv.metrics.QueueDepth.Add(-1)
+		if dead {
+			if it.batch != nil {
+				*it.batch = (*it.batch)[:0]
+				s.srv.batchPool.Put(it.batch)
+			}
+			continue
+		}
+		switch {
+		case it.err != nil:
+			s.fail(it.err, it.code)
+			dead = true
+			continue
+		case it.goodbye:
+			s.srv.logf("session %d: goodbye, %d interval(s)", s.id, interval)
+			s.eng.Close()
+			dead = true
+			continue
+		case it.drain:
+			s.finish(interval)
+			dead = true
+			continue
+		}
+
+		batch := *it.batch
+		s.srv.metrics.BatchesTotal.Inc()
+		s.srv.metrics.EventsTotal.Add(uint64(len(batch)))
+		// Clip at interval boundaries exactly like core.RunBatchedContext,
+		// so boundary placement — and hence every profile — matches a
+		// local run over the same stream.
+		for len(batch) > 0 && !dead {
+			n := uint64(len(batch))
+			if remaining := s.cfg.IntervalLength - events; n > remaining {
+				n = remaining
+			}
+			s.eng.ObserveBatch(batch[:n])
+			batch = batch[n:]
+			events += n
+			if events == s.cfg.IntervalLength {
+				if !s.emitProfile(interval, false) {
+					dead = true
+					continue
+				}
+				interval++
+				events = 0
+			}
+		}
+		*it.batch = (*it.batch)[:0]
+		s.srv.batchPool.Put(it.batch)
+		if !dead {
+			if err := s.eng.Err(); err != nil {
+				s.fail(fmt.Errorf("engine failed: %w", err), wire.CodeInternal)
+				dead = true
+			}
+		}
+	}
+	if !dead {
+		// Queue closed without a terminal item (contained reader panic):
+		// nothing more is coming; discard the unfinished interval.
+		s.eng.Close()
+	}
+}
+
+// emitProfile ends the engine's interval and writes the profile frame,
+// recycling the profile map back into the engine afterwards. It reports
+// whether the session is still healthy.
+func (s *session) emitProfile(index uint64, final bool) bool {
+	start := time.Now()
+	var prof map[event.Tuple]uint64
+	if final {
+		prof, _ = s.eng.Drain() // the engine's terminal error was already polled per batch
+	} else {
+		prof = s.eng.EndInterval()
+	}
+	msg := wire.ProfileMsg{Index: index, Shed: s.shed.Load(), Final: final, Counts: prof}
+	s.enc = wire.AppendProfile(s.enc[:0], msg)
+	if !final {
+		s.eng.Recycle(prof) // encoded; hand the map back for the next boundary
+	}
+	if err := s.wc.WriteFrame(wire.MsgProfile, s.enc); err != nil {
+		s.srv.metrics.SessionErrors.Inc()
+		s.srv.logf("session %d: writing profile %d: %v", s.id, index, err)
+		if !final {
+			s.eng.Close()
+		}
+		return false
+	}
+	s.srv.metrics.IntervalsTotal.Inc()
+	s.srv.metrics.IntervalLatency.Observe(time.Since(start).Seconds())
+	return true
+}
+
+// finish is the graceful end: drain the engine, send the final partial
+// profile and the goodbye.
+func (s *session) finish(interval uint64) {
+	if !s.emitProfile(interval, true) {
+		return
+	}
+	if err := s.wc.WriteFrame(wire.MsgGoodbye, nil); err != nil {
+		s.srv.metrics.SessionErrors.Inc()
+		s.srv.logf("session %d: writing goodbye: %v", s.id, err)
+		return
+	}
+	s.srv.logf("session %d: drained, %d complete interval(s)", s.id, interval)
+}
+
+// fail tears the session down after a failure, best-effort reporting it to
+// the client first when a wire error code was assigned.
+func (s *session) fail(err error, code byte) {
+	s.srv.metrics.SessionErrors.Inc()
+	s.srv.logf("session %d: failed: %v", s.id, err)
+	if code != 0 {
+		s.wc.WriteFrame(wire.MsgError, wire.AppendError(s.enc[:0], wire.ErrorMsg{Code: code, Msg: err.Error()}))
+	}
+	if s.eng != nil {
+		s.eng.Close()
+	}
+	s.conn.Close() // unblock the reader, if it is still in ReadFrame
+}
+
+// beginDrain asks the session to finish as a client Drain would: the read
+// side is closed so the reader unblocks and (seeing draining) queues a
+// drain item; the worker then drains the engine and sends the final frames.
+func (s *session) beginDrain() {
+	s.draining.Store(true)
+	if tc, ok := s.conn.(*net.TCPConn); ok {
+		tc.CloseRead()
+	} else {
+		s.conn.SetReadDeadline(time.Now())
+	}
+}
+
+// recoverPanic contains a panic on a session goroutine: counted, logged,
+// best-effort reported, session torn down — the daemon and every other
+// session keep running.
+func (s *session) recoverPanic(where string) {
+	if r := recover(); r != nil {
+		s.srv.metrics.SessionErrors.Inc()
+		s.srv.logf("session %d: %s panic contained: %v", s.id, where, r)
+		s.wc.WriteFrame(wire.MsgError, wire.AppendError(nil,
+			wire.ErrorMsg{Code: wire.CodeInternal, Msg: fmt.Sprint(r)}))
+		if s.eng != nil {
+			s.eng.Close()
+		}
+		s.conn.Close()
+	}
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"hwprof/internal/event"
+)
+
+// TestEnqueueBatchShedsWhenFull drives the shed policy directly: with the
+// queue full, a batch is dropped whole, its events counted against the
+// session and the daemon, and the queue depth untouched.
+func TestEnqueueBatchShedsWhenFull(t *testing.T) {
+	srv := New(Config{Shed: true, QueueDepth: 1})
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	s := newSession(srv, 1, c1)
+
+	b1 := srv.batchPool.Get().(*[]event.Tuple)
+	*b1 = append((*b1)[:0], event.Tuple{A: 1})
+	s.enqueueBatch(b1) // fills the queue
+
+	b2 := srv.batchPool.Get().(*[]event.Tuple)
+	*b2 = append((*b2)[:0], event.Tuple{A: 2}, event.Tuple{A: 3})
+	s.enqueueBatch(b2) // must shed, not block
+
+	if got := s.shed.Load(); got != 2 {
+		t.Fatalf("session shed = %d events, want 2", got)
+	}
+	if got := srv.metrics.EventsShed.Load(); got != 2 {
+		t.Fatalf("events_shed = %d, want 2", got)
+	}
+	if got := srv.metrics.QueueDepth.Load(); got != 1 {
+		t.Fatalf("queue_depth = %d, want 1", got)
+	}
+
+	// Control items are never shed: with the queue still full, a drain must
+	// wait for capacity, not disappear.
+	delivered := make(chan struct{})
+	go func() {
+		s.enqueue(item{drain: true})
+		close(delivered)
+	}()
+	select {
+	case <-delivered:
+		t.Fatal("control item bypassed the full queue")
+	default:
+	}
+	<-s.queue // make room
+	<-delivered
+	if it := <-s.queue; !it.drain {
+		t.Fatal("expected the drain item")
+	}
+}

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"hwprof/internal/event"
+)
+
+// FuzzWire feeds arbitrary bytes to the frame reader and the message
+// decoders: whatever the bytes, the reader must classify every failure as a
+// sentinel (never panic, never mis-allocate), and any frame it does accept
+// must decode deterministically.
+func FuzzWire(f *testing.F) {
+	// Seed with a valid frame stream so mutations explore near-misses.
+	var buf bytes.Buffer
+	c := NewConn(duplex{r: &bytes.Buffer{}, w: &buf})
+	c.WriteFrame(MsgHello, AppendHello(nil, Hello{Config: testConfig(), Shards: 2}))
+	c.WriteFrame(MsgBatch, AppendBatch(nil, []event.Tuple{{A: 1, B: 2}, {A: 5, B: 5}}))
+	c.WriteFrame(MsgProfile, AppendProfile(nil, ProfileMsg{Index: 1, Counts: map[event.Tuple]uint64{{A: 3, B: 4}: 9}}))
+	c.WriteFrame(MsgDrain, nil)
+	c.WriteFrame(MsgError, AppendError(nil, ErrorMsg{Code: CodeProtocol, Msg: "x"}))
+	f.Add(buf.Bytes())
+	f.Add([]byte(Magic + "\x01"))
+	f.Add([]byte{MsgBatch, 0x02, 0x00, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(duplex{r: bytes.NewBuffer(data), w: &bytes.Buffer{}})
+		for frames := 0; frames <= len(data); frames++ {
+			typ, payload, err := c.ReadFrame()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("unclassified frame error: %v", err)
+				}
+				return
+			}
+			// An accepted frame's payload must decode — or fail — the same
+			// way twice, and decode failures must be classified.
+			var err1, err2 error
+			switch typ {
+			case MsgHello:
+				var h1, h2 Hello
+				h1, err1 = DecodeHello(payload)
+				h2, err2 = DecodeHello(payload)
+				if err1 == nil && h1 != h2 {
+					t.Fatal("hello decoded differently twice")
+				}
+			case MsgHelloAck:
+				_, err1 = DecodeHelloAck(payload)
+				_, err2 = DecodeHelloAck(payload)
+			case MsgBatch:
+				var b1, b2 []event.Tuple
+				b1, err1 = DecodeBatch(payload, nil)
+				b2, err2 = DecodeBatch(payload, nil)
+				if err1 == nil {
+					if len(b1) != len(b2) {
+						t.Fatal("batch decoded differently twice")
+					}
+					for i := range b1 {
+						if b1[i] != b2[i] {
+							t.Fatal("batch decoded differently twice")
+						}
+					}
+				}
+			case MsgProfile:
+				var m1 ProfileMsg
+				m1, err1 = DecodeProfile(payload)
+				_, err2 = DecodeProfile(payload)
+				if err1 == nil {
+					// Decoded profiles re-encode canonically: encode → decode
+					// → encode must be a fixed point (sorted, delta-coded).
+					enc := AppendProfile(nil, m1)
+					if !bytes.Equal(AppendProfile(nil, m1), enc) {
+						t.Fatal("profile re-encoding is not deterministic")
+					}
+				}
+			case MsgError:
+				_, err1 = DecodeError(payload)
+				_, err2 = DecodeError(payload)
+			}
+			for _, err := range []error{err1, err2} {
+				if err != nil && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("unclassified decode error: %v", err)
+				}
+			}
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("decode verdict flipped between calls: %v vs %v", err1, err2)
+			}
+		}
+	})
+}

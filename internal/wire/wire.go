@@ -1,0 +1,601 @@
+// Package wire defines the versioned binary protocol spoken between a
+// profiling client and the profiled daemon: a connection handshake followed
+// by a stream of length-prefixed, CRC32-trailed frames carrying event
+// batches, interval profiles, and control messages.
+//
+// # Stream layout
+//
+//	handshake: magic "HWPS" | version byte        (sent by both sides)
+//	frames:    type byte | uvarint(payloadLen) | payload | CRC32(payload)
+//
+// The CRC32 (IEEE, little-endian, over the payload bytes only) reuses the
+// per-block framing discipline of the v2 trace format (internal/trace): a
+// frame is verified before any of its content is interpreted, so a flipped
+// bit in transit or a desynchronized stream surfaces as ErrCorrupt at the
+// frame boundary instead of as garbage profiles.
+//
+// # Messages
+//
+// A session is one connection. The client opens with Hello (its profiler
+// configuration and shard count); the server answers HelloAck (session id
+// and the backpressure policy in force) or Error. The client then streams
+// Batch frames; the server asynchronously returns one Profile frame per
+// completed interval. Drain asks the server to finish gracefully: it
+// answers with a final Profile (Final flag set, the unfinished interval's
+// partial profile) followed by Goodbye. Either side may send Error before
+// tearing the session down; Goodbye from the client abandons the session
+// without the final profile.
+//
+// All encodings are deterministic: profile entries are sorted by tuple, and
+// both batches and profiles use the same delta+zigzag+uvarint record coding
+// as the trace format, with the delta base reset at every frame so each
+// frame is self-contained.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+)
+
+// Magic opens every protocol stream.
+const Magic = "HWPS"
+
+// Version is the protocol version this package speaks. There is exactly
+// one; the handshake rejects everything else so a future v2 can change
+// anything after the first five bytes.
+const Version = 1
+
+// MaxPayload bounds a frame payload. Batches and interval profiles are both
+// far smaller in practice; the bound exists so a corrupt length prefix
+// cannot make a reader allocate gigabytes.
+const MaxPayload = 1 << 22
+
+// Frame types.
+const (
+	// MsgHello (client→server) opens a session: a Hello payload.
+	MsgHello byte = 1
+	// MsgHelloAck (server→client) accepts a session: a HelloAck payload.
+	MsgHelloAck byte = 2
+	// MsgBatch (client→server) carries a batch of profiling events.
+	MsgBatch byte = 3
+	// MsgProfile (server→client) carries one interval's profile.
+	MsgProfile byte = 4
+	// MsgDrain (client→server) requests a graceful finish: the server
+	// answers with a final MsgProfile then MsgGoodbye.
+	MsgDrain byte = 5
+	// MsgGoodbye ends a session. Empty payload.
+	MsgGoodbye byte = 6
+	// MsgError reports a terminal session failure: an ErrorMsg payload.
+	MsgError byte = 7
+)
+
+// Error codes carried by MsgError.
+const (
+	// CodeProtocol: the peer violated the framing or message grammar.
+	CodeProtocol byte = 1
+	// CodeConfig: the Hello carried an unusable profiler configuration.
+	CodeConfig byte = 2
+	// CodeOverload: the server refused the session (session limit).
+	CodeOverload byte = 3
+	// CodeInternal: the server failed internally (contained panic).
+	CodeInternal byte = 4
+)
+
+// ErrCorrupt reports bytes that are present but inconsistent: a checksum
+// mismatch, an overlong length prefix, or a payload that does not decode.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// ErrTruncated reports a stream that ends mid-handshake or mid-frame.
+var ErrTruncated = errors.New("wire: truncated stream")
+
+// ErrProtocol reports a well-formed stream that violates the protocol: bad
+// magic, unsupported version, or an unexpected message type.
+var ErrProtocol = errors.New("wire: protocol violation")
+
+// crcTable is the frame checksum polynomial, shared with the trace format.
+var crcTable = crc32.IEEETable
+
+// zigzag encodes a signed delta as an unsigned varint-friendly value.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Conn frames messages over a byte stream. The read and write halves are
+// independent: one goroutine may read while another writes, but neither
+// half tolerates concurrent use of itself.
+type Conn struct {
+	r       *bufio.Reader
+	w       *bufio.Writer
+	scratch [binary.MaxVarintLen64 + 1]byte
+	payload []byte // reused ReadFrame buffer
+}
+
+// NewConn wraps rw for framed message exchange. Perform the handshake
+// before any frames.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{
+		r: bufio.NewReaderSize(rw, 1<<16),
+		w: bufio.NewWriterSize(rw, 1<<16),
+	}
+}
+
+// ClientHandshake sends the magic and version, then verifies the server's
+// echo. It must be the first exchange on the connection.
+func (c *Conn) ClientHandshake() error {
+	if err := c.sendHandshake(); err != nil {
+		return err
+	}
+	return c.expectHandshake()
+}
+
+// ServerHandshake verifies the client's magic and version, then echoes its
+// own. It must be the first exchange on the connection.
+func (c *Conn) ServerHandshake() error {
+	if err := c.expectHandshake(); err != nil {
+		return err
+	}
+	return c.sendHandshake()
+}
+
+func (c *Conn) sendHandshake() error {
+	if _, err := c.w.WriteString(Magic); err != nil {
+		return fmt.Errorf("wire: writing handshake: %w", err)
+	}
+	if err := c.w.WriteByte(Version); err != nil {
+		return fmt.Errorf("wire: writing handshake: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: writing handshake: %w", err)
+	}
+	return nil
+}
+
+func (c *Conn) expectHandshake() error {
+	var hdr [len(Magic) + 1]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: handshake: %w", ErrTruncated, err)
+	}
+	if string(hdr[:len(Magic)]) != Magic {
+		return fmt.Errorf("%w: bad magic %q", ErrProtocol, hdr[:len(Magic)])
+	}
+	if hdr[len(Magic)] != Version {
+		return fmt.Errorf("%w: unsupported version %d", ErrProtocol, hdr[len(Magic)])
+	}
+	return nil
+}
+
+// WriteFrame sends one frame and flushes it to the connection.
+func (c *Conn) WriteFrame(typ byte, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("wire: payload %d exceeds limit %d", len(payload), MaxPayload)
+	}
+	c.scratch[0] = typ
+	n := 1 + binary.PutUvarint(c.scratch[1:], uint64(len(payload)))
+	if _, err := c.w.Write(c.scratch[:n]); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))
+	if _, err := c.w.Write(crc[:]); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads and verifies one frame. The payload slice is reused by
+// the next ReadFrame call; decode it before reading again. io.EOF is
+// returned verbatim when the stream ends cleanly at a frame boundary;
+// every other failure wraps ErrTruncated or ErrCorrupt.
+func (c *Conn) ReadFrame() (typ byte, payload []byte, err error) {
+	typ, err = c.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: frame header: %w", ErrTruncated, err)
+	}
+	n, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: frame length: %w", ErrTruncated, err)
+	}
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrCorrupt, n, MaxPayload)
+	}
+	if uint64(cap(c.payload)) < n {
+		c.payload = make([]byte, n)
+	}
+	c.payload = c.payload[:n]
+	if _, err := io.ReadFull(c.r, c.payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: frame payload: %w", ErrTruncated, err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(c.r, crc[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: frame checksum: %w", ErrTruncated, err)
+	}
+	got := crc32.Checksum(c.payload, crcTable)
+	if want := binary.LittleEndian.Uint32(crc[:]); want != got {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch: stored %#x, computed %#x", ErrCorrupt, want, got)
+	}
+	return typ, c.payload, nil
+}
+
+// Hello is the session-opening message: the profiler configuration the
+// client wants the server to run, plus the shard count of the engine that
+// will run it.
+type Hello struct {
+	// Config is the full profiler configuration; the server validates it
+	// and builds the session's engine from it. IntervalLength doubles as
+	// the interval boundary the server places in the event stream.
+	Config core.Config
+
+	// Shards is the requested shard count of the session's engine; 0 or 1
+	// means sequential. Servers may clamp it.
+	Shards int
+}
+
+// Hello config flag bits.
+const (
+	flagConservative = 1 << iota
+	flagResetOnPromote
+	flagRetain
+	flagNoShield
+	flagWeakHash
+)
+
+// AppendHello encodes h onto dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	c := h.Config
+	dst = binary.AppendUvarint(dst, c.IntervalLength)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.ThresholdPercent))
+	dst = binary.AppendUvarint(dst, uint64(c.TotalEntries))
+	dst = binary.AppendUvarint(dst, uint64(c.NumTables))
+	dst = binary.AppendUvarint(dst, uint64(c.CounterWidth))
+	var flags byte
+	if c.ConservativeUpdate {
+		flags |= flagConservative
+	}
+	if c.ResetOnPromote {
+		flags |= flagResetOnPromote
+	}
+	if c.Retain {
+		flags |= flagRetain
+	}
+	if c.NoShield {
+		flags |= flagNoShield
+	}
+	if c.WeakHash {
+		flags |= flagWeakHash
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(c.AccumCapacity))
+	dst = binary.LittleEndian.AppendUint64(dst, c.Seed)
+	dst = binary.AppendUvarint(dst, uint64(h.Shards))
+	return dst
+}
+
+// DecodeHello decodes a Hello payload. It checks only the encoding; the
+// configuration's own validity is the server's call (core.Config.Validate).
+func DecodeHello(p []byte) (Hello, error) {
+	d := decoder{p: p}
+	var h Hello
+	h.Config.IntervalLength = d.uvarint()
+	h.Config.ThresholdPercent = math.Float64frombits(d.u64())
+	h.Config.TotalEntries = d.vint()
+	h.Config.NumTables = d.vint()
+	h.Config.CounterWidth = uint(d.uvarint())
+	flags := d.byte()
+	h.Config.ConservativeUpdate = flags&flagConservative != 0
+	h.Config.ResetOnPromote = flags&flagResetOnPromote != 0
+	h.Config.Retain = flags&flagRetain != 0
+	h.Config.NoShield = flags&flagNoShield != 0
+	h.Config.WeakHash = flags&flagWeakHash != 0
+	h.Config.AccumCapacity = d.vint()
+	h.Config.Seed = d.u64()
+	h.Shards = d.vint()
+	if err := d.finish("hello"); err != nil {
+		return Hello{}, err
+	}
+	return h, nil
+}
+
+// HelloAck is the server's session acceptance.
+type HelloAck struct {
+	// SessionID identifies the session in the server's logs and telemetry.
+	SessionID uint64
+
+	// Shed reports the backpressure policy in force: true means the server
+	// drops batches when the session's queue is full (and reports the count
+	// in every Profile), false means a full queue blocks the stream.
+	Shed bool
+
+	// QueueDepth is the session's queue bound, in batches.
+	QueueDepth int
+}
+
+// AppendHelloAck encodes a onto dst.
+func AppendHelloAck(dst []byte, a HelloAck) []byte {
+	dst = binary.AppendUvarint(dst, a.SessionID)
+	var b byte
+	if a.Shed {
+		b = 1
+	}
+	dst = append(dst, b)
+	dst = binary.AppendUvarint(dst, uint64(a.QueueDepth))
+	return dst
+}
+
+// DecodeHelloAck decodes a HelloAck payload.
+func DecodeHelloAck(p []byte) (HelloAck, error) {
+	d := decoder{p: p}
+	var a HelloAck
+	a.SessionID = d.uvarint()
+	a.Shed = d.byte() != 0
+	a.QueueDepth = d.vint()
+	if err := d.finish("hello-ack"); err != nil {
+		return HelloAck{}, err
+	}
+	return a, nil
+}
+
+// AppendBatch encodes a batch of tuples onto dst: uvarint count, then
+// delta+zigzag+uvarint records with the delta base reset for the frame.
+func AppendBatch(dst []byte, batch []event.Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	var prev event.Tuple
+	for _, tp := range batch {
+		dst = binary.AppendUvarint(dst, zigzag(int64(tp.A)-int64(prev.A)))
+		dst = binary.AppendUvarint(dst, zigzag(int64(tp.B)-int64(prev.B)))
+		prev = tp
+	}
+	return dst
+}
+
+// DecodeBatch decodes a batch payload into buf (grown as needed, reused
+// when capacity allows) and returns the decoded tuples.
+func DecodeBatch(p []byte, buf []event.Tuple) ([]event.Tuple, error) {
+	d := decoder{p: p}
+	n := d.uvarint()
+	if d.err != nil {
+		return nil, d.fail("batch")
+	}
+	// Each record is at least two bytes, so a count beyond half the
+	// remaining payload is corrupt, not a huge allocation request.
+	if n > uint64(len(p)-d.pos)/2+1 {
+		return nil, fmt.Errorf("%w: batch declares %d records in %d bytes", ErrCorrupt, n, len(p))
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]event.Tuple, n)
+	}
+	buf = buf[:n]
+	var prev event.Tuple
+	for i := range buf {
+		prev.A = uint64(int64(prev.A) + unzigzag(d.uvarint()))
+		prev.B = uint64(int64(prev.B) + unzigzag(d.uvarint()))
+		buf[i] = prev
+	}
+	if err := d.finish("batch"); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ProfileMsg is one interval's profile as carried on the wire.
+type ProfileMsg struct {
+	// Index is the interval's index within the session, from 0. For a
+	// final (partial) profile it is the index the interval would have had.
+	Index uint64
+
+	// Shed is the cumulative count of events the server dropped under the
+	// shed backpressure policy, over the whole session so far. Zero under
+	// the block policy.
+	Shed uint64
+
+	// Final marks the drain reply: the unfinished interval's partial
+	// profile, after which only Goodbye follows.
+	Final bool
+
+	// Counts is the profile: captured count per tuple.
+	Counts map[event.Tuple]uint64
+}
+
+// AppendProfile encodes m onto dst. Entries are sorted by tuple so the
+// encoding is deterministic, then delta-coded like batch records with the
+// count appended to each record.
+func AppendProfile(dst []byte, m ProfileMsg) []byte {
+	var flags byte
+	if m.Final {
+		flags = 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, m.Index)
+	dst = binary.AppendUvarint(dst, m.Shed)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Counts)))
+	entries := make([]event.Tuple, 0, len(m.Counts))
+	for tp := range m.Counts {
+		entries = append(entries, tp)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].A != entries[j].A {
+			return entries[i].A < entries[j].A
+		}
+		return entries[i].B < entries[j].B
+	})
+	var prev event.Tuple
+	for _, tp := range entries {
+		dst = binary.AppendUvarint(dst, zigzag(int64(tp.A)-int64(prev.A)))
+		dst = binary.AppendUvarint(dst, zigzag(int64(tp.B)-int64(prev.B)))
+		dst = binary.AppendUvarint(dst, m.Counts[tp])
+		prev = tp
+	}
+	return dst
+}
+
+// DecodeProfile decodes a profile payload.
+func DecodeProfile(p []byte) (ProfileMsg, error) {
+	d := decoder{p: p}
+	var m ProfileMsg
+	m.Final = d.byte()&1 != 0
+	m.Index = d.uvarint()
+	m.Shed = d.uvarint()
+	n := d.uvarint()
+	if d.err != nil {
+		return ProfileMsg{}, d.fail("profile")
+	}
+	// Each entry is at least three bytes.
+	if n > uint64(len(p)-d.pos)/3+1 {
+		return ProfileMsg{}, fmt.Errorf("%w: profile declares %d entries in %d bytes", ErrCorrupt, n, len(p))
+	}
+	m.Counts = make(map[event.Tuple]uint64, n)
+	var prev event.Tuple
+	for i := uint64(0); i < n; i++ {
+		prev.A = uint64(int64(prev.A) + unzigzag(d.uvarint()))
+		prev.B = uint64(int64(prev.B) + unzigzag(d.uvarint()))
+		c := d.uvarint()
+		if d.err != nil {
+			return ProfileMsg{}, d.fail("profile")
+		}
+		if _, dup := m.Counts[prev]; dup {
+			return ProfileMsg{}, fmt.Errorf("%w: profile repeats tuple %v", ErrCorrupt, prev)
+		}
+		m.Counts[prev] = c
+	}
+	if err := d.finish("profile"); err != nil {
+		return ProfileMsg{}, err
+	}
+	return m, nil
+}
+
+// ErrorMsg is a terminal session failure report.
+type ErrorMsg struct {
+	// Code classifies the failure (CodeProtocol, CodeConfig, ...).
+	Code byte
+
+	// Msg is a human-readable description.
+	Msg string
+}
+
+// Error formats the message as a Go error string.
+func (e ErrorMsg) Error() string {
+	return fmt.Sprintf("wire: remote error (code %d): %s", e.Code, e.Msg)
+}
+
+// maxErrorMsg bounds the encoded error text.
+const maxErrorMsg = 4096
+
+// AppendError encodes e onto dst, truncating oversized messages.
+func AppendError(dst []byte, e ErrorMsg) []byte {
+	msg := e.Msg
+	if len(msg) > maxErrorMsg {
+		msg = msg[:maxErrorMsg]
+	}
+	dst = append(dst, e.Code)
+	dst = binary.AppendUvarint(dst, uint64(len(msg)))
+	return append(dst, msg...)
+}
+
+// DecodeError decodes an ErrorMsg payload.
+func DecodeError(p []byte) (ErrorMsg, error) {
+	d := decoder{p: p}
+	var e ErrorMsg
+	e.Code = d.byte()
+	n := d.uvarint()
+	if d.err != nil {
+		return ErrorMsg{}, d.fail("error")
+	}
+	if n > uint64(len(p)-d.pos) {
+		return ErrorMsg{}, fmt.Errorf("%w: error message length %d overruns payload", ErrCorrupt, n)
+	}
+	e.Msg = string(p[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	if err := d.finish("error"); err != nil {
+		return ErrorMsg{}, err
+	}
+	return e, nil
+}
+
+// decoder is a cursor over a frame payload with sticky error handling, so
+// message decoders read field after field and check once.
+type decoder struct {
+	p   []byte
+	pos int
+	err error
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.p) {
+		d.err = fmt.Errorf("%w: payload ends early", ErrCorrupt)
+		return 0
+	}
+	b := d.p[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.p[d.pos:])
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: bad varint at offset %d", ErrCorrupt, d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// vint reads a uvarint that must fit in an int.
+func (d *decoder) vint() int {
+	v := d.uvarint()
+	if d.err == nil && v > math.MaxInt32 {
+		d.err = fmt.Errorf("%w: value %d out of range", ErrCorrupt, v)
+	}
+	return int(v)
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.p) {
+		d.err = fmt.Errorf("%w: payload ends early", ErrCorrupt)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.p[d.pos:])
+	d.pos += 8
+	return v
+}
+
+// finish reports the sticky error, or trailing garbage after the message.
+func (d *decoder) finish(msg string) error {
+	if d.err != nil {
+		return d.fail(msg)
+	}
+	if d.pos != len(d.p) {
+		return fmt.Errorf("%w: %s payload has %d trailing bytes", ErrCorrupt, msg, len(d.p)-d.pos)
+	}
+	return nil
+}
+
+func (d *decoder) fail(msg string) error {
+	return fmt.Errorf("%s: %w", msg, d.err)
+}

@@ -1,0 +1,406 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+	"hwprof/internal/xrand"
+)
+
+// duplex is an in-memory bidirectional stream for handshake tests.
+type duplex struct {
+	r *bytes.Buffer
+	w *bytes.Buffer
+}
+
+func (d duplex) Read(p []byte) (int, error)  { return d.r.Read(p) }
+func (d duplex) Write(p []byte) (int, error) { return d.w.Write(p) }
+
+func TestHandshake(t *testing.T) {
+	var cToS, sToC bytes.Buffer
+	client := NewConn(duplex{r: &sToC, w: &cToS})
+	server := NewConn(duplex{r: &cToS, w: &sToC})
+
+	// The client's send must land before the server reads; drive the
+	// halves manually in buffer order.
+	if err := client.sendHandshake(); err != nil {
+		t.Fatalf("client send: %v", err)
+	}
+	if err := server.ServerHandshake(); err != nil {
+		t.Fatalf("server handshake: %v", err)
+	}
+	if err := client.expectHandshake(); err != nil {
+		t.Fatalf("client expect: %v", err)
+	}
+}
+
+func TestHandshakeRejectsBadMagicAndVersion(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		bytes string
+	}{
+		{"bad magic", "NOPE\x01"},
+		{"bad version", Magic + "\x63"},
+		{"truncated", Magic[:2]},
+	} {
+		c := NewConn(duplex{r: bytes.NewBufferString(tc.bytes), w: &bytes.Buffer{}})
+		err := c.expectHandshake()
+		if err == nil {
+			t.Fatalf("%s: handshake accepted", tc.name)
+		}
+		if tc.name == "truncated" {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("%s: got %v, want ErrTruncated", tc.name, err)
+			}
+		} else if !errors.Is(err, ErrProtocol) {
+			t.Fatalf("%s: got %v, want ErrProtocol", tc.name, err)
+		}
+	}
+}
+
+// frameStream encodes a representative sequence of frames and returns the
+// raw bytes plus the expected (type, payload) pairs.
+func frameStream(t *testing.T) ([]byte, []byte, [][]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	c := NewConn(duplex{r: &bytes.Buffer{}, w: &buf})
+	types := []byte{MsgHello, MsgBatch, MsgProfile, MsgGoodbye, MsgError}
+	payloads := [][]byte{
+		AppendHello(nil, Hello{Config: testConfig(), Shards: 4}),
+		AppendBatch(nil, []event.Tuple{{A: 1, B: 2}, {A: 100, B: 3}, {A: 7, B: 7}}),
+		AppendProfile(nil, ProfileMsg{Index: 3, Shed: 17, Counts: map[event.Tuple]uint64{{A: 9, B: 1}: 4}}),
+		nil,
+		AppendError(nil, ErrorMsg{Code: CodeInternal, Msg: "boom"}),
+	}
+	for i, typ := range types {
+		if err := c.WriteFrame(typ, payloads[i]); err != nil {
+			t.Fatalf("WriteFrame %d: %v", i, err)
+		}
+	}
+	return buf.Bytes(), types, payloads
+}
+
+func testConfig() core.Config {
+	return core.Config{
+		IntervalLength:     10_000,
+		ThresholdPercent:   0.5,
+		TotalEntries:       2048,
+		NumTables:          4,
+		CounterWidth:       24,
+		ConservativeUpdate: true,
+		Retain:             true,
+		Seed:               42,
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	raw, types, payloads := frameStream(t)
+	c := NewConn(duplex{r: bytes.NewBuffer(raw), w: &bytes.Buffer{}})
+	for i := range types {
+		typ, payload, err := c.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if typ != types[i] {
+			t.Fatalf("frame %d: type %d, want %d", i, typ, types[i])
+		}
+		want := payloads[i]
+		if want == nil {
+			want = []byte{}
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if _, _, err := c.ReadFrame(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// TestFrameTruncation cuts the stream at every byte position: the reader
+// must deliver some prefix of the original frames and then fail with
+// ErrTruncated — or io.EOF exactly when the cut lands on a frame boundary.
+func TestFrameTruncation(t *testing.T) {
+	raw, types, _ := frameStream(t)
+
+	// Record the clean frame boundaries.
+	boundaries := map[int]bool{0: true}
+	{
+		r := bytes.NewBuffer(raw)
+		c := NewConn(duplex{r: r, w: &bytes.Buffer{}})
+		for range types {
+			if _, _, err := c.ReadFrame(); err != nil {
+				t.Fatal(err)
+			}
+			boundaries[len(raw)-r.Len()-c.r.Buffered()] = true
+		}
+	}
+
+	for cut := 0; cut < len(raw); cut++ {
+		c := NewConn(duplex{r: bytes.NewBuffer(raw[:cut]), w: &bytes.Buffer{}})
+		frames := 0
+		var err error
+		for {
+			_, _, err = c.ReadFrame()
+			if err != nil {
+				break
+			}
+			frames++
+			if frames > len(types) {
+				t.Fatalf("cut %d: more frames than were written", cut)
+			}
+		}
+		if err == io.EOF {
+			if !boundaries[cut] {
+				t.Fatalf("cut %d: clean EOF off a frame boundary after %d frames", cut, frames)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: %v, want ErrTruncated or clean io.EOF", cut, err)
+		}
+	}
+}
+
+// TestFrameCorruption flips one byte at every position: the reader must
+// never deliver the original frame sequence unchanged, and any failure must
+// be a classified sentinel.
+func TestFrameCorruption(t *testing.T) {
+	raw, types, payloads := frameStream(t)
+	for pos := 0; pos < len(raw); pos++ {
+		mut := bytes.Clone(raw)
+		mut[pos] ^= 0xff
+		c := NewConn(duplex{r: bytes.NewBuffer(mut), w: &bytes.Buffer{}})
+		intact := true
+		for i := 0; ; i++ {
+			typ, payload, err := c.ReadFrame()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("pos %d: unclassified error %v", pos, err)
+				}
+				intact = intact && err == io.EOF && i == len(types)
+				break
+			}
+			want := payloads[i]
+			if want == nil {
+				want = []byte{}
+			}
+			intact = intact && i < len(types) && typ == types[i] && bytes.Equal(payload, want)
+		}
+		if intact {
+			t.Fatalf("pos %d: corrupted stream read back identical", pos)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversizedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(MsgBatch)
+	// A length prefix beyond MaxPayload must be rejected before allocating.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	c := NewConn(duplex{r: &buf, w: &bytes.Buffer{}})
+	if _, _, err := c.ReadFrame(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	cases := []Hello{
+		{Config: testConfig(), Shards: 4},
+		{Config: core.Config{
+			IntervalLength:   1,
+			ThresholdPercent: 100,
+			TotalEntries:     1,
+			NumTables:        1,
+			CounterWidth:     1,
+			ResetOnPromote:   true,
+			NoShield:         true,
+			WeakHash:         true,
+			AccumCapacity:    123,
+			Seed:             math.MaxUint64,
+		}},
+		{Config: core.Config{ThresholdPercent: math.Inf(1)}, Shards: 1 << 20},
+	}
+	for i, h := range cases {
+		got, err := DecodeHello(AppendHello(nil, h))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != h {
+			t.Fatalf("case %d: %+v != %+v", i, got, h)
+		}
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	for _, a := range []HelloAck{{}, {SessionID: 99, Shed: true, QueueDepth: 16}} {
+		got, err := DecodeHelloAck(AppendHelloAck(nil, a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a {
+			t.Fatalf("%+v != %+v", got, a)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	rng := xrand.New(7)
+	batches := [][]event.Tuple{
+		nil,
+		{{A: 0, B: 0}},
+		{{A: math.MaxUint64, B: 1}, {A: 0, B: math.MaxUint64}},
+	}
+	long := make([]event.Tuple, 1000)
+	for i := range long {
+		long[i] = event.Tuple{A: rng.Uint64() >> (i % 48), B: rng.Uint64() >> (i % 48)}
+	}
+	batches = append(batches, long)
+	for i, b := range batches {
+		got, err := DecodeBatch(AppendBatch(nil, b), nil)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if len(got) != len(b) {
+			t.Fatalf("batch %d: %d tuples, want %d", i, len(got), len(b))
+		}
+		for j := range b {
+			if got[j] != b[j] {
+				t.Fatalf("batch %d tuple %d: %v != %v", i, j, got[j], b[j])
+			}
+		}
+	}
+}
+
+func TestDecodeBatchReusesBuffer(t *testing.T) {
+	buf := make([]event.Tuple, 0, 64)
+	p := AppendBatch(nil, []event.Tuple{{A: 5, B: 6}})
+	got, err := DecodeBatch(p, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[:1][0] != &buf[:1][0] {
+		t.Fatal("buffer with capacity was not reused")
+	}
+}
+
+func TestDecodeBatchRejectsOverlongCount(t *testing.T) {
+	// A count the payload cannot possibly hold must fail fast, not allocate.
+	p := []byte{0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := DecodeBatch(p, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	rng := xrand.New(11)
+	big := make(map[event.Tuple]uint64, 500)
+	for i := 0; i < 500; i++ {
+		big[event.Tuple{A: rng.Uint64() % 1000, B: rng.Uint64() % 10}] = rng.Uint64() % 100_000
+	}
+	cases := []ProfileMsg{
+		{Counts: map[event.Tuple]uint64{}},
+		{Index: 7, Shed: 123, Final: true, Counts: map[event.Tuple]uint64{{A: 1, B: 2}: 3}},
+		{Index: 1 << 40, Counts: big},
+	}
+	for i, m := range cases {
+		got, err := DecodeProfile(AppendProfile(nil, m))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Index != m.Index || got.Shed != m.Shed || got.Final != m.Final {
+			t.Fatalf("case %d: header %+v != %+v", i, got, m)
+		}
+		if !reflect.DeepEqual(got.Counts, m.Counts) {
+			t.Fatalf("case %d: counts mismatch", i)
+		}
+	}
+}
+
+func TestAppendProfileIsDeterministic(t *testing.T) {
+	m := ProfileMsg{Counts: map[event.Tuple]uint64{}}
+	rng := xrand.New(3)
+	for i := 0; i < 200; i++ {
+		m.Counts[event.Tuple{A: rng.Uint64(), B: rng.Uint64()}] = rng.Uint64()
+	}
+	first := AppendProfile(nil, m)
+	for i := 0; i < 5; i++ {
+		if !bytes.Equal(AppendProfile(nil, m), first) {
+			t.Fatal("same profile encoded differently across calls")
+		}
+	}
+}
+
+func TestDecodeProfileRejectsDuplicateTuple(t *testing.T) {
+	p := []byte{0}                       // flags
+	p = append(p, 0, 0, 2)               // index, shed, 2 entries
+	p = append(p, 2, 2, 1 /* {1,1}:_ */) // zigzag(1)=2
+	p = append(p, 0, 0, 1 /* {1,1} dup */)
+	if _, err := DecodeProfile(p); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	for _, e := range []ErrorMsg{{}, {Code: CodeOverload, Msg: "full"}} {
+		got, err := DecodeError(AppendError(nil, e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != e {
+			t.Fatalf("%+v != %+v", got, e)
+		}
+	}
+	// Oversized messages are truncated, not rejected.
+	long := ErrorMsg{Code: CodeInternal, Msg: strings.Repeat("x", 2*maxErrorMsg)}
+	got, err := DecodeError(AppendError(nil, long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Msg) != maxErrorMsg {
+		t.Fatalf("message truncated to %d, want %d", len(got.Msg), maxErrorMsg)
+	}
+}
+
+// TestDecodersRejectPrefixesAndTrailingGarbage runs every message decoder
+// over every strict prefix of a valid payload (must fail: the payload ends
+// early) and over the payload plus a trailing byte (must fail: trailing
+// garbage), mirroring the trace reader's truncation discipline.
+func TestDecodersRejectPrefixesAndTrailingGarbage(t *testing.T) {
+	msgs := []struct {
+		name    string
+		payload []byte
+		decode  func([]byte) error
+	}{
+		{"hello", AppendHello(nil, Hello{Config: testConfig(), Shards: 3}),
+			func(p []byte) error { _, err := DecodeHello(p); return err }},
+		{"hello-ack", AppendHelloAck(nil, HelloAck{SessionID: 5, Shed: true, QueueDepth: 8}),
+			func(p []byte) error { _, err := DecodeHelloAck(p); return err }},
+		{"batch", AppendBatch(nil, []event.Tuple{{A: 300, B: 2}, {A: 1, B: 900}}),
+			func(p []byte) error { _, err := DecodeBatch(p, nil); return err }},
+		{"profile", AppendProfile(nil, ProfileMsg{Index: 2, Counts: map[event.Tuple]uint64{{A: 300, B: 1}: 400, {A: 301, B: 2}: 1}}),
+			func(p []byte) error { _, err := DecodeProfile(p); return err }},
+		{"error", AppendError(nil, ErrorMsg{Code: CodeConfig, Msg: "bad config"}),
+			func(p []byte) error { _, err := DecodeError(p); return err }},
+	}
+	for _, m := range msgs {
+		if err := m.decode(m.payload); err != nil {
+			t.Fatalf("%s: valid payload rejected: %v", m.name, err)
+		}
+		for cut := 0; cut < len(m.payload); cut++ {
+			if err := m.decode(m.payload[:cut]); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%s cut at %d/%d: got %v, want ErrCorrupt", m.name, cut, len(m.payload), err)
+			}
+		}
+		if err := m.decode(append(bytes.Clone(m.payload), 0)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s with trailing byte: got %v, want ErrCorrupt", m.name, err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package hwprof
+
+import (
+	"hwprof/internal/client"
+)
+
+// RemoteSession is an open profiling session with a profiled daemon: the
+// remote counterpart of a ShardedProfiler. Stream events with Observe /
+// ObserveBatch / Flush, consume interval profiles from Profiles (or drive
+// everything with Run), and finish with Drain (keeps the partial interval)
+// or Close (discards it). See cmd/profiled for the daemon and cmd/profctl
+// for the CLI client.
+type RemoteSession = client.Session
+
+// RemoteProfile is one interval profile delivered by a daemon, including
+// the cumulative shed count under the daemon's shed backpressure policy.
+type RemoteProfile = client.Profile
+
+// RemoteOptions tunes a remote session: shard count, batch size, dial
+// timeout.
+type RemoteOptions = client.Options
+
+// ErrRemoteClosed is returned by operations on a remote session that was
+// already drained or closed.
+var ErrRemoteClosed = client.ErrSessionClosed
+
+// Dial connects to a profiled daemon at addr (host:port), opens a session
+// running cfg on an engine of rc.Shards shards, and returns it. Events then
+// stream over the wire in batches of rc.BatchSize, and the daemon returns
+// one profile per completed cfg.IntervalLength events.
+//
+// On a block-policy daemon the returned profiles are bit-identical to a
+// local RunParallel over the same stream, configuration and seed — the
+// daemon places interval boundaries exactly where the local batched driver
+// does. On a shed-policy daemon profiles are lossy under overload; each
+// RemoteProfile carries the cumulative shed count.
+func Dial(addr string, cfg Config, rc RunConfig) (*RemoteSession, error) {
+	return client.Dial(addr, cfg, client.Options{
+		Shards:    rc.Shards,
+		BatchSize: rc.BatchSize,
+	})
+}

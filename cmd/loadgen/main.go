@@ -1,0 +1,359 @@
+// Command loadgen is a load and chaos harness for the profiled daemon: it
+// dials N concurrent sessions, streams synthetic workloads at a
+// configurable event rate, and optionally injects connection faults —
+// mid-frame disconnects and byte corruption — on a schedule, exercising
+// the daemon's admission control, shed gate, and resume path under
+// pressure. It reports per-session outcomes, aggregate throughput,
+// client-observed interval-latency percentiles, shed rates, and reconnect
+// counts; with -metrics it also scrapes the daemon's Prometheus endpoint
+// and echoes the overload counters.
+//
+// Usage:
+//
+//	loadgen -addr localhost:9123 -sessions 8 -events 200000
+//	loadgen -addr localhost:9123 -sessions 16 -rate 50000 -duration 30s \
+//	    -hangup-every 2 -hangup-bytes 65536 -flip-every 3 \
+//	    -metrics http://localhost:9124/metrics
+//
+// Sessions refused admission are reported and tolerated (an overloaded
+// daemon refusing work is correct behavior); any other session failure
+// makes loadgen exit non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hwprof"
+	"hwprof/internal/faultinject"
+	"hwprof/internal/wire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:9123", "profiled daemon address (host:port)")
+		metrics = flag.String("metrics", "", "daemon Prometheus endpoint to scrape after the run (e.g. http://localhost:9124/metrics)")
+
+		sessions = flag.Int("sessions", 4, "concurrent sessions to dial")
+		events   = flag.Uint64("events", 0, "events per session (0: derive from -rate × -duration, else 100000)")
+		rate     = flag.Float64("rate", 0, "target events/sec per session (0: unthrottled)")
+		duration = flag.Duration("duration", 10*time.Second, "with -events 0 and -rate set: stream for this long")
+		workload = flag.String("workload", "gcc", "synthetic workload streamed by every session")
+		seed     = flag.Uint64("seed", 1, "base seed; session i uses seed+i")
+
+		interval = flag.Uint64("interval", 10_000, "profile interval length in events")
+		entries  = flag.Int("entries", 2048, "total hash-table counters per session")
+		tables   = flag.Int("tables", 4, "number of hash tables")
+		shards   = flag.Int("shards", 1, "shards per session")
+		batch    = flag.Int("batch", 0, "tuples per batch frame (default 512)")
+
+		hangEvery = flag.Int("hangup-every", 0, "kill every k-th connection of each session mid-frame (0: off)")
+		hangBytes = flag.Int64("hangup-bytes", 65536, "bytes into a killed connection to cut it")
+		flipEvery = flag.Int("flip-every", 0, "corrupt one byte on every k-th connection of each session (0: off)")
+		flipBytes = flag.Int64("flip-bytes", 8192, "bytes into a corrupted connection to flip")
+
+		backoff  = flag.Duration("backoff-base", 20*time.Millisecond, "reconnect backoff base delay")
+		attempts = flag.Int("max-attempts", 10, "reconnect attempts per outage (-1: unlimited)")
+	)
+	flag.Parse()
+
+	perSession := *events
+	if perSession == 0 {
+		if *rate > 0 {
+			perSession = uint64(*rate * duration.Seconds())
+		} else {
+			perSession = 100_000
+		}
+	}
+	// Fault offsets inside the handshake/hello prologue would kill the
+	// session before it exists; keep them past it.
+	if *hangBytes < 256 {
+		*hangBytes = 256
+	}
+	if *flipBytes < 256 {
+		*flipBytes = 256
+	}
+
+	g := &generator{
+		addr: *addr, sessions: *sessions, events: perSession, rate: *rate,
+		workload: *workload, seed: *seed,
+		cfg: hwprof.Config{
+			IntervalLength:     *interval,
+			ThresholdPercent:   1,
+			TotalEntries:       *entries,
+			NumTables:          *tables,
+			CounterWidth:       24,
+			ConservativeUpdate: true,
+			Retain:             true,
+		},
+		shards: *shards, batch: *batch,
+		hangEvery: *hangEvery, hangBytes: *hangBytes,
+		flipEvery: *flipEvery, flipBytes: *flipBytes,
+		backoff: *backoff, attempts: *attempts,
+	}
+	failed := g.run()
+	if *metrics != "" {
+		scrapeMetrics(*metrics)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d session(s) failed\n", failed)
+		os.Exit(1)
+	}
+}
+
+type generator struct {
+	addr          string
+	sessions      int
+	events        uint64
+	rate          float64
+	workload      string
+	seed          uint64
+	cfg           hwprof.Config
+	shards, batch int
+	hangEvery     int
+	hangBytes     int64
+	flipEvery     int
+	flipBytes     int64
+	backoff       time.Duration
+	attempts      int
+
+	mu        sync.Mutex
+	latencies []float64 // seconds between consecutive profile deliveries
+}
+
+type outcome struct {
+	idx        int
+	intervals  int
+	shed       uint64
+	reconnects uint64
+	refused    bool
+	err        error
+}
+
+func (g *generator) run() (failed int) {
+	fmt.Printf("loadgen: %d session(s) × %d events against %s", g.sessions, g.events, g.addr)
+	if g.rate > 0 {
+		fmt.Printf(" at %.0f events/s each", g.rate)
+	}
+	if g.hangEvery > 0 {
+		fmt.Printf(", hangup every %d connection(s) at %d bytes", g.hangEvery, g.hangBytes)
+	}
+	if g.flipEvery > 0 {
+		fmt.Printf(", corruption every %d connection(s) at %d bytes", g.flipEvery, g.flipBytes)
+	}
+	fmt.Println()
+
+	start := time.Now()
+	results := make(chan outcome, g.sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < g.sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results <- g.session(i)
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	elapsed := time.Since(start)
+
+	var ok, refused int
+	var sent, shed, reconnects uint64
+	for r := range results {
+		switch {
+		case r.refused:
+			refused++
+			fmt.Printf("session %d: %v\n", r.idx, r.err)
+		case r.err != nil:
+			failed++
+			fmt.Printf("session %d: FAILED: %v\n", r.idx, r.err)
+		default:
+			ok++
+			sent += g.events
+			shed += r.shed
+			reconnects += r.reconnects
+			fmt.Printf("session %d: %d interval(s), %d shed, %d reconnect(s)\n",
+				r.idx, r.intervals, r.shed, r.reconnects)
+		}
+	}
+
+	fmt.Printf("\nsessions: %d ok, %d admission-refused, %d failed\n", ok, refused, failed)
+	if sent > 0 {
+		obs := sent - shed
+		fmt.Printf("throughput: %.0f events/s sent, %.0f events/s profiled over %v\n",
+			float64(sent)/elapsed.Seconds(), float64(obs)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+		fmt.Printf("shed: %d of %d events (%.2f%%)\n", shed, sent, 100*float64(shed)/float64(sent))
+		fmt.Printf("reconnects: %d\n", reconnects)
+	}
+	g.mu.Lock()
+	lat := append([]float64(nil), g.latencies...)
+	g.mu.Unlock()
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		fmt.Printf("interval latency: p50 %s  p90 %s  p99 %s  (n=%d)\n",
+			fmtSeconds(percentile(lat, 0.50)), fmtSeconds(percentile(lat, 0.90)),
+			fmtSeconds(percentile(lat, 0.99)), len(lat))
+	}
+	return failed
+}
+
+// session streams one full workload, recording inter-profile latencies.
+func (g *generator) session(idx int) outcome {
+	cfg := g.cfg
+	cfg.Seed = g.seed + uint64(idx)
+	sess, err := hwprof.DialWith(g.addr, cfg, hwprof.RemoteOptions{
+		Shards:      g.shards,
+		BatchSize:   g.batch,
+		Reconnect:   true,
+		BackoffBase: g.backoff,
+		MaxAttempts: g.attempts,
+		Dialer:      g.chaosDialer(idx),
+	})
+	if err != nil {
+		return outcome{idx: idx, refused: isOverload(err), err: err}
+	}
+	src, err := hwprof.NewWorkload(g.workload, hwprof.KindValue, cfg.Seed)
+	if err != nil {
+		return outcome{idx: idx, err: err}
+	}
+	var paced hwprof.Source = src
+	if g.rate > 0 {
+		paced = &pacedSource{inner: src, rate: g.rate, start: time.Now()}
+	}
+	last := time.Time{}
+	n, err := sess.Run(hwprof.Limit(paced, g.events), func(_ int, _ map[hwprof.Tuple]uint64) {
+		now := time.Now()
+		if !last.IsZero() {
+			g.mu.Lock()
+			g.latencies = append(g.latencies, now.Sub(last).Seconds())
+			g.mu.Unlock()
+		}
+		last = now
+	})
+	if err != nil {
+		return outcome{idx: idx, err: err}
+	}
+	return outcome{idx: idx, intervals: n, shed: sess.ShedEvents(), reconnects: sess.Reconnects()}
+}
+
+// chaosDialer wraps each session's dials with the configured fault plan:
+// starting with the first connection, every k-th one is cut or corrupted
+// at a deterministic byte offset, spread across sessions and attachments
+// so faults land at varied stream positions. Offsets grow with each
+// reattachment, so a session always makes progress between faults.
+func (g *generator) chaosDialer(idx int) func(string, time.Duration) (net.Conn, error) {
+	dials := 0
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		dials++
+		switch {
+		case g.hangEvery > 0 && dials%g.hangEvery == 1%g.hangEvery:
+			off := g.hangBytes + int64(idx*1021+dials*4099)
+			conn = &faultinject.HangupConn{Conn: conn, After: off}
+		case g.flipEvery > 0 && dials%g.flipEvery == 1%g.flipEvery:
+			off := g.flipBytes + int64(idx*509+dials*257)
+			conn = &faultinject.FlipConn{Conn: conn, Byte: off}
+		}
+		return conn, nil
+	}
+}
+
+// pacedSource throttles the wrapped source to a target event rate, checking
+// the clock every 256 events.
+type pacedSource struct {
+	inner hwprof.Source
+	rate  float64
+	start time.Time
+	n     uint64
+}
+
+func (p *pacedSource) Next() (hwprof.Tuple, bool) {
+	if p.n%256 == 0 {
+		target := p.start.Add(time.Duration(float64(p.n) / p.rate * float64(time.Second)))
+		if d := time.Until(target); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	p.n++
+	return p.inner.Next()
+}
+
+func (p *pacedSource) Err() error { return p.inner.Err() }
+
+// isOverload reports whether err is the daemon's admission refusal.
+func isOverload(err error) bool {
+	var e wire.ErrorMsg
+	return asErrorMsg(err, &e) && e.Code == wire.CodeOverload
+}
+
+func asErrorMsg(err error, e *wire.ErrorMsg) bool {
+	for err != nil {
+		if m, ok := err.(wire.ErrorMsg); ok {
+			*e = m
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// percentile reads the q-quantile from a sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// scrapeMetrics fetches the daemon's Prometheus endpoint and echoes the
+// overload-relevant series so a chaos run's server-side decisions are
+// visible next to the client-side report.
+func scrapeMetrics(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: scraping %s: %v\n", url, err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: reading %s: %v\n", url, err)
+		return
+	}
+	fmt.Printf("\ndaemon overload counters (%s):\n", url)
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, prefix := range []string{
+			"hwprof_admission_", "hwprof_shed_", "hwprof_events_shed",
+			"hwprof_resume", "hwprof_tombstones_", "hwprof_sessions_",
+			"hwprof_frames_corrupt",
+		} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Println("  " + line)
+				break
+			}
+		}
+	}
+}

@@ -110,6 +110,8 @@ func run(addr, traceFile, workload, program, kindName string, seed, interval uin
 	}
 	sess, err := hwprof.Dial(addr, cfg, hwprof.RunConfig{Shards: shards, BatchSize: batch})
 	if err != nil {
+		// Surface the daemon's admission decision verbatim — "admission
+		// refused: ..." names the cost or limit that was exceeded.
 		return err
 	}
 	fmt.Printf("session %d at %s: %v, policy %s\n",
@@ -126,6 +128,14 @@ func run(addr, traceFile, workload, program, kindName string, seed, interval uin
 	}
 	if n < intervals {
 		fmt.Printf("\nstream ended after %d of %d intervals\n", n, intervals)
+	}
+	if r := sess.Reconnects(); r > 0 {
+		fmt.Fprintf(os.Stderr, "profctl: connection dropped %d time(s); session resumed, profiles are complete\n", r)
+	}
+	if shed := sess.ShedEvents(); shed > 0 {
+		// Lossy profiles are worth a non-zero exit: scripts comparing
+		// against a local run must not treat them as exact.
+		return fmt.Errorf("session shed %d events under daemon overload; profiles are lossy", shed)
 	}
 	return nil
 }

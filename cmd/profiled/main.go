@@ -7,6 +7,13 @@
 //
 //	profiled -listen :9123 -telemetry :9124
 //	profiled -listen :9123 -shed -queue 32 -max-sessions 512
+//	profiled -listen :9123 -budget 64 -shed -shed-high 24 -shed-low 8 -resume-grace 1m
+//
+// Admission is budgeted by estimated engine cost (-budget, in units of a
+// reference 10k-interval one-shard 2048-entry session); under the -shed
+// policy a hysteresis gate engages at -shed-high queued batches and
+// disengages at -shed-low. Disconnected sessions stay resumable for
+// -resume-grace, so clients reconnect and continue bit-identically.
 //
 // SIGINT/SIGTERM drain gracefully: every session's queued batches are
 // profiled, its final partial profile and goodbye are sent, and the process
@@ -34,31 +41,44 @@ func main() {
 		listen       = flag.String("listen", ":9123", "TCP address to serve the wire protocol on")
 		telemetry    = flag.String("telemetry", ":9124", "HTTP address for /metrics and /healthz; empty disables")
 		queue        = flag.Int("queue", server.DefaultQueueDepth, "per-session queue depth in batches")
-		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrent sessions")
+		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrent sessions (live + parked)")
 		maxShards    = flag.Int("max-shards", server.DefaultMaxShards, "clamp on per-session shard count")
+		budget       = flag.Float64("budget", server.DefaultCostBudget, "admission cost budget in reference-session units")
 		shed         = flag.Bool("shed", false, "shed (drop and count) batches when a session queue is full instead of blocking the stream")
+		shedHigh     = flag.Int("shed-high", 0, "queue length that engages the shed gate (0: 3/4 of -queue)")
+		shedLow      = flag.Int("shed-low", 0, "queue length that disengages the shed gate (0: 1/4 of -queue)")
+		resumeGrace  = flag.Duration("resume-grace", server.DefaultResumeGrace, "how long a disconnected session stays resumable (negative disables resume)")
+		resumeWindow = flag.Int("resume-window", server.DefaultResumeWindow, "profiles retained per session for resend on resume")
+		readTimeout  = flag.Duration("read-timeout", server.DefaultReadTimeout, "per-read wire deadline (negative disables)")
+		writeTimeout = flag.Duration("write-timeout", server.DefaultWriteTimeout, "per-write wire deadline (negative disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline before force-closing sessions")
 		quiet        = flag.Bool("quiet", false, "suppress per-session log lines")
 	)
 	flag.Parse()
-	if err := run(*listen, *telemetry, *queue, *maxSessions, *maxShards, *shed, *drainTimeout, *quiet); err != nil {
+	cfg := server.Config{
+		QueueDepth:    *queue,
+		MaxSessions:   *maxSessions,
+		MaxShards:     *maxShards,
+		CostBudget:    *budget,
+		Shed:          *shed,
+		ShedHighWater: *shedHigh,
+		ShedLowWater:  *shedLow,
+		ResumeGrace:   *resumeGrace,
+		ResumeWindow:  *resumeWindow,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+	}
+	if err := run(*listen, *telemetry, cfg, *drainTimeout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "profiled:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, telemetry string, queue, maxSessions, maxShards int, shed bool, drainTimeout time.Duration, quiet bool) error {
-	logf := log.Printf
-	if quiet {
-		logf = nil
+func run(listen, telemetry string, cfg server.Config, drainTimeout time.Duration, quiet bool) error {
+	if !quiet {
+		cfg.Logf = log.Printf
 	}
-	srv := server.New(server.Config{
-		QueueDepth:  queue,
-		MaxSessions: maxSessions,
-		MaxShards:   maxShards,
-		Shed:        shed,
-		Logf:        logf,
-	})
+	srv := server.New(cfg)
 
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {

@@ -9,14 +9,31 @@
 // profile, drain — and mirrors hwprof.RunParallel closely enough that, on a
 // block-policy server, the two produce bit-identical profiles for the same
 // configuration, seed and stream.
+//
+// # Reconnect and resume
+//
+// With Options.Reconnect on (and a daemon that retains disconnected
+// sessions), a Session survives its connection: every flushed event is
+// retained in a replay buffer until an interval profile proves the daemon
+// consumed it, and when the stream breaks — disconnect, timeout, frame
+// corruption on either side — the session redials under jittered
+// exponential backoff, sends a Resume naming its session and position,
+// replays exactly the events past the daemon's acknowledged stream
+// position, and continues. Profiles the daemon resends are deduplicated by
+// index, so the caller observes each interval exactly once and the
+// delivered sequence is bit-identical to an uninterrupted run. Failures
+// that reflect a bug rather than a broken stream — protocol violations,
+// refused or unknown sessions, daemon-internal errors — are terminal.
 package client
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hwprof/internal/core"
@@ -27,6 +44,16 @@ import (
 // ErrSessionClosed is returned by operations on a session that was already
 // closed or drained.
 var ErrSessionClosed = errors.New("client: session is closed")
+
+// Reconnect defaults.
+const (
+	// DefaultBackoffBase is the first reconnect delay.
+	DefaultBackoffBase = 50 * time.Millisecond
+	// DefaultBackoffMax caps the exponential reconnect delay.
+	DefaultBackoffMax = 2 * time.Second
+	// DefaultMaxAttempts bounds reconnect attempts per outage.
+	DefaultMaxAttempts = 10
+)
 
 // Options tunes a session.
 type Options struct {
@@ -40,6 +67,56 @@ type Options struct {
 
 	// DialTimeout bounds the TCP connect; 0 means 10 seconds.
 	DialTimeout time.Duration
+
+	// Reconnect makes the session survive stream failures: flushed events
+	// are buffered until a profile acknowledges them, and a broken
+	// connection is redialed and resumed transparently. Takes effect only
+	// when the daemon advertises resume support in its HelloAck.
+	Reconnect bool
+
+	// BackoffBase is the first reconnect delay; it doubles per failed
+	// attempt (with jitter: each sleep is uniform in [delay/2, delay]).
+	// 0 selects DefaultBackoffBase.
+	BackoffBase time.Duration
+
+	// BackoffMax caps the reconnect delay. 0 selects DefaultBackoffMax.
+	BackoffMax time.Duration
+
+	// MaxAttempts bounds consecutive failed reconnect attempts before the
+	// session reports a terminal error. 0 selects DefaultMaxAttempts;
+	// negative means unlimited.
+	MaxAttempts int
+
+	// ReadTimeout bounds every read from the daemon; 0 disables. Leave
+	// disabled unless the event stream is steady: a profile only arrives
+	// per completed interval, so a slow source can legitimately keep the
+	// read side quiet for a long time. With Reconnect on, a timeout
+	// triggers a resume rather than a terminal error.
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds every write to the daemon; 0 disables. A
+	// block-policy daemon backpressures through TCP, so a stalled write
+	// may just mean a busy engine; with Reconnect on, a timeout triggers
+	// a resume.
+	WriteTimeout time.Duration
+
+	// Dialer overrides the TCP dial — reconnects included — e.g. to wrap
+	// connections for fault injection. Nil uses net.DialTimeout.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// withDefaults fills in the zero reconnect knobs.
+func (o Options) withDefaults() Options {
+	if o.BackoffBase == 0 {
+		o.BackoffBase = DefaultBackoffBase
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = DefaultBackoffMax
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	return o
 }
 
 // Profile is one interval profile as delivered by the daemon.
@@ -59,10 +136,21 @@ type Profile struct {
 	Counts map[event.Tuple]uint64
 }
 
+// permanentErr marks a failure that must not be retried by reconnecting.
+type permanentErr struct{ err error }
+
+func (e permanentErr) Error() string { return e.err.Error() }
+func (e permanentErr) Unwrap() error { return e.err }
+
+// errGoodbye is readFrames's clean-end sentinel; it never escapes the
+// reader.
+var errGoodbye = errors.New("goodbye")
+
 // Session is one open profiling session with a daemon.
 type Session struct {
-	conn net.Conn
-	wc   *wire.Conn
+	addr string
+	cfg  core.Config
+	opts Options
 	ack  wire.HelloAck
 
 	batchSize int
@@ -71,11 +159,29 @@ type Session struct {
 
 	profiles chan Profile
 
-	mu       sync.Mutex
-	writeErr error
-	readErr  error
-	goodbye  bool
-	closed   bool
+	// nextIdx is the next complete-interval profile index the caller has
+	// not yet seen; resent profiles below it are dropped.
+	nextIdx atomic.Uint64
+	// lastShed is the daemon's cumulative shed count, as last reported.
+	lastShed atomic.Uint64
+	// reconnects counts successful resumes.
+	reconnects atomic.Uint64
+
+	closedFlag atomic.Bool
+	closeCh    chan struct{} // closed by Close: aborts reconnect sleeps
+
+	mu         sync.Mutex
+	conn       net.Conn
+	wc         *wire.Conn
+	gen        uint64 // attachment generation; bumped per successful resume
+	replayOn   bool   // Reconnect requested and daemon advertises resume
+	replay     []event.Tuple
+	replayBase uint64 // absolute stream position of replay[0]
+	sentPos    uint64 // absolute stream position after everything flushed
+	drainSent  bool
+	goodbye    bool
+	permErr    error // terminal session error
+	readErr    error // reader's terminal error (when not permErr)
 }
 
 // Dial connects to a daemon at addr (TCP host:port), opens a session for
@@ -86,15 +192,12 @@ func Dial(addr string, cfg core.Config, opts Options) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	timeout := opts.DialTimeout
-	if timeout == 0 {
-		timeout = 10 * time.Second
-	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	opts = opts.withDefaults()
+	conn, err := dial(addr, opts)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+		return nil, err
 	}
-	s, err := open(conn, cfg, opts)
+	s, err := open(addr, conn, cfg, opts)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -102,10 +205,34 @@ func Dial(addr string, cfg core.Config, opts Options) (*Session, error) {
 	return s, nil
 }
 
+// dial makes one TCP connect with the configured timeout.
+func dial(addr string, opts Options) (net.Conn, error) {
+	timeout := opts.DialTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	dialer := opts.Dialer
+	if dialer == nil {
+		dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	conn, err := dialer(addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// frame wraps conn for wire exchange under the configured deadlines.
+func frame(conn net.Conn, opts Options) *wire.Conn {
+	return wire.NewConn(wire.WithDeadlines(conn, opts.ReadTimeout, opts.WriteTimeout))
+}
+
 // open performs the handshake and Hello/HelloAck exchange over conn and
 // starts the session's reader.
-func open(conn net.Conn, cfg core.Config, opts Options) (*Session, error) {
-	wc := wire.NewConn(conn)
+func open(addr string, conn net.Conn, cfg core.Config, opts Options) (*Session, error) {
+	wc := frame(conn, opts)
 	if err := wc.ClientHandshake(); err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
@@ -136,12 +263,17 @@ func open(conn net.Conn, cfg core.Config, opts Options) (*Session, error) {
 		batchSize = event.DefaultBatchSize
 	}
 	s := &Session{
-		conn:      conn,
-		wc:        wc,
+		addr:      addr,
+		cfg:       cfg,
+		opts:      opts,
 		ack:       ack,
 		batchSize: batchSize,
 		pending:   make([]event.Tuple, 0, batchSize),
 		profiles:  make(chan Profile, 64),
+		closeCh:   make(chan struct{}),
+		conn:      conn,
+		wc:        wc,
+		replayOn:  opts.Reconnect && ack.Resume,
 	}
 	go s.readLoop()
 	return s, nil
@@ -155,6 +287,18 @@ func (s *Session) ID() uint64 { return s.ack.SessionID }
 // cumulative Shed count.
 func (s *Session) Shedding() bool { return s.ack.Shed }
 
+// Resumable reports whether this session survives stream failures:
+// Reconnect was requested and the daemon advertises resume support.
+func (s *Session) Resumable() bool { return s.replayOn }
+
+// ShedEvents returns the daemon's cumulative shed count for this session,
+// as last reported in a profile or resume ack.
+func (s *Session) ShedEvents() uint64 { return s.lastShed.Load() }
+
+// Reconnects returns how many times the session has successfully resumed
+// after a stream failure.
+func (s *Session) Reconnects() uint64 { return s.reconnects.Load() }
+
 // Profiles returns the channel of interval profiles, delivered in interval
 // order as the daemon completes them. The channel closes when the session
 // ends — after the final (drain) profile and goodbye, or on failure (see
@@ -162,44 +306,142 @@ func (s *Session) Shedding() bool { return s.ack.Shed }
 // the daemon and, through it, the stream.
 func (s *Session) Profiles() <-chan Profile { return s.profiles }
 
+// Err returns the session's terminal error, if any: a failed write, a
+// server-reported error, an exhausted reconnect, or a broken stream. A
+// session that ended with a clean goodbye reports nil.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.permErr != nil {
+		return s.permErr
+	}
+	return s.readErr
+}
+
+// retryable reports whether err is a stream failure a resumable session
+// should reconnect across: disconnects, timeouts, truncation, corruption.
+// Permanent classifications and protocol violations are not.
+func retryable(err error) bool {
+	var perm permanentErr
+	if errors.As(err, &perm) {
+		return false
+	}
+	if errors.Is(err, wire.ErrProtocol) {
+		return false
+	}
+	return true
+}
+
 // readLoop is the session's reader goroutine: it decodes server frames
-// into the Profiles channel until goodbye, error frame, or stream failure.
+// into the Profiles channel, reconnecting across stream failures when the
+// session is resumable, until goodbye, terminal error, or Close.
 func (s *Session) readLoop() {
 	defer close(s.profiles)
 	for {
-		typ, payload, err := s.wc.ReadFrame()
-		if err != nil {
-			if err != io.EOF {
-				s.failRead(fmt.Errorf("client: reading: %w", err))
-			} else {
-				s.failRead(fmt.Errorf("client: daemon closed the stream: %w", io.ErrUnexpectedEOF))
-			}
+		s.mu.Lock()
+		wc, gen := s.wc, s.gen
+		perm := s.permErr
+		s.mu.Unlock()
+		if perm != nil {
 			return
+		}
+		err := s.readFrames(wc)
+		if err == errGoodbye {
+			return
+		}
+		if s.closedFlag.Load() {
+			s.failRead(ErrSessionClosed)
+			return
+		}
+		if s.replayOn && retryable(err) {
+			if rerr := s.reconnect(gen, err); rerr != nil {
+				s.failRead(rerr)
+				return
+			}
+			continue
+		}
+		s.failRead(fmt.Errorf("client: %w", err))
+		return
+	}
+}
+
+// readFrames consumes frames off one attachment until goodbye (errGoodbye)
+// or a failure for the caller to classify.
+func (s *Session) readFrames(wc *wire.Conn) error {
+	for {
+		typ, payload, err := wc.ReadFrame()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("daemon closed the stream: %w", io.ErrUnexpectedEOF)
+			}
+			return fmt.Errorf("reading: %w", err)
 		}
 		switch typ {
 		case wire.MsgProfile:
 			m, derr := wire.DecodeProfile(payload)
 			if derr != nil {
-				s.failRead(fmt.Errorf("client: %w", derr))
-				return
+				return derr // wraps ErrCorrupt: resumable transport damage
 			}
-			s.profiles <- Profile{Index: m.Index, Shed: m.Shed, Final: m.Final, Counts: m.Counts}
+			if p, deliver := s.admitProfile(m); deliver {
+				s.profiles <- p
+			}
 		case wire.MsgGoodbye:
 			s.mu.Lock()
 			s.goodbye = true
 			s.mu.Unlock()
-			return
+			return errGoodbye
 		case wire.MsgError:
-			if e, derr := wire.DecodeError(payload); derr == nil {
-				s.failRead(fmt.Errorf("client: %w", e))
-			} else {
-				s.failRead(fmt.Errorf("client: undecodable error frame: %w", derr))
+			e, derr := wire.DecodeError(payload)
+			if derr != nil {
+				return fmt.Errorf("undecodable error frame: %w", derr)
 			}
-			return
+			if e.Code == wire.CodeCorrupt {
+				// The daemon saw transport corruption and parked the
+				// session; reconnect and resume.
+				return fmt.Errorf("daemon reported corruption: %w", e)
+			}
+			return permanentErr{err: e}
 		default:
-			s.failRead(fmt.Errorf("%w: unexpected frame type %d", wire.ErrProtocol, typ))
-			return
+			return permanentErr{err: fmt.Errorf("%w: unexpected frame type %d", wire.ErrProtocol, typ)}
 		}
+	}
+}
+
+// admitProfile deduplicates and accounts one profile frame: resends below
+// the expected index are dropped, the replay buffer is pruned by what the
+// profile proves the daemon consumed, and the shed count is published.
+func (s *Session) admitProfile(m wire.ProfileMsg) (Profile, bool) {
+	s.lastShed.Store(m.Shed)
+	p := Profile{Index: m.Index, Shed: m.Shed, Final: m.Final, Counts: m.Counts}
+	if m.Final {
+		return p, true
+	}
+	next := s.nextIdx.Load()
+	if m.Index < next {
+		return Profile{}, false // duplicate resend after a resume
+	}
+	s.nextIdx.Store(m.Index + 1)
+	// Interval m.Index complete means the daemon consumed at least
+	// (Index+1)·L observed events plus everything it shed.
+	s.prune((m.Index+1)*s.cfg.IntervalLength + m.Shed)
+	return p, true
+}
+
+// prune drops replay-buffered events below floor, an absolute stream
+// position the daemon has provably consumed.
+func (s *Session) prune(floor uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.replayOn {
+		return
+	}
+	if floor > s.sentPos {
+		floor = s.sentPos
+	}
+	if floor > s.replayBase {
+		drop := int(floor - s.replayBase)
+		s.replay = append(s.replay[:0], s.replay[drop:]...)
+		s.replayBase = floor
 	}
 }
 
@@ -212,16 +454,144 @@ func (s *Session) failRead(err error) {
 	s.mu.Unlock()
 }
 
-// Err returns the session's terminal error, if any: a failed write, a
-// server-reported error, or a broken stream. A session that ended with a
-// clean goodbye reports nil.
-func (s *Session) Err() error {
+// fail records the session's terminal error; callers get the first one.
+// Callers must hold mu.
+func (s *Session) failLocked(err error) error {
+	if s.permErr == nil {
+		s.permErr = err
+	}
+	return s.permErr
+}
+
+// reconnect re-establishes the session after the attachment of generation
+// failedGen broke with cause. Both the reader and the writer funnel their
+// failures here; whichever arrives first performs the dance under mu while
+// the other blocks and then finds the generation already advanced. On
+// success the session's events past the daemon's acknowledged position
+// have been replayed (and a sent drain re-sent) on the fresh connection.
+func (s *Session) reconnect(failedGen uint64, cause error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.writeErr != nil {
-		return s.writeErr
+	if s.permErr != nil {
+		return s.permErr
 	}
-	return s.readErr
+	if s.gen != failedGen {
+		return nil // another goroutine already resumed the session
+	}
+	if s.closedFlag.Load() {
+		return s.failLocked(ErrSessionClosed)
+	}
+	if !s.replayOn {
+		return s.failLocked(fmt.Errorf("client: %w", cause))
+	}
+	s.conn.Close()
+	delay := s.opts.BackoffBase
+	for attempt := 0; s.opts.MaxAttempts < 0 || attempt < s.opts.MaxAttempts; attempt++ {
+		// Jittered exponential backoff: uniform in [delay/2, delay], so a
+		// daemon restart is not greeted by every client at once.
+		d := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		select {
+		case <-time.After(d):
+		case <-s.closeCh:
+			return s.failLocked(ErrSessionClosed)
+		}
+		if delay *= 2; delay > s.opts.BackoffMax {
+			delay = s.opts.BackoffMax
+		}
+		err := s.resumeOnce()
+		if err == nil {
+			s.gen++
+			s.reconnects.Add(1)
+			return nil
+		}
+		var perm permanentErr
+		if errors.As(err, &perm) {
+			return s.failLocked(fmt.Errorf("client: resume failed: %w", perm.err))
+		}
+	}
+	return s.failLocked(fmt.Errorf("client: reconnect gave up after %d attempts: %w", s.opts.MaxAttempts, cause))
+}
+
+// resumeOnce makes one resume attempt: dial, handshake, Resume/ResumeAck,
+// replay past the daemon's position, re-send a pending drain. Called with
+// mu held. Retryable failures return plain errors; refusals that must not
+// be retried return permanentErr.
+func (s *Session) resumeOnce() error {
+	conn, err := dial(s.addr, s.opts)
+	if err != nil {
+		return err
+	}
+	wc := frame(conn, s.opts)
+	if err := wc.ClientHandshake(); err != nil {
+		conn.Close()
+		return err
+	}
+	next := s.nextIdx.Load()
+	var offset uint64
+	if base := next * s.cfg.IntervalLength; s.replayBase > base {
+		offset = s.replayBase - base
+	}
+	r := wire.Resume{SessionID: s.ack.SessionID, Intervals: next, Offset: offset}
+	if err := wc.WriteFrame(wire.MsgResume, wire.AppendResume(nil, r)); err != nil {
+		conn.Close()
+		return err
+	}
+	typ, payload, err := wc.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	switch typ {
+	case wire.MsgResumeAck:
+	case wire.MsgError:
+		conn.Close()
+		e, derr := wire.DecodeError(payload)
+		if derr != nil {
+			return derr
+		}
+		if e.Code == wire.CodeCorrupt {
+			return e // transport damage on the resume exchange itself
+		}
+		return permanentErr{err: e}
+	default:
+		conn.Close()
+		return permanentErr{err: fmt.Errorf("%w: expected resume-ack, got frame type %d", wire.ErrProtocol, typ)}
+	}
+	ack, err := wire.DecodeResumeAck(payload)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if ack.StreamPos < s.replayBase || ack.StreamPos > s.sentPos {
+		conn.Close()
+		return permanentErr{err: fmt.Errorf("daemon acknowledged stream position %d outside the replayable range [%d, %d]",
+			ack.StreamPos, s.replayBase, s.sentPos)}
+	}
+	s.lastShed.Store(ack.Shed)
+	// Replay exactly the events the daemon has not consumed. The encoding
+	// buffer is local: s.enc belongs to the caller's Flush path, which may
+	// be mid-write on the dead connection while the reader resumes.
+	var enc []byte
+	for tail := s.replay[ack.StreamPos-s.replayBase:]; len(tail) > 0; {
+		n := len(tail)
+		if n > s.batchSize {
+			n = s.batchSize
+		}
+		enc = wire.AppendBatch(enc[:0], tail[:n])
+		if err := wc.WriteFrame(wire.MsgBatch, enc); err != nil {
+			conn.Close()
+			return err
+		}
+		tail = tail[n:]
+	}
+	if s.drainSent {
+		if err := wc.WriteFrame(wire.MsgDrain, nil); err != nil {
+			conn.Close()
+			return err
+		}
+	}
+	s.conn, s.wc = conn, wc
+	return nil
 }
 
 // Observe queues one event for the daemon, flushing a batch frame when the
@@ -249,41 +619,74 @@ func (s *Session) ObserveBatch(batch []event.Tuple) error {
 	return nil
 }
 
-// Flush sends the pending events, if any, as one batch frame.
+// Flush sends the pending events, if any, as one batch frame. On a
+// resumable session a write failure is not terminal: the events are
+// already in the replay buffer, and the reconnect that repairs the stream
+// replays them — Flush's contract is "durably queued", not "on the wire".
 func (s *Session) Flush() error {
-	s.mu.Lock()
-	closed, werr := s.closed, s.writeErr
-	s.mu.Unlock()
-	if closed {
-		return ErrSessionClosed
-	}
-	if werr != nil {
-		return werr
-	}
 	if len(s.pending) == 0 {
 		return nil
 	}
+	s.mu.Lock()
+	if s.drainSent || s.closedFlag.Load() {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	if s.permErr != nil {
+		err := s.permErr
+		s.mu.Unlock()
+		return err
+	}
+	wc, gen := s.wc, s.gen
+	if s.replayOn {
+		s.replay = append(s.replay, s.pending...)
+		s.sentPos += uint64(len(s.pending))
+	}
+	s.mu.Unlock()
 	s.enc = wire.AppendBatch(s.enc[:0], s.pending)
 	s.pending = s.pending[:0]
-	if err := s.wc.WriteFrame(wire.MsgBatch, s.enc); err != nil {
-		err = s.failWrite(err)
-		return err
+	if err := wc.WriteFrame(wire.MsgBatch, s.enc); err != nil {
+		return s.writeFailed(gen, err)
 	}
 	return nil
 }
 
-// failWrite records a write failure, preferring an already-recorded server
-// error (the usual root cause of a write failing) over the raw I/O error.
-func (s *Session) failWrite(err error) error {
+// writeFailed routes a write failure: resumable sessions reconnect (the
+// failed frame's events ride the replay buffer), others record a terminal
+// error, preferring an already-recorded server explanation.
+func (s *Session) writeFailed(gen uint64, err error) error {
+	if s.replayOn && retryable(err) {
+		return s.reconnect(gen, err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.readErr != nil {
 		err = s.readErr
+		return s.failLocked(err)
 	}
-	if s.writeErr == nil {
-		s.writeErr = fmt.Errorf("client: writing: %w", err)
+	return s.failLocked(fmt.Errorf("client: writing: %w", err))
+}
+
+// sendDrain writes the drain frame, marking the session drain-sent first
+// so a reconnect racing the write re-sends it.
+func (s *Session) sendDrain() error {
+	s.mu.Lock()
+	if s.drainSent {
+		s.mu.Unlock()
+		return ErrSessionClosed
 	}
-	return s.writeErr
+	if s.permErr != nil {
+		err := s.permErr
+		s.mu.Unlock()
+		return err
+	}
+	s.drainSent = true
+	wc, gen := s.wc, s.gen
+	s.mu.Unlock()
+	if err := wc.WriteFrame(wire.MsgDrain, nil); err != nil {
+		return s.writeFailed(gen, err)
+	}
+	return nil
 }
 
 // Drain finishes the session gracefully: pending events are flushed, the
@@ -296,20 +699,8 @@ func (s *Session) Drain() (map[event.Tuple]uint64, error) {
 		s.Close()
 		return nil, err
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, ErrSessionClosed
-	}
-	s.closed = true
-	s.mu.Unlock()
-	defer s.conn.Close()
-	if err := s.wc.WriteFrame(wire.MsgDrain, nil); err != nil {
-		err = s.failWrite(err)
-		s.conn.Close()
-		for range s.profiles {
-			// Unblock the reader so it can observe the closed connection.
-		}
+	if err := s.sendDrain(); err != nil {
+		s.Close()
 		return nil, err
 	}
 	var final map[event.Tuple]uint64
@@ -320,7 +711,9 @@ func (s *Session) Drain() (map[event.Tuple]uint64, error) {
 	}
 	s.mu.Lock()
 	ok, readErr := s.goodbye, s.readErr
+	conn := s.conn
 	s.mu.Unlock()
+	conn.Close()
 	if !ok {
 		if readErr != nil {
 			return final, readErr
@@ -331,18 +724,18 @@ func (s *Session) Drain() (map[event.Tuple]uint64, error) {
 }
 
 // Close abandons the session: a best-effort goodbye frame, then the
-// connection closes. Profiles in flight and the unfinished interval are
-// discarded. Close is idempotent.
+// connection closes and any reconnect in progress aborts. Profiles in
+// flight and the unfinished interval are discarded. Close is idempotent.
 func (s *Session) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.closedFlag.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.closed = true
+	close(s.closeCh) // abort reconnect backoff sleeps before taking mu
+	s.mu.Lock()
+	wc, conn := s.wc, s.conn
 	s.mu.Unlock()
-	s.wc.WriteFrame(wire.MsgGoodbye, nil)
-	err := s.conn.Close()
+	wc.WriteFrame(wire.MsgGoodbye, nil)
+	err := conn.Close()
 	for range s.profiles {
 		// Unblock the reader so it can observe the closed connection.
 	}
@@ -392,29 +785,24 @@ func (s *Session) Run(src event.Source, fn func(index int, counts map[event.Tupl
 
 	// Ask the daemon to drain; the consumer above sees every in-flight
 	// profile first because the reader delivers in order and closes the
-	// channel only at the end. On any failure, close the connection instead
+	// channel only at the end. On any failure, close the session instead
 	// so the reader (and with it the consumer) is guaranteed to unblock.
 	drainErr := streamErr
 	if drainErr == nil {
 		drainErr = s.Flush()
 	}
 	if drainErr == nil {
-		s.mu.Lock()
-		s.closed = true
-		s.mu.Unlock()
-		if werr := s.wc.WriteFrame(wire.MsgDrain, nil); werr != nil {
-			drainErr = s.failWrite(werr)
-		}
+		drainErr = s.sendDrain()
 	}
 	if drainErr != nil {
-		s.conn.Close()
+		s.Close()
 	}
 	<-consumed
-	s.conn.Close()
 	s.mu.Lock()
-	s.closed = true
 	goodbye, readErr := s.goodbye, s.readErr
+	conn := s.conn
 	s.mu.Unlock()
+	conn.Close()
 
 	if streamErr != nil {
 		return intervals, streamErr

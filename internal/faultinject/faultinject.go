@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync/atomic"
 	"time"
 
@@ -193,10 +194,78 @@ func SlowWorkerHook(shard int, d time.Duration) func(shard int, batch []event.Tu
 	}
 }
 
+// HangupConn wraps a net.Conn and cuts it after exactly After bytes have
+// been written through it — the model of a connection dropped mid-frame.
+// The write that crosses the threshold is delivered partially, then the
+// underlying connection is closed and every further operation fails. Like
+// the sources above, the fault fires at an exact byte count, so a chaos
+// run that trips a bug reproduces exactly. The write side must be a single
+// goroutine (the wire protocol's own contract).
+type HangupConn struct {
+	net.Conn
+	After int64 // bytes written before the hangup
+
+	written int64
+	tripped bool
+}
+
+// Write delivers bytes until the hangup point, then closes the connection.
+func (c *HangupConn) Write(p []byte) (int, error) {
+	if c.tripped {
+		return 0, fmt.Errorf("%w: connection hung up after %d bytes", ErrInjected, c.written)
+	}
+	if remaining := c.After - c.written; int64(len(p)) > remaining {
+		p = p[:remaining]
+		c.tripped = true
+	}
+	n, err := c.Conn.Write(p)
+	c.written += int64(n)
+	if c.tripped {
+		c.Conn.Close()
+		if err == nil {
+			err = fmt.Errorf("%w: connection hung up after %d bytes", ErrInjected, c.written)
+		}
+	}
+	return n, err
+}
+
+// FlipConn wraps a net.Conn and XORs Mask (0 selects 0x01) into the byte
+// at write-stream offset Byte — transport corruption the receiver's frame
+// CRC must catch. Choose an offset past the 5-byte handshake, or the
+// corruption lands in the magic/version exchange and surfaces as a
+// protocol error instead. Single-writer, like HangupConn.
+type FlipConn struct {
+	net.Conn
+	Byte int64 // 0-based offset in the write stream to corrupt
+	Mask byte  // XOR mask; 0 selects 0x01
+
+	written int64
+}
+
+// Write forwards p, flipping the configured byte as it passes.
+func (c *FlipConn) Write(p []byte) (int, error) {
+	off := c.Byte - c.written
+	if off >= 0 && off < int64(len(p)) {
+		mask := c.Mask
+		if mask == 0 {
+			mask = 0x01
+		}
+		corrupted := make([]byte, len(p))
+		copy(corrupted, p)
+		corrupted[off] ^= mask
+		p = corrupted
+	}
+	n, err := c.Conn.Write(p)
+	c.written += int64(n)
+	return n, err
+}
+
 var (
 	_ event.Source      = (*FailingSource)(nil)
 	_ event.BatchSource = (*FailingSource)(nil)
 	_ event.Source      = (*PanickingSource)(nil)
 	_ event.Source      = (*SlowSource)(nil)
 	_ io.Reader         = (*FailingReader)(nil)
+	_ net.Conn          = (*HangupConn)(nil)
+	_ net.Conn          = (*FlipConn)(nil)
 )

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"net"
 	"testing"
 	"time"
 
@@ -112,4 +113,90 @@ func TestPanicWorkerHookFiresOnce(t *testing.T) {
 		t.Fatal("hook did not panic on its configured batch")
 	}
 	hook(2, nil) // batch 3: fired already, must stay quiet
+}
+
+// readAll drains one side of a pipe until it fails, returning what arrived.
+func readAll(c io.Reader, out chan<- []byte) {
+	var got []byte
+	buf := make([]byte, 64)
+	for {
+		n, err := c.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			out <- got
+			return
+		}
+	}
+}
+
+func TestHangupConnCutsAtExactByte(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	hc := &HangupConn{Conn: c1, After: 10}
+	got := make(chan []byte, 1)
+	go readAll(c2, got)
+
+	if n, err := hc.Write([]byte("abcdef")); n != 6 || err != nil {
+		t.Fatalf("write before the fault: n=%d err=%v", n, err)
+	}
+	// This write crosses the threshold: 4 of its 8 bytes are delivered,
+	// then the connection is cut.
+	n, err := hc.Write([]byte("ghijklmn"))
+	if n != 4 {
+		t.Fatalf("partial write delivered %d bytes, want 4", n)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if delivered := <-got; string(delivered) != "abcdefghij" {
+		t.Fatalf("peer received %q, want the first 10 bytes exactly", delivered)
+	}
+	// The fault is sticky and the conn is really closed.
+	if _, err := hc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after hangup: %v, want ErrInjected", err)
+	}
+}
+
+func TestFlipConnCorruptsExactByte(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	fc := &FlipConn{Conn: c1, Byte: 5, Mask: 0xFF}
+	got := make(chan []byte, 1)
+	go readAll(c2, got)
+
+	// Two writes straddle the target byte; the caller's buffers must not
+	// be modified in place.
+	first, second := []byte("abcd"), []byte("efgh")
+	if _, err := fc.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Write(second); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	delivered := <-got
+	want := append([]byte("abcde"), 'f'^0xFF, 'g', 'h')
+	if !bytes.Equal(delivered, want) {
+		t.Fatalf("peer received %q, want %q", delivered, want)
+	}
+	if string(second) != "efgh" {
+		t.Fatalf("FlipConn modified the caller's buffer: %q", second)
+	}
+}
+
+func TestFlipConnDefaultMask(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	fc := &FlipConn{Conn: c1, Byte: 0}
+	got := make(chan []byte, 1)
+	go readAll(c2, got)
+	if _, err := fc.Write([]byte{0x40, 0x41}); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	if delivered := <-got; !bytes.Equal(delivered, []byte{0x41, 0x41}) {
+		t.Fatalf("peer received %#v, want the first byte XORed with 0x01", delivered)
+	}
 }

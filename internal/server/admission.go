@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"hwprof/internal/core"
+)
+
+// Admission cost model. A session's cost estimates the engine work and
+// storage it will demand of the daemon: interval length (events profiled
+// per boundary), shard count (worker goroutines plus per-shard storage),
+// and table entries (counter storage touched per event) multiply, then
+// normalize against the reference session so 1.0 means "one default
+// profctl session" — 10k-event intervals, one shard, 2048 entries. The
+// budget is denominated in those units.
+const (
+	// refIntervalLength and refEntries define the 1.0-cost reference
+	// session.
+	refIntervalLength = 10_000
+	refEntries        = 2048
+
+	// minSessionCost floors the estimate so a flood of tiny sessions still
+	// consumes budget instead of being admitted without bound.
+	minSessionCost = 1.0 / 16
+
+	// DefaultCostBudget admits roughly 256 reference sessions.
+	DefaultCostBudget = 256.0
+)
+
+// sessionCost estimates cfg's engine cost in budget units.
+func sessionCost(cfg core.Config, shards int) float64 {
+	c := float64(cfg.IntervalLength) / refIntervalLength *
+		float64(shards) *
+		float64(cfg.TotalEntries) / refEntries
+	if c < minSessionCost {
+		c = minSessionCost
+	}
+	return c
+}
+
+// admission tracks the daemon's engine-cost budget. Sessions acquire their
+// estimated cost at Hello and release it when their engine is finally
+// discarded — including after a tombstone's grace period, since a parked
+// engine still holds its storage.
+type admission struct {
+	budget float64
+	mu     sync.Mutex
+	used   float64
+}
+
+func newAdmission(budget float64) *admission {
+	return &admission{budget: budget}
+}
+
+// tryAcquire admits cost against the remaining budget. On refusal it
+// returns a client-facing reason.
+func (a *admission) tryAcquire(cost float64) (ok bool, reason string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.used+cost > a.budget {
+		return false, fmt.Sprintf(
+			"admission refused: session cost %.3f exceeds available budget (%.3f of %.3f in use)",
+			cost, a.used, a.budget)
+	}
+	a.used += cost
+	return true, ""
+}
+
+// release returns cost to the budget.
+func (a *admission) release(cost float64) {
+	a.mu.Lock()
+	a.used -= cost
+	if a.used < 0 {
+		a.used = 0
+	}
+	a.mu.Unlock()
+}
+
+// inUse reports the cost currently admitted.
+func (a *admission) inUse() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// milli converts a cost to the integer milli-units the gauge exports.
+func milli(cost float64) int64 { return int64(cost * 1000) }

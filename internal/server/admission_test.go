@@ -1,0 +1,56 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"hwprof/internal/core"
+)
+
+func TestSessionCost(t *testing.T) {
+	ref := core.Config{IntervalLength: 10_000, TotalEntries: 2048}
+	cases := []struct {
+		name   string
+		cfg    core.Config
+		shards int
+		want   float64
+	}{
+		{"reference", ref, 1, 1.0},
+		{"four shards", ref, 4, 4.0},
+		{"double everything", core.Config{IntervalLength: 20_000, TotalEntries: 4096}, 2, 8.0},
+		{"tiny session floors", core.Config{IntervalLength: 100, TotalEntries: 64}, 1, minSessionCost},
+	}
+	for _, tc := range cases {
+		if got := sessionCost(tc.cfg, tc.shards); got != tc.want {
+			t.Errorf("%s: cost = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestAdmissionAccounting(t *testing.T) {
+	a := newAdmission(1.0)
+	for i := 0; i < 2; i++ {
+		if ok, reason := a.tryAcquire(0.5); !ok {
+			t.Fatalf("acquire %d refused: %s", i, reason)
+		}
+	}
+	ok, reason := a.tryAcquire(minSessionCost)
+	if ok {
+		t.Fatal("acquire admitted past an exhausted budget")
+	}
+	if !strings.Contains(reason, "admission refused") {
+		t.Fatalf("refusal %q does not say admission refused", reason)
+	}
+	a.release(0.5)
+	if ok, reason := a.tryAcquire(0.25); !ok {
+		t.Fatalf("acquire after release refused: %s", reason)
+	}
+	if got := a.inUse(); got != 0.75 {
+		t.Fatalf("inUse = %v, want 0.75", got)
+	}
+	// Release never drives usage negative, even if over-released.
+	a.release(10)
+	if got := a.inUse(); got != 0 {
+		t.Fatalf("inUse after over-release = %v, want 0", got)
+	}
+}

@@ -1,0 +1,230 @@
+package server_test
+
+import (
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"hwprof"
+	"hwprof/internal/client"
+	"hwprof/internal/event"
+	"hwprof/internal/faultinject"
+	"hwprof/internal/server"
+	"hwprof/internal/wire"
+)
+
+// faultyDialer returns a client Dialer that wraps the n-th dial (0-based)
+// with the connection wrap returns; dials beyond the plan are clean.
+func faultyDialer(plan []func(net.Conn) net.Conn) func(string, time.Duration) (net.Conn, error) {
+	dials := 0
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		if dials < len(plan) && plan[dials] != nil {
+			conn = plan[dials](conn)
+		}
+		dials++
+		return conn, nil
+	}
+}
+
+// resumeRun streams a workload through a reconnecting session whose dials
+// are faulted per plan, asserting the delivered profiles are bit-identical
+// to an uninterrupted local run.
+func resumeRun(t *testing.T, addr string, seed uint64, intervals int, plan []func(net.Conn) net.Conn) *client.Session {
+	t.Helper()
+	cfg := testConfig(seed)
+	sess, err := client.Dial(addr, cfg, client.Options{
+		Shards:      2,
+		BatchSize:   100,
+		Reconnect:   true,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		Dialer:      faultyDialer(plan),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Resumable() {
+		t.Fatal("session is not resumable despite Reconnect and a resume-capable daemon")
+	}
+	src, err := hwprof.NewWorkload("gcc", hwprof.KindValue, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []map[hwprof.Tuple]uint64
+	n, err := sess.Run(hwprof.Limit(src, cfg.IntervalLength*uint64(intervals)),
+		func(_ int, counts map[hwprof.Tuple]uint64) { got = append(got, counts) })
+	if err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	if n != intervals {
+		t.Fatalf("interrupted run delivered %d intervals, want %d", n, intervals)
+	}
+	local := localProfiles(t, cfg, 2, "gcc", seed, intervals)
+	assertSameProfiles(t, local, got, "resumed session")
+	return sess
+}
+
+// TestResumeAfterHangupMidStream kills the session's connection mid-frame
+// at varied byte offsets — including several in a row — and requires the
+// transparently resumed run to deliver profiles bit-identical to an
+// uninterrupted local RunParallel.
+func TestResumeAfterHangupMidStream(t *testing.T) {
+	srv, addr := startServer(t, server.Config{})
+
+	hangup := func(after int64) func(net.Conn) net.Conn {
+		return func(c net.Conn) net.Conn { return &faultinject.HangupConn{Conn: c, After: after} }
+	}
+	// Deterministically randomized offsets, all past the handshake+hello
+	// prologue (~60 bytes) and spread across the ~17KB the stream writes.
+	rng := rand.New(rand.NewSource(42))
+	var offsets []int64
+	for i := 0; i < 4; i++ {
+		offsets = append(offsets, 120+rng.Int63n(15_000))
+	}
+	offsets = append(offsets, 150, 4096)
+
+	for _, off := range offsets {
+		sess := resumeRun(t, addr, uint64(off), 5, []func(net.Conn) net.Conn{hangup(off)})
+		if got := sess.Reconnects(); got != 1 {
+			t.Errorf("offset %d: reconnects = %d, want 1", off, got)
+		}
+	}
+	// Three consecutive kills on one session: first connection and the
+	// next two resume attempts all die mid-stream.
+	sess := resumeRun(t, addr, 77, 5, []func(net.Conn) net.Conn{hangup(200), hangup(640), hangup(910)})
+	if got := sess.Reconnects(); got < 1 {
+		t.Errorf("after repeated hangups: reconnects = %d, want >= 1", got)
+	}
+	if got := srv.Metrics().ResumesTotal.Load(); got < uint64(len(offsets)) {
+		t.Errorf("resumes_total = %d, want >= %d", got, len(offsets))
+	}
+}
+
+// TestResumeAfterCorruptFrame flips one bit in the client's byte stream:
+// the daemon must detect the corruption at the frame boundary, park the
+// session rather than destroy it, and the client's resume must replay the
+// damaged tail so the profiles still match a clean local run exactly.
+func TestResumeAfterCorruptFrame(t *testing.T) {
+	// The short read timeout bounds the stall when the flipped byte lands
+	// in a length prefix and desynchronizes the stream: the daemon times
+	// out, parks, and the client resumes.
+	srv, addr := startServer(t, server.Config{ReadTimeout: time.Second})
+
+	flip := func(at int64) func(net.Conn) net.Conn {
+		return func(c net.Conn) net.Conn { return &faultinject.FlipConn{Conn: c, Byte: at} }
+	}
+	for _, at := range []int64{500, 2048, 7777} {
+		resumeRun(t, addr, uint64(at), 5, []func(net.Conn) net.Conn{flip(at)})
+	}
+	if got := srv.Metrics().CorruptFrames.Load(); got < 1 {
+		t.Errorf("frames_corrupt = %d, want >= 1", got)
+	}
+	if got := srv.Metrics().ResumesTotal.Load(); got < 3 {
+		t.Errorf("resumes_total = %d, want >= 3", got)
+	}
+}
+
+// TestTombstoneExpiry parks a session by killing its connection and never
+// resumes it: the grace period must discard the engine, count the expiry,
+// and release the admission budget.
+func TestTombstoneExpiry(t *testing.T) {
+	srv, addr := startServer(t, server.Config{ResumeGrace: 50 * time.Millisecond})
+	conn, _ := rawSession(t, addr, testConfig(1))
+	conn.Close()
+
+	m := srv.Metrics()
+	waitFor(t, "tombstone to expire", func() bool { return m.TombstonesExpired.Load() >= 1 })
+	waitFor(t, "parked gauge to drop", func() bool { return m.SessionsParked.Load() == 0 })
+	waitFor(t, "admission budget to release", func() bool { return m.AdmissionCostUsed.Load() == 0 })
+}
+
+// TestResumeUnknownSession asks to resume a session the daemon never held:
+// the refusal must carry CodeUnknownSession and count a resume failure.
+func TestResumeUnknownSession(t *testing.T) {
+	srv, addr := startServer(t, server.Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	if err := wc.ClientHandshake(); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.Resume{SessionID: 0xdeadbeef, Intervals: 2, Offset: 17}
+	if err := wc.WriteFrame(wire.MsgResume, wire.AppendResume(nil, r)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := wc.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.MsgError {
+		t.Fatalf("expected error frame, got type %d", typ)
+	}
+	e, err := wire.DecodeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != wire.CodeUnknownSession {
+		t.Fatalf("error code %d, want CodeUnknownSession", e.Code)
+	}
+	if !strings.Contains(e.Msg, "unknown session") {
+		t.Fatalf("refusal %q does not name the unknown session", e.Msg)
+	}
+	if got := srv.Metrics().ResumeFailures.Load(); got < 1 {
+		t.Errorf("resume_failures = %d, want >= 1", got)
+	}
+}
+
+// TestTombstoneExpiredResumeRefused parks a real session, waits out the
+// grace period, and checks a late resume is refused rather than adopted.
+func TestTombstoneExpiredResumeRefused(t *testing.T) {
+	srv, addr := startServer(t, server.Config{ResumeGrace: 30 * time.Millisecond})
+	conn, wc := rawSession(t, addr, testConfig(11))
+
+	batch := make([]event.Tuple, 50)
+	for i := range batch {
+		batch[i] = event.Tuple{A: uint64(i), B: 1}
+	}
+	if err := wc.WriteFrame(wire.MsgBatch, wire.AppendBatch(nil, batch)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	m := srv.Metrics()
+	waitFor(t, "tombstone to expire", func() bool { return m.TombstonesExpired.Load() >= 1 })
+
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	wc2 := wire.NewConn(conn2)
+	if err := wc2.ClientHandshake(); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.Resume{SessionID: 1} // first session the daemon issued
+	if err := wc2.WriteFrame(wire.MsgResume, wire.AppendResume(nil, r)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := wc2.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.MsgError {
+		t.Fatalf("expected error frame, got type %d", typ)
+	}
+	e, err := wire.DecodeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != wire.CodeUnknownSession {
+		t.Fatalf("error code %d, want CodeUnknownSession", e.Code)
+	}
+}

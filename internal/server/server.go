@@ -5,44 +5,59 @@
 //
 // # Session model
 //
-// One connection is one session (multi-tenancy is many concurrent
-// connections). A session owns a shard.Profiler built from the client's
-// Hello configuration, two goroutines — a reader decoding frames off the
-// socket and a worker feeding the engine and writing profiles back — and a
-// bounded queue of decoded batches between them. The worker places interval
-// boundaries by event count exactly where the local batched driver
-// (core.RunBatchedContext) would, so a remote session's profiles are
-// bit-identical to a local RunParallel over the same stream, configuration
-// and seed.
+// One connection is one session attachment (multi-tenancy is many
+// concurrent connections). A session owns a shard.Profiler built from the
+// client's Hello configuration, two goroutines — a reader decoding frames
+// off the socket and a worker feeding the engine and writing profiles back
+// — and a bounded queue of decoded batches between them. The worker places
+// interval boundaries by event count exactly where the local batched
+// driver (core.RunBatchedContext) would, so a remote session's profiles
+// are bit-identical to a local RunParallel over the same stream,
+// configuration and seed.
+//
+// # Admission
+//
+// Sessions are admitted by estimated engine cost — interval length ×
+// shards × table entries, normalized so 1.0 is the default profctl
+// session — against a configurable budget, with MaxSessions as a hard
+// count backstop. A refused session gets a typed overload error naming the
+// costs involved; every refusal is counted by reason in telemetry.
 //
 // # Backpressure
 //
 // The queue between reader and worker is bounded. Under the default block
 // policy a full queue stops the reader, which stops reading the socket,
 // which backpressures the client through TCP — no event is ever lost.
-// Under the shed policy a full queue drops the batch instead; the session
-// keeps its cumulative shed count and reports it in every Profile frame, so
-// the client always knows how much of its stream was sacrificed. Shedding
-// trades accuracy for ingest availability; profiles of a shedding session
-// are not comparable to a local run.
+// Under the shed policy the reader watches queue pressure through a
+// high/low-watermark hysteresis gate: pressure at or above the high
+// watermark engages shedding (whole batches dropped and counted), and
+// shedding disengages only once pressure falls to the low watermark, so
+// the session does not flap at the boundary. The cumulative shed count
+// rides in every Profile frame. Control items (drain, goodbye, failures)
+// are never shed, whatever the gate state.
 //
-// # Failure containment
+// # Failure containment and resume
 //
-// Every session failure — corrupt frame, protocol violation, client
-// disconnect, engine failure, contained panic — tears down that session
-// only: the engine is drained and discarded, the connection closed, the
-// failure counted in telemetry. Other sessions never observe it. A panic in
-// a session goroutine is recovered, reported to the client as a
-// CodeInternal error when the socket still works, and contained the same
-// way.
+// Failures split in two. Peer bugs — protocol violations, undecodable
+// messages, engine failures, contained panics — tear the session down:
+// engine drained and discarded, connection closed, failure counted. Stream
+// failures — disconnect, frame corruption, I/O timeout — park the session
+// instead: the worker finishes the queued batches, the engine and the
+// session's exact stream position are retained for a grace period, and a
+// client that reconnects with a Resume frame continues bit-identically
+// where the stream broke, with recently written profiles resent from a
+// bounded ring. A tombstone whose grace expires is discarded and counted.
+// Every wire connection reads and writes under per-operation deadlines, so
+// a hung peer surfaces as a timeout instead of pinning a goroutine.
 //
 // # Shutdown
 //
 // Shutdown stops accepting, then asks every live session to finish the way
 // a client Drain would: the worker drains the queued batches into the
-// engine, sends the final partial profile and a Goodbye, and closes. A
-// context deadline bounds how long stragglers may take before their
-// connections are force-closed.
+// engine, sends the final partial profile and a Goodbye, and closes.
+// Parked sessions are discarded — there is no client to drain to. A
+// session blocked writing to a stalled client is bounded by the write
+// deadline; a context deadline force-closes whatever remains after that.
 package server
 
 import (
@@ -52,20 +67,32 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hwprof/internal/event"
 	"hwprof/internal/telemetry"
+	"hwprof/internal/wire"
 )
 
 // Defaults for the server's tuning knobs.
 const (
 	// DefaultQueueDepth is the per-session queue bound, in batches.
 	DefaultQueueDepth = 16
-	// DefaultMaxSessions caps concurrent sessions.
+	// DefaultMaxSessions caps concurrent sessions (live plus parked).
 	DefaultMaxSessions = 256
 	// DefaultMaxShards caps the per-session shard count a client may
 	// request; requests beyond it are clamped, not refused.
 	DefaultMaxShards = 16
+	// DefaultResumeGrace is how long a disconnected session's engine is
+	// retained for resumption.
+	DefaultResumeGrace = 30 * time.Second
+	// DefaultResumeWindow is how many recent interval profiles a session
+	// retains (encoded) for resend on resume.
+	DefaultResumeWindow = 32
+	// DefaultReadTimeout bounds each read off a session socket.
+	DefaultReadTimeout = 5 * time.Minute
+	// DefaultWriteTimeout bounds each write to a session socket.
+	DefaultWriteTimeout = time.Minute
 )
 
 // Config tunes the daemon.
@@ -74,18 +101,54 @@ type Config struct {
 	// DefaultQueueDepth.
 	QueueDepth int
 
-	// MaxSessions caps concurrent sessions; further connections are
-	// refused with CodeOverload. 0 selects DefaultMaxSessions.
+	// MaxSessions caps concurrent sessions, live plus parked, as a hard
+	// backstop behind the cost budget; further connections are refused
+	// with CodeOverload. 0 selects DefaultMaxSessions.
 	MaxSessions int
 
 	// MaxShards clamps the shard count a session may request; 0 selects
 	// DefaultMaxShards.
 	MaxShards int
 
-	// Shed selects the shed backpressure policy: a full session queue
-	// drops batches (counted and reported to the client) instead of
-	// blocking the socket.
+	// CostBudget is the admission budget in units of the reference session
+	// (10k-event intervals, 1 shard, 2048 entries = cost 1.0); sessions
+	// whose estimated cost does not fit are refused with CodeOverload.
+	// 0 selects DefaultCostBudget.
+	CostBudget float64
+
+	// Shed selects the shed backpressure policy: queue pressure at or
+	// above the high watermark drops batches (counted and reported to the
+	// client) instead of blocking the socket, until pressure falls back to
+	// the low watermark.
 	Shed bool
+
+	// ShedHighWater is the queue length (in batches) at which shedding
+	// engages; 0 derives 3/4 of QueueDepth (at least 1).
+	ShedHighWater int
+
+	// ShedLowWater is the queue length at which shedding disengages;
+	// 0 derives 1/4 of QueueDepth. Clamped below ShedHighWater.
+	ShedLowWater int
+
+	// ResumeGrace is how long a session that lost its connection keeps its
+	// engine parked for a client Resume. 0 selects DefaultResumeGrace;
+	// negative disables resumption entirely.
+	ResumeGrace time.Duration
+
+	// ResumeWindow is how many recent encoded interval profiles each
+	// session retains for resend on resume; a client further behind than
+	// the window cannot resume. 0 selects DefaultResumeWindow.
+	ResumeWindow int
+
+	// ReadTimeout bounds every read from a session socket; a client that
+	// stalls mid-frame longer than this is treated as disconnected (and
+	// may resume). 0 selects DefaultReadTimeout; negative disables.
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds every write to a session socket; a client that
+	// stops reading cannot pin a worker goroutine — or Shutdown — for
+	// longer than this. 0 selects DefaultWriteTimeout; negative disables.
+	WriteTimeout time.Duration
 
 	// Logf receives one line per session lifecycle event; nil disables
 	// logging (tests) — use log.Printf for the daemon.
@@ -103,11 +166,45 @@ func (c Config) withDefaults() Config {
 	if c.MaxShards == 0 {
 		c.MaxShards = DefaultMaxShards
 	}
+	if c.CostBudget == 0 {
+		c.CostBudget = DefaultCostBudget
+	}
+	if c.ShedHighWater <= 0 {
+		c.ShedHighWater = 3 * c.QueueDepth / 4
+	}
+	if c.ShedHighWater < 1 {
+		c.ShedHighWater = 1
+	}
+	if c.ShedHighWater > c.QueueDepth {
+		c.ShedHighWater = c.QueueDepth
+	}
+	if c.ShedLowWater <= 0 {
+		c.ShedLowWater = c.QueueDepth / 4
+	}
+	if c.ShedLowWater >= c.ShedHighWater {
+		c.ShedLowWater = c.ShedHighWater - 1
+	}
+	if c.ResumeGrace == 0 {
+		c.ResumeGrace = DefaultResumeGrace
+	}
+	if c.ResumeWindow == 0 {
+		c.ResumeWindow = DefaultResumeWindow
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = DefaultReadTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
 	return c
 }
+
+// resumeEnabled reports whether disconnected sessions are parked for
+// resumption (after withDefaults, a negative grace means disabled).
+func (c Config) resumeEnabled() bool { return c.ResumeGrace > 0 }
 
 // Metrics is the daemon's telemetry surface: every field is registered in
 // Registry and exported over the telemetry HTTP endpoint in Prometheus
@@ -116,12 +213,16 @@ type Metrics struct {
 	// Registry holds every metric below, ready to serve.
 	Registry *telemetry.Registry
 
-	// SessionsActive is the number of live sessions.
+	// SessionsActive is the number of live (attached) sessions.
 	SessionsActive *telemetry.Gauge
+	// SessionsParked is the number of disconnected sessions whose engines
+	// are retained for resumption.
+	SessionsParked *telemetry.Gauge
 	// SessionsTotal counts sessions ever accepted.
 	SessionsTotal *telemetry.Counter
-	// SessionErrors counts sessions torn down by a failure (disconnect,
-	// corrupt frame, protocol violation, engine failure, panic).
+	// SessionErrors counts session attachments ended by a failure
+	// (disconnect, corrupt frame, protocol violation, engine failure,
+	// panic) — including failures the session was later resumed across.
 	SessionErrors *telemetry.Counter
 	// CorruptFrames counts frames rejected by checksum or decode.
 	CorruptFrames *telemetry.Counter
@@ -134,11 +235,42 @@ type Metrics struct {
 	// IntervalsTotal counts interval profiles returned to clients.
 	IntervalsTotal *telemetry.Counter
 	// QueueDepth is the aggregate number of queued batches across
-	// sessions.
+	// sessions — the pressure signal the shed gate watches per session.
 	QueueDepth *telemetry.Gauge
 	// IntervalLatency observes the seconds from an interval boundary
 	// being crossed to its profile frame being written.
 	IntervalLatency *telemetry.Histogram
+
+	// AdmissionRefusedCost counts sessions refused because their estimated
+	// cost exceeded the remaining budget.
+	AdmissionRefusedCost *telemetry.Counter
+	// AdmissionRefusedLimit counts sessions refused by the MaxSessions
+	// backstop or because the server was draining.
+	AdmissionRefusedLimit *telemetry.Counter
+	// AdmissionCostUsed is the admitted engine cost, in milli-units of the
+	// reference session.
+	AdmissionCostUsed *telemetry.Gauge
+	// AdmissionCostBudget is the configured budget, in the same
+	// milli-units.
+	AdmissionCostBudget *telemetry.Gauge
+
+	// ShedEngaged counts shed-gate on-transitions (pressure reached the
+	// high watermark).
+	ShedEngaged *telemetry.Counter
+	// ShedDisengaged counts shed-gate off-transitions (pressure fell to
+	// the low watermark).
+	ShedDisengaged *telemetry.Counter
+	// ShedSessions is the number of sessions currently shedding.
+	ShedSessions *telemetry.Gauge
+
+	// ResumesTotal counts successful session resumptions.
+	ResumesTotal *telemetry.Counter
+	// ResumeFailures counts refused Resume attempts (unknown session,
+	// window exceeded, invalid position).
+	ResumeFailures *telemetry.Counter
+	// TombstonesExpired counts parked sessions discarded because no client
+	// resumed them within the grace period.
+	TombstonesExpired *telemetry.Counter
 }
 
 // newMetrics registers the daemon's metrics in a fresh registry.
@@ -147,8 +279,9 @@ func newMetrics() *Metrics {
 	return &Metrics{
 		Registry:       r,
 		SessionsActive: r.Gauge("hwprof_sessions_active", "Live profiling sessions."),
+		SessionsParked: r.Gauge("hwprof_sessions_parked", "Disconnected sessions retained for resume."),
 		SessionsTotal:  r.Counter("hwprof_sessions_total", "Sessions accepted since start."),
-		SessionErrors:  r.Counter("hwprof_session_errors_total", "Sessions torn down by a failure."),
+		SessionErrors:  r.Counter("hwprof_session_errors_total", "Session attachments ended by a failure."),
 		CorruptFrames:  r.Counter("hwprof_frames_corrupt_total", "Frames rejected by checksum or decode."),
 		EventsTotal:    r.Counter("hwprof_events_total", "Profiling events accepted into engines."),
 		BatchesTotal:   r.Counter("hwprof_batches_total", "Batch frames accepted."),
@@ -158,6 +291,16 @@ func newMetrics() *Metrics {
 		IntervalLatency: r.Histogram("hwprof_interval_latency_seconds",
 			"Seconds from interval boundary to profile frame written.",
 			[]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}),
+		AdmissionRefusedCost:  r.Counter("hwprof_admission_refused_cost_total", "Sessions refused: estimated cost over budget."),
+		AdmissionRefusedLimit: r.Counter("hwprof_admission_refused_limit_total", "Sessions refused: session limit or draining."),
+		AdmissionCostUsed:     r.Gauge("hwprof_admission_cost_used_milli", "Admitted engine cost, milli-units of the reference session."),
+		AdmissionCostBudget:   r.Gauge("hwprof_admission_cost_budget_milli", "Configured admission budget, milli-units."),
+		ShedEngaged:           r.Counter("hwprof_shed_engaged_total", "Shed-gate on-transitions (high watermark reached)."),
+		ShedDisengaged:        r.Counter("hwprof_shed_disengaged_total", "Shed-gate off-transitions (low watermark reached)."),
+		ShedSessions:          r.Gauge("hwprof_shed_sessions", "Sessions currently shedding."),
+		ResumesTotal:          r.Counter("hwprof_resumes_total", "Successful session resumptions."),
+		ResumeFailures:        r.Counter("hwprof_resume_failures_total", "Refused resume attempts."),
+		TombstonesExpired:     r.Counter("hwprof_tombstones_expired_total", "Parked sessions discarded after the grace period."),
 	}
 }
 
@@ -165,25 +308,33 @@ func newMetrics() *Metrics {
 type Server struct {
 	cfg       Config
 	metrics   *Metrics
+	admission *admission
 	batchPool sync.Pool // *[]event.Tuple, shared decode buffers
 
 	mu       sync.Mutex
 	ln       net.Listener
-	sessions map[uint64]*session
+	sessions map[uint64]*session   // attached sessions
+	tombs    map[uint64]*session   // parked sessions awaiting resume
+	conns    map[net.Conn]struct{} // every accepted conn not yet released
 	nextID   uint64
 	draining atomic.Bool
 	closed   bool
 
-	wg sync.WaitGroup // one per live session (covers both its goroutines)
+	wg sync.WaitGroup // one per connection handler
 }
 
 // New builds a daemon from cfg.
 func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg.withDefaults(),
-		metrics:  newMetrics(),
-		sessions: make(map[uint64]*session),
+		cfg:       cfg,
+		metrics:   newMetrics(),
+		admission: newAdmission(cfg.CostBudget),
+		sessions:  make(map[uint64]*session),
+		tombs:     make(map[uint64]*session),
+		conns:     make(map[net.Conn]struct{}),
 	}
+	s.metrics.AdmissionCostBudget.Set(milli(cfg.CostBudget))
 	s.batchPool.New = func() any {
 		buf := make([]event.Tuple, 0, event.DefaultBatchSize)
 		return &buf
@@ -232,43 +383,144 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return fmt.Errorf("server: accept: %w", err)
 		}
-		s.startSession(conn)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
 	}
 }
 
-// startSession admits conn as a session, or refuses it over the wire when
-// the server is full or draining.
-func (s *Server) startSession(conn net.Conn) {
-	s.mu.Lock()
-	if s.draining.Load() || len(s.sessions) >= s.cfg.MaxSessions {
-		s.mu.Unlock()
-		go refuse(conn, "session limit reached or server draining")
+// wireConn frames conn with the daemon's per-operation deadlines.
+func (s *Server) wireConn(conn net.Conn) *wire.Conn {
+	return wire.NewConn(wire.WithDeadlines(conn, s.cfg.ReadTimeout, s.cfg.WriteTimeout))
+}
+
+// handleConn owns one accepted connection: handshake, then dispatch on the
+// opening frame — Hello opens a session, Resume reattaches a parked one.
+// The goroutine lives for the whole attachment.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.forgetConn(conn)
+	wc := s.wireConn(conn)
+	if err := wc.ServerHandshake(); err != nil {
+		s.logf("conn %s: handshake: %v", conn.RemoteAddr(), err)
+		conn.Close()
 		return
 	}
-	s.nextID++
-	sess := newSession(s, s.nextID, conn)
-	s.sessions[sess.id] = sess
-	s.wg.Add(1)
-	s.mu.Unlock()
-
-	s.metrics.SessionsTotal.Inc()
-	s.metrics.SessionsActive.Add(1)
-	go sess.run()
+	typ, payload, err := wc.ReadFrame()
+	if err != nil {
+		s.logf("conn %s: reading opening frame: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
+	switch typ {
+	case wire.MsgHello:
+		s.openSession(conn, wc, payload)
+	case wire.MsgResume:
+		s.resumeSession(conn, wc, payload)
+	default:
+		wc.WriteFrame(wire.MsgError, wire.AppendError(nil,
+			wire.ErrorMsg{Code: wire.CodeProtocol, Msg: fmt.Sprintf("expected hello or resume, got frame type %d", typ)}))
+		conn.Close()
+	}
 }
 
-// removeSession unregisters a finished session.
-func (s *Server) removeSession(id uint64) {
+// forgetConn drops conn from the force-close set.
+func (s *Server) forgetConn(conn net.Conn) {
 	s.mu.Lock()
-	delete(s.sessions, id)
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// refuseConn answers a connection the server will not serve with one typed
+// error frame, then closes it.
+func (s *Server) refuseConn(conn net.Conn, wc *wire.Conn, code byte, msg string) {
+	s.logf("conn %s: refused (code %d): %s", conn.RemoteAddr(), code, msg)
+	wc.WriteFrame(wire.MsgError, wire.AppendError(nil, wire.ErrorMsg{Code: code, Msg: msg}))
+	conn.Close()
+}
+
+// removeSession unregisters a finished session and releases its admission
+// cost and engine.
+func (s *Server) removeSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	sess.release()
+	s.metrics.SessionsActive.Add(-1)
+}
+
+// parkSession converts a live session whose connection failed into a
+// tombstone: engine and stream position retained, attachment released,
+// grace timer armed. During a drain there is no one to resume for, so the
+// session is discarded instead.
+func (s *Server) parkSession(sess *session) {
+	sess.conn.Close()
+	s.metrics.SessionErrors.Inc()
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	if s.draining.Load() || s.closed {
+		s.mu.Unlock()
+		sess.release()
+		s.metrics.SessionsActive.Add(-1)
+		return
+	}
+	sess.parkEpoch++
+	epoch := sess.parkEpoch
+	s.tombs[sess.id] = sess
 	s.mu.Unlock()
 	s.metrics.SessionsActive.Add(-1)
-	s.wg.Done()
+	s.metrics.SessionsParked.Add(1)
+	s.logf("session %d: parked at interval %d+%d events (stream pos %d), grace %v",
+		sess.id, sess.interval, sess.events, sess.streamPos.Load(), s.cfg.ResumeGrace)
+	time.AfterFunc(s.cfg.ResumeGrace, func() { s.expireTombstone(sess.id, epoch) })
+}
+
+// expireTombstone discards a parked session whose grace period lapsed
+// without a resume. The epoch guards against a timer from an earlier park
+// of the same (since resumed and re-parked) session.
+func (s *Server) expireTombstone(id uint64, epoch int) {
+	s.mu.Lock()
+	sess := s.tombs[id]
+	if sess == nil || sess.parkEpoch != epoch {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.tombs, id)
+	s.mu.Unlock()
+	sess.release()
+	s.metrics.SessionsParked.Add(-1)
+	s.metrics.TombstonesExpired.Inc()
+	s.logf("session %d: tombstone expired, engine discarded", id)
+}
+
+// closeTombstones discards every parked session (shutdown path).
+func (s *Server) closeTombstones() {
+	s.mu.Lock()
+	tombs := make([]*session, 0, len(s.tombs))
+	for id, sess := range s.tombs {
+		tombs = append(tombs, sess)
+		delete(s.tombs, id)
+	}
+	s.mu.Unlock()
+	for _, sess := range tombs {
+		sess.release()
+		s.metrics.SessionsParked.Add(-1)
+	}
 }
 
 // Shutdown drains the daemon gracefully: it stops accepting, asks every
-// session to finish as a client Drain would (queued batches processed,
-// final partial profile and Goodbye sent), and waits. When ctx expires
-// first, remaining sessions are force-closed and ctx.Err() returned.
+// attached session to finish as a client Drain would (queued batches
+// processed, final partial profile and Goodbye sent), discards parked
+// sessions, and waits. A worker blocked writing to a stalled client is
+// bounded by the write deadline; when ctx expires first, remaining
+// connections are force-closed and ctx.Err() returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.mu.Lock()
@@ -284,6 +536,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, sess := range live {
 		sess.beginDrain()
 	}
+	s.closeTombstones()
 
 	done := make(chan struct{})
 	go func() {
@@ -292,14 +545,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeTombstones() // a session may have parked while we drained
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
-		for _, sess := range s.sessions {
-			sess.conn.Close()
+		for conn := range s.conns {
+			conn.Close()
 		}
 		s.mu.Unlock()
 		<-done
+		s.closeTombstones()
 		return ctx.Err()
 	}
 }

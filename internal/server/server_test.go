@@ -227,8 +227,8 @@ func TestMidStreamDisconnect(t *testing.T) {
 }
 
 // TestCorruptFrameTearsDownSession injects a checksum-corrupt frame: the
-// daemon must answer with a protocol error, close that session only, and
-// count the corruption in telemetry.
+// daemon must answer with a corruption error (inviting a resume), detach
+// that session only, and count the corruption in telemetry.
 func TestCorruptFrameTearsDownSession(t *testing.T) {
 	srv, addr := startServer(t, server.Config{})
 
@@ -254,8 +254,8 @@ func TestCorruptFrameTearsDownSession(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.Code != wire.CodeProtocol {
-		t.Fatalf("error code %d, want CodeProtocol", e.Code)
+	if e.Code != wire.CodeCorrupt {
+		t.Fatalf("error code %d, want CodeCorrupt", e.Code)
 	}
 	if _, _, err := wc.ReadFrame(); err == nil {
 		t.Fatal("session stayed open after corrupt frame")

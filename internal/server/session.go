@@ -20,131 +20,334 @@ type item struct {
 	batch   *[]event.Tuple
 	drain   bool
 	goodbye bool
-	err     error // reader failure: tear the session down
+	err     error // reader failure: park or tear down
 	code    byte  // wire error code to report for err, 0 = don't report
+	park    bool  // err is a stream failure the session can survive
 }
 
-// session is one client connection: its engine, its queue, and the two
-// goroutines moving frames through them.
+// session is one admitted client: its engine and stream position, which
+// persist across connection attachments, plus the current attachment — a
+// connection, a queue, and the reader/worker goroutine pair moving frames
+// through it.
+//
+// Ownership: the attachment fields (conn, wc, queue, attachDone) are
+// replaced only between attachments, under the resume path's
+// synchronization (srv.mu plus the previous attachment's attachDone).
+// events, interval, ring and enc belong to the worker goroutine during an
+// attachment; the park/resume path reads them only after the attachment is
+// fully done. streamPos, shed, parkNext and draining are shared and
+// atomic.
 type session struct {
-	srv  *Server
-	id   uint64
-	conn net.Conn
-	wc   *wire.Conn
+	srv *Server
+	id  uint64
 
+	// Current attachment.
+	conn       net.Conn
+	wc         *wire.Conn
+	queue      chan item
+	attachDone chan struct{} // closed when the attachment has fully finished
+
+	// Engine, fixed at admission.
 	cfg    core.Config
 	shards int
 	eng    *shard.Profiler
+	cost   float64 // admission cost held until release
 
-	queue    chan item
-	shed     atomic.Uint64 // cumulative events dropped under shed policy
-	draining atomic.Bool   // server-initiated drain in progress
+	// Stream position, persisted across attachments.
+	events    uint64        // events observed in the current partial interval
+	interval  uint64        // completed intervals, = next profile index
+	ring      [][]byte      // recent encoded profiles, oldest first, for resend on resume
+	streamPos atomic.Uint64 // client-stream events consumed: observed + shed
+	shed      atomic.Uint64 // cumulative events dropped under shed policy
+
+	parkEpoch int         // guards tombstone grace timers; under srv.mu
+	released  atomic.Bool // engine discarded and admission cost returned
+	parkNext  atomic.Bool // worker verdict: park this attachment, don't remove
+	draining  atomic.Bool // server-initiated drain in progress
+
+	connDead bool // worker-local: write side failed; ring-buffer, don't write
+	gateOn   bool // reader-local: hysteresis shed gate engaged
 
 	enc []byte // reused frame-encoding buffer (worker goroutine only)
 }
 
-// newSession wraps conn; the engine is built later, from the Hello.
-func newSession(s *Server, id uint64, conn net.Conn) *session {
-	return &session{
-		srv:   s,
-		id:    id,
-		conn:  conn,
-		wc:    wire.NewConn(conn),
-		queue: make(chan item, s.cfg.QueueDepth),
+// release discards the session's engine and returns its admission cost.
+// Idempotent: every teardown path funnels here exactly once.
+func (s *session) release() {
+	if s.released.CompareAndSwap(false, true) {
+		s.eng.Close()
+		s.srv.admission.release(s.cost)
+		s.srv.metrics.AdmissionCostUsed.Set(milli(s.srv.admission.inUse()))
 	}
 }
 
-// refuse answers a connection the server will not serve: handshake, one
-// overload error frame, close. Runs on its own goroutine; failures are
-// irrelevant because the connection is doomed either way.
-func refuse(conn net.Conn, msg string) {
-	defer conn.Close()
-	wc := wire.NewConn(conn)
-	if err := wc.ServerHandshake(); err != nil {
-		return
-	}
-	wc.WriteFrame(wire.MsgError, wire.AppendError(nil, wire.ErrorMsg{Code: wire.CodeOverload, Msg: msg}))
-}
-
-// run is the session's lifecycle: handshake and Hello on the reader
-// goroutine, then the reader loop, with the worker spun off in between.
-// Every exit path unregisters the session and closes the connection.
-func (s *session) run() {
-	defer s.srv.removeSession(s.id)
-	defer s.conn.Close()
-	defer s.recoverPanic("session")
-
-	if err := s.wc.ServerHandshake(); err != nil {
-		s.srv.metrics.SessionErrors.Inc()
-		s.srv.logf("session %d: handshake: %v", s.id, err)
-		return
-	}
-	if !s.openEngine() {
-		s.srv.metrics.SessionErrors.Inc()
-		return
-	}
-	s.srv.logf("session %d: open from %s: %v, %d shard(s)", s.id, s.conn.RemoteAddr(), s.cfg, s.shards)
-
-	done := make(chan struct{})
-	go s.work(done)
-	s.read()
-	<-done // the worker owns teardown of the engine and the final frames
-}
-
-// openEngine performs the Hello/HelloAck exchange and builds the session's
-// engine. It reports whether the session is live; on failure the client has
-// already been told why (when the socket allowed it).
-func (s *session) openEngine() bool {
-	typ, payload, err := s.wc.ReadFrame()
-	if err != nil {
-		s.srv.logf("session %d: reading hello: %v", s.id, err)
-		return false
-	}
-	if typ != wire.MsgHello {
-		s.refuseWith(wire.CodeProtocol, fmt.Sprintf("expected hello, got frame type %d", typ))
-		return false
-	}
+// openSession admits a new session from its Hello frame: validate, charge
+// the admission budget, build the engine, ack, and serve the attachment.
+func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 	h, err := wire.DecodeHello(payload)
 	if err != nil {
-		s.srv.metrics.CorruptFrames.Inc()
-		s.refuseWith(wire.CodeProtocol, fmt.Sprintf("undecodable hello: %v", err))
-		return false
+		s.metrics.CorruptFrames.Inc()
+		s.refuseConn(conn, wc, wire.CodeProtocol, fmt.Sprintf("undecodable hello: %v", err))
+		return
 	}
 	if err := h.Config.Validate(); err != nil {
-		s.refuseWith(wire.CodeConfig, err.Error())
-		return false
+		s.refuseConn(conn, wc, wire.CodeConfig, err.Error())
+		return
 	}
 	shards := h.Shards
 	if shards < 1 {
 		shards = 1
 	}
-	if shards > s.srv.cfg.MaxShards {
-		shards = s.srv.cfg.MaxShards
+	if shards > s.cfg.MaxShards {
+		shards = s.cfg.MaxShards
 	}
 	// Shard counts must divide the counter storage; fall back to
 	// sequential rather than refusing a stream we could serve.
 	for shards > 1 && h.Config.TotalEntries%shards != 0 {
 		shards--
 	}
+
+	cost := sessionCost(h.Config, shards)
+	s.mu.Lock()
+	if s.closed || s.draining.Load() {
+		s.mu.Unlock()
+		s.metrics.AdmissionRefusedLimit.Inc()
+		s.refuseConn(conn, wc, wire.CodeOverload, "server draining")
+		return
+	}
+	if len(s.sessions)+len(s.tombs) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.metrics.AdmissionRefusedLimit.Inc()
+		s.refuseConn(conn, wc, wire.CodeOverload,
+			fmt.Sprintf("admission refused: session limit %d reached", s.cfg.MaxSessions))
+		return
+	}
+	ok, reason := s.admission.tryAcquire(cost)
+	if !ok {
+		s.mu.Unlock()
+		s.metrics.AdmissionRefusedCost.Inc()
+		s.refuseConn(conn, wc, wire.CodeOverload, reason)
+		return
+	}
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	s.metrics.AdmissionCostUsed.Set(milli(s.admission.inUse()))
+
 	eng, err := shard.New(shard.Config{Core: h.Config, NumShards: shards})
 	if err != nil {
-		s.refuseWith(wire.CodeConfig, err.Error())
-		return false
+		s.admission.release(cost)
+		s.metrics.AdmissionCostUsed.Set(milli(s.admission.inUse()))
+		s.refuseConn(conn, wc, wire.CodeConfig, err.Error())
+		return
 	}
-	s.cfg, s.shards, s.eng = h.Config, shards, eng
-	ack := wire.HelloAck{SessionID: s.id, Shed: s.srv.cfg.Shed, QueueDepth: s.srv.cfg.QueueDepth}
-	if err := s.wc.WriteFrame(wire.MsgHelloAck, wire.AppendHelloAck(s.enc[:0], ack)); err != nil {
-		s.srv.logf("session %d: writing hello-ack: %v", s.id, err)
-		eng.Close()
-		return false
+	sess := &session{
+		srv:        s,
+		id:         id,
+		conn:       conn,
+		wc:         wc,
+		queue:      make(chan item, s.cfg.QueueDepth),
+		attachDone: make(chan struct{}),
+		cfg:        h.Config,
+		shards:     shards,
+		eng:        eng,
+		cost:       cost,
 	}
-	return true
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sess.release()
+		s.refuseConn(conn, wc, wire.CodeOverload, "server draining")
+		return
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.metrics.SessionsTotal.Inc()
+	s.metrics.SessionsActive.Add(1)
+	s.logf("session %d: open from %s: %v, %d shard(s), cost %.3f", id, conn.RemoteAddr(), h.Config, shards, cost)
+
+	ack := wire.HelloAck{
+		SessionID:  id,
+		Shed:       s.cfg.Shed,
+		QueueDepth: s.cfg.QueueDepth,
+		Resume:     s.cfg.resumeEnabled(),
+	}
+	if err := wc.WriteFrame(wire.MsgHelloAck, wire.AppendHelloAck(nil, ack)); err != nil {
+		s.logf("session %d: writing hello-ack: %v", id, err)
+		s.metrics.SessionErrors.Inc()
+		conn.Close()
+		s.removeSession(sess)
+		close(sess.attachDone)
+		return
+	}
+	sess.serve()
 }
 
-// refuseWith best-effort reports a session-opening failure to the client.
-func (s *session) refuseWith(code byte, msg string) {
-	s.srv.logf("session %d: refused (code %d): %s", s.id, code, msg)
-	s.wc.WriteFrame(wire.MsgError, wire.AppendError(nil, wire.ErrorMsg{Code: code, Msg: msg}))
+// resumeSession reattaches a connection to a parked session named by its
+// Resume frame. If the session is still live (the server has not yet
+// noticed its connection die — e.g. the client saw corruption the server
+// did not), the stale attachment is killed first and the resulting
+// tombstone adopted.
+func (s *Server) resumeSession(conn net.Conn, wc *wire.Conn, payload []byte) {
+	r, err := wire.DecodeResume(payload)
+	if err != nil {
+		s.metrics.CorruptFrames.Inc()
+		s.refuseConn(conn, wc, wire.CodeProtocol, fmt.Sprintf("undecodable resume: %v", err))
+		return
+	}
+	if !s.cfg.resumeEnabled() {
+		s.metrics.ResumeFailures.Inc()
+		s.refuseConn(conn, wc, wire.CodeUnknownSession, "resume disabled on this server")
+		return
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		s.mu.Lock()
+		if sess := s.tombs[r.SessionID]; sess != nil {
+			delete(s.tombs, r.SessionID)
+			sess.parkEpoch++ // invalidate the pending grace timer
+			s.mu.Unlock()
+			s.metrics.SessionsParked.Add(-1)
+			s.adopt(sess, conn, wc, r)
+			return
+		}
+		live := s.sessions[r.SessionID]
+		var liveConn net.Conn
+		var liveDone chan struct{}
+		if live != nil {
+			liveConn, liveDone = live.conn, live.attachDone
+		}
+		s.mu.Unlock()
+		if live == nil {
+			break
+		}
+		liveConn.Close()
+		select {
+		case <-liveDone:
+		case <-time.After(5 * time.Second):
+			s.metrics.ResumeFailures.Inc()
+			s.refuseConn(conn, wc, wire.CodeInternal,
+				fmt.Sprintf("session %d did not release its previous connection", r.SessionID))
+			return
+		}
+	}
+	s.metrics.ResumeFailures.Inc()
+	s.refuseConn(conn, wc, wire.CodeUnknownSession, fmt.Sprintf("unknown session %d", r.SessionID))
+}
+
+// adopt reattaches conn to a session pulled out of the tombstone map. The
+// client's claimed position is validated against the engine's, the exact
+// server position is acked, retained profiles the client has not seen are
+// resent, and the attachment goroutines start.
+func (s *Server) adopt(sess *session, conn net.Conn, wc *wire.Conn, r wire.Resume) {
+	pos := sess.streamPos.Load()
+	var code byte
+	var refusal string
+	switch {
+	case r.Intervals > sess.interval:
+		code = wire.CodeProtocol
+		refusal = fmt.Sprintf("resume claims %d intervals, server has %d", r.Intervals, sess.interval)
+	case sess.interval-r.Intervals > uint64(len(sess.ring)):
+		code = wire.CodeUnknownSession
+		refusal = fmt.Sprintf("resume window exceeded: client at interval %d, server at %d with %d profile(s) retained",
+			r.Intervals, sess.interval, len(sess.ring))
+	case r.Intervals*sess.cfg.IntervalLength+r.Offset > pos:
+		code = wire.CodeProtocol
+		refusal = fmt.Sprintf("resume replay floor %d is beyond the server's stream position %d",
+			r.Intervals*sess.cfg.IntervalLength+r.Offset, pos)
+	}
+	if refusal != "" {
+		s.metrics.ResumeFailures.Inc()
+		s.refuseConn(conn, wc, code, refusal)
+		s.retomb(sess)
+		return
+	}
+
+	sess.conn, sess.wc = conn, wc
+	sess.queue = make(chan item, s.cfg.QueueDepth)
+	sess.attachDone = make(chan struct{})
+	sess.connDead = false
+	sess.gateOn = false
+	sess.parkNext.Store(false)
+	sess.draining.Store(false)
+	s.mu.Lock()
+	if s.closed || s.draining.Load() {
+		s.mu.Unlock()
+		s.metrics.ResumeFailures.Inc()
+		s.refuseConn(conn, wc, wire.CodeOverload, "server draining")
+		sess.release()
+		return
+	}
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+	s.metrics.SessionsActive.Add(1)
+
+	ack := wire.ResumeAck{Intervals: sess.interval, Offset: sess.events, StreamPos: pos, Shed: sess.shed.Load()}
+	if err := wc.WriteFrame(wire.MsgResumeAck, wire.AppendResumeAck(nil, ack)); err != nil {
+		s.logf("session %d: writing resume-ack: %v", sess.id, err)
+		s.parkSession(sess)
+		close(sess.attachDone)
+		return
+	}
+	resend := int(sess.interval - r.Intervals)
+	for i := len(sess.ring) - resend; i < len(sess.ring); i++ {
+		if err := wc.WriteFrame(wire.MsgProfile, sess.ring[i]); err != nil {
+			s.logf("session %d: resending profile: %v", sess.id, err)
+			s.parkSession(sess)
+			close(sess.attachDone)
+			return
+		}
+		s.metrics.IntervalsTotal.Inc()
+	}
+	s.metrics.ResumesTotal.Inc()
+	s.logf("session %d: resumed from %s at interval %d+%d (stream pos %d), resent %d profile(s)",
+		sess.id, conn.RemoteAddr(), sess.interval, sess.events, pos, resend)
+	sess.serve()
+}
+
+// retomb puts a session whose resume attempt was refused back among the
+// tombstones with a fresh grace period.
+func (s *Server) retomb(sess *session) {
+	s.mu.Lock()
+	if s.closed || s.draining.Load() {
+		s.mu.Unlock()
+		sess.release()
+		return
+	}
+	sess.parkEpoch++
+	epoch := sess.parkEpoch
+	s.tombs[sess.id] = sess
+	s.mu.Unlock()
+	s.metrics.SessionsParked.Add(1)
+	time.AfterFunc(s.cfg.ResumeGrace, func() { s.expireTombstone(sess.id, epoch) })
+}
+
+// serve runs one attachment to completion: the worker spun off, the reader
+// loop in the foreground, then the park-or-remove verdict.
+func (s *session) serve() {
+	defer s.finishAttachment()
+	defer s.recoverPanic("session")
+	done := make(chan struct{})
+	go s.work(done)
+	s.read()
+	<-done // the worker owns the engine and the final frames
+}
+
+// finishAttachment settles the attachment after both goroutines exited:
+// park the session (stream failure, resumable) or remove it (finished or
+// failed). attachDone is closed last so the resume path can wait for the
+// verdict to be fully applied.
+func (s *session) finishAttachment() {
+	if s.gateOn {
+		s.gateOn = false
+		s.srv.metrics.ShedSessions.Add(-1)
+	}
+	if s.parkNext.Load() {
+		s.srv.parkSession(s)
+	} else {
+		s.conn.Close()
+		s.srv.removeSession(s)
+	}
+	close(s.attachDone)
 }
 
 // read is the reader loop: decode frames, enqueue work. It exits on drain,
@@ -155,6 +358,15 @@ func (s *session) read() {
 	defer close(s.queue)
 	defer s.recoverPanic("reader")
 	for {
+		if s.draining.Load() {
+			// Shutdown began between frames. The per-operation deadline
+			// wrapper re-arms a fresh read deadline on every Read, so
+			// beginDrain's immediate-deadline fallback only interrupts a
+			// read in flight — a reader kept busy by an actively writing
+			// client must notice the drain itself.
+			s.enqueue(item{drain: true})
+			return
+		}
 		typ, payload, err := s.wc.ReadFrame()
 		if err != nil {
 			s.readFailed(err)
@@ -167,6 +379,8 @@ func (s *session) read() {
 			if err != nil {
 				s.srv.batchPool.Put(buf)
 				s.srv.metrics.CorruptFrames.Inc()
+				// The frame's checksum passed, so the bytes arrived as sent:
+				// an undecodable batch is a peer bug, not transport damage.
 				s.enqueue(item{err: fmt.Errorf("undecodable batch: %w", err), code: wire.CodeProtocol})
 				return
 			}
@@ -186,7 +400,9 @@ func (s *session) read() {
 
 // readFailed classifies a reader failure and hands the worker the
 // consequence: a server-initiated drain turns a closed read side into a
-// graceful finish; everything else tears the session down.
+// graceful finish; transport failures — corruption, disconnect, timeout —
+// are parkable; only sticky protocol state would not be, and that is
+// classified at decode time, not here.
 func (s *session) readFailed(err error) {
 	if s.draining.Load() {
 		// Shutdown closed the read side; finish like a client drain.
@@ -196,40 +412,81 @@ func (s *session) readFailed(err error) {
 	switch {
 	case errors.Is(err, wire.ErrCorrupt):
 		s.srv.metrics.CorruptFrames.Inc()
-		s.enqueue(item{err: err, code: wire.CodeProtocol})
+		s.enqueue(item{err: fmt.Errorf("corrupt frame: %w", err), code: wire.CodeCorrupt, park: true})
 	case errors.Is(err, io.EOF):
 		// Disconnect without goodbye: mid-stream failure, not a clean end.
-		s.enqueue(item{err: errors.New("client disconnected mid-stream")})
+		s.enqueue(item{err: errors.New("client disconnected mid-stream"), park: true})
 	default:
-		s.enqueue(item{err: fmt.Errorf("read failed: %w", err)})
+		s.enqueue(item{err: fmt.Errorf("read failed: %w", err), park: true})
 	}
 }
 
 // enqueue hands the worker a control item, blocking until it fits: control
-// items are never shed, whatever the backpressure policy.
+// items are never shed, whatever the backpressure policy or gate state.
 func (s *session) enqueue(it item) {
 	s.srv.metrics.QueueDepth.Add(1)
 	s.queue <- it
 }
 
-// enqueueBatch hands the worker a batch under the backpressure policy:
-// block (default) stalls the socket — and through it, via TCP, the client —
-// while shed drops the batch and counts its events instead.
+// enqueueBatch hands the worker a batch under the backpressure policy.
+// Block (default) stalls the socket — and through it, via TCP, the client.
+// Shed runs a hysteresis gate over observed queue pressure: the gate
+// engages at the high watermark and drops whole batches (counted, and
+// reported in every Profile) until pressure falls to the low watermark, so
+// a session hovering at the boundary does not flap between policies.
 func (s *session) enqueueBatch(buf *[]event.Tuple) {
-	if s.srv.cfg.Shed {
-		select {
-		case s.queue <- item{batch: buf}:
-			s.srv.metrics.QueueDepth.Add(1)
-		default:
-			n := uint64(len(*buf))
-			s.shed.Add(n)
-			s.srv.metrics.EventsShed.Add(n)
-			s.srv.batchPool.Put(buf)
-		}
+	n := uint64(len(*buf))
+	if !s.srv.cfg.Shed {
+		s.srv.metrics.QueueDepth.Add(1)
+		s.queue <- item{batch: buf}
+		s.streamPos.Add(n)
 		return
 	}
-	s.srv.metrics.QueueDepth.Add(1)
-	s.queue <- item{batch: buf}
+	if s.gateOn {
+		if len(s.queue) <= s.srv.cfg.ShedLowWater {
+			s.setGate(false)
+		}
+	} else if len(s.queue) >= s.srv.cfg.ShedHighWater {
+		s.setGate(true)
+	}
+	if s.gateOn {
+		s.dropBatch(buf, n)
+		return
+	}
+	select {
+	case s.queue <- item{batch: buf}:
+		s.srv.metrics.QueueDepth.Add(1)
+		s.streamPos.Add(n)
+	default:
+		// The queue filled between the watermark check and the send; that
+		// is real pressure, engage rather than block.
+		s.setGate(true)
+		s.dropBatch(buf, n)
+	}
+}
+
+// setGate flips the shed gate, counting the transition.
+func (s *session) setGate(on bool) {
+	s.gateOn = on
+	if on {
+		s.srv.metrics.ShedEngaged.Inc()
+		s.srv.metrics.ShedSessions.Add(1)
+		s.srv.logf("session %d: shed gate engaged at queue length %d", s.id, len(s.queue))
+	} else {
+		s.srv.metrics.ShedDisengaged.Inc()
+		s.srv.metrics.ShedSessions.Add(-1)
+		s.srv.logf("session %d: shed gate disengaged at queue length %d", s.id, len(s.queue))
+	}
+}
+
+// dropBatch sheds a batch: counted against the session and the stream
+// position (the events were consumed, just not observed), buffer recycled.
+func (s *session) dropBatch(buf *[]event.Tuple, n uint64) {
+	s.shed.Add(n)
+	s.streamPos.Add(n)
+	s.srv.metrics.EventsShed.Add(n)
+	*buf = (*buf)[:0]
+	s.srv.batchPool.Put(buf)
 }
 
 // work runs the worker loop, then — whatever ended it, including a
@@ -247,18 +504,23 @@ func (s *session) work(done chan<- struct{}) {
 	}
 }
 
+// parkable reports whether a stream failure may park the session instead
+// of tearing it down: resumption on, not draining, engine healthy.
+func (s *session) parkable() bool {
+	return s.srv.cfg.resumeEnabled() && !s.srv.draining.Load() && s.eng.Err() == nil
+}
+
 // workLoop is the worker: feed the engine, place interval boundaries,
 // write profiles. It is the connection's only writer after the HelloAck.
 // After a terminal event (drain, goodbye, failure) it keeps consuming —
-// and discarding — the queue until the reader closes it.
+// and discarding — the queue until the reader closes it. Because the
+// reader enqueues its failure item after every batch it accepted, a park
+// verdict always finds the engine caught up with everything the client was
+// told (through streamPos accounting) the server consumed.
 func (s *session) workLoop() {
 	defer s.recoverPanic("worker")
 
-	var (
-		events   uint64 // events observed in the current interval
-		interval uint64 // completed intervals, = next profile index
-		dead     bool   // terminal state reached; drain the queue only
-	)
+	var dead bool
 	for it := range s.queue {
 		s.srv.metrics.QueueDepth.Add(-1)
 		if dead {
@@ -270,16 +532,27 @@ func (s *session) workLoop() {
 		}
 		switch {
 		case it.err != nil:
-			s.fail(it.err, it.code)
+			if it.park && s.parkable() {
+				if it.code != 0 && !s.connDead {
+					// Transport corruption with a live write side: tell the
+					// client to reconnect and resume.
+					s.wc.WriteFrame(wire.MsgError, wire.AppendError(s.enc[:0],
+						wire.ErrorMsg{Code: it.code, Msg: it.err.Error()}))
+				}
+				s.srv.logf("session %d: parking: %v", s.id, it.err)
+				s.parkNext.Store(true)
+			} else {
+				s.fail(it.err, it.code)
+			}
 			dead = true
 			continue
 		case it.goodbye:
-			s.srv.logf("session %d: goodbye, %d interval(s)", s.id, interval)
+			s.srv.logf("session %d: goodbye, %d interval(s)", s.id, s.interval)
 			s.eng.Close()
 			dead = true
 			continue
 		case it.drain:
-			s.finish(interval)
+			s.finish()
 			dead = true
 			continue
 		}
@@ -292,19 +565,19 @@ func (s *session) workLoop() {
 		// local run over the same stream.
 		for len(batch) > 0 && !dead {
 			n := uint64(len(batch))
-			if remaining := s.cfg.IntervalLength - events; n > remaining {
+			if remaining := s.cfg.IntervalLength - s.events; n > remaining {
 				n = remaining
 			}
 			s.eng.ObserveBatch(batch[:n])
 			batch = batch[n:]
-			events += n
-			if events == s.cfg.IntervalLength {
-				if !s.emitProfile(interval, false) {
+			s.events += n
+			if s.events == s.cfg.IntervalLength {
+				if !s.emitProfile(false) {
 					dead = true
 					continue
 				}
-				interval++
-				events = 0
+				s.interval++
+				s.events = 0
 			}
 		}
 		*it.batch = (*it.batch)[:0]
@@ -316,7 +589,7 @@ func (s *session) workLoop() {
 			}
 		}
 	}
-	if !dead {
+	if !dead && !s.parkNext.Load() {
 		// Queue closed without a terminal item (contained reader panic):
 		// nothing more is coming; discard the unfinished interval.
 		s.eng.Close()
@@ -324,9 +597,13 @@ func (s *session) workLoop() {
 }
 
 // emitProfile ends the engine's interval and writes the profile frame,
-// recycling the profile map back into the engine afterwards. It reports
-// whether the session is still healthy.
-func (s *session) emitProfile(index uint64, final bool) bool {
+// retaining an encoded copy in the resume ring and recycling the profile
+// map back into the engine. It reports whether the worker should continue;
+// a write failure on a resumable session flips the attachment into
+// connDead mode — the engine keeps consuming the queue so the stream
+// position stays exact, profiles land in the ring only, and the reader's
+// subsequent failure parks the session.
+func (s *session) emitProfile(final bool) bool {
 	start := time.Now()
 	var prof map[event.Tuple]uint64
 	if final {
@@ -334,17 +611,38 @@ func (s *session) emitProfile(index uint64, final bool) bool {
 	} else {
 		prof = s.eng.EndInterval()
 	}
-	msg := wire.ProfileMsg{Index: index, Shed: s.shed.Load(), Final: final, Counts: prof}
+	msg := wire.ProfileMsg{Index: s.interval, Shed: s.shed.Load(), Final: final, Counts: prof}
 	s.enc = wire.AppendProfile(s.enc[:0], msg)
 	if !final {
 		s.eng.Recycle(prof) // encoded; hand the map back for the next boundary
+		if s.srv.cfg.resumeEnabled() {
+			buf := append([]byte(nil), s.enc...)
+			if len(s.ring) < s.srv.cfg.ResumeWindow {
+				s.ring = append(s.ring, buf)
+			} else {
+				copy(s.ring, s.ring[1:])
+				s.ring[len(s.ring)-1] = buf
+			}
+		}
+	}
+	if s.connDead {
+		return true
 	}
 	if err := s.wc.WriteFrame(wire.MsgProfile, s.enc); err != nil {
+		s.srv.logf("session %d: writing profile %d: %v", s.id, s.interval, err)
+		if !final && s.parkable() {
+			s.connDead = true
+			s.parkNext.Store(true)
+			s.conn.Close() // surface the failure to the reader too
+			return true
+		}
 		s.srv.metrics.SessionErrors.Inc()
-		s.srv.logf("session %d: writing profile %d: %v", s.id, index, err)
 		if !final {
 			s.eng.Close()
 		}
+		// Close the conn too: a client that keeps writing would otherwise
+		// hold the reader — and through it the attachment — alive forever.
+		s.conn.Close()
 		return false
 	}
 	s.srv.metrics.IntervalsTotal.Inc()
@@ -353,9 +651,14 @@ func (s *session) emitProfile(index uint64, final bool) bool {
 }
 
 // finish is the graceful end: drain the engine, send the final partial
-// profile and the goodbye.
-func (s *session) finish(interval uint64) {
-	if !s.emitProfile(interval, true) {
+// profile and the goodbye. With a dead write side there is no one to send
+// to; the engine is simply discarded.
+func (s *session) finish() {
+	if s.connDead {
+		s.eng.Close()
+		return
+	}
+	if !s.emitProfile(true) {
 		return
 	}
 	if err := s.wc.WriteFrame(wire.MsgGoodbye, nil); err != nil {
@@ -363,20 +666,19 @@ func (s *session) finish(interval uint64) {
 		s.srv.logf("session %d: writing goodbye: %v", s.id, err)
 		return
 	}
-	s.srv.logf("session %d: drained, %d complete interval(s)", s.id, interval)
+	s.srv.logf("session %d: drained, %d complete interval(s)", s.id, s.interval)
 }
 
-// fail tears the session down after a failure, best-effort reporting it to
-// the client first when a wire error code was assigned.
+// fail tears the session down after a peer bug or engine failure,
+// best-effort reporting it to the client first when a wire error code was
+// assigned.
 func (s *session) fail(err error, code byte) {
 	s.srv.metrics.SessionErrors.Inc()
 	s.srv.logf("session %d: failed: %v", s.id, err)
-	if code != 0 {
+	if code != 0 && !s.connDead {
 		s.wc.WriteFrame(wire.MsgError, wire.AppendError(s.enc[:0], wire.ErrorMsg{Code: code, Msg: err.Error()}))
 	}
-	if s.eng != nil {
-		s.eng.Close()
-	}
+	s.eng.Close()
 	s.conn.Close() // unblock the reader, if it is still in ReadFrame
 }
 
@@ -394,9 +696,11 @@ func (s *session) beginDrain() {
 
 // recoverPanic contains a panic on a session goroutine: counted, logged,
 // best-effort reported, session torn down — the daemon and every other
-// session keep running.
+// session keep running. A panicked attachment never parks; whatever state
+// the panic left behind is not worth resuming into.
 func (s *session) recoverPanic(where string) {
 	if r := recover(); r != nil {
+		s.parkNext.Store(false)
 		s.srv.metrics.SessionErrors.Inc()
 		s.srv.logf("session %d: %s panic contained: %v", s.id, where, r)
 		s.wc.WriteFrame(wire.MsgError, wire.AppendError(nil,

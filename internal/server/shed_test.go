@@ -5,7 +5,28 @@ import (
 	"testing"
 
 	"hwprof/internal/event"
+	"hwprof/internal/wire"
 )
+
+// newBareSession builds a session wired to conn with srv's queue depth but
+// no engine, for driving the enqueue path directly.
+func newBareSession(srv *Server, id uint64, conn net.Conn) *session {
+	return &session{
+		srv:        srv,
+		id:         id,
+		conn:       conn,
+		wc:         wire.NewConn(conn),
+		queue:      make(chan item, srv.cfg.QueueDepth),
+		attachDone: make(chan struct{}),
+	}
+}
+
+// batchOf builds a pooled batch holding events.
+func batchOf(srv *Server, evs ...event.Tuple) *[]event.Tuple {
+	buf := srv.batchPool.Get().(*[]event.Tuple)
+	*buf = append((*buf)[:0], evs...)
+	return buf
+}
 
 // TestEnqueueBatchShedsWhenFull drives the shed policy directly: with the
 // queue full, a batch is dropped whole, its events counted against the
@@ -15,15 +36,10 @@ func TestEnqueueBatchShedsWhenFull(t *testing.T) {
 	c1, c2 := net.Pipe()
 	defer c1.Close()
 	defer c2.Close()
-	s := newSession(srv, 1, c1)
+	s := newBareSession(srv, 1, c1)
 
-	b1 := srv.batchPool.Get().(*[]event.Tuple)
-	*b1 = append((*b1)[:0], event.Tuple{A: 1})
-	s.enqueueBatch(b1) // fills the queue
-
-	b2 := srv.batchPool.Get().(*[]event.Tuple)
-	*b2 = append((*b2)[:0], event.Tuple{A: 2}, event.Tuple{A: 3})
-	s.enqueueBatch(b2) // must shed, not block
+	s.enqueueBatch(batchOf(srv, event.Tuple{A: 1}))                    // fills the queue
+	s.enqueueBatch(batchOf(srv, event.Tuple{A: 2}, event.Tuple{A: 3})) // must shed, not block
 
 	if got := s.shed.Load(); got != 2 {
 		t.Fatalf("session shed = %d events, want 2", got)
@@ -51,5 +67,102 @@ func TestEnqueueBatchShedsWhenFull(t *testing.T) {
 	<-delivered
 	if it := <-s.queue; !it.drain {
 		t.Fatal("expected the drain item")
+	}
+}
+
+// TestShedWatermarkDefaults checks the hysteresis watermarks derived from
+// the queue depth: engage at 3/4 capacity, disengage at 1/4.
+func TestShedWatermarkDefaults(t *testing.T) {
+	srv := New(Config{Shed: true, QueueDepth: 16})
+	if srv.cfg.ShedHighWater != 12 || srv.cfg.ShedLowWater != 4 {
+		t.Fatalf("watermarks = %d/%d, want 12/4", srv.cfg.ShedHighWater, srv.cfg.ShedLowWater)
+	}
+	// Tiny queues still get a sane gate: high clamped into [1, depth],
+	// low strictly below high.
+	srv = New(Config{Shed: true, QueueDepth: 1})
+	if srv.cfg.ShedHighWater != 1 || srv.cfg.ShedLowWater != 0 {
+		t.Fatalf("depth-1 watermarks = %d/%d, want 1/0", srv.cfg.ShedHighWater, srv.cfg.ShedLowWater)
+	}
+}
+
+// TestShedHysteresisBoundaries drives the gate through its exact
+// transition points: it must engage only when the observed queue length
+// reaches the high watermark, keep shedding anywhere above the low
+// watermark, disengage only at or below it, and never shed control items
+// while engaged.
+func TestShedHysteresisBoundaries(t *testing.T) {
+	srv := New(Config{Shed: true, QueueDepth: 8, ShedHighWater: 6, ShedLowWater: 2})
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	s := newBareSession(srv, 1, c1)
+	m := srv.metrics
+
+	// Below the high watermark nothing sheds: six batches go straight in
+	// (the sixth observes length 5 < 6 before its send).
+	for i := 1; i <= 6; i++ {
+		s.enqueueBatch(batchOf(srv, event.Tuple{A: uint64(i)}))
+	}
+	if got := s.shed.Load(); got != 0 {
+		t.Fatalf("shed below high watermark: %d events", got)
+	}
+	if got := m.ShedEngaged.Load(); got != 0 {
+		t.Fatalf("gate engaged below high watermark (%d transitions)", got)
+	}
+
+	// At length 6 the gate engages and the batch is dropped whole.
+	s.enqueueBatch(batchOf(srv, event.Tuple{A: 7}))
+	if got := s.shed.Load(); got != 1 {
+		t.Fatalf("shed at high watermark = %d, want 1", got)
+	}
+	if got := m.ShedEngaged.Load(); got != 1 {
+		t.Fatalf("shed_engaged = %d, want 1", got)
+	}
+	if got := m.ShedSessions.Load(); got != 1 {
+		t.Fatalf("shed_sessions gauge = %d, want 1", got)
+	}
+
+	// While engaged, control items still pass: the drain lands in the
+	// queue behind the accepted batches, never dropped.
+	s.enqueue(item{drain: true})
+
+	// Draining to just above the low watermark keeps the gate engaged.
+	for i := 0; i < 4; i++ {
+		<-s.queue // pop batches 1..4, leaving length 3 (> low)
+	}
+	s.enqueueBatch(batchOf(srv, event.Tuple{A: 8}))
+	if got := s.shed.Load(); got != 2 {
+		t.Fatalf("shed above low watermark = %d, want 2 (gate must stay engaged)", got)
+	}
+	if got := m.ShedDisengaged.Load(); got != 0 {
+		t.Fatalf("gate disengaged above low watermark (%d transitions)", got)
+	}
+
+	// At the low watermark the gate disengages and the batch is accepted.
+	<-s.queue // pop batch 5, leaving length 2 (== low)
+	s.enqueueBatch(batchOf(srv, event.Tuple{A: 9}))
+	if got := s.shed.Load(); got != 2 {
+		t.Fatalf("shed at low watermark = %d, want 2 (batch must be accepted)", got)
+	}
+	if got := m.ShedDisengaged.Load(); got != 1 {
+		t.Fatalf("shed_disengaged = %d, want 1", got)
+	}
+	if got := m.ShedSessions.Load(); got != 0 {
+		t.Fatalf("shed_sessions gauge = %d, want 0", got)
+	}
+
+	// The queue's survivors, in order: batch 6, the drain control item
+	// (untouched by the engaged gate), and batch 9 accepted after the
+	// disengage. Batches 7 and 8 were shed.
+	for _, want := range []uint64{6, 0, 9} {
+		it := <-s.queue
+		switch {
+		case want == 0:
+			if !it.drain {
+				t.Fatal("control item lost or reordered by the shed gate")
+			}
+		case it.batch == nil || (*it.batch)[0].A != want:
+			t.Fatalf("unexpected queue item, want batch %d", want)
+		}
 	}
 }

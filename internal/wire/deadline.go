@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"io"
+	"time"
+)
+
+// Deadliner is the subset of net.Conn a deadline-armed stream needs: byte
+// I/O plus per-direction deadlines.
+type Deadliner interface {
+	io.ReadWriter
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// deadlineRW arms a fresh deadline before every Read and Write, so a hung
+// peer surfaces as a timeout error on the stalled operation instead of
+// pinning the calling goroutine forever. A zero timeout leaves that
+// direction unarmed.
+type deadlineRW struct {
+	c     Deadliner
+	read  time.Duration
+	write time.Duration
+}
+
+// WithDeadlines wraps c so every Read is bounded by read and every Write
+// by write (each zero disables that bound). Deadlines are re-armed per
+// operation: a peer that keeps bytes flowing never times out, one that
+// stalls mid-frame does. Wrap before NewConn so the buffered reader and
+// writer inherit the bounds.
+func WithDeadlines(c Deadliner, read, write time.Duration) io.ReadWriter {
+	if read <= 0 && write <= 0 {
+		return c
+	}
+	return &deadlineRW{c: c, read: read, write: write}
+}
+
+func (d *deadlineRW) Read(p []byte) (int, error) {
+	if d.read > 0 {
+		d.c.SetReadDeadline(time.Now().Add(d.read))
+	}
+	return d.c.Read(p)
+}
+
+func (d *deadlineRW) Write(p []byte) (int, error) {
+	if d.write > 0 {
+		d.c.SetWriteDeadline(time.Now().Add(d.write))
+	}
+	return d.c.Write(p)
+}

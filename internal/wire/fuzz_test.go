@@ -22,6 +22,8 @@ func FuzzWire(f *testing.F) {
 	c.WriteFrame(MsgProfile, AppendProfile(nil, ProfileMsg{Index: 1, Counts: map[event.Tuple]uint64{{A: 3, B: 4}: 9}}))
 	c.WriteFrame(MsgDrain, nil)
 	c.WriteFrame(MsgError, AppendError(nil, ErrorMsg{Code: CodeProtocol, Msg: "x"}))
+	c.WriteFrame(MsgResume, AppendResume(nil, Resume{SessionID: 7, Intervals: 2, Offset: 40}))
+	c.WriteFrame(MsgResumeAck, AppendResumeAck(nil, ResumeAck{Intervals: 2, Offset: 40, StreamPos: 20_040, Shed: 1}))
 	f.Add(buf.Bytes())
 	f.Add([]byte(Magic + "\x01"))
 	f.Add([]byte{MsgBatch, 0x02, 0x00, 0x00})
@@ -79,6 +81,20 @@ func FuzzWire(f *testing.F) {
 			case MsgError:
 				_, err1 = DecodeError(payload)
 				_, err2 = DecodeError(payload)
+			case MsgResume:
+				var r1, r2 Resume
+				r1, err1 = DecodeResume(payload)
+				r2, err2 = DecodeResume(payload)
+				if err1 == nil && r1 != r2 {
+					t.Fatal("resume decoded differently twice")
+				}
+			case MsgResumeAck:
+				var a1, a2 ResumeAck
+				a1, err1 = DecodeResumeAck(payload)
+				a2, err2 = DecodeResumeAck(payload)
+				if err1 == nil && a1 != a2 {
+					t.Fatal("resume-ack decoded differently twice")
+				}
 			}
 			for _, err := range []error{err1, err2} {
 				if err != nil && !errors.Is(err, ErrCorrupt) {

@@ -76,6 +76,12 @@ const (
 	MsgGoodbye byte = 6
 	// MsgError reports a terminal session failure: an ErrorMsg payload.
 	MsgError byte = 7
+	// MsgResume (client→server) reattaches a disconnected session: a
+	// Resume payload in place of the Hello.
+	MsgResume byte = 8
+	// MsgResumeAck (server→client) accepts a resume: a ResumeAck payload
+	// carrying the server's exact stream position.
+	MsgResumeAck byte = 9
 )
 
 // Error codes carried by MsgError.
@@ -88,6 +94,13 @@ const (
 	CodeOverload byte = 3
 	// CodeInternal: the server failed internally (contained panic).
 	CodeInternal byte = 4
+	// CodeCorrupt: a frame failed its checksum or decode — transport
+	// corruption, not a peer bug. The session's engine survives; a client
+	// holding a resumable session should reconnect and Resume.
+	CodeCorrupt byte = 5
+	// CodeUnknownSession: a Resume named a session the server does not
+	// hold (never existed, already finished, or its grace period expired).
+	CodeUnknownSession byte = 6
 )
 
 // ErrCorrupt reports bytes that are present but inconsistent: a checksum
@@ -326,14 +339,28 @@ type HelloAck struct {
 
 	// QueueDepth is the session's queue bound, in batches.
 	QueueDepth int
+
+	// Resume reports whether the server retains a disconnected session's
+	// engine for a grace period, so the client may reconnect and Resume.
+	// A client should not bother reconnecting to a server that says false.
+	Resume bool
 }
+
+// HelloAck flag bits.
+const (
+	ackFlagShed = 1 << iota
+	ackFlagResume
+)
 
 // AppendHelloAck encodes a onto dst.
 func AppendHelloAck(dst []byte, a HelloAck) []byte {
 	dst = binary.AppendUvarint(dst, a.SessionID)
 	var b byte
 	if a.Shed {
-		b = 1
+		b |= ackFlagShed
+	}
+	if a.Resume {
+		b |= ackFlagResume
 	}
 	dst = append(dst, b)
 	dst = binary.AppendUvarint(dst, uint64(a.QueueDepth))
@@ -345,10 +372,95 @@ func DecodeHelloAck(p []byte) (HelloAck, error) {
 	d := decoder{p: p}
 	var a HelloAck
 	a.SessionID = d.uvarint()
-	a.Shed = d.byte() != 0
+	flags := d.byte()
+	a.Shed = flags&ackFlagShed != 0
+	a.Resume = flags&ackFlagResume != 0
 	a.QueueDepth = d.vint()
 	if err := d.finish("hello-ack"); err != nil {
 		return HelloAck{}, err
+	}
+	return a, nil
+}
+
+// Resume reattaches a new connection to a session whose previous
+// connection was lost. It opens the stream where a Hello otherwise would.
+// The client states what it already holds; the server answers with a
+// ResumeAck carrying its own exact position, resends any retained profiles
+// past Intervals, and the client replays its event stream from the acked
+// StreamPos — so the resumed run is bit-identical to an uninterrupted one.
+type Resume struct {
+	// SessionID is the id the HelloAck assigned.
+	SessionID uint64
+
+	// Intervals is the number of complete interval profiles the client has
+	// received (equivalently: the index of the next profile it expects).
+	Intervals uint64
+
+	// Offset is the client's replay floor within the stream, relative to
+	// Intervals complete intervals: the client can resend every event from
+	// global position Intervals×IntervalLength+Offset onward.
+	Offset uint64
+}
+
+// AppendResume encodes r onto dst.
+func AppendResume(dst []byte, r Resume) []byte {
+	dst = binary.AppendUvarint(dst, r.SessionID)
+	dst = binary.AppendUvarint(dst, r.Intervals)
+	dst = binary.AppendUvarint(dst, r.Offset)
+	return dst
+}
+
+// DecodeResume decodes a Resume payload.
+func DecodeResume(p []byte) (Resume, error) {
+	d := decoder{p: p}
+	var r Resume
+	r.SessionID = d.uvarint()
+	r.Intervals = d.uvarint()
+	r.Offset = d.uvarint()
+	if err := d.finish("resume"); err != nil {
+		return Resume{}, err
+	}
+	return r, nil
+}
+
+// ResumeAck accepts a Resume: the server's exact position in the session.
+type ResumeAck struct {
+	// Intervals is the number of complete intervals the server's engine
+	// has finished.
+	Intervals uint64
+
+	// Offset is the number of events observed into the current (partial)
+	// interval.
+	Offset uint64
+
+	// StreamPos is the total number of client-stream events the server has
+	// consumed — observed plus shed. The client must resume sending at
+	// exactly this position for the profiles to stay bit-identical.
+	StreamPos uint64
+
+	// Shed is the session's cumulative shed count so far.
+	Shed uint64
+}
+
+// AppendResumeAck encodes a onto dst.
+func AppendResumeAck(dst []byte, a ResumeAck) []byte {
+	dst = binary.AppendUvarint(dst, a.Intervals)
+	dst = binary.AppendUvarint(dst, a.Offset)
+	dst = binary.AppendUvarint(dst, a.StreamPos)
+	dst = binary.AppendUvarint(dst, a.Shed)
+	return dst
+}
+
+// DecodeResumeAck decodes a ResumeAck payload.
+func DecodeResumeAck(p []byte) (ResumeAck, error) {
+	d := decoder{p: p}
+	var a ResumeAck
+	a.Intervals = d.uvarint()
+	a.Offset = d.uvarint()
+	a.StreamPos = d.uvarint()
+	a.Shed = d.uvarint()
+	if err := d.finish("resume-ack"); err != nil {
+		return ResumeAck{}, err
 	}
 	return a, nil
 }

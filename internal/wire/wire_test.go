@@ -240,8 +240,37 @@ func TestHelloRoundTrip(t *testing.T) {
 }
 
 func TestHelloAckRoundTrip(t *testing.T) {
-	for _, a := range []HelloAck{{}, {SessionID: 99, Shed: true, QueueDepth: 16}} {
+	for _, a := range []HelloAck{
+		{},
+		{SessionID: 99, Shed: true, QueueDepth: 16},
+		{SessionID: 7, Resume: true, QueueDepth: 8},
+		{SessionID: 8, Shed: true, Resume: true, QueueDepth: 4},
+	} {
 		got, err := DecodeHelloAck(AppendHelloAck(nil, a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a {
+			t.Fatalf("%+v != %+v", got, a)
+		}
+	}
+}
+
+func TestResumeRoundTrip(t *testing.T) {
+	for _, r := range []Resume{{}, {SessionID: 42, Intervals: 7, Offset: 1234}} {
+		got, err := DecodeResume(AppendResume(nil, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r {
+			t.Fatalf("%+v != %+v", got, r)
+		}
+	}
+}
+
+func TestResumeAckRoundTrip(t *testing.T) {
+	for _, a := range []ResumeAck{{}, {Intervals: 3, Offset: 999, StreamPos: 30_999, Shed: 17}} {
+		got, err := DecodeResumeAck(AppendResumeAck(nil, a))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -389,6 +418,10 @@ func TestDecodersRejectPrefixesAndTrailingGarbage(t *testing.T) {
 			func(p []byte) error { _, err := DecodeProfile(p); return err }},
 		{"error", AppendError(nil, ErrorMsg{Code: CodeConfig, Msg: "bad config"}),
 			func(p []byte) error { _, err := DecodeError(p); return err }},
+		{"resume", AppendResume(nil, Resume{SessionID: 300, Intervals: 4, Offset: 150}),
+			func(p []byte) error { _, err := DecodeResume(p); return err }},
+		{"resume-ack", AppendResumeAck(nil, ResumeAck{Intervals: 5, Offset: 600, StreamPos: 50_600, Shed: 3}),
+			func(p []byte) error { _, err := DecodeResumeAck(p); return err }},
 	}
 	for _, m := range msgs {
 		if err := m.decode(m.payload); err != nil {

@@ -17,7 +17,7 @@ type RemoteSession = client.Session
 type RemoteProfile = client.Profile
 
 // RemoteOptions tunes a remote session: shard count, batch size, dial
-// timeout.
+// timeout, reconnect/backoff policy, wire deadlines.
 type RemoteOptions = client.Options
 
 // ErrRemoteClosed is returned by operations on a remote session that was
@@ -34,9 +34,24 @@ var ErrRemoteClosed = client.ErrSessionClosed
 // daemon places interval boundaries exactly where the local batched driver
 // does. On a shed-policy daemon profiles are lossy under overload; each
 // RemoteProfile carries the cumulative shed count.
+//
+// Dial enables automatic reconnect: when the daemon retains disconnected
+// sessions, a broken connection is redialed under jittered exponential
+// backoff and the session resumed where the stream broke, with the
+// delivered profiles staying bit-identical to an uninterrupted run. Use
+// DialWith to tune or disable that behavior.
 func Dial(addr string, cfg Config, rc RunConfig) (*RemoteSession, error) {
 	return client.Dial(addr, cfg, client.Options{
 		Shards:    rc.Shards,
 		BatchSize: rc.BatchSize,
+		Reconnect: true,
 	})
+}
+
+// DialWith opens a remote session with full control over the session
+// options: reconnect and backoff policy, wire deadlines, batch size, dial
+// hook. Dial is the common case; DialWith is for load generators, tests,
+// and deployments that need the knobs.
+func DialWith(addr string, cfg Config, opts RemoteOptions) (*RemoteSession, error) {
+	return client.Dial(addr, cfg, opts)
 }

@@ -14,13 +14,25 @@
 //	loadgen -addr localhost:9123 -sessions 16 -rate 50000 -duration 30s \
 //	    -hangup-every 2 -hangup-bytes 65536 -flip-every 3 \
 //	    -metrics http://localhost:9124/metrics
+//	loadgen -tree-daemons m1:9123,m2:9123,m3:9123 -tree-root localhost:9323 \
+//	    -events 100000 -hangup-every 2
 //
 // Sessions refused admission are reported and tolerated (an overloaded
 // daemon refusing work is correct behavior); any other session failure
 // makes loadgen exit non-zero.
+//
+// With -tree-daemons, loadgen instead drives an aggregation tree: it opens
+// one marked session per publishing daemon, fans a single union workload
+// out across them by shard route (so the fleet behaves as one sharded
+// engine), places an epoch mark on every session at each -interval
+// boundary, subscribes to the -tree-root aggregator, and asserts that
+// every merged fleet epoch is bit-identical to a local single-engine run
+// over the union stream. The chaos flags still apply, so a hangup mid-run
+// proves bit-identity survives a daemon link dying and resuming.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +46,7 @@ import (
 
 	"hwprof"
 	"hwprof/internal/faultinject"
+	"hwprof/internal/shard"
 	"hwprof/internal/wire"
 )
 
@@ -62,6 +75,9 @@ func main() {
 
 		backoff  = flag.Duration("backoff-base", 20*time.Millisecond, "reconnect backoff base delay")
 		attempts = flag.Int("max-attempts", 10, "reconnect attempts per outage (-1: unlimited)")
+
+		treeDaemons = flag.String("tree-daemons", "", "comma-separated profiled -publish daemons; enables tree mode: one marked session per daemon, a union stream fanned out by shard route")
+		treeRoot    = flag.String("tree-root", "", "root aggregator to subscribe to for merged fleet epochs (tree mode)")
 	)
 	flag.Parse()
 
@@ -98,6 +114,27 @@ func main() {
 		hangEvery: *hangEvery, hangBytes: *hangBytes,
 		flipEvery: *flipEvery, flipBytes: *flipBytes,
 		backoff: *backoff, attempts: *attempts,
+	}
+	if *treeDaemons != "" {
+		var daemons []string
+		for _, d := range strings.Split(*treeDaemons, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				daemons = append(daemons, d)
+			}
+		}
+		if *treeRoot == "" {
+			fmt.Fprintln(os.Stderr, "loadgen: tree mode needs -tree-root")
+			os.Exit(1)
+		}
+		err := g.tree(daemons, *treeRoot)
+		if *metrics != "" {
+			scrapeMetrics(*metrics)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	failed := g.run()
 	if *metrics != "" {
@@ -242,6 +279,171 @@ func (g *generator) session(idx int) outcome {
 		return outcome{idx: idx, err: err}
 	}
 	return outcome{idx: idx, intervals: n, shed: sess.ShedEvents(), reconnects: sess.Reconnects()}
+}
+
+// tree drives a fleet aggregation tree and checks its root against a local
+// single-engine run. One marked session per daemon acts as one shard of a
+// fleet-wide engine: every session runs the same n-shard configuration,
+// and each union-stream tuple goes to the session its shard route picks,
+// so inside daemon i only shard i sees events. Marks placed on every
+// session at each -interval boundary align the fleet's epochs to union
+// stream positions, which makes the merged root epoch the exact per-shard
+// decomposition of a local n-shard run over the union stream — compared
+// bit-for-bit here.
+func (g *generator) tree(daemons []string, root string) error {
+	n := len(daemons)
+	epochs := int(g.events / g.cfg.IntervalLength)
+	if epochs == 0 {
+		return fmt.Errorf("tree mode needs -events >= -interval (%d < %d)", g.events, g.cfg.IntervalLength)
+	}
+	total := uint64(epochs) * g.cfg.IntervalLength
+	cfg := g.cfg
+	cfg.Seed = g.seed // every session shards the SAME engine: one seed, not seed+i
+
+	fmt.Printf("loadgen: tree mode: %d epoch(s) × %d events across %d daemon(s), root %s\n",
+		epochs, cfg.IntervalLength, n, root)
+
+	// Subscribe to the root before streaming so no epoch can fall out of
+	// its retention ring before we read it.
+	sub, err := hwprof.Subscribe(context.Background(), root,
+		hwprof.WithIntervalLength(cfg.IntervalLength))
+	if err != nil {
+		return fmt.Errorf("subscribe %s: %w", root, err)
+	}
+	defer sub.Close()
+	var fleet []hwprof.EpochProfile
+	collDone := make(chan struct{})
+	go func() {
+		defer close(collDone)
+		for ep := range sub.C {
+			fleet = append(fleet, ep)
+			if len(fleet) >= epochs {
+				return
+			}
+		}
+	}()
+
+	// One marked session per daemon, chaos dialer and all — session 0 gets
+	// the first hangup, proving the tree survives a leaf link dying.
+	ctx := context.Background()
+	sessions := make([]*hwprof.RemoteSession, n)
+	var profWg sync.WaitGroup
+	for i, addr := range daemons {
+		sess, err := hwprof.Connect(ctx, addr,
+			hwprof.WithConfig(cfg), hwprof.WithShards(n), hwprof.WithBatchSize(g.batch),
+			hwprof.WithMarks(),
+			hwprof.WithBackoff(g.backoff, 0), hwprof.WithMaxAttempts(g.attempts),
+			hwprof.WithDialer(g.chaosDialer(i)))
+		if err != nil {
+			return fmt.Errorf("daemon %s: %w", addr, err)
+		}
+		defer sess.Close()
+		sessions[i] = sess
+		profWg.Add(1)
+		go func(s *hwprof.RemoteSession) { // keep the profile channel drained
+			defer profWg.Done()
+			for range s.Profiles() {
+			}
+		}(sess)
+	}
+
+	// Stream the union workload, routing tuple by tuple.
+	src, err := hwprof.NewWorkload(g.workload, hwprof.KindValue, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	var paced hwprof.Source = src
+	if g.rate > 0 {
+		paced = &pacedSource{inner: src, rate: g.rate, start: time.Now()}
+	}
+	for pos := uint64(0); pos < total; pos++ {
+		t, ok := paced.Next()
+		if !ok {
+			return fmt.Errorf("workload ended after %d of %d events", pos, total)
+		}
+		i := int(shard.RouteHash(t) % uint64(n))
+		if err := sessions[i].Observe(t); err != nil {
+			return fmt.Errorf("daemon %s: %w", daemons[i], err)
+		}
+		if (pos+1)%cfg.IntervalLength == 0 {
+			for i, s := range sessions {
+				if err := s.Mark(); err != nil {
+					return fmt.Errorf("mark daemon %s: %w", daemons[i], err)
+				}
+			}
+		}
+	}
+	var reconnects uint64
+	for i, s := range sessions {
+		if _, err := s.Drain(); err != nil {
+			return fmt.Errorf("drain daemon %s: %w", daemons[i], err)
+		}
+		reconnects += s.Reconnects()
+	}
+	profWg.Wait()
+	fmt.Printf("loadgen: tree: streamed %d events, reconnects: %d\n", total, reconnects)
+
+	// The reference: the same union stream through one local n-shard engine.
+	refSrc, err := hwprof.NewWorkload(g.workload, hwprof.KindValue, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	var ref []map[hwprof.Tuple]uint64
+	if _, err := hwprof.Profile(ctx, hwprof.Limit(refSrc, total),
+		hwprof.WithConfig(cfg), hwprof.WithShards(n),
+		hwprof.OnInterval(func(_ int, _, hardware map[hwprof.Tuple]uint64) {
+			ref = append(ref, hardware)
+		})); err != nil {
+		return fmt.Errorf("local reference run: %w", err)
+	}
+
+	select {
+	case <-collDone:
+	case <-time.After(60 * time.Second):
+		sub.Close()
+		<-collDone
+		return fmt.Errorf("timed out waiting for fleet epochs: got %d of %d", len(fleet), epochs)
+	}
+	sub.Close()
+	if err := sub.Err(); err != nil {
+		return fmt.Errorf("root subscription: %w", err)
+	}
+	if gaps := sub.Gaps(); gaps > 0 {
+		return fmt.Errorf("root subscription skipped %d epoch(s) beyond retention", gaps)
+	}
+
+	bad := 0
+	for _, ep := range fleet {
+		if ep.Partial {
+			bad++
+			fmt.Printf("loadgen: tree: epoch %d PARTIAL, missing %v\n", ep.Epoch, ep.Missing)
+			continue
+		}
+		if ep.Epoch >= uint64(len(ref)) || !countsEqual(ep.Counts, ref[ep.Epoch]) {
+			bad++
+			fmt.Printf("loadgen: tree: epoch %d MISMATCH: root has %d tuple(s), reference %d\n",
+				ep.Epoch, len(ep.Counts), len(ref[ep.Epoch]))
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d fleet epoch(s) diverged from the local union run", bad, epochs)
+	}
+	fmt.Printf("loadgen: tree: root profile bit-identical to single-engine union run (%d epochs, %d daemons)\n",
+		epochs, n)
+	return nil
+}
+
+// countsEqual compares two profiles bit-for-bit.
+func countsEqual(a, b map[hwprof.Tuple]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for t, c := range a {
+		if b[t] != c {
+			return false
+		}
+	}
+	return true
 }
 
 // chaosDialer wraps each session's dials with the configured fault plan:

@@ -7,12 +7,20 @@
 //
 //	profctl -addr localhost:9123 -workload gcc -intervals 10
 //	profctl -addr localhost:9123 -trace gcc.trace -tables 4 -shards 4
+//	profctl -addr localhost:9323 -subscribe -epochs 10
 //
 // On a block-policy daemon the printed profiles are bit-identical to a
 // local `profile` run over the same flags and seed.
+//
+// With -subscribe, profctl instead attaches to an epoch publisher — the
+// root aggd of a fleet tree, or a profiled -publish daemon — and prints
+// its merged fleet epochs. A partial epoch (children missing after the
+// straggler deadline) makes profctl exit non-zero naming them, the way
+// shed events do in streaming mode.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,14 +52,77 @@ func main() {
 
 		shards = flag.Int("shards", 1, "shards the daemon should run for this session")
 		batch  = flag.Int("batch", 0, "tuples per batch frame (default 512)")
+
+		subscribe  = flag.Bool("subscribe", false, "subscribe to -addr as an epoch publisher (aggd or profiled -publish) instead of streaming events to it")
+		epochs     = flag.Int("epochs", 0, "epochs to print under -subscribe (0: -intervals)")
+		startEpoch = flag.Uint64("start-epoch", 0, "first epoch wanted under -subscribe")
 	)
 	flag.Parse()
+	if *subscribe {
+		n := *epochs
+		if n == 0 {
+			n = *intervals
+		}
+		if err := runSubscribe(*addr, *interval, *startEpoch, n, *top); err != nil {
+			fmt.Fprintln(os.Stderr, "profctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*addr, *traceFile, *workload, *program, *kindName, *seed,
 		*interval, *threshold, *entries, *tables, *conserv, *reset, *retain,
 		*intervals, *top, *shards, *batch); err != nil {
 		fmt.Fprintln(os.Stderr, "profctl:", err)
 		os.Exit(1)
 	}
+}
+
+// runSubscribe attaches to an epoch publisher — the root of an aggregation
+// tree, usually — and prints its merged fleet epochs. Partial epochs are
+// worth a non-zero exit, mirroring the lossy-shed exit of the streaming
+// mode: the missing children are printed, and scripts must not treat the
+// fleet profile as complete.
+func runSubscribe(addr string, epochLength, start uint64, n, top int) error {
+	sub, err := hwprof.Subscribe(context.Background(), addr,
+		hwprof.WithIntervalLength(epochLength), hwprof.WithStartEpoch(start))
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+
+	missing := make(map[string]struct{})
+	partials := 0
+	seen := 0
+	for ep := range sub.C {
+		fmt.Printf("\nepoch %d from %q (%d children):\n", ep.Epoch, ep.Source, ep.Children)
+		printTop(ep.Counts, 0, top)
+		if ep.Partial {
+			partials++
+			fmt.Printf("  PARTIAL: missing %v\n", ep.Missing)
+			for _, name := range ep.Missing {
+				missing[name] = struct{}{}
+			}
+		}
+		if seen++; seen >= n {
+			break
+		}
+	}
+	sub.Close()
+	if err := sub.Err(); err != nil && seen < n {
+		return err
+	}
+	if gaps := sub.Gaps(); gaps > 0 {
+		fmt.Fprintf(os.Stderr, "profctl: %d epoch(s) lost beyond the publisher's retention\n", gaps)
+	}
+	if partials > 0 {
+		names := make([]string, 0, len(missing))
+		for name := range missing {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("%d of %d epoch(s) partial; missing children: %v", partials, seen, names)
+	}
+	return nil
 }
 
 func run(addr, traceFile, workload, program, kindName string, seed, interval uint64,

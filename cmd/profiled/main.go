@@ -8,6 +8,12 @@
 //	profiled -listen :9123 -telemetry :9124
 //	profiled -listen :9123 -shed -queue 32 -max-sessions 512
 //	profiled -listen :9123 -budget 64 -shed -shed-high 24 -shed-low 8 -resume-grace 1m
+//	profiled -listen :9123 -publish -machine-id m1 -epoch-length 10000
+//
+// With -publish the daemon additionally merges the interval profiles of
+// epoch-aligned sessions (marked sessions, or sessions whose interval
+// length equals -epoch-length) into per-epoch machine profiles, and serves
+// them to aggd subscribers over the same wire port.
 //
 // Admission is budgeted by estimated engine cost (-budget, in units of a
 // reference 10k-interval one-shard 2048-entry session); under the -shed
@@ -53,6 +59,13 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", server.DefaultWriteTimeout, "per-write wire deadline (negative disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline before force-closing sessions")
 		quiet        = flag.Bool("quiet", false, "suppress per-session log lines")
+
+		publish       = flag.Bool("publish", false, "publish per-epoch machine profiles for aggd subscribers")
+		machineID     = flag.String("machine-id", server.DefaultMachineID, "this machine's name in published epochs")
+		epochLength   = flag.Uint64("epoch-length", server.DefaultEpochLength, "fleet events-per-epoch contract; sessions matching it publish")
+		epochDeadline = flag.Duration("epoch-deadline", 0, "straggler deadline before an epoch closes partial (0: default; set well above reconnect time; negative disables)")
+		epochWindow   = flag.Int("epoch-window", 0, "open epochs before force-close (0: default)")
+		epochRetain   = flag.Int("epoch-retain", 0, "closed epochs retained for subscriber resubscription (0: default)")
 	)
 	flag.Parse()
 	cfg := server.Config{
@@ -67,6 +80,12 @@ func main() {
 		ResumeWindow:  *resumeWindow,
 		ReadTimeout:   *readTimeout,
 		WriteTimeout:  *writeTimeout,
+		Publish:       *publish,
+		MachineID:     *machineID,
+		EpochLength:   *epochLength,
+		EpochDeadline: *epochDeadline,
+		EpochWindow:   *epochWindow,
+		EpochRetain:   *epochRetain,
 	}
 	if err := run(*listen, *telemetry, cfg, *drainTimeout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "profiled:", err)
@@ -85,6 +104,9 @@ func run(listen, telemetry string, cfg server.Config, drainTimeout time.Duration
 		return fmt.Errorf("listen %s: %w", listen, err)
 	}
 	log.Printf("profiled: serving wire protocol on %s", ln.Addr())
+	if cfg.Publish {
+		log.Printf("profiled: publishing epochs as %q, epoch length %d", cfg.MachineID, cfg.EpochLength)
+	}
 
 	var tsrv *http.Server
 	if telemetry != "" {

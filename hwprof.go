@@ -20,9 +20,16 @@
 //	}
 //	profile := p.EndInterval() // map[Tuple]count for the interval
 //
-// For throughput, drive a profiler with the batched streaming API
-// (RunWith), or profile concurrently with the sharded engine
-// (NewSharded / RunParallel) — both preserve exact interval semantics.
+// For throughput, drive a stream through the unified entry point —
+//
+//	n, err := hwprof.Profile(ctx, src,
+//	    hwprof.WithConfig(cfg), hwprof.WithShards(4), hwprof.OnInterval(fn))
+//
+// which builds a sharded concurrent engine and preserves exact interval
+// semantics. Connect opens a session with a profiled daemon the same way,
+// and Subscribe attaches to an epoch publisher (a publishing daemon or an
+// aggd fleet aggregator) for merged fleet profiles. The legacy Run /
+// RunWith / RunParallel / Dial forms remain as deprecated wrappers.
 //
 // See the examples/ directory for complete programs, DESIGN.md for the
 // system inventory and EXPERIMENTS.md for the paper-vs-measured record.
@@ -213,51 +220,45 @@ type RunConfig struct {
 	ReuseProfiles bool
 }
 
-// RunWith feeds src through hw (and, unless disabled, a perfect profiler)
-// on the batched fast path, invoking fn at each interval boundary, and
-// returns the number of complete intervals processed. It accepts any
-// StreamProfiler — *Profiler, *ShardedProfiler, *Perfect — and uses the
-// ObserveBatch fast path of those that have one.
+// Profile is the unified local entry point: it feeds src through a
+// profiling engine on the batched fast path, invoking the OnInterval
+// callback at each boundary, and returns the number of complete intervals
+// processed. Cancellation or deadline expiry on ctx stops the run between
+// batches and returns ctx.Err() alongside the intervals completed.
+//
+// By default Profile builds its own engine — BestMultiHash over the
+// paper's short-interval regime, or the configuration given WithConfig,
+// sharded per WithShards — and shuts it down gracefully before returning
+// (queued batches drain first). With WithEngine it runs the caller's
+// engine instead — any StreamProfiler — and leaves it open, so the caller
+// can Drain the partial interval or keep using it.
 //
 // The returned error reflects the stream and the engine, not just the
 // configuration: a source that fails mid-stream (src.Err() != nil, e.g. a
 // truncated trace) and a sharded engine that fails terminally (a contained
-// worker panic, see ShardedProfiler.Err) both surface here together with
-// the count of intervals completed before the failure.
-func RunWith(src Source, hw StreamProfiler, cfg RunConfig, fn IntervalFunc) (int, error) {
-	return RunWithContext(context.Background(), src, hw, cfg, fn)
-}
-
-// RunWithContext is RunWith under a context: cancellation or deadline
-// expiry stops the run between batches and returns ctx.Err() alongside the
-// intervals completed. The profiler is left open so the caller can Drain
-// the partial interval or keep using it.
-func RunWithContext(ctx context.Context, src Source, hw StreamProfiler, cfg RunConfig, fn IntervalFunc) (int, error) {
-	return core.RunBatchedContext(ctx, src, hw, core.RunConfig{
-		IntervalLength: cfg.IntervalLength,
-		BatchSize:      cfg.BatchSize,
-		NoPerfect:      cfg.NoPerfect,
-		ReuseProfiles:  cfg.ReuseProfiles,
-	}, fn)
-}
-
-// RunParallel builds a ShardedProfiler from cfg and rc (rc.Shards shards,
-// default 1), streams src through it on the batch path, and closes it
-// before returning. It is the one-call form of NewSharded + RunWith +
-// Close. The returned profiles are exactly those of the sharded engine;
-// see internal/shard for why they match a sequential ensemble. Stream
-// failures and contained worker panics come back as the returned error,
-// with the completed-interval count preserved.
-func RunParallel(src Source, cfg Config, rc RunConfig, fn IntervalFunc) (int, error) {
-	return RunParallelContext(context.Background(), src, cfg, rc, fn)
-}
-
-// RunParallelContext is RunParallel under a context, for cancellation and
-// deadlines: the run stops between batches once ctx is done and returns
-// ctx.Err() alongside the intervals completed. The engine is always shut
-// down gracefully — queued batches drain before the shards stop — whatever
-// ends the run.
-func RunParallelContext(ctx context.Context, src Source, cfg Config, rc RunConfig, fn IntervalFunc) (int, error) {
+// worker panic) both surface here together with the count of intervals
+// completed before the failure.
+func Profile(ctx context.Context, src Source, opts ...Option) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := buildOptions(opts)
+	if o.eng != nil {
+		return core.RunBatchedContext(ctx, src, o.eng, core.RunConfig{
+			IntervalLength: o.run.IntervalLength,
+			BatchSize:      o.run.BatchSize,
+			NoPerfect:      o.run.NoPerfect,
+			ReuseProfiles:  o.run.ReuseProfiles,
+		}, o.onInterval)
+	}
+	cfg := BestMultiHash(ShortIntervalConfig())
+	if o.cfg != nil {
+		cfg = *o.cfg
+	}
+	rc := o.run
+	if !o.legacy && rc.IntervalLength == 0 {
+		rc.IntervalLength = cfg.IntervalLength
+	}
 	shards := rc.Shards
 	if shards == 0 {
 		shards = 1
@@ -266,20 +267,59 @@ func RunParallelContext(ctx context.Context, src Source, cfg Config, rc RunConfi
 	if err != nil {
 		return 0, err
 	}
-	n, err := RunWithContext(ctx, src, sp, rc, fn)
+	n, err := core.RunBatchedContext(ctx, src, sp, core.RunConfig{
+		IntervalLength: rc.IntervalLength,
+		BatchSize:      rc.BatchSize,
+		NoPerfect:      rc.NoPerfect,
+		ReuseProfiles:  rc.ReuseProfiles,
+	}, o.onInterval)
 	if _, derr := sp.Drain(); err == nil && derr != nil {
 		err = derr
 	}
 	return n, err
 }
 
+// RunWith feeds src through hw on the batched fast path.
+//
+// Deprecated: use Profile with WithEngine — RunWith is a thin wrapper over
+// it and keeps its exact semantics:
+//
+//	Profile(ctx, src, WithEngine(hw), WithIntervalLength(n), OnInterval(fn))
+func RunWith(src Source, hw StreamProfiler, cfg RunConfig, fn IntervalFunc) (int, error) {
+	return RunWithContext(context.Background(), src, hw, cfg, fn)
+}
+
+// RunWithContext is RunWith under a context.
+//
+// Deprecated: use Profile with WithEngine; see RunWith.
+func RunWithContext(ctx context.Context, src Source, hw StreamProfiler, cfg RunConfig, fn IntervalFunc) (int, error) {
+	return Profile(ctx, src, WithEngine(hw), withRunConfig(cfg), OnInterval(fn))
+}
+
+// RunParallel builds a sharded engine from cfg and rc, streams src through
+// it, and closes it before returning.
+//
+// Deprecated: use Profile — it builds (and gracefully shuts down) the
+// sharded engine itself and keeps RunParallel's exact semantics:
+//
+//	Profile(ctx, src, WithConfig(cfg), WithShards(n), OnInterval(fn))
+func RunParallel(src Source, cfg Config, rc RunConfig, fn IntervalFunc) (int, error) {
+	return RunParallelContext(context.Background(), src, cfg, rc, fn)
+}
+
+// RunParallelContext is RunParallel under a context.
+//
+// Deprecated: use Profile; see RunParallel.
+func RunParallelContext(ctx context.Context, src Source, cfg Config, rc RunConfig, fn IntervalFunc) (int, error) {
+	return Profile(ctx, src, WithConfig(cfg), withRunConfig(rc), OnInterval(fn))
+}
+
 // Run feeds src through hw and a perfect profiler, invoking fn at each
 // interval boundary with the exact and hardware profiles, and returns the
 // number of complete intervals processed.
 //
-// Deprecated: Run is the legacy positional form. New code should use
-// RunWith, which batches the hot loop and carries its knobs in a RunConfig;
-// Run is now a thin wrapper over it and keeps its exact semantics.
+// Deprecated: Run is the legacy positional form; use Profile with
+// WithEngine. Run is a thin wrapper and keeps its exact semantics.
 func Run(src Source, hw *Profiler, intervalLength uint64, fn func(index int, perfect, hardware map[Tuple]uint64)) (int, error) {
 	var cb core.IntervalFunc
 	if fn != nil {

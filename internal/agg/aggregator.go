@@ -1,0 +1,373 @@
+package agg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hwprof/internal/telemetry"
+	"hwprof/internal/wire"
+)
+
+// Config tunes an Aggregator.
+type Config struct {
+	// Source names this aggregator in the epochs it emits upstream.
+	Source string
+	// Children are the downstream publishers (profiled daemons or other
+	// aggds) to subscribe to, host:port each. They are the feed's fixed
+	// membership: a child that never connects shows as missing in every
+	// epoch, never silently absent.
+	Children []string
+	// EpochLength is the fleet's events-per-epoch contract; children
+	// advertising a different one are refused.
+	EpochLength uint64
+	// Window bounds open epochs; 0 selects DefaultWindow.
+	Window int
+	// Deadline is the straggler deadline; 0 selects DefaultDeadline,
+	// negative disables.
+	Deadline time.Duration
+	// Retain bounds the closed-epoch ring served to upstream subscribers;
+	// 0 selects DefaultRetain.
+	Retain int
+
+	// DialTimeout, BackoffBase, BackoffMax, MaxAttempts, ReadTimeout,
+	// WriteTimeout tune the child links; zero values select the
+	// subscriber defaults, except MaxAttempts which defaults to unlimited
+	// — a down child must surface as missing epochs, not a dead link.
+	DialTimeout  time.Duration
+	BackoffBase  time.Duration
+	BackoffMax   time.Duration
+	MaxAttempts  int
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// Dialer overrides child-link dials (fault injection, tests).
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+
+	// UpstreamReadTimeout / UpstreamWriteTimeout bound the wire operations
+	// of upstream subscriber connections; 0 selects the child-link
+	// timeouts.
+	UpstreamReadTimeout  time.Duration
+	UpstreamWriteTimeout time.Duration
+
+	// Logf receives lifecycle lines; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// Metrics is the aggregator's telemetry surface.
+type Metrics struct {
+	// Registry holds every metric below.
+	Registry *telemetry.Registry
+
+	// EpochsTotal counts epochs closed.
+	EpochsTotal *telemetry.Counter
+	// EpochsPartial counts epochs closed partial (missing children).
+	EpochsPartial *telemetry.Counter
+	// Watermark is the number of epochs closed (the fleet watermark).
+	Watermark *telemetry.Gauge
+	// Frontier is 1 + the highest epoch any child has reported.
+	Frontier *telemetry.Gauge
+	// LateReports counts child reports dropped because their epoch had
+	// already closed.
+	LateReports *telemetry.Counter
+	// Subscribers is the number of attached upstream subscribers.
+	Subscribers *telemetry.Gauge
+
+	// ChildEpochs counts epochs reported per child.
+	ChildEpochs *telemetry.CounterVec
+	// ChildLag is each child's lag behind the frontier, in epochs, as of
+	// its last report.
+	ChildLag *telemetry.GaugeVec
+	// ChildReconnects counts each child link's re-attachments.
+	ChildReconnects *telemetry.CounterVec
+	// ChildGaps counts each child link's declared lost spans.
+	ChildGaps *telemetry.CounterVec
+}
+
+func newMetrics() *Metrics {
+	r := telemetry.NewRegistry()
+	return &Metrics{
+		Registry:        r,
+		EpochsTotal:     r.Counter("agg_epochs_total", "Fleet epochs closed."),
+		EpochsPartial:   r.Counter("agg_epochs_partial_total", "Fleet epochs closed partial (missing children)."),
+		Watermark:       r.Gauge("agg_epoch_watermark", "Epochs closed so far (fleet watermark)."),
+		Frontier:        r.Gauge("agg_epoch_frontier", "1 + highest epoch any child reported."),
+		LateReports:     r.Counter("agg_late_reports_total", "Child reports dropped: epoch already closed."),
+		Subscribers:     r.Gauge("agg_subscribers_active", "Attached upstream subscribers."),
+		ChildEpochs:     r.CounterVec("agg_child_epochs_total", "Epochs reported, per child.", "child"),
+		ChildLag:        r.GaugeVec("agg_child_lag_epochs", "Child lag behind the frontier in epochs, per child.", "child"),
+		ChildReconnects: r.CounterVec("agg_child_reconnects_total", "Child link re-attachments, per child.", "child"),
+		ChildGaps:       r.CounterVec("agg_child_gaps_total", "Declared lost epoch spans, per child.", "child"),
+	}
+}
+
+// Aggregator is one node of the fleet merge tree: it subscribes to its
+// configured children, merges their epochs through a Feed under the
+// watermark protocol, and serves the merged epochs to its own subscribers
+// over the same wire Subscribe surface — so trees compose by pointing an
+// aggd at other aggds.
+type Aggregator struct {
+	cfg     Config
+	feed    *Feed
+	metrics *Metrics
+	subs    []*Subscriber
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining atomic.Bool
+
+	linkWg sync.WaitGroup // child-link runners
+	connWg sync.WaitGroup // upstream connection handlers
+}
+
+// New builds an aggregator from cfg. Children are registered as feed
+// members immediately: until a child's first report, every closed epoch
+// names it missing.
+func New(cfg Config) (*Aggregator, error) {
+	if len(cfg.Children) == 0 {
+		return nil, errors.New("agg: no children configured")
+	}
+	if cfg.EpochLength == 0 {
+		return nil, errors.New("agg: epoch length is required")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = -1
+	}
+	if cfg.UpstreamReadTimeout == 0 {
+		cfg.UpstreamReadTimeout = cfg.ReadTimeout
+	}
+	if cfg.UpstreamWriteTimeout == 0 {
+		cfg.UpstreamWriteTimeout = cfg.WriteTimeout
+	}
+	a := &Aggregator{cfg: cfg, metrics: newMetrics(), conns: make(map[net.Conn]struct{})}
+	m := a.metrics
+	a.feed = NewFeed(FeedConfig{
+		Source:      cfg.Source,
+		EpochLength: cfg.EpochLength,
+		Window:      cfg.Window,
+		Deadline:    cfg.Deadline,
+		Retain:      cfg.Retain,
+		Logf:        cfg.Logf,
+		OnEpoch: func(ep Epoch) {
+			m.EpochsTotal.Inc()
+			if ep.Partial {
+				m.EpochsPartial.Inc()
+			}
+			m.Watermark.Set(int64(ep.Epoch + 1))
+		},
+		OnReport: func(child string, _, lag uint64) {
+			m.ChildEpochs.With(child).Inc()
+			m.ChildLag.With(child).Set(int64(lag))
+		},
+		OnLate: func(string, uint64) { m.LateReports.Inc() },
+	})
+	seen := make(map[string]bool, len(cfg.Children))
+	for _, child := range cfg.Children {
+		if seen[child] {
+			return nil, fmt.Errorf("agg: duplicate child %s", child)
+		}
+		seen[child] = true
+		a.feed.JoinAt(child, 0)
+		a.subs = append(a.subs, NewSubscriber(SubscriberConfig{
+			Addr:         child,
+			Name:         child,
+			EpochLength:  cfg.EpochLength,
+			DialTimeout:  cfg.DialTimeout,
+			BackoffBase:  cfg.BackoffBase,
+			BackoffMax:   cfg.BackoffMax,
+			MaxAttempts:  cfg.MaxAttempts,
+			ReadTimeout:  cfg.ReadTimeout,
+			WriteTimeout: cfg.WriteTimeout,
+			Dialer:       cfg.Dialer,
+			Logf:         cfg.Logf,
+		}, FeedHandler{Feed: a.feed, Name: child}))
+	}
+	return a, nil
+}
+
+// Feed returns the aggregator's merge feed.
+func (a *Aggregator) Feed() *Feed { return a.feed }
+
+// Metrics returns the aggregator's telemetry surface.
+func (a *Aggregator) Metrics() *Metrics { return a.metrics }
+
+// ChildReconnects sums re-attachments across every child link.
+func (a *Aggregator) ChildReconnects() uint64 {
+	var n uint64
+	for _, s := range a.subs {
+		n += s.Reconnects()
+	}
+	return n
+}
+
+// Start launches the child subscription links. Call once, before or after
+// Serve.
+func (a *Aggregator) Start() {
+	for i, sub := range a.subs {
+		child := a.cfg.Children[i]
+		reconnects := a.metrics.ChildReconnects.With(child)
+		gaps := a.metrics.ChildGaps.With(child)
+		a.linkWg.Add(1)
+		go func(sub *Subscriber) {
+			defer a.linkWg.Done()
+			var lastRec, lastGap uint64
+			done := make(chan error, 1)
+			go func() { done <- sub.Run() }()
+			tick := time.NewTicker(250 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case err := <-done:
+					reconnects.Add(sub.Reconnects() - lastRec)
+					gaps.Add(sub.Gaps() - lastGap)
+					if err != nil {
+						a.cfg.Logf("agg: child link %s: %v", child, err)
+					}
+					return
+				case <-tick.C:
+					rec, gp := sub.Reconnects(), sub.Gaps()
+					reconnects.Add(rec - lastRec)
+					gaps.Add(gp - lastGap)
+					lastRec, lastGap = rec, gp
+					a.metrics.Frontier.Set(int64(a.feed.Frontier()))
+				}
+			}
+		}(sub)
+	}
+}
+
+// Addr returns the upstream listener's address, or nil before Serve.
+func (a *Aggregator) Addr() net.Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ln == nil {
+		return nil
+	}
+	return a.ln.Addr()
+}
+
+// ListenAndServe listens on addr (TCP) and serves upstream subscribers
+// until Shutdown.
+func (a *Aggregator) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("agg: listen %s: %w", addr, err)
+	}
+	return a.Serve(ln)
+}
+
+// Serve accepts upstream subscribers on ln until Shutdown. It returns nil
+// after a clean Shutdown and the accept error otherwise.
+func (a *Aggregator) Serve(ln net.Listener) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		ln.Close()
+		return errors.New("agg: already shut down")
+	}
+	a.ln = ln
+	a.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if a.draining.Load() {
+				return nil
+			}
+			return fmt.Errorf("agg: accept: %w", err)
+		}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		a.conns[conn] = struct{}{}
+		a.connWg.Add(1)
+		a.mu.Unlock()
+		go a.handleConn(conn)
+	}
+}
+
+// handleConn owns one upstream connection: handshake, then exactly one
+// Subscribe answered with the epoch stream.
+func (a *Aggregator) handleConn(conn net.Conn) {
+	defer a.connWg.Done()
+	defer func() {
+		a.mu.Lock()
+		delete(a.conns, conn)
+		a.mu.Unlock()
+		conn.Close()
+	}()
+	wc := wire.NewConn(wire.WithDeadlines(conn, a.cfg.UpstreamReadTimeout, a.cfg.UpstreamWriteTimeout))
+	if err := wc.ServerHandshake(); err != nil {
+		a.cfg.Logf("agg: conn %s: handshake: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if wc.Version() < 2 {
+		// A v1 peer has no Subscribe frame; whatever it wants, it dialed
+		// the wrong service.
+		wc.WriteFrame(wire.MsgError, wire.AppendError(nil,
+			wire.ErrorMsg{Code: wire.CodeUnsupported, Msg: "aggd serves epoch subscriptions (protocol v2+)"}))
+		return
+	}
+	typ, payload, err := wc.ReadFrame()
+	if err != nil {
+		a.cfg.Logf("agg: conn %s: reading opening frame: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if typ != wire.MsgSubscribe {
+		wc.WriteFrame(wire.MsgError, wire.AppendError(nil,
+			wire.ErrorMsg{Code: wire.CodeProtocol, Msg: fmt.Sprintf("expected subscribe, got frame type %d", typ)}))
+		return
+	}
+	a.metrics.Subscribers.Add(1)
+	defer a.metrics.Subscribers.Add(-1)
+	if err := ServeSubscription(conn, wc, a.feed, payload, a.cfg.Logf); err != nil {
+		a.cfg.Logf("agg: subscriber %s: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// Shutdown stops the aggregator: the listener closes, child links stop,
+// the feed closes (ending every upstream subscription), and everything is
+// awaited. When ctx expires first, remaining connections are force-closed
+// and ctx.Err() returned.
+func (a *Aggregator) Shutdown(ctx context.Context) error {
+	a.draining.Store(true)
+	a.mu.Lock()
+	a.closed = true
+	if a.ln != nil {
+		a.ln.Close()
+	}
+	a.mu.Unlock()
+	for _, sub := range a.subs {
+		sub.Close()
+	}
+	a.linkWg.Wait()
+	a.feed.Close()
+
+	done := make(chan struct{})
+	go func() {
+		a.connWg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for conn := range a.conns {
+			conn.Close()
+		}
+		a.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,274 @@
+package agg
+
+import (
+	"testing"
+	"time"
+
+	"hwprof/internal/event"
+)
+
+// collect builds a feed whose closed epochs land on the returned channel,
+// which is what subscribers and tests alike consume.
+func collect(t *testing.T, cfg FeedConfig) (*Feed, <-chan Epoch) {
+	t.Helper()
+	ch := make(chan Epoch, 256)
+	prev := cfg.OnEpoch
+	cfg.OnEpoch = func(ep Epoch) {
+		if prev != nil {
+			prev(ep)
+		}
+		ch <- ep
+	}
+	if cfg.Source == "" {
+		cfg.Source = "test"
+	}
+	if cfg.EpochLength == 0 {
+		cfg.EpochLength = 100
+	}
+	f := NewFeed(cfg)
+	t.Cleanup(f.Close)
+	return f, ch
+}
+
+func next(t *testing.T, ch <-chan Epoch) Epoch {
+	t.Helper()
+	select {
+	case ep := <-ch:
+		return ep
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for an epoch to close")
+		return Epoch{}
+	}
+}
+
+func none(t *testing.T, ch <-chan Epoch, d time.Duration) {
+	t.Helper()
+	select {
+	case ep := <-ch:
+		t.Fatalf("unexpected epoch close: %+v", ep)
+	case <-time.After(d):
+	}
+}
+
+func counts(pairs ...uint64) map[event.Tuple]uint64 {
+	m := make(map[event.Tuple]uint64, len(pairs)/3)
+	for i := 0; i+2 < len(pairs); i += 3 {
+		m[event.Tuple{A: pairs[i], B: pairs[i+1]}] = pairs[i+2]
+	}
+	return m
+}
+
+func TestFeedMergesCompleteEpochs(t *testing.T) {
+	f, ch := collect(t, FeedConfig{Deadline: -1})
+	if base := f.Join("a"); base != 0 {
+		t.Fatalf("Join base = %d, want 0", base)
+	}
+	f.Join("b")
+
+	f.Report("a", 0, counts(1, 2, 10, 3, 4, 5), nil)
+	none(t, ch, 50*time.Millisecond) // b still owes epoch 0
+	f.Report("b", 0, counts(1, 2, 7, 9, 9, 1), nil)
+	f.Report("a", 1, counts(1, 2, 1), nil)
+	f.Report("b", 1, counts(1, 2, 2), nil)
+
+	ep := next(t, ch)
+	if ep.Epoch != 0 || ep.Partial || ep.Children != 2 || len(ep.Missing) != 0 {
+		t.Fatalf("epoch 0 = %+v, want complete with 2 children", ep)
+	}
+	want := counts(1, 2, 17, 3, 4, 5, 9, 9, 1)
+	if len(ep.Counts) != len(want) {
+		t.Fatalf("epoch 0 counts = %v, want %v", ep.Counts, want)
+	}
+	for k, v := range want {
+		if ep.Counts[k] != v {
+			t.Fatalf("epoch 0 counts[%v] = %d, want %d", k, ep.Counts[k], v)
+		}
+	}
+	if ep = next(t, ch); ep.Epoch != 1 || ep.Partial {
+		t.Fatalf("epoch 1 = %+v, want complete", ep)
+	}
+	if f.Watermark() != 2 || f.Frontier() != 2 {
+		t.Fatalf("watermark %d frontier %d, want 2 2", f.Watermark(), f.Frontier())
+	}
+}
+
+func TestFeedJoinMidStream(t *testing.T) {
+	f, ch := collect(t, FeedConfig{Deadline: -1})
+	f.Join("a")
+	f.Report("a", 0, counts(1, 1, 1), nil)
+	if ep := next(t, ch); ep.Epoch != 0 || ep.Partial {
+		t.Fatalf("epoch 0 = %+v, want complete from a alone", ep)
+	}
+
+	// b joins after epoch 0 closed: expected from the watermark on, so it
+	// neither reopens history nor goes unaccounted from epoch 1.
+	if base := f.Join("b"); base != 1 {
+		t.Fatalf("mid-stream Join base = %d, want 1", base)
+	}
+	f.Report("a", 1, counts(1, 1, 1), nil)
+	none(t, ch, 50*time.Millisecond) // epoch 1 now waits for b
+	f.Report("b", 1, counts(2, 2, 2), nil)
+	ep := next(t, ch)
+	if ep.Epoch != 1 || ep.Partial || ep.Children != 2 {
+		t.Fatalf("epoch 1 = %+v, want complete with both members", ep)
+	}
+}
+
+func TestFeedStragglerDeadlinePartial(t *testing.T) {
+	f, ch := collect(t, FeedConfig{Deadline: 50 * time.Millisecond})
+	f.Join("a")
+	f.Join("b")
+
+	// a moves past epoch 0; b straggles. The deadline, armed by a's
+	// progress, must close epoch 0 partial with b named.
+	f.Report("a", 0, counts(1, 1, 5), nil)
+	ep := next(t, ch)
+	if ep.Epoch != 0 || !ep.Partial {
+		t.Fatalf("epoch 0 = %+v, want partial", ep)
+	}
+	if len(ep.Missing) != 1 || ep.Missing[0] != "b" {
+		t.Fatalf("epoch 0 missing = %v, want [b]", ep.Missing)
+	}
+	if ep.Children != 1 || ep.Counts[event.Tuple{A: 1, B: 1}] != 5 {
+		t.Fatalf("epoch 0 = %+v, want a's counts alone", ep)
+	}
+
+	// The straggler's report is late now: dropped and counted, the closed
+	// epoch immutable.
+	f.Report("b", 0, counts(1, 1, 100), nil)
+	if f.Late() != 1 {
+		t.Fatalf("Late = %d, want 1", f.Late())
+	}
+}
+
+func TestFeedIdleFleetArmsNoDeadline(t *testing.T) {
+	f, ch := collect(t, FeedConfig{Deadline: 30 * time.Millisecond})
+	f.Join("a")
+	f.Join("b")
+	// Nobody has reported: an idle fleet is not a straggling fleet, so no
+	// deadline may close anything.
+	none(t, ch, 120*time.Millisecond)
+	if f.Watermark() != 0 {
+		t.Fatalf("watermark = %d, want 0", f.Watermark())
+	}
+}
+
+func TestFeedWindowOverflow(t *testing.T) {
+	f, ch := collect(t, FeedConfig{Deadline: -1, Window: 3})
+	f.Join("a")
+	f.Join("b")
+	for e := uint64(0); e < 4; e++ {
+		f.Report("a", e, counts(1, 1, 1), nil)
+	}
+	// a is 4 epochs ahead of the watermark with Window 3: epoch 0 must
+	// force-close partial rather than let the open span grow unbounded.
+	ep := next(t, ch)
+	if ep.Epoch != 0 || !ep.Partial || len(ep.Missing) != 1 || ep.Missing[0] != "b" {
+		t.Fatalf("epoch 0 = %+v, want partial missing b", ep)
+	}
+	none(t, ch, 50*time.Millisecond) // epochs 1..3 still within the window
+}
+
+func TestFeedUncleanLeaveGhosts(t *testing.T) {
+	f, ch := collect(t, FeedConfig{Deadline: -1})
+	f.Join("a")
+	f.Join("b")
+	f.Report("a", 0, counts(1, 1, 1), nil)
+	// b dies mid-epoch with events observed but unreported: the epoch must
+	// close partial naming b, not complete and silently short.
+	f.Leave("b", false)
+	ep := next(t, ch)
+	if ep.Epoch != 0 || !ep.Partial || len(ep.Missing) != 1 || ep.Missing[0] != "b" {
+		t.Fatalf("epoch 0 after unclean leave = %+v, want partial missing b", ep)
+	}
+}
+
+func TestFeedCleanLeave(t *testing.T) {
+	f, ch := collect(t, FeedConfig{Deadline: -1})
+	f.Join("a")
+	f.Join("b")
+	f.Report("a", 0, counts(1, 1, 1), nil)
+	f.Report("b", 0, counts(2, 2, 2), nil)
+	// b drained at an epoch boundary: it owes nothing, epochs after its
+	// departure close complete without it.
+	f.Leave("b", true)
+	if ep := next(t, ch); ep.Epoch != 0 || ep.Partial {
+		t.Fatalf("epoch 0 = %+v, want complete", ep)
+	}
+	f.Report("a", 1, counts(1, 1, 1), nil)
+	if ep := next(t, ch); ep.Epoch != 1 || ep.Partial || ep.Children != 1 {
+		t.Fatalf("epoch 1 after clean leave = %+v, want complete from a alone", ep)
+	}
+}
+
+func TestFeedSkipDeclaresGap(t *testing.T) {
+	f, ch := collect(t, FeedConfig{Deadline: -1})
+	f.Join("a")
+	f.Join("b")
+	f.Report("a", 0, counts(1, 1, 1), nil)
+	f.Report("a", 1, counts(1, 1, 1), nil)
+	// b declares it cannot provide epochs below 2 — a reconnect beyond the
+	// upstream's retention. Epochs 0 and 1 close with b missing, typed.
+	f.Skip("b", 2)
+	for e := uint64(0); e < 2; e++ {
+		ep := next(t, ch)
+		if ep.Epoch != e || !ep.Partial || len(ep.Missing) != 1 || ep.Missing[0] != "b" {
+			t.Fatalf("epoch %d after skip = %+v, want partial missing b", e, ep)
+		}
+	}
+}
+
+func TestFeedPropagatesChildMissing(t *testing.T) {
+	f, ch := collect(t, FeedConfig{Deadline: -1})
+	f.Join("mid")
+	// mid's own epoch was partial: its missing leaves ride up into this
+	// feed's marker, so the root names actual absent leaves.
+	f.Report("mid", 0, counts(1, 1, 1), []string{"m3", "m2"})
+	ep := next(t, ch)
+	if !ep.Partial || len(ep.Missing) != 2 || ep.Missing[0] != "m2" || ep.Missing[1] != "m3" {
+		t.Fatalf("epoch 0 = %+v, want partial missing [m2 m3]", ep)
+	}
+}
+
+func TestFeedRetentionAndSubscribe(t *testing.T) {
+	f, _ := collect(t, FeedConfig{Deadline: -1, Retain: 4})
+	f.Join("a")
+	for e := uint64(0); e < 10; e++ {
+		f.Report("a", e, counts(1, 1, e+1), nil)
+	}
+	// Epochs 0..9 closed, ring holds 6..9. A subscriber from 0 gets the
+	// oldest retained epoch as its first — the caller declares that gap.
+	sub, first := f.Subscribe(0, 16)
+	defer f.Unsubscribe(sub)
+	if first != 6 {
+		t.Fatalf("Subscribe first = %d, want 6", first)
+	}
+	for e := uint64(6); e < 10; e++ {
+		ep := next(t, (<-chan Epoch)(sub.C))
+		if ep.Epoch != e || ep.Counts[event.Tuple{A: 1, B: 1}] != e+1 {
+			t.Fatalf("retained epoch = %+v, want epoch %d", ep, e)
+		}
+	}
+	// Live closes keep flowing to the same subscription.
+	f.Report("a", 10, counts(1, 1, 11), nil)
+	if ep := next(t, (<-chan Epoch)(sub.C)); ep.Epoch != 10 {
+		t.Fatalf("live epoch = %+v, want epoch 10", ep)
+	}
+}
+
+func TestFeedClosedIsInert(t *testing.T) {
+	f, ch := collect(t, FeedConfig{Deadline: -1})
+	f.Join("a")
+	f.Close()
+	f.Report("a", 0, counts(1, 1, 1), nil)
+	f.Skip("a", 5)
+	f.Leave("a", false)
+	if f.Join("b") != 0 {
+		t.Fatal("Join on a closed feed must return 0")
+	}
+	none(t, ch, 50*time.Millisecond)
+	sub, _ := f.Subscribe(0, 4)
+	if _, ok := <-sub.C; ok {
+		t.Fatal("subscription on a closed feed must be closed immediately")
+	}
+}

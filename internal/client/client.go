@@ -103,6 +103,14 @@ type Options struct {
 	// Dialer overrides the TCP dial — reconnects included — e.g. to wrap
 	// connections for fault injection. Nil uses net.DialTimeout.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+
+	// Marked opens a marked session (protocol v2): the client places every
+	// interval boundary itself by calling Session.Mark, and the daemon
+	// stops clipping the stream by IntervalLength. A coordinator that owns
+	// a fleet-wide union stream uses marks to align every member session's
+	// interval — and therefore epoch — boundaries with the union's. Dialing
+	// a daemon that only speaks v1 fails.
+	Marked bool
 }
 
 // withDefaults fills in the zero reconnect knobs.
@@ -178,10 +186,22 @@ type Session struct {
 	replay     []event.Tuple
 	replayBase uint64 // absolute stream position of replay[0]
 	sentPos    uint64 // absolute stream position after everything flushed
+	markIdx    uint64 // next interval-mark index (marked sessions)
+	marks      []markRec
 	drainSent  bool
 	goodbye    bool
 	permErr    error // terminal session error
 	readErr    error // reader's terminal error (when not permErr)
+}
+
+// markRec is one unacknowledged interval mark on a marked session: its
+// index and the absolute stream position it was sent at. Retained —
+// exactly like the event replay buffer — until a profile proves the daemon
+// consumed it, so a resume can replay marks interleaved with events at
+// their exact positions and boundary placement survives the outage.
+type markRec struct {
+	index uint64
+	pos   uint64
 }
 
 // Dial connects to a daemon at addr (TCP host:port), opens a session for
@@ -236,8 +256,11 @@ func open(addr string, conn net.Conn, cfg core.Config, opts Options) (*Session, 
 	if err := wc.ClientHandshake(); err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	hello := wire.Hello{Config: cfg, Shards: opts.Shards}
-	if err := wc.WriteFrame(wire.MsgHello, wire.AppendHello(nil, hello)); err != nil {
+	if opts.Marked && wc.Version() < 2 {
+		return nil, fmt.Errorf("client: daemon speaks protocol v%d; marked sessions need v2", wc.Version())
+	}
+	hello := wire.Hello{Config: cfg, Shards: opts.Shards, Marked: opts.Marked}
+	if err := wc.WriteFrame(wire.MsgHello, wire.AppendHello(nil, hello, wc.Version())); err != nil {
 		return nil, fmt.Errorf("client: sending hello: %w", err)
 	}
 	typ, payload, err := wc.ReadFrame()
@@ -421,9 +444,16 @@ func (s *Session) admitProfile(m wire.ProfileMsg) (Profile, bool) {
 		return Profile{}, false // duplicate resend after a resume
 	}
 	s.nextIdx.Store(m.Index + 1)
-	// Interval m.Index complete means the daemon consumed at least
-	// (Index+1)·L observed events plus everything it shed.
-	s.prune((m.Index+1)*s.cfg.IntervalLength + m.Shed)
+	if s.opts.Marked {
+		// On a marked session interval m.Index ended at mark m.Index's
+		// stream position — the boundary the client placed, not an
+		// IntervalLength multiple.
+		s.pruneMarked(m.Index)
+	} else {
+		// Interval m.Index complete means the daemon consumed at least
+		// (Index+1)·L observed events plus everything it shed.
+		s.prune((m.Index+1)*s.cfg.IntervalLength + m.Shed)
+	}
 	return p, true
 }
 
@@ -432,6 +462,10 @@ func (s *Session) admitProfile(m wire.ProfileMsg) (Profile, bool) {
 func (s *Session) prune(floor uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.pruneLocked(floor)
+}
+
+func (s *Session) pruneLocked(floor uint64) {
 	if !s.replayOn {
 		return
 	}
@@ -442,6 +476,28 @@ func (s *Session) prune(floor uint64) {
 		drop := int(floor - s.replayBase)
 		s.replay = append(s.replay[:0], s.replay[drop:]...)
 		s.replayBase = floor
+	}
+}
+
+// pruneMarked drops the marks profile index idx proves consumed, and the
+// replay-buffered events below the last such mark's position.
+func (s *Session) pruneMarked(idx uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.replayOn {
+		return
+	}
+	var floor uint64
+	found := false
+	drop := 0
+	for drop < len(s.marks) && s.marks[drop].index <= idx {
+		floor = s.marks[drop].pos
+		found = true
+		drop++
+	}
+	if found {
+		s.marks = append(s.marks[:0], s.marks[drop:]...)
+		s.pruneLocked(floor)
 	}
 }
 
@@ -526,13 +582,19 @@ func (s *Session) resumeOnce() error {
 		conn.Close()
 		return err
 	}
+	if s.opts.Marked && wc.Version() < 2 {
+		conn.Close()
+		return permanentErr{err: fmt.Errorf("daemon speaks protocol v%d; marked sessions need v2", wc.Version())}
+	}
 	next := s.nextIdx.Load()
 	var offset uint64
-	if base := next * s.cfg.IntervalLength; s.replayBase > base {
-		offset = s.replayBase - base
+	if !s.opts.Marked {
+		if base := next * s.cfg.IntervalLength; s.replayBase > base {
+			offset = s.replayBase - base
+		}
 	}
-	r := wire.Resume{SessionID: s.ack.SessionID, Intervals: next, Offset: offset}
-	if err := wc.WriteFrame(wire.MsgResume, wire.AppendResume(nil, r)); err != nil {
+	r := wire.Resume{SessionID: s.ack.SessionID, Intervals: next, Offset: offset, Floor: s.replayBase}
+	if err := wc.WriteFrame(wire.MsgResume, wire.AppendResume(nil, r, wc.Version())); err != nil {
 		conn.Close()
 		return err
 	}
@@ -568,14 +630,44 @@ func (s *Session) resumeOnce() error {
 			ack.StreamPos, s.replayBase, s.sentPos)}
 	}
 	s.lastShed.Store(ack.Shed)
-	// Replay exactly the events the daemon has not consumed. The encoding
-	// buffer is local: s.enc belongs to the caller's Flush path, which may
-	// be mid-write on the dead connection while the reader resumes.
+	// Replay exactly the events the daemon has not consumed, re-sending
+	// unconsumed interval marks at their recorded stream positions so
+	// boundary placement survives the outage. The encoding buffer is
+	// local: s.enc belongs to the caller's Flush path, which may be
+	// mid-write on the dead connection while the reader resumes.
 	var enc []byte
-	for tail := s.replay[ack.StreamPos-s.replayBase:]; len(tail) > 0; {
+	sendMark := func(idx uint64) error {
+		if err := wc.WriteFrame(wire.MsgMark, wire.AppendMark(enc[:0], wire.Mark{Index: idx})); err != nil {
+			conn.Close()
+			return err
+		}
+		return nil
+	}
+	// Marks the ack's interval count proves consumed are skipped; the rest
+	// all sit at positions ≥ the acked stream position (frames are FIFO:
+	// the daemon cannot have consumed events past a mark without the mark).
+	marks := s.marks
+	for len(marks) > 0 && marks[0].index < ack.Intervals {
+		marks = marks[1:]
+	}
+	pos := ack.StreamPos
+	tail := s.replay[pos-s.replayBase:]
+	for {
+		for len(marks) > 0 && marks[0].pos <= pos {
+			if err := sendMark(marks[0].index); err != nil {
+				return err
+			}
+			marks = marks[1:]
+		}
+		if len(tail) == 0 {
+			break
+		}
 		n := len(tail)
 		if n > s.batchSize {
 			n = s.batchSize
+		}
+		if len(marks) > 0 && marks[0].pos < pos+uint64(n) {
+			n = int(marks[0].pos - pos)
 		}
 		enc = wire.AppendBatch(enc[:0], tail[:n])
 		if err := wc.WriteFrame(wire.MsgBatch, enc); err != nil {
@@ -583,6 +675,7 @@ func (s *Session) resumeOnce() error {
 			return err
 		}
 		tail = tail[n:]
+		pos += uint64(n)
 	}
 	if s.drainSent {
 		if err := wc.WriteFrame(wire.MsgDrain, nil); err != nil {
@@ -646,6 +739,43 @@ func (s *Session) Flush() error {
 	s.enc = wire.AppendBatch(s.enc[:0], s.pending)
 	s.pending = s.pending[:0]
 	if err := wc.WriteFrame(wire.MsgBatch, s.enc); err != nil {
+		return s.writeFailed(gen, err)
+	}
+	return nil
+}
+
+// Mark closes the current interval at the exact position of the events
+// sent so far (marked sessions only): pending events are flushed, then a
+// mark frame places the boundary. The daemon answers with the interval's
+// profile exactly as if an IntervalLength boundary had been crossed. Like
+// Flush, a write failure on a resumable session is not terminal — the mark
+// is recorded alongside the replay buffer and re-sent at its exact stream
+// position by the resume.
+func (s *Session) Mark() error {
+	if !s.opts.Marked {
+		return errors.New("client: Mark on a session not opened with Options.Marked")
+	}
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.drainSent || s.closedFlag.Load() {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	if s.permErr != nil {
+		err := s.permErr
+		s.mu.Unlock()
+		return err
+	}
+	idx := s.markIdx
+	s.markIdx++
+	if s.replayOn {
+		s.marks = append(s.marks, markRec{index: idx, pos: s.sentPos})
+	}
+	wc, gen := s.wc, s.gen
+	s.mu.Unlock()
+	if err := wc.WriteFrame(wire.MsgMark, wire.AppendMark(nil, wire.Mark{Index: idx})); err != nil {
 		return s.writeFailed(gen, err)
 	}
 	return nil

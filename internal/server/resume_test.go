@@ -158,7 +158,7 @@ func TestResumeUnknownSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := wire.Resume{SessionID: 0xdeadbeef, Intervals: 2, Offset: 17}
-	if err := wc.WriteFrame(wire.MsgResume, wire.AppendResume(nil, r)); err != nil {
+	if err := wc.WriteFrame(wire.MsgResume, wire.AppendResume(nil, r, wc.Version())); err != nil {
 		t.Fatal(err)
 	}
 	typ, payload, err := wc.ReadFrame()
@@ -210,7 +210,7 @@ func TestTombstoneExpiredResumeRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := wire.Resume{SessionID: 1} // first session the daemon issued
-	if err := wc2.WriteFrame(wire.MsgResume, wire.AppendResume(nil, r)); err != nil {
+	if err := wc2.WriteFrame(wire.MsgResume, wire.AppendResume(nil, r, wc2.Version())); err != nil {
 		t.Fatal(err)
 	}
 	typ, payload, err := wc2.ReadFrame()

@@ -69,6 +69,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hwprof/internal/agg"
 	"hwprof/internal/event"
 	"hwprof/internal/telemetry"
 	"hwprof/internal/wire"
@@ -93,6 +94,11 @@ const (
 	DefaultReadTimeout = 5 * time.Minute
 	// DefaultWriteTimeout bounds each write to a session socket.
 	DefaultWriteTimeout = time.Minute
+	// DefaultMachineID names this daemon in the epochs it publishes.
+	DefaultMachineID = "daemon"
+	// DefaultEpochLength is the fleet events-per-epoch contract a
+	// publishing daemon assumes when none is configured.
+	DefaultEpochLength = 10_000
 )
 
 // Config tunes the daemon.
@@ -150,6 +156,37 @@ type Config struct {
 	// longer than this. 0 selects DefaultWriteTimeout; negative disables.
 	WriteTimeout time.Duration
 
+	// Publish enables the epoch feed: sessions whose interval boundaries
+	// align with the fleet epoch contract — marked sessions, or plain ones
+	// whose IntervalLength equals EpochLength — have each interval profile
+	// merged into a per-epoch machine profile that aggregators subscribe
+	// to with MsgSubscribe.
+	Publish bool
+
+	// MachineID names this daemon in the epochs it publishes (and, via the
+	// aggregation tree, in partial-epoch missing lists). Empty selects
+	// DefaultMachineID.
+	MachineID string
+
+	// EpochLength is the fleet's events-per-epoch contract; only sessions
+	// matching it publish. 0 selects DefaultEpochLength.
+	EpochLength uint64
+
+	// EpochDeadline is the straggler deadline before an epoch closes
+	// partial; 0 selects the agg default, negative disables. Set it well
+	// above the expected reconnect time: a parked session stays a feed
+	// member, so a generous deadline lets epochs wait out a resume instead
+	// of closing partial.
+	EpochDeadline time.Duration
+
+	// EpochWindow bounds open epochs before force-close; 0 selects the agg
+	// default.
+	EpochWindow int
+
+	// EpochRetain bounds the closed-epoch ring kept for subscribers;
+	// 0 selects the agg default.
+	EpochRetain int
+
 	// Logf receives one line per session lifecycle event; nil disables
 	// logging (tests) — use log.Printf for the daemon.
 	Logf func(format string, args ...any)
@@ -195,6 +232,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.MachineID == "" {
+		c.MachineID = DefaultMachineID
+	}
+	if c.EpochLength == 0 {
+		c.EpochLength = DefaultEpochLength
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -271,6 +314,19 @@ type Metrics struct {
 	// TombstonesExpired counts parked sessions discarded because no client
 	// resumed them within the grace period.
 	TombstonesExpired *telemetry.Counter
+
+	// EpochsTotal counts published machine epochs closed.
+	EpochsTotal *telemetry.Counter
+	// EpochsPartial counts machine epochs closed partial (a publishing
+	// session was lost mid-epoch).
+	EpochsPartial *telemetry.Counter
+	// EpochWatermark is the number of machine epochs closed.
+	EpochWatermark *telemetry.Gauge
+	// SubscribersActive is the number of attached epoch subscribers.
+	SubscribersActive *telemetry.Gauge
+	// SessionEpochs counts epochs reported into the feed, per publishing
+	// session.
+	SessionEpochs *telemetry.CounterVec
 }
 
 // newMetrics registers the daemon's metrics in a fresh registry.
@@ -301,6 +357,11 @@ func newMetrics() *Metrics {
 		ResumesTotal:          r.Counter("hwprof_resumes_total", "Successful session resumptions."),
 		ResumeFailures:        r.Counter("hwprof_resume_failures_total", "Refused resume attempts."),
 		TombstonesExpired:     r.Counter("hwprof_tombstones_expired_total", "Parked sessions discarded after the grace period."),
+		EpochsTotal:           r.Counter("hwprof_epochs_total", "Published machine epochs closed."),
+		EpochsPartial:         r.Counter("hwprof_epochs_partial_total", "Machine epochs closed partial (publisher lost mid-epoch)."),
+		EpochWatermark:        r.Gauge("hwprof_epoch_watermark", "Machine epochs closed so far."),
+		SubscribersActive:     r.Gauge("hwprof_subscribers_active", "Attached epoch subscribers."),
+		SessionEpochs:         r.CounterVec("hwprof_session_epochs_total", "Epochs reported into the feed, per publishing session.", "session"),
 	}
 }
 
@@ -309,6 +370,7 @@ type Server struct {
 	cfg       Config
 	metrics   *Metrics
 	admission *admission
+	feed      *agg.Feed // per-epoch profile feed; nil unless Publish
 	batchPool sync.Pool // *[]event.Tuple, shared decode buffers
 
 	mu       sync.Mutex
@@ -339,11 +401,33 @@ func New(cfg Config) *Server {
 		buf := make([]event.Tuple, 0, event.DefaultBatchSize)
 		return &buf
 	}
+	if cfg.Publish {
+		m := s.metrics
+		s.feed = agg.NewFeed(agg.FeedConfig{
+			Source:      cfg.MachineID,
+			EpochLength: cfg.EpochLength,
+			Window:      cfg.EpochWindow,
+			Deadline:    cfg.EpochDeadline,
+			Retain:      cfg.EpochRetain,
+			Logf:        cfg.Logf,
+			OnEpoch: func(ep agg.Epoch) {
+				m.EpochsTotal.Inc()
+				if ep.Partial {
+					m.EpochsPartial.Inc()
+				}
+				m.EpochWatermark.Set(int64(ep.Epoch + 1))
+			},
+			OnReport: func(member string, _, _ uint64) { m.SessionEpochs.With(member).Inc() },
+		})
+	}
 	return s
 }
 
 // Metrics returns the daemon's telemetry surface.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Feed returns the daemon's epoch feed, nil unless publishing is enabled.
+func (s *Server) Feed() *agg.Feed { return s.feed }
 
 // Addr returns the listener's address, or nil before Serve.
 func (s *Server) Addr() net.Addr {
@@ -424,11 +508,36 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.openSession(conn, wc, payload)
 	case wire.MsgResume:
 		s.resumeSession(conn, wc, payload)
+	case wire.MsgSubscribe:
+		s.serveSubscriber(conn, wc, payload)
 	default:
 		wc.WriteFrame(wire.MsgError, wire.AppendError(nil,
-			wire.ErrorMsg{Code: wire.CodeProtocol, Msg: fmt.Sprintf("expected hello or resume, got frame type %d", typ)}))
+			wire.ErrorMsg{Code: wire.CodeProtocol, Msg: fmt.Sprintf("expected hello, resume or subscribe, got frame type %d", typ)}))
 		conn.Close()
 	}
+}
+
+// serveSubscriber answers a MsgSubscribe connection with the daemon's epoch
+// stream. The goroutine lives for the whole subscription.
+func (s *Server) serveSubscriber(conn net.Conn, wc *wire.Conn, payload []byte) {
+	if s.feed == nil {
+		s.refuseConn(conn, wc, wire.CodeUnsupported, "epoch publishing disabled on this server")
+		return
+	}
+	if wc.Version() < 2 {
+		s.refuseConn(conn, wc, wire.CodeUnsupported, "epoch subscription requires protocol v2")
+		return
+	}
+	if s.draining.Load() {
+		s.refuseConn(conn, wc, wire.CodeOverload, "server draining")
+		return
+	}
+	s.metrics.SubscribersActive.Add(1)
+	defer s.metrics.SubscribersActive.Add(-1)
+	if err := agg.ServeSubscription(conn, wc, s.feed, payload, s.cfg.Logf); err != nil {
+		s.logf("subscriber %s: %v", conn.RemoteAddr(), err)
+	}
+	conn.Close()
 }
 
 // forgetConn drops conn from the force-close set.
@@ -537,6 +646,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		sess.beginDrain()
 	}
 	s.closeTombstones()
+	if s.feed != nil {
+		// Ending the feed ends every epoch subscription, which wg.Wait
+		// covers. Epochs a draining session would still have reported are
+		// dropped — this daemon is leaving the fleet; its aggregator will
+		// close those epochs partial, naming it missing.
+		s.feed.Close()
+	}
 
 	done := make(chan struct{})
 	go func() {

@@ -181,7 +181,7 @@ func rawSession(t *testing.T, addr string, cfg core.Config) (net.Conn, *wire.Con
 	if err := wc.ClientHandshake(); err != nil {
 		t.Fatal(err)
 	}
-	if err := wc.WriteFrame(wire.MsgHello, wire.AppendHello(nil, wire.Hello{Config: cfg, Shards: 1})); err != nil {
+	if err := wc.WriteFrame(wire.MsgHello, wire.AppendHello(nil, wire.Hello{Config: cfg, Shards: 1}, wc.Version())); err != nil {
 		t.Fatal(err)
 	}
 	typ, payload, err := wc.ReadFrame()
@@ -390,7 +390,7 @@ func TestInvalidConfigRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := wire.Hello{Config: core.Config{}} // zero config cannot validate
-	if err := wc.WriteFrame(wire.MsgHello, wire.AppendHello(nil, bad)); err != nil {
+	if err := wc.WriteFrame(wire.MsgHello, wire.AppendHello(nil, bad, wc.Version())); err != nil {
 		t.Fatal(err)
 	}
 	typ, payload, err := wc.ReadFrame()

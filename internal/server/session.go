@@ -14,10 +14,13 @@ import (
 	"hwprof/internal/wire"
 )
 
-// item is one unit of work on a session's queue: a decoded batch, a drain
-// request, a client goodbye, or a reader-side failure to act on.
+// item is one unit of work on a session's queue: a decoded batch, a mark
+// (client-placed interval boundary), a drain request, a client goodbye, or
+// a reader-side failure to act on.
 type item struct {
 	batch   *[]event.Tuple
+	mark    bool
+	markIdx uint64 // interval index the mark claims to close
 	drain   bool
 	goodbye bool
 	err     error // reader failure: park or tear down
@@ -52,6 +55,18 @@ type session struct {
 	shards int
 	eng    *shard.Profiler
 	cost   float64 // admission cost held until release
+	marked bool    // client places interval boundaries with MsgMark (v2)
+
+	// Epoch publishing, fixed at admission. pub is the session's member
+	// name in the daemon's feed ("" = not publishing); pubBase is the
+	// fleet epoch its interval 0 maps to (a session admitted mid-fleet
+	// joins at the current watermark). endClean is the worker's verdict at
+	// the end of the last attachment: true iff every event the session
+	// observed was reported into the feed, so Leave does not need to mark
+	// an in-progress epoch missing.
+	pub      string
+	pubBase  uint64
+	endClean bool
 
 	// Stream position, persisted across attachments.
 	events    uint64        // events observed in the current partial interval
@@ -75,6 +90,9 @@ type session struct {
 // Idempotent: every teardown path funnels here exactly once.
 func (s *session) release() {
 	if s.released.CompareAndSwap(false, true) {
+		if s.pub != "" {
+			s.srv.feed.Leave(s.pub, s.endClean)
+		}
 		s.eng.Close()
 		s.srv.admission.release(s.cost)
 		s.srv.metrics.AdmissionCostUsed.Set(milli(s.srv.admission.inUse()))
@@ -84,7 +102,7 @@ func (s *session) release() {
 // openSession admits a new session from its Hello frame: validate, charge
 // the admission budget, build the engine, ack, and serve the attachment.
 func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
-	h, err := wire.DecodeHello(payload)
+	h, err := wire.DecodeHello(payload, wc.Version())
 	if err != nil {
 		s.metrics.CorruptFrames.Inc()
 		s.refuseConn(conn, wc, wire.CodeProtocol, fmt.Sprintf("undecodable hello: %v", err))
@@ -152,6 +170,16 @@ func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 		shards:     shards,
 		eng:        eng,
 		cost:       cost,
+		marked:     h.Marked,
+	}
+	// A session whose interval boundaries align with the fleet epoch
+	// contract — marked (the client places them on the fleet's union
+	// boundaries), or plain with the matching interval length — publishes
+	// each interval profile into the epoch feed under a per-session member
+	// name. Its interval i is fleet epoch base+i.
+	if s.feed != nil && (h.Marked || h.Config.IntervalLength == s.cfg.EpochLength) {
+		sess.pub = fmt.Sprintf("%s/s%d", s.cfg.MachineID, id)
+		sess.pubBase = s.feed.Join(sess.pub)
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -164,7 +192,8 @@ func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 	s.mu.Unlock()
 	s.metrics.SessionsTotal.Inc()
 	s.metrics.SessionsActive.Add(1)
-	s.logf("session %d: open from %s: %v, %d shard(s), cost %.3f", id, conn.RemoteAddr(), h.Config, shards, cost)
+	s.logf("session %d: open from %s: %v, %d shard(s), cost %.3f, marked %v, publish %q",
+		id, conn.RemoteAddr(), h.Config, shards, cost, h.Marked, sess.pub)
 
 	ack := wire.HelloAck{
 		SessionID:  id,
@@ -189,7 +218,7 @@ func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 // did not), the stale attachment is killed first and the resulting
 // tombstone adopted.
 func (s *Server) resumeSession(conn net.Conn, wc *wire.Conn, payload []byte) {
-	r, err := wire.DecodeResume(payload)
+	r, err := wire.DecodeResume(payload, wc.Version())
 	if err != nil {
 		s.metrics.CorruptFrames.Inc()
 		s.refuseConn(conn, wc, wire.CodeProtocol, fmt.Sprintf("undecodable resume: %v", err))
@@ -240,9 +269,20 @@ func (s *Server) resumeSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 // resent, and the attachment goroutines start.
 func (s *Server) adopt(sess *session, conn net.Conn, wc *wire.Conn, r wire.Resume) {
 	pos := sess.streamPos.Load()
+	// The client's replay floor: v2 states it as an absolute stream
+	// position; v1 derives it from fixed-length interval arithmetic, which
+	// is meaningless on a marked session (intervals are not IntervalLength
+	// events each).
+	floor := r.Floor
+	if wc.Version() < 2 {
+		floor = r.Intervals*sess.cfg.IntervalLength + r.Offset
+	}
 	var code byte
 	var refusal string
 	switch {
+	case sess.marked && wc.Version() < 2:
+		code = wire.CodeProtocol
+		refusal = "marked session resume requires protocol v2"
 	case r.Intervals > sess.interval:
 		code = wire.CodeProtocol
 		refusal = fmt.Sprintf("resume claims %d intervals, server has %d", r.Intervals, sess.interval)
@@ -250,10 +290,9 @@ func (s *Server) adopt(sess *session, conn net.Conn, wc *wire.Conn, r wire.Resum
 		code = wire.CodeUnknownSession
 		refusal = fmt.Sprintf("resume window exceeded: client at interval %d, server at %d with %d profile(s) retained",
 			r.Intervals, sess.interval, len(sess.ring))
-	case r.Intervals*sess.cfg.IntervalLength+r.Offset > pos:
+	case floor > pos:
 		code = wire.CodeProtocol
-		refusal = fmt.Sprintf("resume replay floor %d is beyond the server's stream position %d",
-			r.Intervals*sess.cfg.IntervalLength+r.Offset, pos)
+		refusal = fmt.Sprintf("resume replay floor %d is beyond the server's stream position %d", floor, pos)
 	}
 	if refusal != "" {
 		s.metrics.ResumeFailures.Inc()
@@ -385,6 +424,14 @@ func (s *session) read() {
 				return
 			}
 			s.enqueueBatch(buf)
+		case wire.MsgMark:
+			m, err := wire.DecodeMark(payload)
+			if err != nil {
+				s.srv.metrics.CorruptFrames.Inc()
+				s.enqueue(item{err: fmt.Errorf("undecodable mark: %w", err), code: wire.CodeProtocol})
+				return
+			}
+			s.enqueue(item{mark: true, markIdx: m.Index})
 		case wire.MsgDrain:
 			s.enqueue(item{drain: true})
 			return
@@ -546,12 +593,32 @@ func (s *session) workLoop() {
 			}
 			dead = true
 			continue
+		case it.mark:
+			switch {
+			case !s.marked:
+				s.fail(errors.New("mark on a session not opened marked"), wire.CodeProtocol)
+				dead = true
+			case it.markIdx != s.interval:
+				// A desynchronized coordinator must surface as a protocol
+				// error, not as misaligned fleet epochs.
+				s.fail(fmt.Errorf("mark closes interval %d, server is at %d", it.markIdx, s.interval),
+					wire.CodeProtocol)
+				dead = true
+			case !s.emitProfile(false):
+				dead = true
+			default:
+				s.interval++
+				s.events = 0
+			}
+			continue
 		case it.goodbye:
 			s.srv.logf("session %d: goodbye, %d interval(s)", s.id, s.interval)
+			s.endClean = s.events == 0
 			s.eng.Close()
 			dead = true
 			continue
 		case it.drain:
+			s.endClean = s.events == 0
 			s.finish()
 			dead = true
 			continue
@@ -560,6 +627,13 @@ func (s *session) workLoop() {
 		batch := *it.batch
 		s.srv.metrics.BatchesTotal.Inc()
 		s.srv.metrics.EventsTotal.Add(uint64(len(batch)))
+		if s.marked {
+			// The client owns the boundaries: observe the whole batch, wait
+			// for its MsgMark.
+			s.eng.ObserveBatch(batch)
+			s.events += uint64(len(batch))
+			batch = nil
+		}
 		// Clip at interval boundaries exactly like core.RunBatchedContext,
 		// so boundary placement — and hence every profile — matches a
 		// local run over the same stream.
@@ -614,6 +688,11 @@ func (s *session) emitProfile(final bool) bool {
 	msg := wire.ProfileMsg{Index: s.interval, Shed: s.shed.Load(), Final: final, Counts: prof}
 	s.enc = wire.AppendProfile(s.enc[:0], msg)
 	if !final {
+		if s.pub != "" {
+			// Merge this interval into its fleet epoch. The feed copies the
+			// counts before returning, so the map is still recyclable.
+			s.srv.feed.Report(s.pub, s.pubBase+s.interval, prof, nil)
+		}
 		s.eng.Recycle(prof) // encoded; hand the map back for the next boundary
 		if s.srv.cfg.resumeEnabled() {
 			buf := append([]byte(nil), s.enc...)

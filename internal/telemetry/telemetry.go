@@ -88,7 +88,8 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
-// metric is one registered metric with its metadata.
+// metric is one registered metric with its metadata. Exactly one of the
+// value fields is set; vectors render one line per label value.
 type metric struct {
 	name string
 	help string
@@ -96,6 +97,8 @@ type metric struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	cv   *CounterVec
+	gv   *GaugeVec
 }
 
 // Registry holds named metrics and renders them. Registration is expected
@@ -154,19 +157,37 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ); err != nil {
 			return err
 		}
-		switch m.typ {
-		case "counter":
+		switch {
+		case m.c != nil:
 			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.c.Load()); err != nil {
 				return err
 			}
-		case "gauge":
+		case m.g != nil:
 			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.g.Load()); err != nil {
 				return err
 			}
-		case "histogram":
+		case m.h != nil:
 			if err := writeHistogram(w, m.name, m.h); err != nil {
 				return err
 			}
+		case m.cv != nil:
+			m.cv.mu.Lock()
+			for _, k := range sortedKeys(m.cv.kids) {
+				if _, err := fmt.Fprintf(w, "%s{%s=%s} %d\n", m.name, m.cv.label, quoteLabel(k), m.cv.kids[k].Load()); err != nil {
+					m.cv.mu.Unlock()
+					return err
+				}
+			}
+			m.cv.mu.Unlock()
+		case m.gv != nil:
+			m.gv.mu.Lock()
+			for _, k := range sortedKeys(m.gv.kids) {
+				if _, err := fmt.Fprintf(w, "%s{%s=%s} %d\n", m.name, m.gv.label, quoteLabel(k), m.gv.kids[k].Load()); err != nil {
+					m.gv.mu.Unlock()
+					return err
+				}
+			}
+			m.gv.mu.Unlock()
 		}
 	}
 	return nil

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// CounterVec is a family of counters distinguished by one label — e.g. one
+// reconnect counter per aggregator child. Children are created on first use
+// and render as `name{label="value"} n` lines, sorted by label value.
+type CounterVec struct {
+	mu    sync.Mutex
+	label string
+	kids  map[string]*Counter
+}
+
+// With returns the counter for the given label value, creating it on first
+// use. The returned counter is safe to retain and update lock-free.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.kids[value]
+	if c == nil {
+		c = &Counter{}
+		v.kids[value] = c
+	}
+	return c
+}
+
+// GaugeVec is a family of gauges distinguished by one label.
+type GaugeVec struct {
+	mu    sync.Mutex
+	label string
+	kids  map[string]*Gauge
+}
+
+// With returns the gauge for the given label value, creating it on first
+// use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g := v.kids[value]
+	if g == nil {
+		g = &Gauge{}
+		v.kids[value] = g
+	}
+	return g
+}
+
+// CounterVec registers and returns a counter family keyed by label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{label: label, kids: make(map[string]*Counter)}
+	r.register(metric{name: name, help: help, typ: "counter", cv: v})
+	return v
+}
+
+// GaugeVec registers and returns a gauge family keyed by label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{label: label, kids: make(map[string]*Gauge)}
+	r.register(metric{name: name, help: help, typ: "gauge", gv: v})
+	return v
+}
+
+// sortedKeys snapshots a child map's label values in render order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// quoteLabel escapes a label value for the Prometheus text format; Go's
+// quoting escapes the same characters (backslash, quote, newline).
+func quoteLabel(s string) string { return strconv.Quote(s) }

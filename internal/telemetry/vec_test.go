@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterVecRendersSortedChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("hwprof_child_epochs_total", "Epochs per child.", "child")
+	v.With("zeta:1").Add(3)
+	v.With("alpha:1").Inc()
+	v.With("mid:9").Add(7)
+	// With must return the same child on repeat lookups.
+	if v.With("alpha:1") != v.With("alpha:1") {
+		t.Fatal("With returned distinct counters for one label value")
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := []string{
+		`hwprof_child_epochs_total{child="alpha:1"} 1`,
+		`hwprof_child_epochs_total{child="mid:9"} 7`,
+		`hwprof_child_epochs_total{child="zeta:1"} 3`,
+	}
+	for _, line := range want {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("output missing %q:\n%s", line, out)
+		}
+	}
+	// Children render sorted by label value so scrapes diff cleanly.
+	if !(strings.Index(out, want[0]) < strings.Index(out, want[1]) &&
+		strings.Index(out, want[1]) < strings.Index(out, want[2])) {
+		t.Fatalf("children out of order:\n%s", out)
+	}
+}
+
+func TestGaugeVecRendersAndQuotes(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("hwprof_child_lag", "Lag per child.", "child")
+	v.With(`a"b\c`).Set(5)
+	v.With("plain").Add(-2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Quotes and backslashes in label values must be escaped, or one odd
+	// child name corrupts the whole exposition.
+	if !strings.Contains(out, `hwprof_child_lag{child="a\"b\\c"} 5`+"\n") {
+		t.Fatalf("escaped label missing:\n%s", out)
+	}
+	if !strings.Contains(out, `hwprof_child_lag{child="plain"} -2`+"\n") {
+		t.Fatalf("plain gauge child missing:\n%s", out)
+	}
+}

@@ -17,13 +17,18 @@ func FuzzWire(f *testing.F) {
 	// Seed with a valid frame stream so mutations explore near-misses.
 	var buf bytes.Buffer
 	c := NewConn(duplex{r: &bytes.Buffer{}, w: &buf})
-	c.WriteFrame(MsgHello, AppendHello(nil, Hello{Config: testConfig(), Shards: 2}))
+	c.WriteFrame(MsgHello, AppendHello(nil, Hello{Config: testConfig(), Shards: 2, Marked: true}, Version))
 	c.WriteFrame(MsgBatch, AppendBatch(nil, []event.Tuple{{A: 1, B: 2}, {A: 5, B: 5}}))
 	c.WriteFrame(MsgProfile, AppendProfile(nil, ProfileMsg{Index: 1, Counts: map[event.Tuple]uint64{{A: 3, B: 4}: 9}}))
 	c.WriteFrame(MsgDrain, nil)
 	c.WriteFrame(MsgError, AppendError(nil, ErrorMsg{Code: CodeProtocol, Msg: "x"}))
-	c.WriteFrame(MsgResume, AppendResume(nil, Resume{SessionID: 7, Intervals: 2, Offset: 40}))
+	c.WriteFrame(MsgResume, AppendResume(nil, Resume{SessionID: 7, Intervals: 2, Offset: 40, Floor: 20_040}, Version))
 	c.WriteFrame(MsgResumeAck, AppendResumeAck(nil, ResumeAck{Intervals: 2, Offset: 40, StreamPos: 20_040, Shed: 1}))
+	c.WriteFrame(MsgSubscribe, AppendSubscribe(nil, Subscribe{Start: 3}))
+	c.WriteFrame(MsgSubscribeAck, AppendSubscribeAck(nil, SubscribeAck{Source: "leaf", EpochLength: 10_000, First: 3, Window: 64}))
+	c.WriteFrame(MsgEpoch, AppendEpoch(nil, EpochMsg{Source: "agg", Epoch: 3, Partial: true, Children: 2,
+		Missing: []string{"leaf-2"}, Counts: map[event.Tuple]uint64{{A: 3, B: 4}: 9}}))
+	c.WriteFrame(MsgMark, AppendMark(nil, Mark{Index: 4}))
 	f.Add(buf.Bytes())
 	f.Add([]byte(Magic + "\x01"))
 	f.Add([]byte{MsgBatch, 0x02, 0x00, 0x00})
@@ -43,11 +48,17 @@ func FuzzWire(f *testing.F) {
 			var err1, err2 error
 			switch typ {
 			case MsgHello:
-				var h1, h2 Hello
-				h1, err1 = DecodeHello(payload)
-				h2, err2 = DecodeHello(payload)
-				if err1 == nil && h1 != h2 {
-					t.Fatal("hello decoded differently twice")
+				// Both negotiated shapes must stay panic-free and stable.
+				for _, v := range []byte{1, 2} {
+					var h1, h2 Hello
+					h1, err1 = DecodeHello(payload, v)
+					h2, err2 = DecodeHello(payload, v)
+					if err1 == nil && h1 != h2 {
+						t.Fatal("hello decoded differently twice")
+					}
+					if err1 != nil && !errors.Is(err1, ErrCorrupt) {
+						t.Fatalf("unclassified decode error: %v", err1)
+					}
 				}
 			case MsgHelloAck:
 				_, err1 = DecodeHelloAck(payload)
@@ -82,11 +93,16 @@ func FuzzWire(f *testing.F) {
 				_, err1 = DecodeError(payload)
 				_, err2 = DecodeError(payload)
 			case MsgResume:
-				var r1, r2 Resume
-				r1, err1 = DecodeResume(payload)
-				r2, err2 = DecodeResume(payload)
-				if err1 == nil && r1 != r2 {
-					t.Fatal("resume decoded differently twice")
+				for _, v := range []byte{1, 2} {
+					var r1, r2 Resume
+					r1, err1 = DecodeResume(payload, v)
+					r2, err2 = DecodeResume(payload, v)
+					if err1 == nil && r1 != r2 {
+						t.Fatal("resume decoded differently twice")
+					}
+					if err1 != nil && !errors.Is(err1, ErrCorrupt) {
+						t.Fatalf("unclassified decode error: %v", err1)
+					}
 				}
 			case MsgResumeAck:
 				var a1, a2 ResumeAck
@@ -94,6 +110,38 @@ func FuzzWire(f *testing.F) {
 				a2, err2 = DecodeResumeAck(payload)
 				if err1 == nil && a1 != a2 {
 					t.Fatal("resume-ack decoded differently twice")
+				}
+			case MsgSubscribe:
+				var s1, s2 Subscribe
+				s1, err1 = DecodeSubscribe(payload)
+				s2, err2 = DecodeSubscribe(payload)
+				if err1 == nil && s1 != s2 {
+					t.Fatal("subscribe decoded differently twice")
+				}
+			case MsgSubscribeAck:
+				var a1, a2 SubscribeAck
+				a1, err1 = DecodeSubscribeAck(payload)
+				a2, err2 = DecodeSubscribeAck(payload)
+				if err1 == nil && a1 != a2 {
+					t.Fatal("subscribe-ack decoded differently twice")
+				}
+			case MsgEpoch:
+				var e1 EpochMsg
+				e1, err1 = DecodeEpoch(payload)
+				_, err2 = DecodeEpoch(payload)
+				if err1 == nil {
+					// Decoded epochs re-encode canonically, like profiles.
+					enc := AppendEpoch(nil, e1)
+					if !bytes.Equal(AppendEpoch(nil, e1), enc) {
+						t.Fatal("epoch re-encoding is not deterministic")
+					}
+				}
+			case MsgMark:
+				var m1, m2 Mark
+				m1, err1 = DecodeMark(payload)
+				m2, err2 = DecodeMark(payload)
+				if err1 == nil && m1 != m2 {
+					t.Fatal("mark decoded differently twice")
 				}
 			}
 			for _, err := range []error{err1, err2} {

@@ -5,7 +5,8 @@
 //
 // # Stream layout
 //
-//	handshake: magic "HWPS" | version byte        (sent by both sides)
+//	handshake: magic "HWPS" | version byte        (client sends its newest,
+//	           server replies min(client, server); both then speak that)
 //	frames:    type byte | uvarint(payloadLen) | payload | CRC32(payload)
 //
 // The CRC32 (IEEE, little-endian, over the payload bytes only) reuses the
@@ -25,6 +26,14 @@
 // partial profile) followed by Goodbye. Either side may send Error before
 // tearing the session down; Goodbye from the client abandons the session
 // without the final profile.
+//
+// Protocol v2 adds the fleet-aggregation surface. A subscriber opens with
+// Subscribe instead of Hello; the publisher answers SubscribeAck and then
+// streams one Epoch frame per closed fleet epoch, in index order. A marked
+// session (Hello.Marked) places its interval boundaries with Mark frames
+// instead of by event count, so a coordinator can align a cohort's epochs
+// with a union stream's intervals. A v2 Resume carries the replay floor as
+// an absolute stream position. None of these are legal on a v1 stream.
 //
 // All encodings are deterministic: profile entries are sorted by tuple, and
 // both batches and profiles use the same delta+zigzag+uvarint record coding
@@ -49,10 +58,16 @@ import (
 // Magic opens every protocol stream.
 const Magic = "HWPS"
 
-// Version is the protocol version this package speaks. There is exactly
-// one; the handshake rejects everything else so a future v2 can change
-// anything after the first five bytes.
-const Version = 1
+// Version is the newest protocol version this package speaks. The
+// handshake negotiates down: the client sends its newest version, the
+// server replies with min(client, server), and both sides then speak the
+// agreed version (Conn.Version). v2 adds the fleet-aggregation surface —
+// Subscribe/SubscribeAck/Epoch frames, client-driven interval marks, and
+// the Resume replay floor — all of which are illegal on a v1 stream.
+const Version = 2
+
+// MinVersion is the oldest protocol version still served.
+const MinVersion = 1
 
 // MaxPayload bounds a frame payload. Batches and interval profiles are both
 // far smaller in practice; the bound exists so a corrupt length prefix
@@ -82,6 +97,21 @@ const (
 	// MsgResumeAck (server→client) accepts a resume: a ResumeAck payload
 	// carrying the server's exact stream position.
 	MsgResumeAck byte = 9
+
+	// MsgSubscribe (subscriber→publisher, v2) opens an epoch-feed
+	// subscription in place of a Hello: a Subscribe payload.
+	MsgSubscribe byte = 10
+	// MsgSubscribeAck (publisher→subscriber, v2) accepts a subscription: a
+	// SubscribeAck payload naming the publisher and the first epoch it will
+	// deliver.
+	MsgSubscribeAck byte = 11
+	// MsgEpoch (publisher→subscriber, v2) carries one closed fleet epoch: an
+	// EpochMsg payload.
+	MsgEpoch byte = 12
+	// MsgMark (client→server, v2) closes the session's current interval at
+	// the exact stream position of the frame: a Mark payload. Sessions that
+	// opened with Hello.Marked place every interval boundary this way.
+	MsgMark byte = 13
 )
 
 // Error codes carried by MsgError.
@@ -101,6 +131,10 @@ const (
 	// CodeUnknownSession: a Resume named a session the server does not
 	// hold (never existed, already finished, or its grace period expired).
 	CodeUnknownSession byte = 6
+	// CodeUnsupported: the peer asked for a capability this server does not
+	// provide — an epoch-feed subscription on a daemon not publishing, or a
+	// v2-only frame on a stream negotiated down to v1.
+	CodeUnsupported byte = 7
 )
 
 // ErrCorrupt reports bytes that are present but inconsistent: a checksum
@@ -129,6 +163,7 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 type Conn struct {
 	r       *bufio.Reader
 	w       *bufio.Writer
+	version byte // negotiated protocol version; Version before a handshake
 	scratch [binary.MaxVarintLen64 + 1]byte
 	payload []byte // reused ReadFrame buffer
 }
@@ -137,34 +172,61 @@ type Conn struct {
 // before any frames.
 func NewConn(rw io.ReadWriter) *Conn {
 	return &Conn{
-		r: bufio.NewReaderSize(rw, 1<<16),
-		w: bufio.NewWriterSize(rw, 1<<16),
+		r:       bufio.NewReaderSize(rw, 1<<16),
+		w:       bufio.NewWriterSize(rw, 1<<16),
+		version: Version,
 	}
 }
 
-// ClientHandshake sends the magic and version, then verifies the server's
-// echo. It must be the first exchange on the connection.
+// Version returns the protocol version negotiated by the handshake (or
+// this package's newest Version if no handshake was performed). Versioned
+// encoders (AppendHello, AppendResume, their decoders) must be driven with
+// this value, and v2-only frame types must not be sent on a v1 stream.
+func (c *Conn) Version() byte { return c.version }
+
+// ClientHandshake sends the magic and this package's newest version, then
+// reads the server's reply: the negotiated version, min(client, server).
+// It must be the first exchange on the connection. Servers older than
+// MinVersion-aware negotiation reject newer clients outright — upgrade
+// servers before clients.
 func (c *Conn) ClientHandshake() error {
-	if err := c.sendHandshake(); err != nil {
+	if err := c.sendHandshake(Version); err != nil {
 		return err
 	}
-	return c.expectHandshake()
+	v, err := c.expectHandshake()
+	if err != nil {
+		return err
+	}
+	if v < MinVersion || v > Version {
+		return fmt.Errorf("%w: server negotiated unsupported version %d", ErrProtocol, v)
+	}
+	c.version = v
+	return nil
 }
 
-// ServerHandshake verifies the client's magic and version, then echoes its
-// own. It must be the first exchange on the connection.
+// ServerHandshake reads the client's magic and newest version, then
+// replies with the negotiated version, min(client, server). It must be the
+// first exchange on the connection.
 func (c *Conn) ServerHandshake() error {
-	if err := c.expectHandshake(); err != nil {
+	v, err := c.expectHandshake()
+	if err != nil {
 		return err
 	}
-	return c.sendHandshake()
+	if v < MinVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrProtocol, v)
+	}
+	if v > Version {
+		v = Version
+	}
+	c.version = v
+	return c.sendHandshake(v)
 }
 
-func (c *Conn) sendHandshake() error {
+func (c *Conn) sendHandshake(v byte) error {
 	if _, err := c.w.WriteString(Magic); err != nil {
 		return fmt.Errorf("wire: writing handshake: %w", err)
 	}
-	if err := c.w.WriteByte(Version); err != nil {
+	if err := c.w.WriteByte(v); err != nil {
 		return fmt.Errorf("wire: writing handshake: %w", err)
 	}
 	if err := c.w.Flush(); err != nil {
@@ -173,18 +235,15 @@ func (c *Conn) sendHandshake() error {
 	return nil
 }
 
-func (c *Conn) expectHandshake() error {
+func (c *Conn) expectHandshake() (byte, error) {
 	var hdr [len(Magic) + 1]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
-		return fmt.Errorf("%w: handshake: %w", ErrTruncated, err)
+		return 0, fmt.Errorf("%w: handshake: %w", ErrTruncated, err)
 	}
 	if string(hdr[:len(Magic)]) != Magic {
-		return fmt.Errorf("%w: bad magic %q", ErrProtocol, hdr[:len(Magic)])
+		return 0, fmt.Errorf("%w: bad magic %q", ErrProtocol, hdr[:len(Magic)])
 	}
-	if hdr[len(Magic)] != Version {
-		return fmt.Errorf("%w: unsupported version %d", ErrProtocol, hdr[len(Magic)])
-	}
-	return nil
+	return hdr[len(Magic)], nil
 }
 
 // WriteFrame sends one frame and flushes it to the connection.
@@ -260,6 +319,13 @@ type Hello struct {
 	// Shards is the requested shard count of the session's engine; 0 or 1
 	// means sequential. Servers may clamp it.
 	Shards int
+
+	// Marked (v2 only) declares that the client will place every interval
+	// boundary itself with MsgMark frames; the server must not clip the
+	// stream by IntervalLength. This is how a coordinator that owns a
+	// fleet-wide union stream keeps the per-machine epoch boundaries
+	// aligned with the union's interval boundaries.
+	Marked bool
 }
 
 // Hello config flag bits.
@@ -271,8 +337,12 @@ const (
 	flagWeakHash
 )
 
-// AppendHello encodes h onto dst.
-func AppendHello(dst []byte, h Hello) []byte {
+// Hello v2 extension flag bits.
+const helloFlagMarked = 1 << iota
+
+// AppendHello encodes h onto dst in the shape of protocol version v: v2
+// appends the extension flags byte (Marked), v1 stops at the shard count.
+func AppendHello(dst []byte, h Hello, v byte) []byte {
 	c := h.Config
 	dst = binary.AppendUvarint(dst, c.IntervalLength)
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.ThresholdPercent))
@@ -299,12 +369,20 @@ func AppendHello(dst []byte, h Hello) []byte {
 	dst = binary.AppendUvarint(dst, uint64(c.AccumCapacity))
 	dst = binary.LittleEndian.AppendUint64(dst, c.Seed)
 	dst = binary.AppendUvarint(dst, uint64(h.Shards))
+	if v >= 2 {
+		var flags2 byte
+		if h.Marked {
+			flags2 |= helloFlagMarked
+		}
+		dst = append(dst, flags2)
+	}
 	return dst
 }
 
-// DecodeHello decodes a Hello payload. It checks only the encoding; the
-// configuration's own validity is the server's call (core.Config.Validate).
-func DecodeHello(p []byte) (Hello, error) {
+// DecodeHello decodes a Hello payload in the shape of protocol version v.
+// It checks only the encoding; the configuration's own validity is the
+// server's call (core.Config.Validate).
+func DecodeHello(p []byte, v byte) (Hello, error) {
 	d := decoder{p: p}
 	var h Hello
 	h.Config.IntervalLength = d.uvarint()
@@ -321,6 +399,10 @@ func DecodeHello(p []byte) (Hello, error) {
 	h.Config.AccumCapacity = d.vint()
 	h.Config.Seed = d.u64()
 	h.Shards = d.vint()
+	if v >= 2 {
+		flags2 := d.byte()
+		h.Marked = flags2&helloFlagMarked != 0
+	}
 	if err := d.finish("hello"); err != nil {
 		return Hello{}, err
 	}
@@ -400,23 +482,36 @@ type Resume struct {
 	// Intervals complete intervals: the client can resend every event from
 	// global position Intervals×IntervalLength+Offset onward.
 	Offset uint64
+
+	// Floor (v2 only) is the client's replay floor as an absolute stream
+	// position, superseding the Intervals×IntervalLength+Offset arithmetic
+	// — which is meaningless on a marked session, where intervals are not
+	// IntervalLength events each.
+	Floor uint64
 }
 
-// AppendResume encodes r onto dst.
-func AppendResume(dst []byte, r Resume) []byte {
+// AppendResume encodes r onto dst in the shape of protocol version v: v2
+// appends the absolute replay floor.
+func AppendResume(dst []byte, r Resume, v byte) []byte {
 	dst = binary.AppendUvarint(dst, r.SessionID)
 	dst = binary.AppendUvarint(dst, r.Intervals)
 	dst = binary.AppendUvarint(dst, r.Offset)
+	if v >= 2 {
+		dst = binary.AppendUvarint(dst, r.Floor)
+	}
 	return dst
 }
 
-// DecodeResume decodes a Resume payload.
-func DecodeResume(p []byte) (Resume, error) {
+// DecodeResume decodes a Resume payload in the shape of protocol version v.
+func DecodeResume(p []byte, v byte) (Resume, error) {
 	d := decoder{p: p}
 	var r Resume
 	r.SessionID = d.uvarint()
 	r.Intervals = d.uvarint()
 	r.Offset = d.uvarint()
+	if v >= 2 {
+		r.Floor = d.uvarint()
+	}
 	if err := d.finish("resume"); err != nil {
 		return Resume{}, err
 	}
@@ -526,20 +621,13 @@ type ProfileMsg struct {
 	Counts map[event.Tuple]uint64
 }
 
-// AppendProfile encodes m onto dst. Entries are sorted by tuple so the
-// encoding is deterministic, then delta-coded like batch records with the
-// count appended to each record.
-func AppendProfile(dst []byte, m ProfileMsg) []byte {
-	var flags byte
-	if m.Final {
-		flags = 1
-	}
-	dst = append(dst, flags)
-	dst = binary.AppendUvarint(dst, m.Index)
-	dst = binary.AppendUvarint(dst, m.Shed)
-	dst = binary.AppendUvarint(dst, uint64(len(m.Counts)))
-	entries := make([]event.Tuple, 0, len(m.Counts))
-	for tp := range m.Counts {
+// appendCounts encodes a count map onto dst: uvarint size, then entries
+// sorted by tuple (so the encoding is deterministic) and delta-coded like
+// batch records with the count appended to each record.
+func appendCounts(dst []byte, counts map[event.Tuple]uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(counts)))
+	entries := make([]event.Tuple, 0, len(counts))
+	for tp := range counts {
 		entries = append(entries, tp)
 	}
 	sort.Slice(entries, func(i, j int) bool {
@@ -552,10 +640,52 @@ func AppendProfile(dst []byte, m ProfileMsg) []byte {
 	for _, tp := range entries {
 		dst = binary.AppendUvarint(dst, zigzag(int64(tp.A)-int64(prev.A)))
 		dst = binary.AppendUvarint(dst, zigzag(int64(tp.B)-int64(prev.B)))
-		dst = binary.AppendUvarint(dst, m.Counts[tp])
+		dst = binary.AppendUvarint(dst, counts[tp])
 		prev = tp
 	}
 	return dst
+}
+
+// counts decodes a count map off the cursor, rejecting duplicate tuples
+// and entry counts the remaining payload cannot hold.
+func (d *decoder) counts(what string) map[event.Tuple]uint64 {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	// Each entry is at least three bytes.
+	if n > uint64(len(d.p)-d.pos)/3+1 {
+		d.err = fmt.Errorf("%w: %s declares %d entries in %d bytes", ErrCorrupt, what, n, len(d.p))
+		return nil
+	}
+	m := make(map[event.Tuple]uint64, n)
+	var prev event.Tuple
+	for i := uint64(0); i < n; i++ {
+		prev.A = uint64(int64(prev.A) + unzigzag(d.uvarint()))
+		prev.B = uint64(int64(prev.B) + unzigzag(d.uvarint()))
+		c := d.uvarint()
+		if d.err != nil {
+			return nil
+		}
+		if _, dup := m[prev]; dup {
+			d.err = fmt.Errorf("%w: %s repeats tuple %v", ErrCorrupt, what, prev)
+			return nil
+		}
+		m[prev] = c
+	}
+	return m
+}
+
+// AppendProfile encodes m onto dst.
+func AppendProfile(dst []byte, m ProfileMsg) []byte {
+	var flags byte
+	if m.Final {
+		flags = 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, m.Index)
+	dst = binary.AppendUvarint(dst, m.Shed)
+	return appendCounts(dst, m.Counts)
 }
 
 // DecodeProfile decodes a profile payload.
@@ -565,30 +695,215 @@ func DecodeProfile(p []byte) (ProfileMsg, error) {
 	m.Final = d.byte()&1 != 0
 	m.Index = d.uvarint()
 	m.Shed = d.uvarint()
-	n := d.uvarint()
-	if d.err != nil {
-		return ProfileMsg{}, d.fail("profile")
-	}
-	// Each entry is at least three bytes.
-	if n > uint64(len(p)-d.pos)/3+1 {
-		return ProfileMsg{}, fmt.Errorf("%w: profile declares %d entries in %d bytes", ErrCorrupt, n, len(p))
-	}
-	m.Counts = make(map[event.Tuple]uint64, n)
-	var prev event.Tuple
-	for i := uint64(0); i < n; i++ {
-		prev.A = uint64(int64(prev.A) + unzigzag(d.uvarint()))
-		prev.B = uint64(int64(prev.B) + unzigzag(d.uvarint()))
-		c := d.uvarint()
-		if d.err != nil {
-			return ProfileMsg{}, d.fail("profile")
-		}
-		if _, dup := m.Counts[prev]; dup {
-			return ProfileMsg{}, fmt.Errorf("%w: profile repeats tuple %v", ErrCorrupt, prev)
-		}
-		m.Counts[prev] = c
-	}
+	m.Counts = d.counts("profile")
 	if err := d.finish("profile"); err != nil {
 		return ProfileMsg{}, err
+	}
+	return m, nil
+}
+
+// maxName bounds every machine/child name on the wire, so a corrupt
+// length prefix cannot demand a huge allocation.
+const maxName = 256
+
+// appendName encodes a length-prefixed name, truncating oversized ones.
+func appendName(dst []byte, s string) []byte {
+	if len(s) > maxName {
+		s = s[:maxName]
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// name decodes a length-prefixed name off the cursor.
+func (d *decoder) name(what string) string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxName || n > uint64(len(d.p)-d.pos) {
+		d.err = fmt.Errorf("%w: %s name length %d overruns payload", ErrCorrupt, what, n)
+		return ""
+	}
+	s := string(d.p[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+// Subscribe opens an epoch-feed subscription (v2): the subscriber asks the
+// publisher — a publishing profiled daemon or an aggd — for every closed
+// epoch from Start onward.
+type Subscribe struct {
+	// Start is the first epoch index the subscriber needs. Epochs the
+	// publisher no longer retains are skipped; the SubscribeAck's First
+	// tells the subscriber where delivery actually begins.
+	Start uint64
+}
+
+// AppendSubscribe encodes s onto dst.
+func AppendSubscribe(dst []byte, s Subscribe) []byte {
+	return binary.AppendUvarint(dst, s.Start)
+}
+
+// DecodeSubscribe decodes a Subscribe payload.
+func DecodeSubscribe(p []byte) (Subscribe, error) {
+	d := decoder{p: p}
+	var s Subscribe
+	s.Start = d.uvarint()
+	if err := d.finish("subscribe"); err != nil {
+		return Subscribe{}, err
+	}
+	return s, nil
+}
+
+// SubscribeAck accepts a subscription (v2).
+type SubscribeAck struct {
+	// Source is the publisher's machine id, stamped on every epoch it
+	// emits.
+	Source string
+
+	// EpochLength is the publisher's epoch length in events per member
+	// stream — the interval length of the cohort it merges. A subscriber
+	// merging several publishers must see the same length from all of them.
+	EpochLength uint64
+
+	// First is the epoch index of the first Epoch frame this subscription
+	// will deliver: the requested Start when the publisher still retains
+	// it, later otherwise. A subscriber that needed earlier epochs records
+	// [Start, First) as a declared gap.
+	First uint64
+
+	// Window is how many closed epochs the publisher retains for
+	// resubscription after a broken link.
+	Window uint64
+}
+
+// AppendSubscribeAck encodes a onto dst.
+func AppendSubscribeAck(dst []byte, a SubscribeAck) []byte {
+	dst = appendName(dst, a.Source)
+	dst = binary.AppendUvarint(dst, a.EpochLength)
+	dst = binary.AppendUvarint(dst, a.First)
+	return binary.AppendUvarint(dst, a.Window)
+}
+
+// DecodeSubscribeAck decodes a SubscribeAck payload.
+func DecodeSubscribeAck(p []byte) (SubscribeAck, error) {
+	d := decoder{p: p}
+	var a SubscribeAck
+	a.Source = d.name("subscribe-ack")
+	a.EpochLength = d.uvarint()
+	a.First = d.uvarint()
+	a.Window = d.uvarint()
+	if err := d.finish("subscribe-ack"); err != nil {
+		return SubscribeAck{}, err
+	}
+	return a, nil
+}
+
+// EpochMsg is one closed fleet epoch as carried on the wire (v2): the
+// merged counts of every member that reported interval Epoch, stamped with
+// the publisher's identity. Epochs are delivered strictly in index order
+// per subscription.
+type EpochMsg struct {
+	// Source is the publisher's machine id.
+	Source string
+
+	// Epoch is the epoch index: the interval index of the member profiles
+	// merged into it (interval boundaries are event counts, so epoch
+	// identity is the interval index, never wall clock).
+	Epoch uint64
+
+	// Partial marks an epoch closed without every member: a straggler
+	// deadline fired, the open-epoch window overflowed, or a child's own
+	// epoch was partial. Missing names who.
+	Partial bool
+
+	// Children is the number of direct members that reported into this
+	// epoch at the publisher.
+	Children uint64
+
+	// Missing names the members absent from a partial epoch, sorted;
+	// missing lists propagate upward through the tree, so at the root they
+	// name the actual absent leaves/links.
+	Missing []string
+
+	// Counts is the merged profile.
+	Counts map[event.Tuple]uint64
+}
+
+// epochFlagPartial marks a partial epoch in the EpochMsg flags byte.
+const epochFlagPartial = 1
+
+// AppendEpoch encodes m onto dst; the count-map coding is the same
+// deterministic sorted-delta coding profiles use.
+func AppendEpoch(dst []byte, m EpochMsg) []byte {
+	var flags byte
+	if m.Partial {
+		flags |= epochFlagPartial
+	}
+	dst = append(dst, flags)
+	dst = appendName(dst, m.Source)
+	dst = binary.AppendUvarint(dst, m.Epoch)
+	dst = binary.AppendUvarint(dst, m.Children)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Missing)))
+	for _, name := range m.Missing {
+		dst = appendName(dst, name)
+	}
+	return appendCounts(dst, m.Counts)
+}
+
+// DecodeEpoch decodes an EpochMsg payload.
+func DecodeEpoch(p []byte) (EpochMsg, error) {
+	d := decoder{p: p}
+	var m EpochMsg
+	flags := d.byte()
+	m.Partial = flags&epochFlagPartial != 0
+	m.Source = d.name("epoch")
+	m.Epoch = d.uvarint()
+	m.Children = d.uvarint()
+	n := d.uvarint()
+	if d.err != nil {
+		return EpochMsg{}, d.fail("epoch")
+	}
+	// Each missing name takes at least one byte (its length prefix).
+	if n > uint64(len(p)-d.pos) {
+		return EpochMsg{}, fmt.Errorf("%w: epoch declares %d missing names in %d bytes", ErrCorrupt, n, len(p))
+	}
+	if n > 0 {
+		m.Missing = make([]string, n)
+		for i := range m.Missing {
+			m.Missing[i] = d.name("epoch")
+		}
+	}
+	m.Counts = d.counts("epoch")
+	if err := d.finish("epoch"); err != nil {
+		return EpochMsg{}, err
+	}
+	return m, nil
+}
+
+// Mark closes a marked session's current interval (v2): the boundary lands
+// at the exact stream position of the frame, and the profile emitted for
+// it carries the interval index Index — which the server validates against
+// its own count, so a desynchronized client surfaces as a protocol error
+// instead of as misaligned epochs.
+type Mark struct {
+	// Index is the interval index this mark closes (0 for the first).
+	Index uint64
+}
+
+// AppendMark encodes m onto dst.
+func AppendMark(dst []byte, m Mark) []byte {
+	return binary.AppendUvarint(dst, m.Index)
+}
+
+// DecodeMark decodes a Mark payload.
+func DecodeMark(p []byte) (Mark, error) {
+	d := decoder{p: p}
+	var m Mark
+	m.Index = d.uvarint()
+	if err := d.finish("mark"); err != nil {
+		return Mark{}, err
 	}
 	return m, nil
 }

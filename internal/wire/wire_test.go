@@ -30,28 +30,83 @@ func TestHandshake(t *testing.T) {
 
 	// The client's send must land before the server reads; drive the
 	// halves manually in buffer order.
-	if err := client.sendHandshake(); err != nil {
+	if err := client.sendHandshake(Version); err != nil {
 		t.Fatalf("client send: %v", err)
 	}
 	if err := server.ServerHandshake(); err != nil {
 		t.Fatalf("server handshake: %v", err)
 	}
-	if err := client.expectHandshake(); err != nil {
+	v, err := client.expectHandshake()
+	if err != nil {
 		t.Fatalf("client expect: %v", err)
+	}
+	if v != Version || server.Version() != Version {
+		t.Fatalf("peers negotiated %d/%d, want %d", v, server.Version(), Version)
 	}
 }
 
-func TestHandshakeRejectsBadMagicAndVersion(t *testing.T) {
+// TestHandshakeNegotiation pins the min-version rule: an old client gets
+// served at its own version, a futuristic client is negotiated down to
+// ours, and anything below MinVersion is refused.
+func TestHandshakeNegotiation(t *testing.T) {
+	negotiate := func(clientVersion byte) (*Conn, byte, error) {
+		var cToS, sToC bytes.Buffer
+		cToS.WriteString(Magic)
+		cToS.WriteByte(clientVersion)
+		server := NewConn(duplex{r: &cToS, w: &sToC})
+		err := server.ServerHandshake()
+		var reply byte
+		if sToC.Len() == len(Magic)+1 {
+			reply = sToC.Bytes()[len(Magic)]
+		}
+		return server, reply, err
+	}
+
+	if server, reply, err := negotiate(1); err != nil || reply != 1 || server.Version() != 1 {
+		t.Fatalf("v1 client: reply %d, server at %d, err %v; want both at 1", reply, server.Version(), err)
+	}
+	if server, reply, err := negotiate(Version + 5); err != nil || reply != Version || server.Version() != Version {
+		t.Fatalf("future client: reply %d, server at %d, err %v; want both at %d", reply, server.Version(), err, Version)
+	}
+	if _, _, err := negotiate(0); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("v0 client: got %v, want ErrProtocol", err)
+	}
+
+	// A server reply outside the client's supported range is a protocol
+	// violation on the client side.
+	for _, bad := range []byte{0, Version + 1} {
+		var sToC bytes.Buffer
+		sToC.WriteString(Magic)
+		sToC.WriteByte(bad)
+		client := NewConn(duplex{r: &sToC, w: &bytes.Buffer{}})
+		if err := client.ClientHandshake(); !errors.Is(err, ErrProtocol) {
+			t.Fatalf("server reply %d: got %v, want ErrProtocol", bad, err)
+		}
+	}
+
+	// An accepted downgrade sticks on the client too.
+	var sToC bytes.Buffer
+	sToC.WriteString(Magic)
+	sToC.WriteByte(1)
+	client := NewConn(duplex{r: &sToC, w: &bytes.Buffer{}})
+	if err := client.ClientHandshake(); err != nil {
+		t.Fatalf("downgrade handshake: %v", err)
+	}
+	if client.Version() != 1 {
+		t.Fatalf("client at %d after downgrade, want 1", client.Version())
+	}
+}
+
+func TestHandshakeRejectsBadMagicAndTruncation(t *testing.T) {
 	for _, tc := range []struct {
 		name  string
 		bytes string
 	}{
 		{"bad magic", "NOPE\x01"},
-		{"bad version", Magic + "\x63"},
 		{"truncated", Magic[:2]},
 	} {
 		c := NewConn(duplex{r: bytes.NewBufferString(tc.bytes), w: &bytes.Buffer{}})
-		err := c.expectHandshake()
+		err := c.ServerHandshake()
 		if err == nil {
 			t.Fatalf("%s: handshake accepted", tc.name)
 		}
@@ -71,13 +126,15 @@ func frameStream(t *testing.T) ([]byte, []byte, [][]byte) {
 	t.Helper()
 	var buf bytes.Buffer
 	c := NewConn(duplex{r: &bytes.Buffer{}, w: &buf})
-	types := []byte{MsgHello, MsgBatch, MsgProfile, MsgGoodbye, MsgError}
+	types := []byte{MsgHello, MsgBatch, MsgProfile, MsgGoodbye, MsgError, MsgEpoch}
 	payloads := [][]byte{
-		AppendHello(nil, Hello{Config: testConfig(), Shards: 4}),
+		AppendHello(nil, Hello{Config: testConfig(), Shards: 4}, Version),
 		AppendBatch(nil, []event.Tuple{{A: 1, B: 2}, {A: 100, B: 3}, {A: 7, B: 7}}),
 		AppendProfile(nil, ProfileMsg{Index: 3, Shed: 17, Counts: map[event.Tuple]uint64{{A: 9, B: 1}: 4}}),
 		nil,
 		AppendError(nil, ErrorMsg{Code: CodeInternal, Msg: "boom"}),
+		AppendEpoch(nil, EpochMsg{Source: "agg-root", Epoch: 9, Partial: true, Children: 3,
+			Missing: []string{"leaf-2"}, Counts: map[event.Tuple]uint64{{A: 4, B: 4}: 12}}),
 	}
 	for i, typ := range types {
 		if err := c.WriteFrame(typ, payloads[i]); err != nil {
@@ -227,15 +284,30 @@ func TestHelloRoundTrip(t *testing.T) {
 			Seed:             math.MaxUint64,
 		}},
 		{Config: core.Config{ThresholdPercent: math.Inf(1)}, Shards: 1 << 20},
+		{Config: testConfig(), Shards: 2, Marked: true},
 	}
 	for i, h := range cases {
-		got, err := DecodeHello(AppendHello(nil, h))
-		if err != nil {
-			t.Fatalf("case %d: %v", i, err)
+		for _, v := range []byte{1, 2} {
+			want := h
+			if v < 2 {
+				want.Marked = false // v1 cannot carry the marked flag
+			}
+			got, err := DecodeHello(AppendHello(nil, want, v), v)
+			if err != nil {
+				t.Fatalf("case %d v%d: %v", i, v, err)
+			}
+			if got != want {
+				t.Fatalf("case %d v%d: %+v != %+v", i, v, got, want)
+			}
 		}
-		if got != h {
-			t.Fatalf("case %d: %+v != %+v", i, got, h)
-		}
+	}
+	// A v1 payload is not acceptable on a v2 stream, nor vice versa: the
+	// negotiated version fixes the shape exactly.
+	if _, err := DecodeHello(AppendHello(nil, cases[0], 1), 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("v1 hello on v2 stream: got %v, want ErrCorrupt", err)
+	}
+	if _, err := DecodeHello(AppendHello(nil, cases[0], 2), 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("v2 hello on v1 stream: got %v, want ErrCorrupt", err)
 	}
 }
 
@@ -257,13 +329,19 @@ func TestHelloAckRoundTrip(t *testing.T) {
 }
 
 func TestResumeRoundTrip(t *testing.T) {
-	for _, r := range []Resume{{}, {SessionID: 42, Intervals: 7, Offset: 1234}} {
-		got, err := DecodeResume(AppendResume(nil, r))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got != r {
-			t.Fatalf("%+v != %+v", got, r)
+	for _, r := range []Resume{{}, {SessionID: 42, Intervals: 7, Offset: 1234, Floor: 71_234}} {
+		for _, v := range []byte{1, 2} {
+			want := r
+			if v < 2 {
+				want.Floor = 0 // v1 has no absolute floor field
+			}
+			got, err := DecodeResume(AppendResume(nil, want, v), v)
+			if err != nil {
+				t.Fatalf("v%d: %v", v, err)
+			}
+			if got != want {
+				t.Fatalf("v%d: %+v != %+v", v, got, want)
+			}
 		}
 	}
 }
@@ -377,6 +455,98 @@ func TestDecodeProfileRejectsDuplicateTuple(t *testing.T) {
 	}
 }
 
+func TestSubscribeRoundTrip(t *testing.T) {
+	for _, s := range []Subscribe{{}, {Start: 1 << 33}} {
+		got, err := DecodeSubscribe(AppendSubscribe(nil, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Fatalf("%+v != %+v", got, s)
+		}
+	}
+}
+
+func TestSubscribeAckRoundTrip(t *testing.T) {
+	for _, a := range []SubscribeAck{
+		{},
+		{Source: "leaf-1", EpochLength: 10_000, First: 12, Window: 64},
+	} {
+		got, err := DecodeSubscribeAck(AppendSubscribeAck(nil, a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a {
+			t.Fatalf("%+v != %+v", got, a)
+		}
+	}
+	// Oversized source names are truncated to the wire bound, not rejected.
+	long := SubscribeAck{Source: strings.Repeat("n", 2*maxName)}
+	got, err := DecodeSubscribeAck(AppendSubscribeAck(nil, long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Source) != maxName {
+		t.Fatalf("source truncated to %d, want %d", len(got.Source), maxName)
+	}
+}
+
+func TestEpochRoundTrip(t *testing.T) {
+	rng := xrand.New(13)
+	big := make(map[event.Tuple]uint64, 300)
+	for i := 0; i < 300; i++ {
+		big[event.Tuple{A: rng.Uint64() % 500, B: rng.Uint64() % 8}] = rng.Uint64() % 1_000_000
+	}
+	cases := []EpochMsg{
+		{Source: "d1", Counts: map[event.Tuple]uint64{}},
+		{Source: "agg-west", Epoch: 41, Children: 12, Counts: big},
+		{Source: "agg-root", Epoch: 7, Partial: true, Children: 2,
+			Missing: []string{"127.0.0.1:9001", "leaf-3/s12"},
+			Counts:  map[event.Tuple]uint64{{A: 1, B: 1}: 2}},
+	}
+	for i, m := range cases {
+		got, err := DecodeEpoch(AppendEpoch(nil, m))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Source != m.Source || got.Epoch != m.Epoch || got.Partial != m.Partial || got.Children != m.Children {
+			t.Fatalf("case %d: header %+v != %+v", i, got, m)
+		}
+		if !reflect.DeepEqual(got.Missing, m.Missing) {
+			t.Fatalf("case %d: missing %v != %v", i, got.Missing, m.Missing)
+		}
+		if !reflect.DeepEqual(got.Counts, m.Counts) {
+			t.Fatalf("case %d: counts mismatch", i)
+		}
+	}
+}
+
+func TestAppendEpochIsDeterministic(t *testing.T) {
+	m := EpochMsg{Source: "root", Epoch: 3, Counts: map[event.Tuple]uint64{}}
+	rng := xrand.New(5)
+	for i := 0; i < 200; i++ {
+		m.Counts[event.Tuple{A: rng.Uint64(), B: rng.Uint64()}] = rng.Uint64()
+	}
+	first := AppendEpoch(nil, m)
+	for i := 0; i < 5; i++ {
+		if !bytes.Equal(AppendEpoch(nil, m), first) {
+			t.Fatal("same epoch encoded differently across calls")
+		}
+	}
+}
+
+func TestMarkRoundTrip(t *testing.T) {
+	for _, m := range []Mark{{}, {Index: 1 << 40}} {
+		got, err := DecodeMark(AppendMark(nil, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m {
+			t.Fatalf("%+v != %+v", got, m)
+		}
+	}
+}
+
 func TestErrorRoundTrip(t *testing.T) {
 	for _, e := range []ErrorMsg{{}, {Code: CodeOverload, Msg: "full"}} {
 		got, err := DecodeError(AppendError(nil, e))
@@ -408,8 +578,10 @@ func TestDecodersRejectPrefixesAndTrailingGarbage(t *testing.T) {
 		payload []byte
 		decode  func([]byte) error
 	}{
-		{"hello", AppendHello(nil, Hello{Config: testConfig(), Shards: 3}),
-			func(p []byte) error { _, err := DecodeHello(p); return err }},
+		{"hello-v1", AppendHello(nil, Hello{Config: testConfig(), Shards: 3}, 1),
+			func(p []byte) error { _, err := DecodeHello(p, 1); return err }},
+		{"hello-v2", AppendHello(nil, Hello{Config: testConfig(), Shards: 3, Marked: true}, 2),
+			func(p []byte) error { _, err := DecodeHello(p, 2); return err }},
 		{"hello-ack", AppendHelloAck(nil, HelloAck{SessionID: 5, Shed: true, QueueDepth: 8}),
 			func(p []byte) error { _, err := DecodeHelloAck(p); return err }},
 		{"batch", AppendBatch(nil, []event.Tuple{{A: 300, B: 2}, {A: 1, B: 900}}),
@@ -418,10 +590,21 @@ func TestDecodersRejectPrefixesAndTrailingGarbage(t *testing.T) {
 			func(p []byte) error { _, err := DecodeProfile(p); return err }},
 		{"error", AppendError(nil, ErrorMsg{Code: CodeConfig, Msg: "bad config"}),
 			func(p []byte) error { _, err := DecodeError(p); return err }},
-		{"resume", AppendResume(nil, Resume{SessionID: 300, Intervals: 4, Offset: 150}),
-			func(p []byte) error { _, err := DecodeResume(p); return err }},
+		{"resume-v1", AppendResume(nil, Resume{SessionID: 300, Intervals: 4, Offset: 150}, 1),
+			func(p []byte) error { _, err := DecodeResume(p, 1); return err }},
+		{"resume-v2", AppendResume(nil, Resume{SessionID: 300, Intervals: 4, Offset: 150, Floor: 40_150}, 2),
+			func(p []byte) error { _, err := DecodeResume(p, 2); return err }},
 		{"resume-ack", AppendResumeAck(nil, ResumeAck{Intervals: 5, Offset: 600, StreamPos: 50_600, Shed: 3}),
 			func(p []byte) error { _, err := DecodeResumeAck(p); return err }},
+		{"subscribe", AppendSubscribe(nil, Subscribe{Start: 17}),
+			func(p []byte) error { _, err := DecodeSubscribe(p); return err }},
+		{"subscribe-ack", AppendSubscribeAck(nil, SubscribeAck{Source: "leaf-1", EpochLength: 10_000, First: 3, Window: 64}),
+			func(p []byte) error { _, err := DecodeSubscribeAck(p); return err }},
+		{"epoch", AppendEpoch(nil, EpochMsg{Source: "agg", Epoch: 5, Partial: true, Children: 4,
+			Missing: []string{"a", "b"}, Counts: map[event.Tuple]uint64{{A: 300, B: 1}: 400, {A: 301, B: 2}: 1}}),
+			func(p []byte) error { _, err := DecodeEpoch(p); return err }},
+		{"mark", AppendMark(nil, Mark{Index: 12}),
+			func(p []byte) error { _, err := DecodeMark(p); return err }},
 	}
 	for _, m := range msgs {
 		if err := m.decode(m.payload); err != nil {

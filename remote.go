@@ -1,6 +1,10 @@
 package hwprof
 
 import (
+	"context"
+	"net"
+	"time"
+
 	"hwprof/internal/client"
 )
 
@@ -8,8 +12,9 @@ import (
 // remote counterpart of a ShardedProfiler. Stream events with Observe /
 // ObserveBatch / Flush, consume interval profiles from Profiles (or drive
 // everything with Run), and finish with Drain (keeps the partial interval)
-// or Close (discards it). See cmd/profiled for the daemon and cmd/profctl
-// for the CLI client.
+// or Close (discards it). On a session opened with WithMarks, place each
+// interval boundary with Mark. See cmd/profiled for the daemon and
+// cmd/profctl for the CLI client.
 type RemoteSession = client.Session
 
 // RemoteProfile is one interval profile delivered by a daemon, including
@@ -18,40 +23,77 @@ type RemoteProfile = client.Profile
 
 // RemoteOptions tunes a remote session: shard count, batch size, dial
 // timeout, reconnect/backoff policy, wire deadlines.
+//
+// Deprecated: new code states these knobs as Connect options (WithShards,
+// WithBatchSize, WithBackoff, WithoutReconnect, ...); RemoteOptions remains
+// for DialWith.
 type RemoteOptions = client.Options
 
 // ErrRemoteClosed is returned by operations on a remote session that was
 // already drained or closed.
 var ErrRemoteClosed = client.ErrSessionClosed
 
-// Dial connects to a profiled daemon at addr (host:port), opens a session
-// running cfg on an engine of rc.Shards shards, and returns it. Events then
-// stream over the wire in batches of rc.BatchSize, and the daemon returns
-// one profile per completed cfg.IntervalLength events.
+// Connect is the unified remote entry point: it opens a profiling session
+// with the profiled daemon at addr (host:port), running the configuration
+// given WithConfig — BestMultiHash over the paper's short-interval regime
+// by default — on an engine of WithShards shards. Events then stream over
+// the wire in batches, and the daemon returns one profile per completed
+// interval.
 //
 // On a block-policy daemon the returned profiles are bit-identical to a
-// local RunParallel over the same stream, configuration and seed — the
+// local Profile run over the same stream, configuration and seed — the
 // daemon places interval boundaries exactly where the local batched driver
 // does. On a shed-policy daemon profiles are lossy under overload; each
 // RemoteProfile carries the cumulative shed count.
 //
-// Dial enables automatic reconnect: when the daemon retains disconnected
+// Reconnect is on by default: when the daemon retains disconnected
 // sessions, a broken connection is redialed under jittered exponential
 // backoff and the session resumed where the stream broke, with the
-// delivered profiles staying bit-identical to an uninterrupted run. Use
-// DialWith to tune or disable that behavior.
+// delivered profiles staying bit-identical to an uninterrupted run. Tune
+// it with WithBackoff / WithMaxAttempts or disable it with
+// WithoutReconnect. ctx governs connection establishment, including the
+// dials of later reconnects; cancel it to stop redialing.
+func Connect(ctx context.Context, addr string, opts ...Option) (*RemoteSession, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := buildOptions(opts)
+	cfg := BestMultiHash(ShortIntervalConfig())
+	if o.cfg != nil {
+		cfg = *o.cfg
+	}
+	co := o.remote
+	if !o.reconnectSet {
+		co.Reconnect = true
+	}
+	if co.Dialer == nil {
+		co.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			d := net.Dialer{Timeout: timeout}
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	return client.Dial(addr, cfg, co)
+}
+
+// Dial connects to a profiled daemon and opens a session running cfg on an
+// engine of rc.Shards shards, with automatic reconnect enabled.
+//
+// Deprecated: use Connect — Dial is a thin wrapper over it and keeps its
+// exact semantics:
+//
+//	Connect(ctx, addr, WithConfig(cfg), WithShards(n), WithBatchSize(b))
 func Dial(addr string, cfg Config, rc RunConfig) (*RemoteSession, error) {
-	return client.Dial(addr, cfg, client.Options{
-		Shards:    rc.Shards,
-		BatchSize: rc.BatchSize,
-		Reconnect: true,
-	})
+	return Connect(context.Background(), addr,
+		WithConfig(cfg), withRunConfig(rc), WithReconnect())
 }
 
 // DialWith opens a remote session with full control over the session
-// options: reconnect and backoff policy, wire deadlines, batch size, dial
-// hook. Dial is the common case; DialWith is for load generators, tests,
-// and deployments that need the knobs.
+// options.
+//
+// Deprecated: use Connect — every RemoteOptions knob has a Connect option
+// (note Connect defaults reconnect ON where RemoteOptions defaults it
+// off). DialWith is a thin wrapper and keeps its exact semantics.
 func DialWith(addr string, cfg Config, opts RemoteOptions) (*RemoteSession, error) {
-	return client.Dial(addr, cfg, opts)
+	return Connect(context.Background(), addr,
+		WithConfig(cfg), withClientOptions(opts))
 }

@@ -16,10 +16,21 @@
 //	    -metrics http://localhost:9124/metrics
 //	loadgen -tree-daemons m1:9123,m2:9123,m3:9123 -tree-root localhost:9323 \
 //	    -events 100000 -hangup-every 2
+//	loadgen -kill-daemon-at 50000 -daemon-bin ./profiled -sessions 4 \
+//	    -events 100000 -daemon-journal-sync batch -daemon-telemetry :9124
 //
 // Sessions refused admission are reported and tolerated (an overloaded
 // daemon refusing work is correct behavior); any other session failure
 // makes loadgen exit non-zero.
+//
+// With -kill-daemon-at, loadgen owns the daemon's lifecycle instead of
+// dialing an external one: it spawns -daemon-bin listening on -addr with a
+// write-ahead journal, streams every session to the given event offset,
+// SIGKILLs the daemon mid-stream, restarts it on the same address — the
+// restart replays the journals and re-parks the sessions — and requires
+// every reconnecting session's profiles to come out bit-identical to an
+// uninterrupted local run. With -daemon-telemetry set it also scrapes the
+// restarted daemon and asserts the journal recovery counters are clean.
 //
 // With -tree-daemons, loadgen instead drives an aggregation tree: it opens
 // one marked session per publishing daemon, fans a single union workload
@@ -39,9 +50,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"hwprof"
@@ -78,6 +92,12 @@ func main() {
 
 		treeDaemons = flag.String("tree-daemons", "", "comma-separated profiled -publish daemons; enables tree mode: one marked session per daemon, a union stream fanned out by shard route")
 		treeRoot    = flag.String("tree-root", "", "root aggregator to subscribe to for merged fleet epochs (tree mode)")
+
+		killAt          = flag.Uint64("kill-daemon-at", 0, "crash mode: per-session event offset at which the spawned daemon is SIGKILLed and restarted (0: off)")
+		daemonBin       = flag.String("daemon-bin", "profiled", "crash mode: profiled binary to spawn on -addr")
+		daemonJournal   = flag.String("daemon-journal-dir", "", "crash mode: journal directory handed to the spawned daemon (empty: a temp dir, removed after the run)")
+		daemonSync      = flag.String("daemon-journal-sync", "batch", "crash mode: -journal-sync handed to the spawned daemon")
+		daemonTelemetry = flag.String("daemon-telemetry", "", "crash mode: -telemetry address handed to the spawned daemon (empty: disabled)")
 	)
 	flag.Parse()
 
@@ -114,6 +134,46 @@ func main() {
 		hangEvery: *hangEvery, hangBytes: *hangBytes,
 		flipEvery: *flipEvery, flipBytes: *flipBytes,
 		backoff: *backoff, attempts: *attempts,
+	}
+	if *killAt > 0 {
+		if *treeDaemons != "" {
+			fmt.Fprintln(os.Stderr, "loadgen: crash mode and tree mode are mutually exclusive")
+			os.Exit(1)
+		}
+		if *killAt >= perSession {
+			fmt.Fprintf(os.Stderr, "loadgen: -kill-daemon-at %d must land mid-stream (< %d events per session)\n", *killAt, perSession)
+			os.Exit(1)
+		}
+		dir, tmp := *daemonJournal, false
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "loadgen-journal-"); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen:", err)
+				os.Exit(1)
+			}
+			tmp = true
+		}
+		metricsURL := *metrics
+		if metricsURL == "" && *daemonTelemetry != "" {
+			hostport := *daemonTelemetry
+			if strings.HasPrefix(hostport, ":") {
+				hostport = "localhost" + hostport
+			}
+			metricsURL = "http://" + hostport + "/metrics"
+		}
+		d := &daemonProc{
+			bin: *daemonBin, listen: *addr, telemetry: *daemonTelemetry,
+			journalDir: dir, journalSync: *daemonSync,
+		}
+		err := g.crash(d, *killAt, metricsURL)
+		if tmp {
+			os.RemoveAll(dir)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *treeDaemons != "" {
 		var daemons []string
@@ -433,6 +493,297 @@ func (g *generator) tree(daemons []string, root string) error {
 	return nil
 }
 
+// daemonProc is a profiled process loadgen owns in crash mode: spawned,
+// SIGKILLed mid-stream, and respawned on the same address with the same
+// journal so the restart replays it.
+type daemonProc struct {
+	bin, listen, telemetry  string
+	journalDir, journalSync string
+
+	cmd    *exec.Cmd
+	exited chan error
+}
+
+func (d *daemonProc) args() []string {
+	return []string{
+		"-listen", d.listen,
+		"-telemetry", d.telemetry,
+		"-journal-dir", d.journalDir,
+		"-journal-sync", d.journalSync,
+		"-resume-grace", "1m",
+	}
+}
+
+// start spawns the daemon and waits until its wire port accepts, retrying
+// the spawn in case a restart races the dying process's socket release.
+func (d *daemonProc) start() error {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		cmd := exec.Command(d.bin, d.args()...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawning %s: %w", d.bin, err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- cmd.Wait() }()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			select {
+			case err := <-exited:
+				lastErr = fmt.Errorf("daemon exited during startup: %v", err)
+			default:
+				if c, err := net.DialTimeout("tcp", d.listen, time.Second); err == nil {
+					c.Close()
+					d.cmd, d.exited = cmd, exited
+					return nil
+				}
+				if time.Now().Before(deadline) {
+					time.Sleep(20 * time.Millisecond)
+					continue
+				}
+				cmd.Process.Kill()
+				<-exited
+				lastErr = fmt.Errorf("daemon never accepted on %s", d.listen)
+			}
+			break
+		}
+	}
+	return lastErr
+}
+
+// kill delivers kill -9: no drain, no goodbyes, buffered journal bytes lost.
+func (d *daemonProc) kill() error {
+	if err := d.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("killing daemon: %w", err)
+	}
+	<-d.exited
+	return nil
+}
+
+// stop shuts the daemon down gracefully, escalating to SIGKILL on a stall.
+func (d *daemonProc) stop() {
+	if d.cmd == nil {
+		return
+	}
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-d.exited:
+	case <-time.After(15 * time.Second):
+		d.cmd.Process.Kill()
+		<-d.exited
+	}
+	d.cmd = nil
+}
+
+// killGateSource delivers the wrapped stream up to the kill offset, then
+// announces its arrival and blocks until the daemon restart completes — so
+// every session holds mid-stream, with at most one partial batch unsent,
+// while the daemon under it is killed and recovered.
+type killGateSource struct {
+	inner  hwprof.Source
+	at     uint64
+	arrive func()
+	resume <-chan struct{}
+	n      uint64
+}
+
+func (k *killGateSource) Next() (hwprof.Tuple, bool) {
+	if k.n == k.at {
+		k.arrive()
+		<-k.resume
+	}
+	k.n++
+	return k.inner.Next()
+}
+
+func (k *killGateSource) Err() error { return k.inner.Err() }
+
+// crash drives sessions against a daemon loadgen itself spawned, kills the
+// daemon with SIGKILL once every session has streamed killAt events, and
+// restarts it on the same address. Each session holds at the kill point so
+// the crash lands at a deterministic stream offset, then resumes against
+// the restarted daemon's recovered tombstones; every session's delivered
+// profiles must be bit-identical to an uninterrupted local run of the same
+// workload and seed.
+func (g *generator) crash(d *daemonProc, killAt uint64, metricsURL string) error {
+	fmt.Printf("loadgen: crash mode: %d session(s) × %d events, SIGKILL at event %d, journal %s (sync %s)\n",
+		g.sessions, g.events, killAt, d.journalDir, d.journalSync)
+	if err := d.start(); err != nil {
+		return err
+	}
+	defer d.stop()
+
+	ctx := context.Background()
+	restarted := make(chan struct{})
+	var atGate sync.WaitGroup
+	atGate.Add(g.sessions)
+
+	type crashOutcome struct {
+		idx        int
+		profiles   []map[hwprof.Tuple]uint64
+		reconnects uint64
+		err        error
+	}
+	results := make(chan crashOutcome, g.sessions)
+	for i := 0; i < g.sessions; i++ {
+		go func(idx int) {
+			var once sync.Once
+			arrive := func() { once.Do(atGate.Done) } // a failed session must not wedge the gate
+			defer arrive()
+			out := crashOutcome{idx: idx}
+			defer func() { results <- out }()
+
+			cfg := g.cfg
+			cfg.Seed = g.seed + uint64(idx)
+			sess, err := hwprof.Connect(ctx, g.addr,
+				hwprof.WithConfig(cfg), hwprof.WithShards(g.shards), hwprof.WithBatchSize(g.batch),
+				hwprof.WithBackoff(g.backoff, 0), hwprof.WithMaxAttempts(g.attempts))
+			if err != nil {
+				out.err = err
+				return
+			}
+			defer sess.Close()
+			src, err := hwprof.NewWorkload(g.workload, hwprof.KindValue, cfg.Seed)
+			if err != nil {
+				out.err = err
+				return
+			}
+			gated := &killGateSource{
+				inner: hwprof.Limit(src, g.events), at: killAt,
+				arrive: arrive, resume: restarted,
+			}
+			_, out.err = sess.Run(gated, func(_ int, counts map[hwprof.Tuple]uint64) {
+				out.profiles = append(out.profiles, counts)
+			})
+			out.reconnects = sess.Reconnects()
+		}(i)
+	}
+
+	atGate.Wait()
+	// Give the daemon a beat to drain queued batches into the journal, so
+	// the restart replays real stream content, not just the Hello record.
+	time.Sleep(500 * time.Millisecond)
+	fmt.Printf("loadgen: crash: all sessions held at event %d, killing the daemon\n", killAt)
+	if err := d.kill(); err != nil {
+		close(restarted)
+		return err
+	}
+	if err := d.start(); err != nil {
+		close(restarted)
+		return fmt.Errorf("restarting daemon: %w", err)
+	}
+	fmt.Println("loadgen: crash: daemon restarted, releasing sessions")
+	close(restarted)
+
+	outs := make([]crashOutcome, g.sessions)
+	for i := 0; i < g.sessions; i++ {
+		out := <-results
+		outs[out.idx] = out
+	}
+	failed := 0
+	var reconnects uint64
+	for _, out := range outs {
+		if out.err != nil {
+			failed++
+			fmt.Printf("session %d: FAILED: %v\n", out.idx, out.err)
+			continue
+		}
+		// The reference: the same workload and seed through a local engine,
+		// no daemon and no crash in the path.
+		cfg := g.cfg
+		cfg.Seed = g.seed + uint64(out.idx)
+		refSrc, err := hwprof.NewWorkload(g.workload, hwprof.KindValue, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		var ref []map[hwprof.Tuple]uint64
+		if _, err := hwprof.Profile(ctx, hwprof.Limit(refSrc, g.events),
+			hwprof.WithConfig(cfg), hwprof.WithShards(g.shards), hwprof.WithoutOracle(),
+			hwprof.OnInterval(func(_ int, _, hw map[hwprof.Tuple]uint64) { ref = append(ref, hw) })); err != nil {
+			return fmt.Errorf("local reference run: %w", err)
+		}
+		switch {
+		case len(out.profiles) != len(ref):
+			failed++
+			fmt.Printf("session %d: FAILED: %d interval(s) delivered, reference has %d\n",
+				out.idx, len(out.profiles), len(ref))
+		case out.reconnects == 0:
+			failed++
+			fmt.Printf("session %d: FAILED: no reconnect observed — the kill exercised no recovery\n", out.idx)
+		default:
+			bad := 0
+			for e := range ref {
+				if !countsEqual(out.profiles[e], ref[e]) {
+					bad++
+				}
+			}
+			if bad > 0 {
+				failed++
+				fmt.Printf("session %d: FAILED: %d of %d interval(s) diverge from the uninterrupted run\n",
+					out.idx, bad, len(ref))
+				continue
+			}
+			reconnects += out.reconnects
+			fmt.Printf("session %d: %d interval(s) bit-identical across the kill, %d reconnect(s)\n",
+				out.idx, len(ref), out.reconnects)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d session(s) failed", failed, g.sessions)
+	}
+
+	if metricsURL != "" {
+		vals, err := fetchMetrics(metricsURL)
+		if err != nil {
+			return fmt.Errorf("scraping %s: %w", metricsURL, err)
+		}
+		if got := vals["hwprof_journal_recovered_sessions_total"]; got != float64(g.sessions) {
+			return fmt.Errorf("hwprof_journal_recovered_sessions_total = %g, want %d", got, g.sessions)
+		}
+		if got := vals["hwprof_journal_recover_failures_total"]; got != 0 {
+			return fmt.Errorf("hwprof_journal_recover_failures_total = %g, want 0", got)
+		}
+		if got := vals["hwprof_journal_torn_truncations_total"]; got > 0 {
+			fmt.Printf("loadgen: crash: %g torn journal tail(s) truncated on recovery\n", got)
+		}
+		fmt.Printf("loadgen: crash: recovery counters clean (%d recovered, 0 failures)\n", g.sessions)
+	}
+	fmt.Printf("loadgen: crash: PASS — %d session(s) resumed bit-identically across a daemon SIGKILL (%d reconnect(s))\n",
+		g.sessions, reconnects)
+	return nil
+}
+
+// fetchMetrics scrapes a Prometheus text endpoint into name → value.
+func fetchMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	vals := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			vals[fields[0]] = v
+		}
+	}
+	return vals, nil
+}
+
 // countsEqual compares two profiles bit-for-bit.
 func countsEqual(a, b map[hwprof.Tuple]uint64) bool {
 	if len(a) != len(b) {
@@ -550,7 +901,7 @@ func scrapeMetrics(url string) {
 		for _, prefix := range []string{
 			"hwprof_admission_", "hwprof_shed_", "hwprof_events_shed",
 			"hwprof_resume", "hwprof_tombstones_", "hwprof_sessions_",
-			"hwprof_frames_corrupt",
+			"hwprof_frames_corrupt", "hwprof_journal_",
 		} {
 			if strings.HasPrefix(line, prefix) {
 				fmt.Println("  " + line)

@@ -9,6 +9,14 @@
 //	profiled -listen :9123 -shed -queue 32 -max-sessions 512
 //	profiled -listen :9123 -budget 64 -shed -shed-high 24 -shed-low 8 -resume-grace 1m
 //	profiled -listen :9123 -publish -machine-id m1 -epoch-length 10000
+//	profiled -listen :9123 -journal-dir /var/lib/profiled -journal-sync interval
+//
+// With -journal-dir every session mirrors its accepted batches and
+// interval boundaries into a per-session write-ahead journal; a restarted
+// daemon replays the journals, re-parks the sessions, and reconnecting
+// clients resume bit-identically across the crash. -journal-sync picks the
+// durability barrier (none, interval, or batch); -tenant-rate bounds how
+// fast one remote host may open new sessions.
 //
 // With -publish the daemon additionally merges the interval profiles of
 // epoch-aligned sessions (marked sessions, or sessions whose interval
@@ -39,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"hwprof/internal/journal"
 	"hwprof/internal/server"
 )
 
@@ -66,8 +75,23 @@ func main() {
 		epochDeadline = flag.Duration("epoch-deadline", 0, "straggler deadline before an epoch closes partial (0: default; set well above reconnect time; negative disables)")
 		epochWindow   = flag.Int("epoch-window", 0, "open epochs before force-close (0: default)")
 		epochRetain   = flag.Int("epoch-retain", 0, "closed epochs retained for subscriber resubscription (0: default)")
+
+		journalDir     = flag.String("journal-dir", "", "directory for per-session write-ahead journals; empty disables crash durability")
+		journalSync    = flag.String("journal-sync", "interval", "journal durability barrier: none, interval, or batch")
+		journalSegment = flag.Int64("journal-segment-bytes", 0, "journal segment rotation threshold in bytes (0: default)")
+		tenantRate     = flag.Float64("tenant-rate", 0, "per-tenant session admission rate in sessions/s (0 disables)")
+		tenantBurst    = flag.Float64("tenant-burst", 0, "per-tenant admission burst (0: ceil of -tenant-rate)")
 	)
 	flag.Parse()
+	sync, err := journal.ParseSync(*journalSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profiled:", err)
+		os.Exit(2)
+	}
+	if *journalDir != "" && *resumeGrace < 0 {
+		fmt.Fprintln(os.Stderr, "profiled: -journal-dir requires resume (-resume-grace must not be negative): recovery re-parks sessions for their clients to resume")
+		os.Exit(2)
+	}
 	cfg := server.Config{
 		QueueDepth:    *queue,
 		MaxSessions:   *maxSessions,
@@ -86,6 +110,12 @@ func main() {
 		EpochDeadline: *epochDeadline,
 		EpochWindow:   *epochWindow,
 		EpochRetain:   *epochRetain,
+
+		JournalDir:          *journalDir,
+		JournalSync:         sync,
+		JournalSegmentBytes: *journalSegment,
+		TenantRate:          *tenantRate,
+		TenantBurst:         *tenantBurst,
 	}
 	if err := run(*listen, *telemetry, cfg, *drainTimeout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "profiled:", err)
@@ -98,6 +128,15 @@ func run(listen, telemetry string, cfg server.Config, drainTimeout time.Duration
 		cfg.Logf = log.Printf
 	}
 	srv := server.New(cfg)
+	if cfg.JournalDir != "" {
+		// Recovery runs before the listener opens: reconnecting clients
+		// must find their sessions already re-parked.
+		n, err := srv.Recover()
+		if err != nil {
+			return fmt.Errorf("recovering journals: %w", err)
+		}
+		log.Printf("profiled: journaling to %s (sync %v), %d session(s) recovered", cfg.JournalDir, cfg.JournalSync, n)
+	}
 
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {

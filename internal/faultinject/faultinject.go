@@ -260,6 +260,80 @@ func (c *FlipConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// TornWriter wraps an io.Writer and silently discards every byte past
+// write-stream offset After — the model of a power cut or kill -9 whose
+// final write never reached the device. Writes keep "succeeding" so the
+// victim stays oblivious, exactly as a crashed process would have been;
+// what lands on the other side is a torn prefix for the recovery path to
+// truncate at the last valid CRC.
+type TornWriter struct {
+	W     io.Writer
+	After int64 // bytes persisted before the tear
+
+	written int64
+}
+
+// Write persists bytes up to the tear point and discards the rest,
+// reporting full success either way.
+func (w *TornWriter) Write(p []byte) (int, error) {
+	keep := w.After - w.written
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > int64(len(p)) {
+		keep = int64(len(p))
+	}
+	if keep > 0 {
+		if n, err := w.W.Write(p[:keep]); err != nil {
+			w.written += int64(n)
+			return n, err
+		}
+	}
+	w.written += int64(len(p))
+	return len(p), nil
+}
+
+// Torn reports whether the tear point has been crossed.
+func (w *TornWriter) Torn() bool { return w.written > w.After }
+
+// FailingFile wraps a journal-style file — anything with Write, Sync and
+// Close — and fails the Sync call numbered After (1-based) and every one
+// following with Cause (ErrInjected if nil): the model of a disk whose
+// fsync starts failing under a durability-critical writer. Writes keep
+// succeeding; only the durability barrier breaks.
+type FailingFile struct {
+	F interface {
+		io.Writer
+		Sync() error
+		Close() error
+	}
+	After int64 // successful Syncs before the failure
+	Cause error
+
+	syncs int64
+}
+
+// Write forwards to the wrapped file.
+func (f *FailingFile) Write(p []byte) (int, error) { return f.F.Write(p) }
+
+// Sync fails from the After-th call on.
+func (f *FailingFile) Sync() error {
+	f.syncs++
+	if f.syncs >= f.After {
+		if f.Cause != nil {
+			return f.Cause
+		}
+		return fmt.Errorf("%w: fsync %d failed", ErrInjected, f.syncs)
+	}
+	return f.F.Sync()
+}
+
+// Close forwards to the wrapped file.
+func (f *FailingFile) Close() error { return f.F.Close() }
+
+// Syncs returns the number of Sync calls observed so far.
+func (f *FailingFile) Syncs() int64 { return f.syncs }
+
 var (
 	_ event.Source      = (*FailingSource)(nil)
 	_ event.BatchSource = (*FailingSource)(nil)
@@ -268,4 +342,5 @@ var (
 	_ io.Reader         = (*FailingReader)(nil)
 	_ net.Conn          = (*HangupConn)(nil)
 	_ net.Conn          = (*FlipConn)(nil)
+	_ io.Writer         = (*TornWriter)(nil)
 )

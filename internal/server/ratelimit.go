@@ -1,0 +1,89 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-tenant token bucket over session admissions, keyed
+// by the client's remote host: each host accrues TenantRate tokens per
+// second up to TenantBurst, and opening a session spends one. It sits in
+// front of the cost-based admission controller — cost admission protects
+// the daemon's capacity, the rate limit protects it from one tenant
+// churning sessions fast enough to starve everyone else's admissions.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// bucketCap bounds the tenant map; full buckets are pruned past it, so an
+// address-churning scanner cannot grow the map without bound.
+const bucketCap = 1024
+
+func newRateLimiter(rate, burst float64, now func() time.Time) *rateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	return &rateLimiter{rate: rate, burst: burst, now: now, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from host's bucket, reporting whether one was
+// available.
+func (l *rateLimiter) allow(host string) bool {
+	t := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[host]
+	if b == nil {
+		if len(l.buckets) >= bucketCap {
+			l.pruneLocked(t)
+		}
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[host] = b
+	} else {
+		b.tokens += t.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = t
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// pruneLocked drops every bucket that has refilled completely — a host
+// that has not opened a session for burst/rate seconds is
+// indistinguishable from one never seen.
+func (l *rateLimiter) pruneLocked(t time.Time) {
+	for host, b := range l.buckets {
+		if b.tokens+t.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, host)
+		}
+	}
+}
+
+// tenantHost extracts the rate-limit key from a remote address: the host
+// without the ephemeral port, so reconnects count against one bucket.
+func tenantHost(addr net.Addr) string {
+	if addr == nil {
+		return ""
+	}
+	host, _, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return addr.String()
+	}
+	return host
+}

@@ -1,0 +1,62 @@
+package server_test
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"hwprof/internal/client"
+	"hwprof/internal/faultinject"
+	"hwprof/internal/server"
+	"hwprof/internal/wire"
+)
+
+// TestTenantRateRefusal opens sessions faster than the per-tenant rate
+// allows: the burst is admitted, the next Hello is refused with a typed
+// overload error naming the rate, and the refusal is counted.
+func TestTenantRateRefusal(t *testing.T) {
+	srv, addr := startServer(t, server.Config{TenantRate: 0.001, TenantBurst: 2})
+
+	for i := 0; i < 2; i++ {
+		sess, err := client.Dial(addr, testConfig(uint64(i)), client.Options{})
+		if err != nil {
+			t.Fatalf("session %d inside the burst refused: %v", i, err)
+		}
+		defer sess.Close()
+	}
+	_, err := client.Dial(addr, testConfig(9), client.Options{})
+	if err == nil {
+		t.Fatal("session past the tenant burst admitted")
+	}
+	var e wire.ErrorMsg
+	if !errors.As(err, &e) || e.Code != wire.CodeOverload {
+		t.Fatalf("got %v, want a CodeOverload refusal", err)
+	}
+	if !strings.Contains(e.Msg, "rate") {
+		t.Fatalf("refusal %q does not name the rate limit", e.Msg)
+	}
+	if got := srv.Metrics().AdmissionRefusedRate.Load(); got != 1 {
+		t.Errorf("admission_refused_rate = %d, want 1", got)
+	}
+}
+
+// TestTenantRateSparesResume gives the tenant a budget of exactly one
+// session, then breaks that session's connection mid-stream: the Resume on
+// the reconnect must still be admitted — rate limiting new sessions must
+// never block recovery of existing ones.
+func TestTenantRateSparesResume(t *testing.T) {
+	srv, addr := startServer(t, server.Config{TenantRate: 0.001, TenantBurst: 1})
+
+	hangup := func(c net.Conn) net.Conn { return &faultinject.HangupConn{Conn: c, After: 2000} }
+	sess := resumeRun(t, addr, 5, 3, []func(net.Conn) net.Conn{hangup})
+	if got := sess.Reconnects(); got != 1 {
+		t.Errorf("reconnects = %d, want 1", got)
+	}
+	if got := srv.Metrics().ResumesTotal.Load(); got != 1 {
+		t.Errorf("resumes_total = %d, want 1", got)
+	}
+	if got := srv.Metrics().AdmissionRefusedRate.Load(); got != 0 {
+		t.Errorf("admission_refused_rate = %d, want 0: resume was rate limited", got)
+	}
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRateLimiterBucket drives the token bucket with a fake clock: the
+// burst is spendable immediately, the next request is refused, and tokens
+// refill at the configured rate.
+func TestRateLimiterBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newRateLimiter(2, 3, func() time.Time { return now })
+	for i := 0; i < 3; i++ {
+		if !l.allow("10.0.0.1") {
+			t.Fatalf("request %d inside the burst refused", i)
+		}
+	}
+	if l.allow("10.0.0.1") {
+		t.Fatal("request past the burst allowed")
+	}
+	if !l.allow("10.0.0.2") {
+		t.Fatal("another tenant's request refused by the first's exhaustion")
+	}
+	now = now.Add(500 * time.Millisecond) // refills 1 token at 2/s
+	if !l.allow("10.0.0.1") {
+		t.Fatal("request after refill refused")
+	}
+	if l.allow("10.0.0.1") {
+		t.Fatal("second request after a one-token refill allowed")
+	}
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !l.allow("10.0.0.1") {
+			t.Fatalf("request %d after a long idle refused: refill must cap at the burst", i)
+		}
+	}
+	if l.allow("10.0.0.1") {
+		t.Fatal("burst cap not enforced after a long idle")
+	}
+}
+
+// TestRateLimiterPrune fills the tenant map past its cap and checks fully
+// refilled buckets are dropped while an exhausted one survives.
+func TestRateLimiterPrune(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newRateLimiter(1, 1, func() time.Time { return now })
+	if !l.allow("victim") {
+		t.Fatal("first request refused")
+	}
+	// victim's bucket is empty; everyone else's refills instantly once
+	// time passes.
+	for i := 0; i < bucketCap; i++ {
+		l.allow(string(rune('a'+i%26)) + time.Duration(i).String())
+	}
+	now = now.Add(time.Hour)
+	l.allow("overflow") // triggers the prune
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("%d buckets survive the prune, want <= 2 (the new one and none refilled)", n)
+	}
+}

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"hwprof/internal/event"
+	"hwprof/internal/journal"
+	"hwprof/internal/shard"
+	"hwprof/internal/wire"
+)
+
+// Recovery: a restarted daemon rebuilds crashed sessions from their
+// write-ahead journals. Each journal replays through a fresh engine — the
+// same batches through the same deterministic pipeline reproduce the same
+// counter state bit for bit, which is verified at every boundary by
+// re-encoding the replayed interval profile and byte-comparing it against
+// the frame the crashed daemon journaled (profile encoding sorts its
+// entries, so equal profiles encode equally). Recovered sessions are
+// re-parked under the ordinary resume machinery: to a reconnecting client
+// the daemon crash is indistinguishable from a dropped connection.
+//
+// Publishing sessions also re-pin their fleet epochs. The feed restarts
+// empty, so each recovered publisher re-joins at the epoch of its replay
+// entry point (JoinAt — epochs below it are not awaited and close empty;
+// an aggregator resubscribes above them, so it never sees the difference)
+// and every replayed interval profile is re-reported. Reports interleave
+// in ascending epoch order across sessions, after every publisher has
+// re-joined, so no epoch closes before a recovered contributor reaches it
+// and the re-closed epochs merge exactly the counts the originals did.
+// Sessions that ended cleanly before the crash have no journal left and
+// are not re-reported — an aggregator that had not yet consumed epochs
+// they contributed to sees those epochs re-close without them (partial,
+// with the member gone). That is the one epoch-level difference a crash
+// can leave behind.
+
+// recoveredReport is one replayed interval profile destined for the epoch
+// feed.
+type recoveredReport struct {
+	pub    string
+	epoch  uint64
+	counts map[event.Tuple]uint64
+}
+
+// recoverHandler replays one session's journal into a fresh engine,
+// implementing journal.Handler.
+type recoverHandler struct {
+	srv *Server
+	id  uint64
+
+	meta       journal.Meta
+	eng        *shard.Profiler
+	shards     int
+	pub        string // feed member name; "" when not publishing
+	firstEpoch uint64 // epoch of the replay entry point
+	ring       [][]byte
+	events     uint64 // events since the last replayed boundary
+	reports    []recoveredReport
+	enc        []byte
+}
+
+func (h *recoverHandler) Start(meta journal.Meta, state journal.State) error {
+	if err := meta.Hello.Config.Validate(); err != nil {
+		return fmt.Errorf("journaled config: %w", err)
+	}
+	shards := meta.Hello.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	eng, err := shard.New(shard.Config{Core: meta.Hello.Config, NumShards: shards})
+	if err != nil {
+		return fmt.Errorf("rebuilding engine: %w", err)
+	}
+	h.meta = meta
+	h.eng = eng
+	h.shards = shards
+	h.ring = state.Ring
+	if meta.Pub && h.srv.feed != nil {
+		h.pub = fmt.Sprintf("%s/s%d", h.srv.cfg.MachineID, meta.SessionID)
+		h.firstEpoch = meta.PubBase + state.Interval
+	}
+	return nil
+}
+
+func (h *recoverHandler) Batch(events []event.Tuple) error {
+	h.eng.ObserveBatch(events)
+	h.events += uint64(len(events))
+	return h.eng.Err()
+}
+
+func (h *recoverHandler) Boundary(index, shed uint64, profile []byte) error {
+	prof := h.eng.EndInterval()
+	if err := h.eng.Err(); err != nil {
+		return err
+	}
+	h.enc = wire.AppendProfile(h.enc[:0], wire.ProfileMsg{Index: index, Shed: shed, Counts: prof})
+	if !bytes.Equal(h.enc, profile) {
+		// The replayed engine did not reproduce the profile the client was
+		// sent — resuming it would break the bit-identity contract.
+		return fmt.Errorf("replay diverged at interval %d: re-encoded profile does not match the journaled frame", index)
+	}
+	if h.pub != "" {
+		h.reports = append(h.reports, recoveredReport{pub: h.pub, epoch: h.meta.PubBase + index, counts: prof})
+	} else {
+		h.eng.Recycle(prof)
+	}
+	h.ring = append(h.ring, profile)
+	if window := h.srv.cfg.ResumeWindow; len(h.ring) > window {
+		h.ring = h.ring[len(h.ring)-window:]
+	}
+	h.events = 0
+	return nil
+}
+
+// Recover scans the journal directory and replays every crashed session
+// back into a parked tombstone, returning how many sessions were
+// recovered. Call it after New and before Serve: recovered sessions enter
+// the resume-grace window immediately, and their clients' Resume frames
+// must find them registered. A journal that cannot be recovered —
+// unreplayable, diverged, or refused admission — is counted, logged and
+// removed; its client's Resume is refused like any expired tombstone's.
+func (s *Server) Recover() (int, error) {
+	if !s.journaling() {
+		return 0, nil
+	}
+	if !s.cfg.resumeEnabled() {
+		return 0, errors.New("server: journal recovery requires resume (ResumeGrace must not be negative)")
+	}
+	ids, err := journal.ScanDir(s.journal.Dir)
+	if err != nil {
+		return 0, err
+	}
+	var sessions []*session
+	var firsts []uint64 // firstEpoch per recovered session, parallel
+	var reports []recoveredReport
+	for _, id := range ids {
+		sess, h, err := s.recoverSession(id)
+		if err != nil {
+			s.metrics.JournalRecoverFailures.Inc()
+			s.logf("session %d: recovery failed: %v", id, err)
+			if rmErr := journal.Remove(s.journal.Dir, id); rmErr != nil {
+				s.logf("session %d: removing unrecoverable journal: %v", id, rmErr)
+			}
+			continue
+		}
+		if sess == nil {
+			// The journal records a clean end: the client got everything.
+			if rmErr := journal.Remove(s.journal.Dir, id); rmErr != nil {
+				s.logf("session %d: removing ended journal: %v", id, rmErr)
+			}
+			continue
+		}
+		sessions = append(sessions, sess)
+		firsts = append(firsts, h.firstEpoch)
+		reports = append(reports, h.reports...)
+	}
+
+	// Re-pin fleet epochs: every publisher joins first, then the replayed
+	// profiles re-report in ascending epoch order across sessions — an
+	// epoch may only close once everyone who will contribute to it has
+	// both joined and reported.
+	if s.feed != nil {
+		for i, sess := range sessions {
+			if sess.pub != "" {
+				s.feed.JoinAt(sess.pub, firsts[i])
+			}
+		}
+		sort.SliceStable(reports, func(i, j int) bool { return reports[i].epoch < reports[j].epoch })
+		for _, r := range reports {
+			s.feed.Report(r.pub, r.epoch, r.counts, nil)
+		}
+	}
+
+	for _, sess := range sessions {
+		s.parkRecovered(sess)
+	}
+	return len(sessions), nil
+}
+
+// parkRecovered registers a recovered session as a tombstone in the
+// resume-grace window, exactly as if its connection had just dropped.
+func (s *Server) parkRecovered(sess *session) {
+	s.mu.Lock()
+	sess.parkEpoch++
+	epoch := sess.parkEpoch
+	s.tombs[sess.id] = sess
+	s.mu.Unlock()
+	s.metrics.SessionsParked.Add(1)
+	s.metrics.JournalRecovered.Inc()
+	s.logf("session %d: recovered at interval %d+%d events (stream pos %d), grace %v",
+		sess.id, sess.interval, sess.events, sess.streamPos.Load(), s.cfg.ResumeGrace)
+	time.AfterFunc(s.cfg.ResumeGrace, func() { s.expireTombstone(sess.id, epoch) })
+}
+
+// recoverSession replays one journal into a parked session. A nil session
+// with nil error means the journal recorded a clean end.
+func (s *Server) recoverSession(id uint64) (*session, *recoverHandler, error) {
+	h := &recoverHandler{srv: s, id: id}
+	w, st, stats, err := journal.Recover(s.journal, id, h)
+	if stats.TornSegments > 0 {
+		s.metrics.JournalTornTruncations.Add(uint64(stats.TornSegments))
+		s.logf("session %d: journal repaired: %d torn segment(s), %d byte(s) truncated, %d later segment(s) dropped",
+			id, stats.TornSegments, stats.TornBytes, stats.DroppedSegments)
+	}
+	if err != nil {
+		if h.eng != nil {
+			h.eng.Close()
+		}
+		return nil, nil, err
+	}
+	if w == nil {
+		return nil, nil, nil
+	}
+
+	// Recovered sessions pass the same admission the original did: the
+	// restarted daemon may be configured tighter than the one that crashed.
+	cost := sessionCost(h.meta.Hello.Config, h.shards)
+	s.mu.Lock()
+	if len(s.sessions)+len(s.tombs) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		h.eng.Close()
+		w.Abandon()
+		return nil, nil, fmt.Errorf("admission refused: session limit %d reached", s.cfg.MaxSessions)
+	}
+	ok, reason := s.admission.tryAcquire(cost)
+	if ok && id > s.nextID {
+		s.nextID = id
+	}
+	s.mu.Unlock()
+	if !ok {
+		h.eng.Close()
+		w.Abandon()
+		return nil, nil, fmt.Errorf("admission refused: %s", reason)
+	}
+	s.metrics.AdmissionCostUsed.Set(milli(s.admission.inUse()))
+
+	sess := &session{
+		srv:      s,
+		id:       id,
+		cfg:      h.meta.Hello.Config,
+		shards:   h.shards,
+		eng:      h.eng,
+		cost:     cost,
+		marked:   h.meta.Hello.Marked,
+		pub:      h.pub,
+		pubBase:  h.meta.PubBase,
+		events:   h.events,
+		interval: st.Interval,
+		ring:     h.ring,
+		jw:       w,
+	}
+	sess.streamPos.Store(st.StreamPos())
+	sess.shed.Store(st.Shed)
+	return sess, h, nil
+}

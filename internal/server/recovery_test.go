@@ -1,0 +1,226 @@
+package server_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"hwprof"
+	"hwprof/internal/client"
+	"hwprof/internal/event"
+	"hwprof/internal/journal"
+	"hwprof/internal/server"
+	"hwprof/internal/wire"
+)
+
+// gatedSource delivers the wrapped stream up to a gate point, then blocks
+// until the gate opens — so a crash test can hold a client mid-stream at a
+// chosen event offset while the daemon under it is killed and restarted.
+type gatedSource struct {
+	inner hwprof.Source
+	after uint64
+	gate  chan struct{}
+	n     uint64
+}
+
+func (g *gatedSource) Next() (hwprof.Tuple, bool) {
+	if g.n == g.after {
+		<-g.gate
+	}
+	g.n++
+	return g.inner.Next()
+}
+
+func (g *gatedSource) Err() error { return g.inner.Err() }
+
+// crashServer runs a daemon meant to be Kill()ed: Serve's exit error is
+// delivered on the returned channel instead of asserted in a cleanup.
+func crashServer(t *testing.T, cfg server.Config, addr string) (*server.Server, string, chan error) {
+	t.Helper()
+	srv := server.New(cfg)
+	var ln net.Listener
+	var err error
+	// The restarted daemon rebinds the crashed one's exact address so the
+	// client's reconnect loop finds it; retry briefly in case the old
+	// socket lingers.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return srv, ln.Addr().String(), done
+}
+
+// runKillCycle streams a workload through a journaled daemon, kills the
+// daemon in-process at roughly killAt events, restarts it on the same
+// address with Recover, and requires the client's transparently resumed
+// run to deliver profiles bit-identical to an uninterrupted local run.
+func runKillCycle(t *testing.T, sync journal.SyncPolicy, seed uint64, killAt uint64) {
+	t.Helper()
+	const intervals = 5
+	const batchSize = 100
+	cfg := server.Config{
+		JournalDir:  t.TempDir(),
+		JournalSync: sync,
+		ResumeGrace: 20 * time.Second,
+	}
+	srv1, addr, done1 := crashServer(t, cfg, "127.0.0.1:0")
+
+	ccfg := testConfig(seed)
+	total := ccfg.IntervalLength * intervals
+	src, err := hwprof.NewWorkload("gcc", hwprof.KindValue, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := &gatedSource{inner: hwprof.Limit(src, total), after: killAt, gate: make(chan struct{})}
+
+	type result struct {
+		got []map[hwprof.Tuple]uint64
+		n   int
+		err error
+	}
+	resCh := make(chan result, 1)
+	sess, err := client.Dial(addr, ccfg, client.Options{
+		Shards:      2,
+		BatchSize:   batchSize,
+		Reconnect:   true,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		var r result
+		r.n, r.err = sess.Run(gated, func(_ int, counts map[hwprof.Tuple]uint64) {
+			r.got = append(r.got, counts)
+		})
+		resCh <- r
+	}()
+
+	// The client holds at the gate with at most one partial batch unsent;
+	// wait for everything it did send to reach the engine, then crash.
+	reach := killAt - killAt%batchSize
+	waitFor(t, "events to reach the first daemon", func() bool {
+		return srv1.Metrics().EventsTotal.Load() >= reach
+	})
+	srv1.Kill()
+	if err := <-done1; err != nil {
+		t.Fatalf("killed daemon's Serve: %v", err)
+	}
+	if got := srv1.Metrics().JournalBytes.Load(); got == 0 {
+		t.Error("journal_bytes = 0 on the crashed daemon")
+	}
+
+	srv2, _, done2 := crashServer(t, cfg, addr)
+	recovered, err := srv2.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if recovered != 1 {
+		t.Fatalf("recovered %d sessions, want 1", recovered)
+	}
+	close(gated.gate)
+
+	r := <-resCh
+	if r.err != nil {
+		t.Fatalf("resumed run: %v", r.err)
+	}
+	if r.n != intervals {
+		t.Fatalf("resumed run delivered %d intervals, want %d", r.n, intervals)
+	}
+	local := localProfiles(t, ccfg, 2, "gcc", seed, intervals)
+	assertSameProfiles(t, local, r.got, fmt.Sprintf("sync=%v killAt=%d", sync, killAt))
+
+	m2 := srv2.Metrics()
+	if got := m2.JournalRecovered.Load(); got != 1 {
+		t.Errorf("journal_recovered_sessions = %d, want 1", got)
+	}
+	if got := m2.JournalRecoverFailures.Load(); got != 0 {
+		t.Errorf("journal_recover_failures = %d, want 0", got)
+	}
+	if got := m2.ResumesTotal.Load(); got != 1 {
+		t.Errorf("resumes_total = %d, want 1", got)
+	}
+
+	// The clean end must have retired the journal: a third daemon finds
+	// nothing to recover.
+	srv2.Kill()
+	if err := <-done2; err != nil {
+		t.Fatalf("second daemon's Serve: %v", err)
+	}
+	srv3 := server.New(cfg)
+	if n, err := srv3.Recover(); err != nil || n != 0 {
+		t.Fatalf("post-goodbye recover = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// TestKillRecoverResume is the crash-durability contract, extended from
+// PR 5's connection-kill suite to a full daemon kill: at N randomized
+// offsets the daemon dies mid-stream with kill -9 semantics (buffered
+// journal bytes lost, no goodbyes), restarts, replays the journal, and
+// the reconnecting client's final profiles are bit-identical to an
+// uninterrupted run — under both durable sync policies.
+func TestKillRecoverResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	for _, sync := range []journal.SyncPolicy{journal.SyncBatch, journal.SyncInterval} {
+		for i := 0; i < 3; i++ {
+			killAt := 500 + uint64(rng.Int63n(4000))
+			t.Run(fmt.Sprintf("sync=%v/killAt=%d", sync, killAt), func(t *testing.T) {
+				runKillCycle(t, sync, 1000+killAt, killAt)
+			})
+		}
+	}
+}
+
+// TestRecoverAdmissionRefused restarts a crashed daemon with a budget too
+// small for the journaled session: recovery must refuse it like any other
+// admission, count the failure, and retire the journal so the refusal is
+// not retried forever.
+func TestRecoverAdmissionRefused(t *testing.T) {
+	dir := t.TempDir()
+	cfg := server.Config{JournalDir: dir, JournalSync: journal.SyncBatch}
+	srv1, addr, done1 := crashServer(t, cfg, "127.0.0.1:0")
+
+	_, wc := rawSession(t, addr, testConfig(7))
+	batch := make([]event.Tuple, 200)
+	for i := range batch {
+		batch[i] = event.Tuple{A: uint64(i), B: 1}
+	}
+	if err := wc.WriteFrame(wire.MsgBatch, wire.AppendBatch(nil, batch)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "events to reach the engine", func() bool {
+		return srv1.Metrics().EventsTotal.Load() >= 200
+	})
+	srv1.Kill()
+	<-done1
+
+	tight := cfg
+	tight.CostBudget = 1e-6
+	srv2 := server.New(tight)
+	n, err := srv2.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("recovered %d sessions past a %.0g budget, want 0", n, tight.CostBudget)
+	}
+	m := srv2.Metrics()
+	if got := m.JournalRecoverFailures.Load(); got != 1 {
+		t.Errorf("journal_recover_failures = %d, want 1", got)
+	}
+	if ids, err := journal.ScanDir(dir); err != nil || len(ids) != 0 {
+		t.Errorf("refused journal not retired: ids=%v err=%v", ids, err)
+	}
+}

@@ -64,6 +64,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -71,6 +72,7 @@ import (
 
 	"hwprof/internal/agg"
 	"hwprof/internal/event"
+	"hwprof/internal/journal"
 	"hwprof/internal/telemetry"
 	"hwprof/internal/wire"
 )
@@ -187,6 +189,34 @@ type Config struct {
 	// 0 selects the agg default.
 	EpochRetain int
 
+	// JournalDir enables crash-durable sessions: every accepted session
+	// mirrors its accepted batches and interval boundaries into a
+	// write-ahead journal under this directory, and a restarted daemon
+	// replays the unacked suffix with Recover so a reconnecting client's
+	// Resume succeeds across a process kill. Empty disables journaling.
+	// Requires resume (ResumeGrace >= 0): recovery re-parks sessions under
+	// the resume machinery.
+	JournalDir string
+
+	// JournalSync selects the journal durability barrier: SyncNone buffers
+	// until rotation, SyncInterval fsyncs at every interval boundary before
+	// the profile frame reaches the client, SyncBatch fsyncs every record.
+	JournalSync journal.SyncPolicy
+
+	// JournalSegmentBytes is the journal segment rotation threshold;
+	// 0 selects the journal default.
+	JournalSegmentBytes int64
+
+	// TenantRate limits how fast one tenant (remote host) may open new
+	// sessions, in sessions per second; excess Hellos are refused with
+	// CodeOverload before cost admission runs. Resume is never rate
+	// limited — reattachment is recovery, not new load. 0 disables.
+	TenantRate float64
+
+	// TenantBurst is the tenant token-bucket capacity; 0 derives
+	// max(1, ceil(TenantRate)).
+	TenantBurst float64
+
 	// Logf receives one line per session lifecycle event; nil disables
 	// logging (tests) — use log.Printf for the daemon.
 	Logf func(format string, args ...any)
@@ -239,6 +269,12 @@ func (c Config) withDefaults() Config {
 	if c.EpochLength == 0 {
 		c.EpochLength = DefaultEpochLength
 	}
+	if c.TenantRate > 0 && c.TenantBurst <= 0 {
+		c.TenantBurst = math.Ceil(c.TenantRate)
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -290,6 +326,9 @@ type Metrics struct {
 	// AdmissionRefusedLimit counts sessions refused by the MaxSessions
 	// backstop or because the server was draining.
 	AdmissionRefusedLimit *telemetry.Counter
+	// AdmissionRefusedRate counts sessions refused by the per-tenant rate
+	// limit.
+	AdmissionRefusedRate *telemetry.Counter
 	// AdmissionCostUsed is the admitted engine cost, in milli-units of the
 	// reference session.
 	AdmissionCostUsed *telemetry.Gauge
@@ -327,6 +366,20 @@ type Metrics struct {
 	// SessionEpochs counts epochs reported into the feed, per publishing
 	// session.
 	SessionEpochs *telemetry.CounterVec
+
+	// JournalBytes counts bytes appended to session journals.
+	JournalBytes *telemetry.Counter
+	// JournalFsyncs counts journal durability barriers (fsync calls).
+	JournalFsyncs *telemetry.Counter
+	// JournalRecovered counts sessions replayed from journals and re-parked
+	// for resume after a daemon restart.
+	JournalRecovered *telemetry.Counter
+	// JournalTornTruncations counts journal segments whose torn tail was
+	// truncated at the last valid CRC during recovery.
+	JournalTornTruncations *telemetry.Counter
+	// JournalRecoverFailures counts journals that could not be recovered
+	// (unreplayable config, replay divergence, admission refusal).
+	JournalRecoverFailures *telemetry.Counter
 }
 
 // newMetrics registers the daemon's metrics in a fresh registry.
@@ -349,6 +402,7 @@ func newMetrics() *Metrics {
 			[]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}),
 		AdmissionRefusedCost:  r.Counter("hwprof_admission_refused_cost_total", "Sessions refused: estimated cost over budget."),
 		AdmissionRefusedLimit: r.Counter("hwprof_admission_refused_limit_total", "Sessions refused: session limit or draining."),
+		AdmissionRefusedRate:  r.Counter("hwprof_admission_refused_rate_total", "Sessions refused: per-tenant rate limit."),
 		AdmissionCostUsed:     r.Gauge("hwprof_admission_cost_used_milli", "Admitted engine cost, milli-units of the reference session."),
 		AdmissionCostBudget:   r.Gauge("hwprof_admission_cost_budget_milli", "Configured admission budget, milli-units."),
 		ShedEngaged:           r.Counter("hwprof_shed_engaged_total", "Shed-gate on-transitions (high watermark reached)."),
@@ -362,6 +416,12 @@ func newMetrics() *Metrics {
 		EpochWatermark:        r.Gauge("hwprof_epoch_watermark", "Machine epochs closed so far."),
 		SubscribersActive:     r.Gauge("hwprof_subscribers_active", "Attached epoch subscribers."),
 		SessionEpochs:         r.CounterVec("hwprof_session_epochs_total", "Epochs reported into the feed, per publishing session.", "session"),
+
+		JournalBytes:           r.Counter("hwprof_journal_bytes_total", "Bytes appended to session journals."),
+		JournalFsyncs:          r.Counter("hwprof_journal_fsyncs_total", "Journal durability barriers (fsync calls)."),
+		JournalRecovered:       r.Counter("hwprof_journal_recovered_sessions_total", "Sessions replayed from journals after a restart."),
+		JournalTornTruncations: r.Counter("hwprof_journal_torn_truncations_total", "Journal segments truncated at the last valid CRC."),
+		JournalRecoverFailures: r.Counter("hwprof_journal_recover_failures_total", "Journals that could not be recovered."),
 	}
 }
 
@@ -370,8 +430,10 @@ type Server struct {
 	cfg       Config
 	metrics   *Metrics
 	admission *admission
-	feed      *agg.Feed // per-epoch profile feed; nil unless Publish
-	batchPool sync.Pool // *[]event.Tuple, shared decode buffers
+	feed      *agg.Feed       // per-epoch profile feed; nil unless Publish
+	batchPool sync.Pool       // *[]event.Tuple, shared decode buffers
+	journal   journal.Options // per-session journal options; Dir empty unless journaling
+	limiter   *rateLimiter    // per-tenant admission rate limit; nil unless TenantRate
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -400,6 +462,19 @@ func New(cfg Config) *Server {
 	s.batchPool.New = func() any {
 		buf := make([]event.Tuple, 0, event.DefaultBatchSize)
 		return &buf
+	}
+	if cfg.JournalDir != "" {
+		m := s.metrics
+		s.journal = journal.Options{
+			Dir:          cfg.JournalDir,
+			Sync:         cfg.JournalSync,
+			SegmentBytes: cfg.JournalSegmentBytes,
+			OnAppend:     func(n int64) { m.JournalBytes.Add(uint64(n)) },
+			OnSync:       func() { m.JournalFsyncs.Inc() },
+		}
+	}
+	if cfg.TenantRate > 0 {
+		s.limiter = newRateLimiter(cfg.TenantRate, cfg.TenantBurst, nil)
 	}
 	if cfg.Publish {
 		m := s.metrics
@@ -672,6 +747,57 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		s.closeTombstones()
 		return ctx.Err()
+	}
+}
+
+// journaling reports whether session journaling is enabled.
+func (s *Server) journaling() bool { return s.journal.Dir != "" }
+
+// Kill terminates the daemon the way kill -9 would, for crash-recovery
+// tests that must run in-process (under -race, sharing a heap with the
+// asserting test). Nothing is drained or flushed: session journals are
+// abandoned first — process-memory buffers destroyed, bytes already
+// written left on disk, exactly the state a killed process leaves — then
+// the listener and every connection die. Engines and feed are still torn
+// down afterwards so the test process does not leak goroutines; a real
+// crash gets that for free.
+func (s *Server) Kill() {
+	s.draining.Store(true) // Serve returns nil once the listener dies
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	all := make([]*session, 0, len(s.sessions)+len(s.tombs))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	for id, sess := range s.tombs {
+		all = append(all, sess)
+		delete(s.tombs, id)
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
+	}
+	s.mu.Unlock()
+	for _, sess := range all {
+		if sess.jw != nil {
+			sess.jw.Abandon()
+		}
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	if s.feed != nil {
+		s.feed.Close()
+	}
+	s.wg.Wait()
+	// Free surviving engines (the crashed process's memory); their journals
+	// are dead already, so release keeps the on-disk state intact.
+	for _, sess := range all {
+		sess.release()
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"hwprof/internal/core"
 	"hwprof/internal/event"
+	"hwprof/internal/journal"
 	"hwprof/internal/shard"
 	"hwprof/internal/wire"
 )
@@ -75,6 +76,14 @@ type session struct {
 	streamPos atomic.Uint64 // client-stream events consumed: observed + shed
 	shed      atomic.Uint64 // cumulative events dropped under shed policy
 
+	// Crash durability: every engine-observed batch and interval boundary
+	// is mirrored here before the client learns of it, so a restarted
+	// daemon can replay the session to this exact position. nil unless
+	// journaling is enabled. Owned by the worker goroutine during an
+	// attachment (like events/interval/ring); teardown paths touch it only
+	// after the attachment is done.
+	jw *journal.Writer
+
 	parkEpoch int         // guards tombstone grace timers; under srv.mu
 	released  atomic.Bool // engine discarded and admission cost returned
 	parkNext  atomic.Bool // worker verdict: park this attachment, don't remove
@@ -90,6 +99,22 @@ type session struct {
 // Idempotent: every teardown path funnels here exactly once.
 func (s *session) release() {
 	if s.released.CompareAndSwap(false, true) {
+		if s.jw != nil {
+			if s.srv.draining.Load() {
+				// Graceful shutdown keeps the journal: the session had a
+				// client to come back for it, and a restarted daemon will
+				// recover and re-park it so that client's Resume still
+				// succeeds across the deploy.
+				s.jw.Close()
+			} else {
+				// Expired tombstone or failed session: nothing will ever
+				// resume this, on this daemon or the next one.
+				s.jw.Abandon()
+				if err := journal.Remove(s.srv.journal.Dir, s.id); err != nil {
+					s.srv.logf("session %d: removing journal: %v", s.id, err)
+				}
+			}
+		}
 		if s.pub != "" {
 			s.srv.feed.Leave(s.pub, s.endClean)
 		}
@@ -111,6 +136,14 @@ func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 	if err := h.Config.Validate(); err != nil {
 		s.refuseConn(conn, wc, wire.CodeConfig, err.Error())
 		return
+	}
+	if s.limiter != nil {
+		if host := tenantHost(conn.RemoteAddr()); !s.limiter.allow(host) {
+			s.metrics.AdmissionRefusedRate.Inc()
+			s.refuseConn(conn, wc, wire.CodeOverload,
+				fmt.Sprintf("admission refused: tenant %s exceeded session rate %.3g/s", host, s.cfg.TenantRate))
+			return
+		}
 	}
 	shards := h.Shards
 	if shards < 1 {
@@ -180,6 +213,23 @@ func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 	if s.feed != nil && (h.Marked || h.Config.IntervalLength == s.cfg.EpochLength) {
 		sess.pub = fmt.Sprintf("%s/s%d", s.cfg.MachineID, id)
 		sess.pubBase = s.feed.Join(sess.pub)
+	}
+	if s.journaling() {
+		jw, err := journal.Create(s.journal, journal.Meta{
+			SessionID: id,
+			Hello:     wire.Hello{Config: h.Config, Shards: shards, Marked: h.Marked},
+			Pub:       sess.pub != "",
+			PubBase:   sess.pubBase,
+		})
+		if err != nil {
+			// A session we cannot journal is a session we cannot keep the
+			// durability promise for; refuse rather than silently degrade.
+			s.logf("session %d: creating journal: %v", id, err)
+			sess.release()
+			s.refuseConn(conn, wc, wire.CodeInternal, fmt.Sprintf("journal unavailable: %v", err))
+			return
+		}
+		sess.jw = jw
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -615,11 +665,13 @@ func (s *session) workLoop() {
 			s.srv.logf("session %d: goodbye, %d interval(s)", s.id, s.interval)
 			s.endClean = s.events == 0
 			s.eng.Close()
+			s.endJournal()
 			dead = true
 			continue
 		case it.drain:
 			s.endClean = s.events == 0
 			s.finish()
+			s.endJournal()
 			dead = true
 			continue
 		}
@@ -632,6 +684,9 @@ func (s *session) workLoop() {
 			// for its MsgMark.
 			s.eng.ObserveBatch(batch)
 			s.events += uint64(len(batch))
+			if !s.journalBatch(batch) {
+				dead = true
+			}
 			batch = nil
 		}
 		// Clip at interval boundaries exactly like core.RunBatchedContext,
@@ -643,8 +698,12 @@ func (s *session) workLoop() {
 				n = remaining
 			}
 			s.eng.ObserveBatch(batch[:n])
-			batch = batch[n:]
 			s.events += n
+			if !s.journalBatch(batch[:n]) {
+				dead = true
+				continue
+			}
+			batch = batch[n:]
 			if s.events == s.cfg.IntervalLength {
 				if !s.emitProfile(false) {
 					dead = true
@@ -685,15 +744,10 @@ func (s *session) emitProfile(final bool) bool {
 	} else {
 		prof = s.eng.EndInterval()
 	}
-	msg := wire.ProfileMsg{Index: s.interval, Shed: s.shed.Load(), Final: final, Counts: prof}
+	shed := s.shed.Load()
+	msg := wire.ProfileMsg{Index: s.interval, Shed: shed, Final: final, Counts: prof}
 	s.enc = wire.AppendProfile(s.enc[:0], msg)
 	if !final {
-		if s.pub != "" {
-			// Merge this interval into its fleet epoch. The feed copies the
-			// counts before returning, so the map is still recyclable.
-			s.srv.feed.Report(s.pub, s.pubBase+s.interval, prof, nil)
-		}
-		s.eng.Recycle(prof) // encoded; hand the map back for the next boundary
 		if s.srv.cfg.resumeEnabled() {
 			buf := append([]byte(nil), s.enc...)
 			if len(s.ring) < s.srv.cfg.ResumeWindow {
@@ -703,6 +757,24 @@ func (s *session) emitProfile(final bool) bool {
 				s.ring[len(s.ring)-1] = buf
 			}
 		}
+		if s.jw != nil {
+			// The boundary must be durable (per the sync policy) before the
+			// profile frame reaches the client: once the client sees the
+			// profile it prunes its replay buffer past this interval, and a
+			// crashed daemon that lost the boundary could no longer reach a
+			// state the pruned client can resume against. The ring rides in
+			// the boundary's rotation checkpoint, so it is updated first.
+			if err := s.jw.Boundary(s.interval, shed, s.enc, s.ring); err != nil {
+				s.fail(fmt.Errorf("journal: %w", err), wire.CodeInternal)
+				return false
+			}
+		}
+		if s.pub != "" {
+			// Merge this interval into its fleet epoch. The feed copies the
+			// counts before returning, so the map is still recyclable.
+			s.srv.feed.Report(s.pub, s.pubBase+s.interval, prof, nil)
+		}
+		s.eng.Recycle(prof) // encoded; hand the map back for the next boundary
 	}
 	if s.connDead {
 		return true
@@ -727,6 +799,39 @@ func (s *session) emitProfile(final bool) bool {
 	s.srv.metrics.IntervalsTotal.Inc()
 	s.srv.metrics.IntervalLatency.Observe(time.Since(start).Seconds())
 	return true
+}
+
+// journalBatch mirrors an engine-observed slice into the session journal,
+// reporting whether the worker should continue. A journal append failure
+// is an internal session failure: the daemon promised durability for this
+// session and can no longer keep it, so the session ends rather than
+// silently degrading to in-memory-only.
+func (s *session) journalBatch(events []event.Tuple) bool {
+	if s.jw == nil {
+		return true
+	}
+	if err := s.jw.Batch(events, s.shed.Load()); err != nil {
+		s.fail(fmt.Errorf("journal: %w", err), wire.CodeInternal)
+		return false
+	}
+	return true
+}
+
+// endJournal closes out the session journal after a clean end (goodbye or
+// drain): the client acknowledged everything there was to deliver, so
+// there is nothing left for a restarted daemon to recover. Errors are
+// logged only — the session itself ended fine.
+func (s *session) endJournal() {
+	if s.jw == nil {
+		return
+	}
+	if err := s.jw.End(); err != nil {
+		s.srv.logf("session %d: ending journal: %v", s.id, err)
+	}
+	if err := journal.Remove(s.srv.journal.Dir, s.id); err != nil {
+		s.srv.logf("session %d: removing journal: %v", s.id, err)
+	}
+	s.jw = nil
 }
 
 // finish is the graceful end: drain the engine, send the final partial

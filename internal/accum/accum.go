@@ -153,12 +153,24 @@ func (t *Table) Inc(tp event.Tuple) bool {
 	if !ok {
 		return false
 	}
+	t.IncSlot(i)
+	return true
+}
+
+// Probe looks tp up without mutating anything: (slot, true) when resident.
+// The slot stays valid until the next Insert or EndInterval (an Insert may
+// backward-shift entries), which lets a staged batch pipeline separate the
+// residency probe from the deferred IncSlot commit.
+func (t *Table) Probe(tp event.Tuple) (uint32, bool) { return t.slot(tp) }
+
+// IncSlot applies Inc's count-and-flag update to an already-probed slot.
+// The slot must come from a Probe with no intervening Insert/EndInterval.
+func (t *Table) IncSlot(i uint32) {
 	c := t.counts[i] + 1
 	t.counts[i] = c
 	if t.meta[i]&replaceable != 0 && c >= t.threshold {
 		t.meta[i] &^= replaceable
 	}
-	return true
 }
 
 // Insert promotes tp into the table with the given initial count (the hash

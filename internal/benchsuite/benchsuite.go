@@ -22,10 +22,15 @@ import (
 )
 
 // Case is one named benchmark. Cases that process events report an
-// "ns/event" metric; component micro-cases are plain ns/op.
+// "ns/event" metric; component micro-cases are plain ns/op. Advisory
+// cases are measured and recorded but excluded from regression gating:
+// they document a measured trade-off (e.g. the ordered-vs-banked sweep
+// crossover) whose numbers are too workload- and cache-sensitive to be
+// a stable contract.
 type Case struct {
-	Name string
-	F    func(b *testing.B)
+	Name     string
+	F        func(b *testing.B)
+	Advisory bool
 }
 
 // workloadSeed fixes the event stream of every case.
@@ -84,19 +89,27 @@ func endInterval(p core.Profiler) {
 // reported allocs/op therefore covers the whole steady-state cycle, not
 // just the observation path.
 func observeBatchCase(cfg core.Config) func(b *testing.B) {
+	return observeBatchLenCase(cfg, event.DefaultBatchSize)
+}
+
+// observeBatchLenCase is observeBatchCase at an explicit batch length
+// (a power of two dividing streamLen, so the stream wraps cleanly). The
+// batch-length sweep cases use it to locate the staged pipeline's
+// break-even point: short batches amortize the stage pass poorly, long
+// ones keep the lookahead window full.
+func observeBatchLenCase(cfg core.Config, batch int) func(b *testing.B) {
 	return func(b *testing.B) {
 		p, err := core.NewMultiHash(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		tuples := Tuples(streamLen, workloadSeed)
-		const batch = event.DefaultBatchSize
 		// Warm one interval so map growth and table warm-up are not
 		// charged to the measured steady state.
 		var n uint64
 		for n < cfg.IntervalLength {
 			p.ObserveBatch(tuples[:batch])
-			n += batch
+			n += uint64(batch)
 		}
 		endInterval(p)
 		n = 0
@@ -107,7 +120,7 @@ func observeBatchCase(cfg core.Config) func(b *testing.B) {
 			off := (i * batch) & (streamLen - 1)
 			p.ObserveBatch(tuples[off : off+batch])
 			events += batch
-			n += batch
+			n += uint64(batch)
 			if n >= cfg.IntervalLength {
 				endInterval(p)
 				n = 0
@@ -201,11 +214,32 @@ func hashIndexCase() func(b *testing.B) {
 	}
 }
 
+// deepConfig returns the deepest fusable plain-update geometry — 4×32768
+// = 128Ki counters (512 KB of words) at the short-interval regime — with
+// and without the banked sweep opted in. The pair is what keeps the
+// ordered-vs-banked crossover decision in banked.go measured rather than
+// assumed: if hardware ever appears where the banked case wins, the
+// default should be revisited.
+func deepConfig(banked bool) core.Config {
+	cfg := core.ShortIntervalConfig()
+	cfg.NumTables = 4
+	cfg.TotalEntries = 1 << 17
+	cfg.ResetOnPromote = true
+	cfg.Retain = true
+	if banked {
+		cfg.BankedSweepMinCounters = 1
+	}
+	return cfg
+}
+
 // Suite returns the benchmark cases in reporting order.
 //
 // The observe-batch/multi case is the headline number: the paper's best
 // multi-hash configuration (4×512 C1 R0 P1) at the short-interval regime,
-// driven through ObserveBatch exactly as RunBatched drives it.
+// driven through ObserveBatch exactly as RunBatched drives it. The
+// multi-lenN cases sweep the batch length across the staged pipeline's
+// break-even point, and the deep pair measures the bank-bucketed sweep
+// against the ordered pipeline on a cache-hostile counter set.
 func Suite() []Case {
 	short := core.ShortIntervalConfig()
 	long := core.LongIntervalConfig()
@@ -213,6 +247,12 @@ func Suite() []Case {
 		{Name: "observe-batch/multi", F: observeBatchCase(core.BestMultiHash(short))},
 		{Name: "observe-batch/single", F: observeBatchCase(core.BestSingleHash(short))},
 		{Name: "observe-batch/multi-long", F: observeBatchCase(core.BestMultiHash(long))},
+		{Name: "observe-batch/multi-len8", F: observeBatchLenCase(core.BestMultiHash(short), 8)},
+		{Name: "observe-batch/multi-len64", F: observeBatchLenCase(core.BestMultiHash(short), 64)},
+		{Name: "observe-batch/multi-len512", F: observeBatchLenCase(core.BestMultiHash(short), 512)},
+		{Name: "observe-batch/multi-len4096", F: observeBatchLenCase(core.BestMultiHash(short), 4096)},
+		{Name: "observe-batch/deep", F: observeBatchLenCase(deepConfig(false), 4096), Advisory: true},
+		{Name: "observe-batch/deep-banked", F: observeBatchLenCase(deepConfig(true), 4096), Advisory: true},
 		{Name: "observe/per-event", F: observePerEventCase(core.BestMultiHash(short))},
 		{Name: "accum/inc", F: accumIncCase()},
 		{Name: "accum/insert-evict", F: accumInsertCase()},

@@ -1,0 +1,317 @@
+package core
+
+// The bank-bucketed counter sweep (DESIGN.md §14). When the counter set
+// outgrows the cache, the ordered hot loop pays n random, cache-missing
+// read-modify-writes per event — the memory-system bottleneck the paper's
+// hardware sidesteps with banked counter SRAMs. This path restores the
+// banked-memory idiom in software for plain-update (C0) configurations:
+//
+//  1. Stage (pure): the same residency-probe + fused-index pass as
+//     staged.go, over a larger window (bankedWindowMax events).
+//  2. Bucket: scatter the hash-path events' flat counter offsets into
+//     per-bank segments with a stable counting sort (bank = high bits of
+//     the offset, counter.BankShift; one bank's words are L1-sized).
+//  3. Optimistic sweep: walk the banks in order, applying each pair's
+//     saturating increment directly to the counter words — saving the
+//     pair's pre-update word in a side array — and folding each
+//     post-update value into its event's running minimum. Because the
+//     counting sort is stable and a counter lives in exactly one bank,
+//     every counter sees its window hits in event order, so the
+//     post-update values — and therefore each event's minimum and
+//     promotion decision — are exactly those of the ordered execution,
+//     up to the window's first promotion. The sweep touches one
+//     cache-resident bank at a time.
+//  4. Resolve: if no event's minimum reached the candidate threshold
+//     (the common case — promotions are bounded per interval by the
+//     accumulator capacity argument, §5.1), the optimistic writes already
+//     are the final state; apply the deferred resident increments in
+//     event order and the window is done in a single counter pass. If
+//     event P is the first to reach it, the optimistic writes ran past P:
+//     roll every pair back (walking each bank's segment in reverse, so a
+//     counter's first pair — holding its pre-window word — is restored
+//     last), replay the increments of events before P bank by bank, apply
+//     P itself in order (counter updates, insert, eviction, R1 reset),
+//     and hand the suffix back for restaging — promotion changes
+//     accumulator membership, which invalidates staged residency.
+//
+// Conservative update (C1) is excluded by construction: a C1 increment is
+// guarded by the event's cross-counter minimum at its logical time, so
+// even a per-counter-order-preserving schedule changes the outcome (two
+// events sharing one counter suffice — see TestC1OrderSensitivity). C1
+// batches stay on the ordered staged pipeline in staged.go.
+//
+// The banked path is OFF by default. Measured on the benchsuite's deep
+// cases (observe-batch/deep vs deep-banked, DESIGN.md §14), the sweep
+// loses to the ordered staged loop even at the largest fusable geometry
+// with a cold-heavy stream: fused indexes cap the counter set at 4×65536
+// = 1 MB of words, which is L2-resident on the machines this runs on, so
+// the scatter/gather overhead (12 bytes of pair traffic per counter
+// touch plus two extra passes over the window) exceeds the cache-miss
+// savings, and an out-of-order core already overlaps the ordered loop's
+// four independent counter loads. The sweep is kept as an opt-in
+// (Config.BankedSweepMinCounters > 0) for cache-poor targets, and as the
+// differential- and property-tested embodiment of the reordering
+// analysis the staged pipeline rests on.
+
+import (
+	"math"
+
+	"hwprof/internal/counter"
+	"hwprof/internal/event"
+)
+
+// bankedWindowMax is the banked pipeline's window length in events.
+// Larger windows amortize the bucketing passes and lengthen each bank's
+// sequential run; the scatter scratch is NumTables words per event.
+const bankedWindowMax = 2048
+
+// bankMinWords resolves the BankedSweepMinCounters knob: positive is the
+// crossover size, zero or negative disables the banked path.
+func (c Config) bankMinWords() int {
+	if c.BankedSweepMinCounters > 0 {
+		return c.BankedSweepMinCounters
+	}
+	return math.MaxInt
+}
+
+// bankedEligible reports whether this profiler's geometry and policies can
+// ever take the banked path, so the scratch is allocated up front and the
+// steady state stays allocation-free.
+func (m *MultiHash) bankedEligible() bool {
+	return m.fused != nil && !m.cfg.NoShield && !m.cfg.ConservativeUpdate &&
+		m.cfg.TotalEntries >= m.bankMinWords
+}
+
+// growBankedScratch sizes the banked scratch for windows of up to w
+// events (and widens the stage scratch to match).
+func (m *MultiHash) growBankedScratch(w int) {
+	sc := &m.sc
+	n := m.fused.Len()
+	if cap(sc.packed) < w {
+		sc.packed = make([]uint64, 0, w)
+		sc.slots = make([]uint32, 0, w)
+	}
+	if cap(sc.pairs) < n*w {
+		sc.pairs = make([]uint32, n*w)
+		sc.pairEv = make([]uint32, n*w)
+		sc.pairPre = make([]uint32, n*w)
+	}
+	if len(sc.bankStart) < m.set.NumBanks()+1 {
+		sc.bankStart = make([]int32, m.set.NumBanks()+1)
+	}
+	if len(sc.mins) < w {
+		sc.mins = make([]uint32, w)
+	}
+}
+
+// observeBanked drives C0 batches through the banked windows.
+func (m *MultiHash) observeBanked(batch []event.Tuple, hot counter.Hot) {
+	m.growBankedScratch(bankedWindowMax) // no-op after construction
+	for len(batch) > 0 {
+		w := len(batch)
+		if w > bankedWindowMax {
+			w = bankedWindowMax
+		}
+		consumed := m.bankedWindow(batch[:w], hot)
+		batch = batch[consumed:]
+	}
+}
+
+// bankedWindow runs one window through phases 1–4 above and returns how
+// many events it consumed (the window, or the first promotion + 1).
+func (m *MultiHash) bankedWindow(win []event.Tuple, hot counter.Hot) int {
+	m.stage(win)
+	sc := &m.sc
+	n := m.fused.Len()
+	size := m.set.Size()
+	nb := m.set.NumBanks()
+	packed, slots := sc.packed, sc.slots
+
+	// Phase 2: stable counting sort of the hash-path (event, counter)
+	// pairs into per-bank segments. Two passes over the staged indexes:
+	// histogram, then placement through per-bank cursors.
+	counts := sc.bankStart[:nb+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for w, s := range slots {
+		sc.mins[w] = ^uint32(0)
+		if s&stagedResident != 0 {
+			continue
+		}
+		p := packed[w]
+		base := uint32(0)
+		for t := 0; t < n; t++ {
+			j := base + uint32(p&0xffff)
+			counts[counter.BankOf(j)+1]++
+			p >>= 16
+			base += uint32(size)
+		}
+	}
+	for b := 1; b <= nb; b++ {
+		counts[b] += counts[b-1]
+	}
+	pairs, pairEv := sc.pairs, sc.pairEv
+	cursors := counts // counts[b] is bank b's write cursor during placement
+	for w, s := range slots {
+		if s&stagedResident != 0 {
+			continue
+		}
+		p := packed[w]
+		base := uint32(0)
+		for t := 0; t < n; t++ {
+			j := base + uint32(p&0xffff)
+			b := counter.BankOf(j)
+			k := cursors[b]
+			pairs[k] = j
+			pairEv[k] = uint32(w)
+			cursors[b] = k + 1
+			p >>= 16
+			base += uint32(size)
+		}
+	}
+	// Placement advanced each cursor to its segment's end, which is the
+	// next segment's start; shift up one to restore the starts.
+	copy(counts[1:nb+1], counts[:nb])
+	counts[0] = 0
+
+	// Phase 3: optimistic bank-ordered sweep, writing through.
+	m.bankedSweep(hot, nb)
+
+	// First promoter, if any: scanning mins in event order is exact for
+	// the promotion-free prefix (see the equivalence argument above).
+	thresh := uint32(m.thresh)
+	promoter := -1
+	for w := range win {
+		if slots[w]&stagedResident == 0 && sc.mins[w] >= thresh {
+			promoter = w
+			break
+		}
+	}
+	cut := len(win)
+	if promoter >= 0 {
+		// Rare path: undo the optimistic writes past the promoter, then
+		// redo the promotion-free prefix.
+		m.bankedRollback(hot, nb)
+		m.bankedReplay(hot, nb, promoter)
+		cut = promoter
+	}
+
+	// Deferred resident increments, in event order. Membership is
+	// unchanged until the promoter (if any), so the staged slots hold.
+	acc := m.acc
+	for _, s := range slots[:cut] {
+		if s&stagedResident != 0 {
+			acc.IncSlot(s &^ stagedResident)
+		}
+	}
+
+	if promoter < 0 {
+		return len(win)
+	}
+
+	// Apply the promoting event in order against the replayed prefix
+	// state: its counter updates, the promotion insert (with possible
+	// eviction), and the R1 reset.
+	words, etag, cmask, max := hot.Words, hot.ETag, hot.CMask, hot.Max
+	p := packed[promoter]
+	min := ^uint32(0)
+	var js [4]int
+	base := 0
+	for t := 0; t < n; t++ {
+		j := base + int(p&0xffff)
+		js[t] = j
+		var v uint32
+		if wd := words[j]; wd&^cmask == etag {
+			v = wd & cmask
+		}
+		if v < max {
+			v++
+		}
+		words[j] = etag | v
+		if v < min {
+			min = v
+		}
+		p >>= 16
+		base += size
+	}
+	if acc.Insert(win[promoter], uint64(min)) && m.cfg.ResetOnPromote {
+		for t := 0; t < n; t++ {
+			words[js[t]] = etag
+		}
+	}
+	return promoter + 1
+}
+
+// bankedSweep is the optimistic sweep: per pair one read-modify-write on
+// the live counter word (bank-local, so in cache), the raw pre-update word
+// saved for rollback, the post-update value folded into the event's
+// running minimum.
+func (m *MultiHash) bankedSweep(hot counter.Hot, nb int) {
+	sc := &m.sc
+	words, etag, cmask, max := hot.Words, hot.ETag, hot.CMask, hot.Max
+	pairs, pairEv, mins := sc.pairs, sc.pairEv, sc.mins
+	pre := sc.pairPre
+	counts := sc.bankStart
+	for b := 0; b < nb; b++ {
+		for k := counts[b]; k < counts[b+1]; k++ {
+			j := pairs[k]
+			wd := words[j]
+			pre[k] = wd
+			var v uint32
+			if wd&^cmask == etag {
+				v = wd & cmask
+			}
+			if v < max {
+				v++
+			}
+			words[j] = etag | v
+			if e := pairEv[k]; v < mins[e] {
+				mins[e] = v
+			}
+		}
+	}
+}
+
+// bankedRollback undoes an optimistic sweep completely. Each bank's
+// segment is walked in reverse, so a counter touched several times has
+// its first pair's saved word — the pre-window value — written last.
+func (m *MultiHash) bankedRollback(hot counter.Hot, nb int) {
+	sc := &m.sc
+	words := hot.Words
+	pairs, pre := sc.pairs, sc.pairPre
+	counts := sc.bankStart
+	for b := 0; b < nb; b++ {
+		for k := counts[b+1] - 1; k >= counts[b]; k-- {
+			words[pairs[k]] = pre[k]
+		}
+	}
+}
+
+// bankedReplay applies the increments of events before cut, bank by bank,
+// after a rollback. Within a bank the pairs are in event order (stable
+// sort) and increments on distinct counters commute, so the replay yields
+// exactly the ordered execution's pre-promotion counter state.
+func (m *MultiHash) bankedReplay(hot counter.Hot, nb, cut int) {
+	sc := &m.sc
+	words, etag, cmask, max := hot.Words, hot.ETag, hot.CMask, hot.Max
+	pairs, pairEv := sc.pairs, sc.pairEv
+	counts := sc.bankStart
+	ucut := uint32(cut)
+	for b := 0; b < nb; b++ {
+		for k := counts[b]; k < counts[b+1]; k++ {
+			if pairEv[k] >= ucut {
+				continue
+			}
+			j := pairs[k]
+			var v uint32
+			if wd := words[j]; wd&^cmask == etag {
+				v = wd & cmask
+			}
+			if v < max {
+				v++
+			}
+			words[j] = etag | v
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+// Differential coverage for the staged/banked batch pipelines beyond the
+// aligned, power-of-two batches of differential_test.go: odd and prime
+// batch lengths (windows that never line up with stagedWindow or the
+// banked window), single-event batches, streams long enough to wrap the
+// counter set's flush epoch tag, and geometries deep enough to engage the
+// bank-bucketed sweep for real (multiple banks).
+
+import (
+	"fmt"
+	"testing"
+
+	"hwprof/internal/event"
+)
+
+// runDifferentialChunked feeds the same stream to the optimized MultiHash
+// (in batches whose lengths cycle through batchLens within each interval)
+// and to the seed reference (per event), comparing candidates and interval
+// profiles after every interval.
+func runDifferentialChunked(t *testing.T, cfg Config, streamSeed uint64, intervals int, batchLens []int) {
+	t.Helper()
+	opt, err := NewMultiHash(cfg)
+	if err != nil {
+		t.Fatalf("NewMultiHash: %v", err)
+	}
+	ref := newRefMultiHash(t, cfg)
+	intervalLen := int(cfg.IntervalLength)
+	stream := diffWorkload(streamSeed, intervals*intervalLen)
+	bi := 0
+	for iv := 0; iv < intervals; iv++ {
+		rest := stream[iv*intervalLen : (iv+1)*intervalLen]
+		for len(rest) > 0 {
+			n := batchLens[bi%len(batchLens)]
+			bi++
+			if n > len(rest) {
+				n = len(rest)
+			}
+			opt.ObserveBatch(rest[:n])
+			rest = rest[n:]
+		}
+		for _, tp := range stream[iv*intervalLen : (iv+1)*intervalLen] {
+			ref.observe(tp)
+		}
+		wantCand := ref.acc.candidates()
+		gotCand := opt.Candidates()
+		if len(wantCand) != len(gotCand) {
+			t.Fatalf("interval %d: %d candidates, want %d", iv, len(gotCand), len(wantCand))
+		}
+		for i := range wantCand {
+			if wantCand[i] != gotCand[i] {
+				t.Fatalf("interval %d: candidate %d = %v, want %v", iv, i, gotCand[i], wantCand[i])
+			}
+		}
+		equalProfiles(t, iv, ref.endInterval(), opt.EndInterval())
+	}
+}
+
+// TestDifferentialBatchLengths runs odd and prime batch lengths — none a
+// multiple or divisor of the staged or banked window — through the C0 and
+// C1 pipelines, with the banked sweep both at its default crossover (off
+// at this geometry) and forced on.
+func TestDifferentialBatchLengths(t *testing.T) {
+	primes := []int{1, 2, 3, 5, 7, 13, 127, 251, 509, 513}
+	cases := []struct {
+		name   string
+		tables int
+		c1     bool
+		banked int // BankedSweepMinCounters
+	}{
+		{"multi4_C1", 4, true, 0},
+		{"multi4_C0", 4, false, 0},
+		{"multi4_C0_banked", 4, false, 1},
+		{"single_C0", 1, false, 0},
+		{"single_C0_banked", 1, false, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				IntervalLength:         2000,
+				ThresholdPercent:       1,
+				TotalEntries:           256,
+				NumTables:              tc.tables,
+				CounterWidth:           8,
+				ConservativeUpdate:     tc.c1,
+				ResetOnPromote:         true,
+				Retain:                 true,
+				BankedSweepMinCounters: tc.banked,
+				Seed:                   0x5EED,
+			}
+			runDifferentialChunked(t, cfg, 0xFACE, 4, primes)
+		})
+	}
+}
+
+// TestDifferentialSingleEventBatches drives every event as its own batch:
+// the degenerate window where staging overhead dominates and every
+// promotion is a window boundary.
+func TestDifferentialSingleEventBatches(t *testing.T) {
+	for _, banked := range []int{0, 1} {
+		banked := banked
+		t.Run(fmt.Sprintf("banked=%d", banked), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				IntervalLength:         1000,
+				ThresholdPercent:       1,
+				TotalEntries:           256,
+				NumTables:              4,
+				CounterWidth:           8,
+				ConservativeUpdate:     banked == 0, // C1 ordered vs C0 banked
+				ResetOnPromote:         true,
+				Retain:                 true,
+				BankedSweepMinCounters: banked,
+				Seed:                   0x51E5,
+			}
+			runDifferentialChunked(t, cfg, 0x0DD1, 3, []int{1})
+		})
+	}
+}
+
+// TestDifferentialFlushGenerationWrap runs enough intervals to wrap the
+// packed counter set's epoch tag (width 24 leaves 8 tag bits, so flush
+// 255 forces the real sweep) and crosses every interval boundary with
+// misaligned batch lengths. The reference flushes eagerly, so any stale
+// tag surviving the wrap shows up as a profile divergence.
+func TestDifferentialFlushGenerationWrap(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		c1     bool
+		banked int
+	}{
+		{"C1_staged", true, 0},
+		{"C0_banked", false, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				IntervalLength:         96,
+				ThresholdPercent:       5,
+				TotalEntries:           256,
+				NumTables:              4,
+				CounterWidth:           24, // 8 tag bits: epoch wraps at flush 255
+				ConservativeUpdate:     tc.c1,
+				ResetOnPromote:         true,
+				Retain:                 true,
+				BankedSweepMinCounters: tc.banked,
+				Seed:                   0xF1A5,
+			}
+			runDifferentialChunked(t, cfg, 0x3A9, 300, []int{31, 17, 7})
+		})
+	}
+}
+
+// TestDifferentialBankedMultiBank engages the banked sweep across several
+// real banks (4×8192 = 32768 counters = 8 banks of 4096) for every policy
+// combination; C1 and NoShield masks fall back to the ordered pipelines,
+// which keeps the dispatch itself under differential test.
+func TestDifferentialBankedMultiBank(t *testing.T) {
+	const intervalLen = 2000
+	for mask := 0; mask < 16; mask++ {
+		mask := mask
+		name := fmt.Sprintf("C%d_R%d_P%d_S%d", mask&1, (mask>>1)&1, (mask>>2)&1, 1-(mask>>3)&1)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				IntervalLength:         intervalLen,
+				ThresholdPercent:       1,
+				TotalEntries:           32768,
+				NumTables:              4,
+				CounterWidth:           8,
+				ConservativeUpdate:     mask&1 != 0,
+				ResetOnPromote:         mask&2 != 0,
+				Retain:                 mask&4 != 0,
+				NoShield:               mask&8 != 0,
+				BankedSweepMinCounters: 1,
+				Seed:                   0xBA12 + uint64(mask),
+			}
+			runDifferentialChunked(t, cfg, 0xBA2E^uint64(mask), 3, []int{509, 513, 127})
+		})
+	}
+}
+
+// TestDifferentialBankedDeepGeometry runs the crossover dispatch for
+// real: 4×32768 = 128Ki counters with the knob at exactly that size, so
+// the production `len(words) >= crossover` comparison (not a test-only
+// force) engages the sweep over 32 banks.
+func TestDifferentialBankedDeepGeometry(t *testing.T) {
+	cfg := Config{
+		IntervalLength:         4000,
+		ThresholdPercent:       1,
+		TotalEntries:           1 << 17,
+		NumTables:              4,
+		CounterWidth:           8,
+		ResetOnPromote:         true,
+		Retain:                 true,
+		BankedSweepMinCounters: 1 << 17,
+		Seed:                   0xDEE9,
+	}
+	m, err := NewMultiHash(cfg)
+	if err != nil {
+		t.Fatalf("NewMultiHash: %v", err)
+	}
+	if !m.bankedEligible() {
+		t.Fatalf("4×32768 with crossover at 1<<17 should be banked-eligible")
+	}
+	runDifferentialChunked(t, cfg, 0xDEE9, 3, []int{2048, 251, 4000})
+}
+
+// TestDifferentialBatchSpanningFlush reproduces the driver pattern where a
+// single logical stream is chopped into DefaultBatchSize batches that do
+// not align with interval boundaries: the profiler's interval state (epoch
+// flush, retained entries) changes between two halves of what the caller
+// thinks of as one batch sequence.
+func TestDifferentialBatchSpanningFlush(t *testing.T) {
+	cfg := Config{
+		IntervalLength:         768, // 1.5 × DefaultBatchSize
+		ThresholdPercent:       2,
+		TotalEntries:           256,
+		NumTables:              4,
+		CounterWidth:           16,
+		ConservativeUpdate:     true,
+		Retain:                 true,
+		BankedSweepMinCounters: -1,
+		Seed:                   0x9A7,
+	}
+	opt, err := NewMultiHash(cfg)
+	if err != nil {
+		t.Fatalf("NewMultiHash: %v", err)
+	}
+	ref := newRefMultiHash(t, cfg)
+	const intervals = 8
+	stream := diffWorkload(0x5AA5, intervals*int(cfg.IntervalLength))
+	var sinceFlush uint64
+	for lo := 0; lo < len(stream); lo += event.DefaultBatchSize {
+		hi := lo + event.DefaultBatchSize
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		// A batch may straddle the interval boundary: split it exactly
+		// where the reference flushes, as RunBatched does.
+		batch := stream[lo:hi]
+		for len(batch) > 0 {
+			room := cfg.IntervalLength - sinceFlush
+			n := uint64(len(batch))
+			if n > room {
+				n = room
+			}
+			opt.ObserveBatch(batch[:n])
+			for _, tp := range batch[:n] {
+				ref.observe(tp)
+			}
+			sinceFlush += n
+			if sinceFlush == cfg.IntervalLength {
+				equalProfiles(t, lo, ref.endInterval(), opt.EndInterval())
+				sinceFlush = 0
+			}
+			batch = batch[n:]
+		}
+	}
+}

@@ -63,6 +63,9 @@ type MultiHash struct {
 	one    [1]event.Tuple // scratch so Observe can reuse the batch loop
 	events uint64
 	spare  map[event.Tuple]uint64 // recycled snapshot map, see Recycle
+
+	sc           stagedScratch // staged-pipeline scratch, see staged.go
+	bankMinWords int           // counter-set size at which C0 goes banked
 }
 
 // NewMultiHash builds a profiler for the given configuration.
@@ -92,15 +95,42 @@ func NewMultiHash(cfg Config) (*MultiHash, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building accumulator: %w", err)
 	}
-	return &MultiHash{
-		cfg:    cfg,
-		thresh: cfg.ThresholdCount(),
-		fam:    fam,
-		fused:  fused,
-		set:    set,
-		acc:    acc,
-		idxBuf: make([]uint32, 0, cfg.NumTables),
-	}, nil
+	m := &MultiHash{
+		cfg:          cfg,
+		thresh:       cfg.ThresholdCount(),
+		fam:          fam,
+		fused:        fused,
+		set:          set,
+		acc:          acc,
+		idxBuf:       make([]uint32, 0, cfg.NumTables),
+		bankMinWords: cfg.bankMinWords(),
+	}
+	if fused != nil {
+		m.sc.packed = make([]uint64, 0, stagedWindow)
+		m.sc.slots = make([]uint32, 0, stagedWindow)
+		if m.bankedEligible() {
+			m.growBankedScratch(bankedWindowMax)
+		}
+	}
+	return m, nil
+}
+
+// PrewarmBatch pre-sizes the batch pipeline's scratch for batches of up
+// to n events, so a worker's first real batch never pays a scratch
+// allocation mid-stream. Optional — the pipelines grow their scratch on
+// demand and NewMultiHash already sizes it for the default windows —
+// but engines that know their per-worker batch length (shard.New) call
+// it once at construction.
+func (m *MultiHash) PrewarmBatch(n int) {
+	if m.fused == nil || n <= 0 {
+		return
+	}
+	if m.bankedEligible() {
+		if n > bankedWindowMax {
+			n = bankedWindowMax
+		}
+		m.growBankedScratch(n)
+	}
 }
 
 // Config returns the configuration the profiler was built with.
@@ -130,12 +160,27 @@ func (m *MultiHash) Observe(tp event.Tuple) {
 
 // ObserveBatch feeds every tuple of batch through the architecture, in
 // order, with the exact semantics of per-tuple Observe calls. The common
-// shielded configurations dispatch to branch-light specialized loops over
-// the fused hash evaluator and the flat counter set; everything else (no
-// shielding, weak-hash ablations, wide geometries) takes the generic loop.
+// shielded configurations with packed counters dispatch to the staged
+// batch pipeline (staged.go) — and, for plain-update configurations whose
+// counter set outgrows the cache, the bank-bucketed sweep (banked.go).
+// Everything else (no shielding, weak-hash ablations, wide counters or
+// geometries) takes the ordered loops.
 func (m *MultiHash) ObserveBatch(batch []event.Tuple) {
 	m.events += uint64(len(batch))
+	if len(batch) == 0 {
+		return
+	}
 	if m.fused != nil && !m.cfg.NoShield {
+		if hot, ok := m.set.Hot(); ok {
+			if m.cfg.ConservativeUpdate {
+				m.observeStagedConservative(batch, hot)
+			} else if len(hot.Words) >= m.bankMinWords {
+				m.observeBanked(batch, hot)
+			} else {
+				m.observeStagedPlain(batch, hot)
+			}
+			return
+		}
 		if m.cfg.ConservativeUpdate {
 			m.observeFusedConservative(batch)
 		} else {

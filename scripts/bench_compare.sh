@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Bench comparison: run the fixed-seed hot-path benchmark suite at a base
+# ref (default: the previous commit) and at the working tree, then print a
+# benchstat-style delta table. Advisory — the script never fails on a
+# regression; the enforcing gate is `benchrun -gate` against the committed
+# BENCH_*.json baseline. Usage:
+#
+#     scripts/bench_compare.sh [base-ref] [benchtime]
+#
+# Writes the table to stdout; when GITHUB_STEP_SUMMARY is set (CI), the
+# table is also appended there as a fenced block.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASE_REF=${1:-HEAD~1}
+BENCHTIME=${2:-300ms}
+
+WORKDIR=$(mktemp -d)
+BASETREE="$WORKDIR/base"
+trap 'git worktree remove --force "$BASETREE" >/dev/null 2>&1 || true; rm -rf "$WORKDIR"' EXIT
+
+echo "== benchmarking base ($BASE_REF)" >&2
+git worktree add --detach "$BASETREE" "$BASE_REF" >/dev/null
+if [ ! -d "$BASETREE/cmd/benchrun" ]; then
+    echo "bench_compare: $BASE_REF predates cmd/benchrun; nothing to compare" >&2
+    exit 0
+fi
+(cd "$BASETREE" && go run ./cmd/benchrun -benchtime "$BENCHTIME" -out "$WORKDIR/old.json")
+
+echo "== benchmarking working tree" >&2
+go run ./cmd/benchrun -benchtime "$BENCHTIME" -out "$WORKDIR/new.json"
+
+TABLE=$(go run ./cmd/benchrun -delta "$WORKDIR/old.json" "$WORKDIR/new.json")
+echo "$TABLE"
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo "### Bench compare: $BASE_REF vs HEAD (advisory, benchtime=$BENCHTIME)"
+        echo '```'
+        echo "$TABLE"
+        echo '```'
+    } >>"$GITHUB_STEP_SUMMARY"
+fi

@@ -18,6 +18,15 @@
 //	    -events 100000 -hangup-every 2
 //	loadgen -kill-daemon-at 50000 -daemon-bin ./profiled -sessions 4 \
 //	    -events 100000 -daemon-journal-sync batch -daemon-telemetry :9124
+//	loadgen -addr localhost:9123 -sessions 4 -scenario pack.scn
+//
+// With -scenario, each session streams the named scenario file instead of
+// a flat workload: the engine geometry, stream length, per-phase rates and
+// tenant mixes all come from the file (session i streams the scenario
+// under seed+i so the daemon sees distinct streams of the same shape), and
+// the scenario's fault windows arm connection faults — hangup or one-byte
+// corruption — when the session's stream crosses them. Fault windows
+// never change stream content, only transport behavior.
 //
 // Sessions refused admission are reported and tolerated (an overloaded
 // daemon refusing work is correct behavior); any other session failure
@@ -55,11 +64,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"hwprof"
 	"hwprof/internal/faultinject"
+	"hwprof/internal/scenario"
 	"hwprof/internal/shard"
 	"hwprof/internal/wire"
 )
@@ -74,6 +85,7 @@ func main() {
 		rate     = flag.Float64("rate", 0, "target events/sec per session (0: unthrottled)")
 		duration = flag.Duration("duration", 10*time.Second, "with -events 0 and -rate set: stream for this long")
 		workload = flag.String("workload", "gcc", "synthetic workload streamed by every session")
+		scnPath  = flag.String("scenario", "", "scenario file streamed by every session; overrides -workload/-events/-rate/-interval/-entries/-tables/-shards/-batch and the chaos flags with the file's own schedule")
 		seed     = flag.Uint64("seed", 1, "base seed; session i uses seed+i")
 
 		interval = flag.Uint64("interval", 10_000, "profile interval length in events")
@@ -134,6 +146,31 @@ func main() {
 		hangEvery: *hangEvery, hangBytes: *hangBytes,
 		flipEvery: *flipEvery, flipBytes: *flipBytes,
 		backoff: *backoff, attempts: *attempts,
+	}
+	if *scnPath != "" {
+		if *killAt > 0 || *treeDaemons != "" {
+			fmt.Fprintln(os.Stderr, "loadgen: -scenario is mutually exclusive with crash and tree mode")
+			os.Exit(1)
+		}
+		text, err := os.ReadFile(*scnPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		sc, err := scenario.Parse(string(text))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		// The scenario file is the whole run description: engine geometry,
+		// stream length, pacing and fault schedule all come from it.
+		g.scn = sc
+		g.events = sc.TotalEvents()
+		g.cfg = sc.Config()
+		g.shards, g.batch = sc.Shards, sc.Batch
+		g.rate = 0
+		g.hangEvery, g.flipEvery = 0, 0
+		g.workload = "scenario " + sc.Name
 	}
 	if *killAt > 0 {
 		if *treeDaemons != "" {
@@ -212,6 +249,7 @@ type generator struct {
 	events        uint64
 	rate          float64
 	workload      string
+	scn           *scenario.Scenario
 	seed          uint64
 	cfg           hwprof.Config
 	shards, batch int
@@ -305,25 +343,55 @@ func (g *generator) run() (failed int) {
 // session streams one full workload, recording inter-profile latencies.
 func (g *generator) session(idx int) outcome {
 	cfg := g.cfg
-	cfg.Seed = g.seed + uint64(idx)
+	dialer := g.chaosDialer(idx)
+	var trigger *atomic.Pointer[faultinject.TriggerConn]
+	if g.scn != nil {
+		// The engine seed stays the scenario's: adversarial domains target
+		// the engine's exact hash family, so every session attacks the same
+		// geometry. Only the stream seed varies per session.
+		if len(g.scn.Faults) > 0 {
+			trigger = new(atomic.Pointer[faultinject.TriggerConn])
+			dialer = triggerDialer(trigger)
+		}
+	} else {
+		cfg.Seed = g.seed + uint64(idx)
+	}
 	sess, err := hwprof.DialWith(g.addr, cfg, hwprof.RemoteOptions{
 		Shards:      g.shards,
 		BatchSize:   g.batch,
 		Reconnect:   true,
 		BackoffBase: g.backoff,
 		MaxAttempts: g.attempts,
-		Dialer:      g.chaosDialer(idx),
+		Dialer:      dialer,
 	})
 	if err != nil {
 		return outcome{idx: idx, refused: isOverload(err), err: err}
 	}
-	src, err := hwprof.NewWorkload(g.workload, hwprof.KindValue, cfg.Seed)
-	if err != nil {
-		return outcome{idx: idx, err: err}
-	}
-	var paced hwprof.Source = src
-	if g.rate > 0 {
-		paced = &pacedSource{inner: src, rate: g.rate, start: time.Now()}
+	var paced hwprof.Source
+	if g.scn != nil {
+		src, err := g.scn.SourceSeed(g.scn.Seed + uint64(idx))
+		if err != nil {
+			return outcome{idx: idx, err: err}
+		}
+		paced = src
+		if trigger != nil {
+			paced = &faultArmSource{inner: paced, faults: g.scn.Faults, conn: trigger}
+		}
+		for _, p := range g.scn.Phases {
+			if p.Rate > 0 {
+				paced = &phasePacer{inner: paced, phases: g.scn.Phases, start: time.Now()}
+				break
+			}
+		}
+	} else {
+		src, err := hwprof.NewWorkload(g.workload, hwprof.KindValue, cfg.Seed)
+		if err != nil {
+			return outcome{idx: idx, err: err}
+		}
+		paced = src
+		if g.rate > 0 {
+			paced = &pacedSource{inner: src, rate: g.rate, start: time.Now()}
+		}
 	}
 	last := time.Time{}
 	n, err := sess.Run(hwprof.Limit(paced, g.events), func(_ int, _ map[hwprof.Tuple]uint64) {
@@ -821,6 +889,86 @@ func (g *generator) chaosDialer(idx int) func(string, time.Duration) (net.Conn, 
 		return conn, nil
 	}
 }
+
+// triggerDialer wraps every dial of a scenario session in a TriggerConn
+// and publishes the live connection, so the stream-position watcher
+// (faultArmSource) can arm faults on whatever connection is current —
+// including the ones reconnection establishes after earlier faults.
+func triggerDialer(cur *atomic.Pointer[faultinject.TriggerConn]) func(string, time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		tc := &faultinject.TriggerConn{Conn: conn}
+		cur.Store(tc)
+		return tc, nil
+	}
+}
+
+// faultArmSource watches the session's stream position and arms the
+// scenario's next fault on the live connection when its window opens. The
+// fault fires once per window, on the first write after the window's
+// start position reaches the source — the stream itself is never altered,
+// so a scenario run's recording is independent of its fault schedule.
+type faultArmSource struct {
+	inner  hwprof.Source
+	faults []scenario.Fault // validated: sorted-compatible, non-overlapping
+	conn   *atomic.Pointer[faultinject.TriggerConn]
+	next   int
+	pos    uint64
+}
+
+func (s *faultArmSource) Next() (hwprof.Tuple, bool) {
+	if s.next < len(s.faults) && s.pos >= s.faults[s.next].From {
+		f := s.faults[s.next]
+		s.next++
+		if c := s.conn.Load(); c != nil {
+			switch f.Kind {
+			case scenario.FaultHangup:
+				c.Hangup()
+			case scenario.FaultCorrupt:
+				c.Corrupt()
+			}
+		}
+	}
+	s.pos++
+	return s.inner.Next()
+}
+
+func (s *faultArmSource) Err() error { return s.inner.Err() }
+
+// phasePacer throttles a scenario stream to each phase's own target rate,
+// checking the clock every 256 events. Unpaced phases (rate 0) run at
+// full speed; the clock restarts at every phase boundary.
+type phasePacer struct {
+	inner  hwprof.Source
+	phases []scenario.Phase
+	start  time.Time
+
+	pi  int
+	pos uint64 // position within the current phase
+}
+
+func (p *phasePacer) Next() (hwprof.Tuple, bool) {
+	for p.pi < len(p.phases) && p.pos >= p.phases[p.pi].Events {
+		p.pi++
+		p.pos = 0
+		p.start = time.Now()
+	}
+	if p.pi < len(p.phases) {
+		if rate := p.phases[p.pi].Rate; rate > 0 && p.pos%256 == 0 {
+			target := p.start.Add(time.Duration(float64(p.pos) / rate * float64(time.Second)))
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	p.pos++
+	return p.inner.Next()
+}
+
+func (p *phasePacer) Err() error { return p.inner.Err() }
 
 // pacedSource throttles the wrapped source to a target event rate, checking
 // the clock every 256 events.

@@ -1,0 +1,248 @@
+// Command scenario is the CLI of the scenario subsystem: it checks,
+// runs, records, replays and gates declarative workload scenarios
+// (see internal/scenario and DESIGN.md §15).
+//
+// Usage:
+//
+//	scenario check  pack.scn ...            # parse + validate, print summary
+//	scenario run    pack.scn                # measured local run, enforce gates
+//	scenario record -o pack.rec pack.scn    # run and capture a replay artifact
+//	scenario replay pack.rec                # replay, verify byte-identical profiles
+//	scenario replay -addr HOST:P pack.rec   # ... through a profiled daemon
+//	scenario gate   pack.scn ...            # run each, enforce gates (CI entry)
+//	scenario domains                        # list event domains
+//
+// Exit status is non-zero on any parse error, run failure, gate
+// violation, or replay divergence.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"hwprof"
+	"hwprof/internal/event"
+	"hwprof/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd, args := os.Args[1], os.Args[2:]; cmd {
+	case "check":
+		err = runCheck(args)
+	case "run":
+		err = runRun(args)
+	case "record":
+		err = runRecord(args)
+	case "replay":
+		err = runReplay(args)
+	case "gate":
+		err = runGate(args)
+	case "domains":
+		for _, d := range scenario.Domains() {
+			fmt.Println(d)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "scenario: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  scenario check  <file.scn> ...
+  scenario run    <file.scn>
+  scenario record -o <file.rec> <file.scn>
+  scenario replay [-addr host:port] <file.rec>
+  scenario gate   <file.scn> ...
+  scenario domains`)
+}
+
+func load(path string) (*scenario.Scenario, string, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	sc, err := scenario.Parse(string(text))
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, string(text), nil
+}
+
+func runCheck(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("check: need at least one scenario file")
+	}
+	for _, path := range args {
+		sc, _, err := load(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: OK: %s\n", path, sc)
+	}
+	return nil
+}
+
+func report(res *scenario.Result) {
+	fmt.Printf("  intervals %d  net-error %.3f%%  false-pos %.3f%%  false-neg %.3f%%\n",
+		res.Intervals, res.Mean.Total*100, res.Mean.FalsePos*100, res.Mean.FalseNeg*100)
+	for _, g := range res.Scenario.Gates {
+		status := "PASS"
+		for _, f := range res.Failures {
+			if f.Gate == g {
+				status = "FAIL"
+			}
+		}
+		fmt.Printf("  gate %-14s <= %7.3f%%  %s\n", g.Metric, g.Max, status)
+	}
+}
+
+func runRun(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("run: need exactly one scenario file")
+	}
+	sc, _, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", sc)
+	res, err := sc.Run(context.Background(), scenario.RunOptions{})
+	if err != nil {
+		return err
+	}
+	report(res)
+	if !res.Passed() {
+		return fmt.Errorf("%s: %d gate(s) failed", sc.Name, len(res.Failures))
+	}
+	return nil
+}
+
+func runRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("o", "", "output artifact path (required)")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *out == "" {
+		return fmt.Errorf("record: want `scenario record -o <file.rec> <file.scn>`")
+	}
+	_, text, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rec, res, err := scenario.Record(context.Background(), text)
+	if err != nil {
+		return err
+	}
+	report(res)
+	if err := os.WriteFile(*out, rec.Encode(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d events, %d intervals -> %s\n",
+		rec.Scenario.Name, rec.Scenario.TotalEvents(), len(rec.Digests), *out)
+	if !res.Passed() {
+		return fmt.Errorf("%s: %d gate(s) failed (artifact written anyway)", rec.Scenario.Name, len(res.Failures))
+	}
+	return nil
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	addr := fs.String("addr", "", "replay through the profiled daemon at host:port instead of locally")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay: need exactly one recording file")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rec, err := scenario.DecodeRecording(data)
+	if err != nil {
+		return err
+	}
+	if *addr != "" {
+		return replayRemote(rec, *addr)
+	}
+	res, err := rec.Replay(context.Background())
+	if err != nil {
+		return err
+	}
+	report(res)
+	fmt.Printf("replay %s: %d intervals byte-identical\n", rec.Scenario.Name, len(rec.Digests))
+	return nil
+}
+
+// replayRemote streams the recorded trace through a profiled daemon and
+// verifies the returned profiles are byte-identical to the recording. The
+// daemon must run the block backpressure policy (shed drops events and
+// cannot be byte-faithful).
+func replayRemote(rec *scenario.Recording, addr string) error {
+	src, err := rec.Source()
+	if err != nil {
+		return err
+	}
+	sc := rec.Scenario
+	sess, err := hwprof.Connect(context.Background(), addr,
+		hwprof.WithConfig(sc.Config()),
+		hwprof.WithShards(sc.Shards),
+		hwprof.WithBatchSize(sc.Batch))
+	if err != nil {
+		return fmt.Errorf("connecting to %s: %w", addr, err)
+	}
+	if sess.Shedding() {
+		sess.Close()
+		return fmt.Errorf("daemon at %s runs the shed policy; byte-identical replay needs block", addr)
+	}
+	var digests []uint32
+	n, err := sess.Run(src, func(index int, counts map[event.Tuple]uint64) {
+		digests = append(digests, scenario.Digest(index, counts))
+	})
+	if err != nil {
+		return fmt.Errorf("remote replay: %w", err)
+	}
+	if err := rec.CheckDigests(digests); err != nil {
+		return err
+	}
+	fmt.Printf("replay %s via %s: %d intervals byte-identical\n", sc.Name, addr, n)
+	return nil
+}
+
+func runGate(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("gate: need at least one scenario file")
+	}
+	failed := 0
+	for _, path := range args {
+		sc, _, err := load(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s\n", path, sc)
+		res, err := sc.Run(context.Background(), scenario.RunOptions{})
+		if err != nil {
+			return err
+		}
+		report(res)
+		if !res.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenario(s) failed their gates", failed, len(args))
+	}
+	fmt.Printf("all %d scenario(s) within accuracy bounds\n", len(args))
+	return nil
+}

@@ -1,10 +1,14 @@
 // Command tracegen writes a binary tuple trace from a synthetic benchmark
-// analog or an instrumented VM program.
+// analog, an instrumented VM program, or a full declarative scenario.
 //
 // Usage:
 //
 //	tracegen -workload gcc -kind value -n 1000000 -o gcc.trace
 //	tracegen -program interp -kind edge -n 200000 -o interp.trace
+//	tracegen -scenario pack.scn -o pack.trace
+//
+// Unknown workload, program, kind or scenario-domain names exit non-zero
+// with the list of valid names.
 package main
 
 import (
@@ -13,25 +17,27 @@ import (
 	"os"
 
 	"hwprof"
+	"hwprof/internal/scenario"
 )
 
 func main() {
 	var (
 		workload = flag.String("workload", "", "synthetic benchmark analog (one of: burg deltablue gcc go li m88ksim sis vortex)")
 		program  = flag.String("program", "", "VM program (one of: fib interp matmul sort strhash treeins)")
+		scnPath  = flag.String("scenario", "", "scenario file: write its full event stream (kind, length and seed come from the file; -kind/-n/-seed are rejected alongside it)")
 		kindName = flag.String("kind", "value", "tuple kind: value or edge")
 		n        = flag.Uint64("n", 1_000_000, "number of events to write; 0 means no limit (write until the source ends — only -program supports this)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		out      = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
-	if err := run(*workload, *program, *kindName, *n, *seed, *out); err != nil {
+	if err := run(*workload, *program, *scnPath, *kindName, *n, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload, program, kindName string, n, seed uint64, out string) error {
+func run(workload, program, scnPath, kindName string, n, seed uint64, out string) error {
 	var kind hwprof.Kind
 	switch kindName {
 	case "value":
@@ -49,6 +55,21 @@ func run(workload, program, kindName string, n, seed uint64, out string) error {
 	var src hwprof.Source
 	var err error
 	switch {
+	case scnPath != "" && (workload != "" || program != ""):
+		return fmt.Errorf("specify only one of -scenario, -workload and -program")
+	case scnPath != "":
+		// A scenario file is self-contained: its own kind, seed and total
+		// length govern the trace.
+		text, rerr := os.ReadFile(scnPath)
+		if rerr != nil {
+			return rerr
+		}
+		sc, perr := scenario.Parse(string(text))
+		if perr != nil {
+			return perr
+		}
+		src, err = sc.Source()
+		kind, n = sc.Kind, sc.TotalEvents()
 	case workload != "" && program != "":
 		return fmt.Errorf("specify only one of -workload and -program")
 	case workload != "":
@@ -61,7 +82,7 @@ func run(workload, program, kindName string, n, seed uint64, out string) error {
 		// runs exactly once so the stream is bounded.
 		src, err = hwprof.NewProgramSource(program, kind, n != 0)
 	default:
-		return fmt.Errorf("one of -workload or -program is required")
+		return fmt.Errorf("one of -workload, -program or -scenario is required")
 	}
 	if err != nil {
 		return err

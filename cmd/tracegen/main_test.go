@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hwprof"
+)
+
+// errOf runs tracegen's core with output to a throwaway file and returns
+// the error.
+func errOf(t *testing.T, workload, program, scnPath, kind string, n uint64) error {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "out.trace")
+	return run(workload, program, scnPath, kind, n, 1, out)
+}
+
+func TestRejectsUnknownWorkloadListingValid(t *testing.T) {
+	err := errOf(t, "notabench", "", "", "value", 100)
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	for _, name := range hwprof.Workloads() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list valid workload %q", err, name)
+		}
+	}
+}
+
+func TestRejectsUnknownProgramListingValid(t *testing.T) {
+	err := errOf(t, "", "notaprog", "", "value", 100)
+	if err == nil {
+		t.Fatal("unknown program accepted")
+	}
+	for _, name := range hwprof.Programs() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list valid program %q", err, name)
+		}
+	}
+}
+
+func TestRejectsUnknownKind(t *testing.T) {
+	err := errOf(t, "gcc", "", "", "paths", 100)
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if !strings.Contains(err.Error(), "value or edge") {
+		t.Fatalf("error %q does not name the valid kinds", err)
+	}
+}
+
+func TestRejectsMissingAndConflictingSources(t *testing.T) {
+	if err := errOf(t, "", "", "", "value", 100); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if err := errOf(t, "gcc", "fib", "", "value", 100); err == nil {
+		t.Fatal("conflicting -workload and -program accepted")
+	}
+}
+
+func TestRejectsUnknownScenarioDomain(t *testing.T) {
+	scn := filepath.Join(t.TempDir(), "bad.scn")
+	text := "scenario bad\nseed 1\nphase a 20000 {\nsource quantum gcc\n}\n"
+	if err := os.WriteFile(scn, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := errOf(t, "", "", scn, "value", 0)
+	if err == nil {
+		t.Fatal("unknown scenario domain accepted")
+	}
+	if !strings.Contains(err.Error(), "workload") || !strings.Contains(err.Error(), "zipf") {
+		t.Fatalf("error %q does not list the valid domains", err)
+	}
+}
+
+func TestScenarioTraceMatchesScenarioLength(t *testing.T) {
+	dir := t.TempDir()
+	scn := filepath.Join(dir, "ok.scn")
+	text := "scenario ok\nseed 9\ninterval 1000\nphase a 3000 {\nsource workload li\n}\n"
+	if err := os.WriteFile(scn, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "ok.trace")
+	if err := run("", "", scn, "value", 0, 1, out); err != nil {
+		t.Fatalf("scenario trace: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := hwprof.OpenTrace(f)
+	if err != nil {
+		t.Fatalf("OpenTrace: %v", err)
+	}
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if r.Err() != nil {
+		t.Fatalf("trace read: %v", r.Err())
+	}
+	if n != 3000 {
+		t.Fatalf("trace holds %d events, scenario declares 3000", n)
+	}
+}

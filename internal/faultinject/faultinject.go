@@ -260,6 +260,49 @@ func (c *FlipConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// TriggerConn wraps a net.Conn with externally armed faults, for drivers
+// whose fault schedule is stated in stream positions rather than byte
+// offsets (scenario fault windows): the driver watches the stream and arms
+// the trigger when a window opens; the connection itself stays
+// position-oblivious. Arm with Hangup or Corrupt from any goroutine; the
+// next Write consumes the armed fault. Like HangupConn/FlipConn, the write
+// side must be a single goroutine.
+type TriggerConn struct {
+	net.Conn
+
+	hangup  atomic.Bool
+	corrupt atomic.Bool
+	written int64
+}
+
+// Hangup arms a connection cut: the next write is delivered partially,
+// then the connection closes.
+func (c *TriggerConn) Hangup() { c.hangup.Store(true) }
+
+// Corrupt arms a one-byte corruption of the next write — transport damage
+// the receiver's frame CRC must catch.
+func (c *TriggerConn) Corrupt() { c.corrupt.Store(true) }
+
+// Write consumes any armed fault, then forwards.
+func (c *TriggerConn) Write(p []byte) (int, error) {
+	if c.hangup.Swap(false) {
+		// Deliver half the buffer so the cut lands mid-frame, then close.
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.written += int64(n)
+		c.Conn.Close()
+		return n, fmt.Errorf("%w: connection hung up after %d bytes", ErrInjected, c.written)
+	}
+	if c.corrupt.Swap(false) {
+		corrupted := make([]byte, len(p))
+		copy(corrupted, p)
+		corrupted[len(p)/2] ^= 0x01
+		p = corrupted
+	}
+	n, err := c.Conn.Write(p)
+	c.written += int64(n)
+	return n, err
+}
+
 // TornWriter wraps an io.Writer and silently discards every byte past
 // write-stream offset After — the model of a power cut or kill -9 whose
 // final write never reached the device. Writes keep "succeeding" so the
@@ -342,5 +385,6 @@ var (
 	_ io.Reader         = (*FailingReader)(nil)
 	_ net.Conn          = (*HangupConn)(nil)
 	_ net.Conn          = (*FlipConn)(nil)
+	_ net.Conn          = (*TriggerConn)(nil)
 	_ io.Writer         = (*TornWriter)(nil)
 )

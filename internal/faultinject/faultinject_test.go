@@ -200,3 +200,63 @@ func TestFlipConnDefaultMask(t *testing.T) {
 		t.Fatalf("peer received %#v, want the first byte XORed with 0x01", delivered)
 	}
 }
+
+func TestTriggerConnArmsOneShotFaults(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	tc := &TriggerConn{Conn: c1}
+	got := make(chan []byte, 1)
+	go readAll(c2, got)
+
+	// Unarmed writes pass through untouched.
+	if _, err := tc.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt fires exactly once, flips the middle byte of that write,
+	// and never touches the caller's buffer.
+	tc.Corrupt()
+	buf := []byte("efgh")
+	if _, err := tc.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "efgh" {
+		t.Fatalf("TriggerConn modified the caller's buffer: %q", buf)
+	}
+	if _, err := tc.Write([]byte("ijkl")); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	want := append([]byte("abcdef"), 'g'^0x01, 'h', 'i', 'j', 'k', 'l')
+	if delivered := <-got; !bytes.Equal(delivered, want) {
+		t.Fatalf("peer received %q, want %q", delivered, want)
+	}
+}
+
+func TestTriggerConnHangupDeliversHalfThenCloses(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	tc := &TriggerConn{Conn: c1}
+	got := make(chan []byte, 1)
+	go readAll(c2, got)
+
+	if _, err := tc.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	tc.Hangup()
+	n, err := tc.Write([]byte("efghijkl"))
+	if n != 4 {
+		t.Fatalf("hangup write delivered %d bytes, want 4", n)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if delivered := <-got; string(delivered) != "abcdefgh" {
+		t.Fatalf("peer received %q, want the first 8 bytes exactly", delivered)
+	}
+	// The underlying conn really closed.
+	if _, err := tc.Write([]byte("x")); err == nil {
+		t.Fatal("write after hangup succeeded")
+	}
+}

@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hwprof/internal/dist"
+	"hwprof/internal/event"
+	"hwprof/internal/hashfn"
+	"hwprof/internal/shard"
+	"hwprof/internal/synth"
+	"hwprof/internal/xrand"
+)
+
+// Adversarial source defaults.
+const (
+	defaultCollideMass    = 0.25
+	defaultCollideTargets = 4
+	defaultCollidePool    = 256
+	defaultZipfSteps      = 1
+)
+
+// collideSource is the hash-collision flood adversary. It knows the
+// scenario engine's exact hash geometry — the shard-0 split configuration
+// of the sharded engine, the same derivation every scenario run and every
+// profiled session uses — and
+// rejection-samples a pool of tuples that all land in a handful of target
+// slots of table 0. Each pool tuple individually stays below the hot
+// threshold, but in a single-hash table the whole pool aliases onto the
+// target slots, inflating them past threshold: false positives. The
+// multi-hash engine survives because the same pool scatters across the
+// other tables' independent functions — the paper's core argument, made
+// executable. The remaining probability mass is an ordinary background
+// workload so the flood hides inside realistic traffic.
+type collideSource struct {
+	base event.Source
+	pool []event.Tuple
+	mass float64
+	rng  *xrand.Rand
+	err  error
+}
+
+func newCollideSource(sc *Scenario, spec SourceSpec, seed uint64) (event.Source, error) {
+	baseName := spec.Name
+	if baseName == "" {
+		baseName = "gcc"
+	}
+	base, err := synth.NewBenchmark(baseName, sc.Kind, xrand.Mix64(seed^0xc0111de))
+	if err != nil {
+		return nil, err
+	}
+	// Target the engine the scenario actually runs on: shard 0 of the
+	// sharded engine, whose table-0 hash function is seeded by the
+	// per-shard split configuration. With more than one shard the pool is
+	// additionally rejection-sampled onto tuples that route to shard 0 —
+	// sharding diffuses a targeted flood, so the attack must pay a routing
+	// constraint to stay concentrated.
+	cfg0 := sc.shard0Config()
+	shards := sc.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	idxBits := uint(bits.TrailingZeros(uint(cfg0.TotalEntries / cfg0.NumTables)))
+	fam, err := hashfn.NewFamily(cfg0.Seed, cfg0.NumTables, idxBits)
+	if err != nil {
+		return nil, fmt.Errorf("source collide: %w", err)
+	}
+	f0 := fam.Func(0)
+	targets := int(spec.Arg("targets", defaultCollideTargets))
+	poolSize := int(spec.Arg("pool", defaultCollidePool))
+	rng := xrand.New(seed)
+
+	// Pick the victim slots, then rejection-sample tuples into them. The
+	// expected cost is shards×size/targets tries per pool entry — trivial
+	// for the table sizes scenarios use.
+	victims := make(map[uint32]struct{}, targets)
+	for len(victims) < targets {
+		victims[uint32(rng.Uint64n(uint64(f0.Size())))] = struct{}{}
+	}
+	pool := make([]event.Tuple, 0, poolSize)
+	for len(pool) < poolSize {
+		tp := event.Tuple{A: rng.Uint64(), B: rng.Uint64()}
+		if shards > 1 && shard.RouteHash(tp)%uint64(shards) != 0 {
+			continue
+		}
+		if _, hit := victims[f0.Index(tp)]; hit {
+			pool = append(pool, tp)
+		}
+	}
+	return &collideSource{
+		base: base,
+		pool: pool,
+		mass: spec.Arg("mass", defaultCollideMass),
+		rng:  rng,
+	}, nil
+}
+
+func (s *collideSource) Next() (event.Tuple, bool) {
+	if s.err != nil {
+		return event.Tuple{}, false
+	}
+	if s.rng.Float64() < s.mass {
+		return s.pool[s.rng.Intn(len(s.pool))], true
+	}
+	tp, ok := s.base.Next()
+	if !ok {
+		s.err = s.base.Err()
+		if s.err == nil {
+			s.err = fmt.Errorf("collide: background workload ended")
+		}
+		return event.Tuple{}, false
+	}
+	return tp, true
+}
+
+func (s *collideSource) Err() error { return s.err }
+
+// zipfSource draws tuples Zipf-distributed over a fixed rank space, with
+// the exponent optionally swept from s0 to s1 in `steps` equal segments
+// across the phase — the Zipf-parameter sweep adversary. Flat exponents
+// (s near 0) spread mass thin so nothing clears the hot threshold; steep
+// ones concentrate it; the sweep walks the engine through the transition
+// inside one run, stressing interval-boundary behavior.
+type zipfSource struct {
+	z      *dist.Zipf
+	rng    *xrand.Rand
+	tuples []event.Tuple // rank -> tuple identity
+
+	s0, s1  float64
+	steps   int
+	segLen  uint64 // draws per sweep segment (from this source's share)
+	segment int
+	drawn   uint64
+	err     error
+}
+
+// zipfTag namespaces zipf tuple identities away from other domains.
+const zipfTag = 0x5a1bf00d
+
+func newZipfSource(p *Phase, spec SourceSpec, seed uint64) (event.Source, error) {
+	var n int
+	fmt.Sscanf(spec.Name, "%d", &n)
+	s0 := spec.Arg("s0", 1)
+	s1 := spec.Arg("s1", s0)
+	steps := int(spec.Arg("steps", defaultZipfSteps))
+	z, err := dist.NewZipf(n, s0)
+	if err != nil {
+		return nil, fmt.Errorf("source zipf: %w", err)
+	}
+	// Rank identities are a pure function of the rank, shared by every
+	// tenant drawing from the same zipf domain, so concurrent tenants
+	// contend for the same hot tuples.
+	tuples := make([]event.Tuple, n)
+	for r := range tuples {
+		tuples[r] = event.Tuple{A: xrand.Mix64(zipfTag ^ uint64(r)<<1), B: uint64(r)}
+	}
+	segLen := p.Events / uint64(steps)
+	if segLen == 0 {
+		segLen = 1
+	}
+	return &zipfSource{
+		z: z, rng: xrand.New(seed), tuples: tuples,
+		s0: s0, s1: s1, steps: steps, segLen: segLen,
+	}, nil
+}
+
+func (s *zipfSource) Next() (event.Tuple, bool) {
+	if s.err != nil {
+		return event.Tuple{}, false
+	}
+	if seg := int(s.drawn / s.segLen); seg != s.segment && seg < s.steps {
+		s.segment = seg
+		exp := s.s0
+		if s.steps > 1 {
+			exp = s.s0 + (s.s1-s.s0)*float64(seg)/float64(s.steps-1)
+		}
+		z, err := dist.NewZipf(len(s.tuples), exp)
+		if err != nil {
+			s.err = fmt.Errorf("zipf sweep segment %d: %w", seg, err)
+			return event.Tuple{}, false
+		}
+		s.z = z
+	}
+	s.drawn++
+	return s.tuples[s.z.Sample(s.rng)], true
+}
+
+func (s *zipfSource) Err() error { return s.err }
+
+var (
+	_ event.Source = (*collideSource)(nil)
+	_ event.Source = (*zipfSource)(nil)
+)

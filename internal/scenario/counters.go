@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"fmt"
+
+	"hwprof/internal/bpred"
+	"hwprof/internal/cache"
+	"hwprof/internal/event"
+	"hwprof/internal/vm"
+)
+
+// Hardware event-counter IDs — the B half of a counters-domain tuple.
+// The A half is the PC of the instruction that caused the event, so the
+// profiler's hot tuples are "the instructions that miss/mispredict most",
+// in the CounterPoint spirit of profiling from event-counter streams.
+const (
+	CounterDCacheMiss uint64 = 1
+	CounterBranchMiss uint64 = 2
+)
+
+// counterSource runs a VM program against a data-cache and
+// branch-predictor model and streams one tuple per miss event. The
+// microarchitectural models are deterministic, so the stream is a pure
+// function of (program, geometry) — no randomness at all in this domain.
+type counterSource struct {
+	m     *vm.Machine
+	queue []event.Tuple
+	err   error
+}
+
+func newCounterSource(spec SourceSpec) (event.Source, error) {
+	m, err := newMachine(spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	line := int(spec.Arg("line", 32))
+	dc, err := cache.New(cache.Config{
+		SizeBytes: int(spec.Arg("cachekb", 8)) * 1024,
+		Ways:      int(spec.Arg("ways", 2)),
+		LineBytes: line,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("source counters: %w", err)
+	}
+	entries := int(spec.Arg("entries", 1024))
+	hist := uint(spec.Arg("histbits", 8))
+	var bp bpred.Predictor
+	if hist > 0 {
+		bp, err = bpred.NewGShare(entries, hist)
+	} else {
+		bp, err = bpred.NewTwoBit(entries)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("source counters: %w", err)
+	}
+	s := &counterSource{m: m}
+	m.OnMem = func(pcAddr uint64, wordAddr int64, store bool) {
+		if !dc.Access(uint64(wordAddr) * 8) {
+			s.queue = append(s.queue, event.Tuple{A: pcAddr, B: CounterDCacheMiss})
+		}
+	}
+	m.OnCond = func(pcAddr uint64, taken bool) {
+		if bp.Predict(pcAddr) != taken {
+			s.queue = append(s.queue, event.Tuple{A: pcAddr, B: CounterBranchMiss})
+		}
+		bp.Update(pcAddr, taken)
+	}
+	return s, nil
+}
+
+// Next steps the machine until a miss event lands; the program loops
+// forever (counters streams are always unbounded — phases bound them).
+// Cache and predictor state deliberately survive the restart: steady-state
+// warm-model behavior is the interesting regime.
+func (s *counterSource) Next() (event.Tuple, bool) {
+	for len(s.queue) == 0 {
+		if s.err != nil {
+			return event.Tuple{}, false
+		}
+		if s.m.Halted() {
+			s.m.Reset()
+		}
+		if err := s.m.Step(); err != nil {
+			s.err = err
+			return event.Tuple{}, false
+		}
+	}
+	tp := s.queue[0]
+	s.queue = s.queue[1:]
+	return tp, true
+}
+
+func (s *counterSource) Err() error { return s.err }
+
+var _ event.Source = (*counterSource)(nil)

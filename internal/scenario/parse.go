@@ -1,0 +1,429 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hwprof/internal/event"
+)
+
+// Parse reads a scenario file. The format is line-oriented:
+//
+//	# comment (also ;)
+//	scenario collision-flood
+//	seed 42
+//	kind value                # value | edge | generic
+//	interval 10000            # events per profile interval
+//	threshold 1               # candidate threshold, percent
+//	tables 4                  # hash tables (engine geometry)
+//	entries 2048              # total hash counters
+//	shards 1                  # engine shards
+//	batch 0                   # batch size (0 = default)
+//
+//	phase warm 30000 {
+//	    source workload gcc
+//	    rate 50000                       # events/sec pacing hint
+//	    tenants 1,2,1 quantum=128        # weighted tenant mix
+//	    burst tenant=1 at=5000 len=10000 gain=8
+//	}
+//	phase flood 20000 {
+//	    source collide gcc mass=0.3 targets=4 pool=256
+//	}
+//
+//	fault hangup 12000..18000            # absolute stream window
+//	gate net-error 25                    # mean net error <= 25%
+//
+// Header directives must precede the first phase; `scenario` and `seed`
+// are required (the seed is the determinism contract — there is no
+// implicit default to mask a forgotten one). Every error names the line
+// it came from. The parsed scenario is validated before it is returned.
+func Parse(text string) (*Scenario, error) {
+	sc := &Scenario{
+		Kind:      event.KindValue,
+		Interval:  10_000,
+		Threshold: 1,
+		Tables:    4,
+		Entries:   2048,
+		Shards:    1,
+	}
+	var (
+		p        *parser
+		sawName  bool
+		sawSeed  bool
+		curPhase *Phase
+	)
+	p = &parser{}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		p.line = lineNo + 1
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		// A lone "}" closes the current phase block.
+		if fields[0] == "}" {
+			if curPhase == nil {
+				return nil, p.errf("unmatched }")
+			}
+			if len(fields) > 1 {
+				return nil, p.errf("trailing input after }")
+			}
+			if curPhase.Source.Domain == "" {
+				return nil, p.errf("phase %s has no source", curPhase.Name)
+			}
+			sc.Phases = append(sc.Phases, *curPhase)
+			curPhase = nil
+			continue
+		}
+		if curPhase != nil {
+			if err := p.phaseLine(curPhase, fields); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch fields[0] {
+		case "scenario":
+			if err := p.wantArgs(fields, 1); err != nil {
+				return nil, err
+			}
+			sc.Name, sawName = fields[1], true
+		case "seed":
+			v, err := p.uintArg(fields)
+			if err != nil {
+				return nil, err
+			}
+			sc.Seed, sawSeed = v, true
+		case "kind":
+			if err := p.wantArgs(fields, 1); err != nil {
+				return nil, err
+			}
+			switch fields[1] {
+			case "value":
+				sc.Kind = event.KindValue
+			case "edge":
+				sc.Kind = event.KindEdge
+			case "generic":
+				sc.Kind = event.KindGeneric
+			default:
+				return nil, p.errf("unknown kind %q (want value, edge or generic)", fields[1])
+			}
+		case "interval":
+			v, err := p.uintArg(fields)
+			if err != nil {
+				return nil, err
+			}
+			sc.Interval = v
+		case "threshold":
+			v, err := p.floatArg(fields)
+			if err != nil {
+				return nil, err
+			}
+			sc.Threshold = v
+		case "tables":
+			v, err := p.intArg(fields)
+			if err != nil {
+				return nil, err
+			}
+			sc.Tables = v
+		case "entries":
+			v, err := p.intArg(fields)
+			if err != nil {
+				return nil, err
+			}
+			sc.Entries = v
+		case "shards":
+			v, err := p.intArg(fields)
+			if err != nil {
+				return nil, err
+			}
+			sc.Shards = v
+		case "batch":
+			v, err := p.intArg(fields)
+			if err != nil {
+				return nil, err
+			}
+			sc.Batch = v
+		case "phase":
+			ph, err := p.phaseHeader(fields)
+			if err != nil {
+				return nil, err
+			}
+			curPhase = ph
+		case "fault":
+			f, err := p.fault(fields)
+			if err != nil {
+				return nil, err
+			}
+			sc.Faults = append(sc.Faults, f)
+		case "gate":
+			g, err := p.gate(fields)
+			if err != nil {
+				return nil, err
+			}
+			sc.Gates = append(sc.Gates, g)
+		default:
+			return nil, p.errf("unknown directive %q", fields[0])
+		}
+	}
+	if curPhase != nil {
+		return nil, fmt.Errorf("scenario: phase %s is never closed (missing })", curPhase.Name)
+	}
+	if !sawName {
+		return nil, fmt.Errorf("scenario: missing `scenario <name>` directive")
+	}
+	if !sawSeed {
+		return nil, fmt.Errorf("scenario %s: missing `seed` directive (the seed is the replay contract; there is no default)", sc.Name)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// parser carries the current line for error messages.
+type parser struct{ line int }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("scenario: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) wantArgs(fields []string, n int) error {
+	if len(fields)-1 != n {
+		return p.errf("%s takes %d argument(s), got %d", fields[0], n, len(fields)-1)
+	}
+	return nil
+}
+
+func (p *parser) uintArg(fields []string) (uint64, error) {
+	if err := p.wantArgs(fields, 1); err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(fields[1], 0, 64)
+	if err != nil {
+		return 0, p.errf("%s: %q is not an unsigned integer", fields[0], fields[1])
+	}
+	return v, nil
+}
+
+func (p *parser) intArg(fields []string) (int, error) {
+	if err := p.wantArgs(fields, 1); err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, p.errf("%s: %q is not an integer", fields[0], fields[1])
+	}
+	return v, nil
+}
+
+func (p *parser) floatArg(fields []string) (float64, error) {
+	if err := p.wantArgs(fields, 1); err != nil {
+		return 0, err
+	}
+	v, err := parseFloat(fields[1])
+	if err != nil {
+		return 0, p.errf("%s: %q is not a number", fields[0], fields[1])
+	}
+	return v, nil
+}
+
+// parseFloat accepts a plain float with an optional trailing %.
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+}
+
+// phaseHeader parses `phase <name> <events> {`.
+func (p *parser) phaseHeader(fields []string) (*Phase, error) {
+	if len(fields) != 4 || fields[3] != "{" {
+		return nil, p.errf("want `phase <name> <events> {`")
+	}
+	ev, err := strconv.ParseUint(fields[2], 0, 64)
+	if err != nil {
+		return nil, p.errf("phase %s: duration %q is not an unsigned integer", fields[1], fields[2])
+	}
+	return &Phase{Name: fields[1], Events: ev}, nil
+}
+
+// phaseLine parses one directive inside a phase block.
+func (p *parser) phaseLine(ph *Phase, fields []string) error {
+	switch fields[0] {
+	case "source":
+		if ph.Source.Domain != "" {
+			return p.errf("phase %s has more than one source", ph.Name)
+		}
+		spec, err := p.sourceSpec(fields[1:])
+		if err != nil {
+			return err
+		}
+		ph.Source = spec
+		return nil
+	case "rate":
+		v, err := p.floatArg(fields)
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return p.errf("rate %v must be non-negative", v)
+		}
+		ph.Rate = v
+		return nil
+	case "tenants":
+		if len(fields) < 2 || len(fields) > 3 {
+			return p.errf("want `tenants <w1,w2,...> [quantum=<n>]`")
+		}
+		for _, w := range strings.Split(fields[1], ",") {
+			v, err := parseFloat(w)
+			if err != nil {
+				return p.errf("tenant weight %q is not a number", w)
+			}
+			ph.Tenants = append(ph.Tenants, v)
+		}
+		if len(fields) == 3 {
+			k, v, err := p.keyValue(fields[2])
+			if err != nil {
+				return err
+			}
+			if k != "quantum" {
+				return p.errf("unknown tenants option %q (want quantum)", k)
+			}
+			if v < 1 {
+				return p.errf("quantum %v must be a positive integer", v)
+			}
+			ph.Quantum = uint64(v)
+		}
+		return nil
+	case "burst":
+		b := Burst{Tenant: -1, Gain: 1}
+		var sawAt, sawLen, sawGain bool
+		for _, f := range fields[1:] {
+			k, v, err := p.keyValue(f)
+			if err != nil {
+				return err
+			}
+			switch k {
+			case "tenant":
+				b.Tenant = int(v)
+			case "at":
+				if v < 0 {
+					return p.errf("burst at=%v must be non-negative", v)
+				}
+				b.At, sawAt = uint64(v), true
+			case "len":
+				if v < 0 {
+					return p.errf("burst len=%v must be non-negative", v)
+				}
+				b.Len, sawLen = uint64(v), true
+			case "gain":
+				b.Gain, sawGain = v, true
+			default:
+				return p.errf("unknown burst option %q (want tenant, at, len or gain)", k)
+			}
+		}
+		if b.Tenant < 0 || !sawAt || !sawLen || !sawGain {
+			return p.errf("burst needs tenant=, at=, len= and gain=")
+		}
+		ph.Bursts = append(ph.Bursts, b)
+		return nil
+	default:
+		return p.errf("unknown phase directive %q (want source, rate, tenants or burst)", fields[0])
+	}
+}
+
+// sourceSpec parses `<domain> [name] [key=value ...]`.
+func (p *parser) sourceSpec(fields []string) (SourceSpec, error) {
+	if len(fields) == 0 {
+		return SourceSpec{}, p.errf("source needs a domain (one of: %s)", strings.Join(Domains(), " "))
+	}
+	spec := SourceSpec{Domain: fields[0]}
+	if !knownDomain(spec.Domain) {
+		return SourceSpec{}, p.errf("unknown source domain %q (have: %s)", spec.Domain, strings.Join(Domains(), " "))
+	}
+	rest := fields[1:]
+	if len(rest) > 0 && !strings.Contains(rest[0], "=") {
+		spec.Name = rest[0]
+		rest = rest[1:]
+	}
+	for _, f := range rest {
+		k, v, err := p.keyValue(f)
+		if err != nil {
+			return SourceSpec{}, err
+		}
+		if spec.Args == nil {
+			spec.Args = make(map[string]float64)
+		}
+		if _, dup := spec.Args[k]; dup {
+			return SourceSpec{}, p.errf("source repeats %s=", k)
+		}
+		spec.Args[k] = v
+	}
+	return spec, nil
+}
+
+// keyValue splits key=value with a float value.
+func (p *parser) keyValue(f string) (string, float64, error) {
+	k, vs, ok := strings.Cut(f, "=")
+	if !ok || k == "" {
+		return "", 0, p.errf("want key=value, got %q", f)
+	}
+	v, err := parseFloat(vs)
+	if err != nil {
+		return "", 0, p.errf("%s=%q is not a number", k, vs)
+	}
+	return k, v, nil
+}
+
+// fault parses `fault <kind> <from>..<to>`.
+func (p *parser) fault(fields []string) (Fault, error) {
+	if len(fields) != 3 {
+		return Fault{}, p.errf("want `fault <hangup|corrupt> <from>..<to>`")
+	}
+	var f Fault
+	switch fields[1] {
+	case "hangup":
+		f.Kind = FaultHangup
+	case "corrupt":
+		f.Kind = FaultCorrupt
+	default:
+		return Fault{}, p.errf("unknown fault kind %q (want hangup or corrupt)", fields[1])
+	}
+	from, to, ok := strings.Cut(fields[2], "..")
+	if !ok {
+		return Fault{}, p.errf("fault window %q: want <from>..<to>", fields[2])
+	}
+	var err error
+	if f.From, err = strconv.ParseUint(from, 0, 64); err != nil {
+		return Fault{}, p.errf("fault window start %q is not an unsigned integer", from)
+	}
+	if f.To, err = strconv.ParseUint(to, 0, 64); err != nil {
+		return Fault{}, p.errf("fault window end %q is not an unsigned integer", to)
+	}
+	return f, nil
+}
+
+// gate parses `gate <metric> <maxPercent>`.
+func (p *parser) gate(fields []string) (Gate, error) {
+	if len(fields) != 3 {
+		return Gate{}, p.errf("want `gate <net-error|false-positive|false-negative> <maxPercent>`")
+	}
+	var g Gate
+	switch fields[1] {
+	case "net-error":
+		g.Metric = GateNetError
+	case "false-positive":
+		g.Metric = GateFalsePositive
+	case "false-negative":
+		g.Metric = GateFalseNegative
+	default:
+		return Gate{}, p.errf("unknown gate metric %q (want net-error, false-positive or false-negative)", fields[1])
+	}
+	v, err := parseFloat(fields[2])
+	if err != nil {
+		return Gate{}, p.errf("gate bound %q is not a number", fields[2])
+	}
+	g.Max = v
+	return g, nil
+}

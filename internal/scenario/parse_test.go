@@ -1,0 +1,180 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"hwprof/internal/event"
+)
+
+// validText is a minimal correct scenario used as the base of the error
+// table (each error case is a mutation of it).
+const validText = `
+scenario base
+seed 7
+kind value
+interval 1000
+threshold 1
+tables 4
+entries 2048
+
+phase warm 2000 {
+    source workload gcc
+}
+phase mix 2000 {
+    source workload go
+    tenants 1,2 quantum=32
+    burst tenant=1 at=100 len=500 gain=4
+}
+
+fault hangup 500..900
+gate net-error 50
+`
+
+func TestParseValid(t *testing.T) {
+	sc, err := Parse(validText)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sc.Name != "base" || sc.Seed != 7 || sc.Kind != event.KindValue {
+		t.Fatalf("header mismatch: %+v", sc)
+	}
+	if len(sc.Phases) != 2 || sc.Phases[0].Events != 2000 {
+		t.Fatalf("phases mismatch: %+v", sc.Phases)
+	}
+	p := sc.Phases[1]
+	if len(p.Tenants) != 2 || p.Quantum != 32 || len(p.Bursts) != 1 {
+		t.Fatalf("tenant mix mismatch: %+v", p)
+	}
+	if p.Bursts[0] != (Burst{Tenant: 1, At: 100, Len: 500, Gain: 4}) {
+		t.Fatalf("burst mismatch: %+v", p.Bursts[0])
+	}
+	if len(sc.Faults) != 1 || sc.Faults[0] != (Fault{Kind: FaultHangup, From: 500, To: 900}) {
+		t.Fatalf("fault mismatch: %+v", sc.Faults)
+	}
+	if len(sc.Gates) != 1 || sc.Gates[0] != (Gate{Metric: GateNetError, Max: 50}) {
+		t.Fatalf("gate mismatch: %+v", sc.Gates)
+	}
+	if sc.TotalEvents() != 4000 {
+		t.Fatalf("TotalEvents = %d, want 4000", sc.TotalEvents())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring the error must contain
+	}{
+		{"empty", "", "missing `scenario"},
+		{"missing seed", "scenario x\nphase a 1000 {\nsource workload gcc\n}", "missing `seed`"},
+		{"no phases", "scenario x\nseed 1", "at least one phase"},
+		{"unknown directive", "scenario x\nseed 1\nbogus 3", `unknown directive "bogus"`},
+		{"unknown kind", "scenario x\nseed 1\nkind paths", "unknown kind"},
+		{"bad seed", "scenario x\nseed -4", "not an unsigned integer"},
+		{"unclosed phase", "scenario x\nseed 1\nphase a 1000 {\nsource workload gcc", "never closed"},
+		{"unmatched close", "scenario x\nseed 1\n}", "unmatched }"},
+		{"phase without source", "scenario x\nseed 1\nphase a 1000 {\n}", "has no source"},
+		{"two sources", "scenario x\nseed 1\nphase a 1000 {\nsource workload gcc\nsource workload go\n}", "more than one source"},
+		{"zero duration", "scenario x\nseed 1\nphase a 0 {\nsource workload gcc\n}", "duration must be positive"},
+		{"unknown domain", "scenario x\nseed 1\nphase a 1000 {\nsource quantum gcc\n}", `unknown source domain "quantum"`},
+		{"unknown workload", "scenario x\nseed 1\nphase a 1000 {\nsource workload notabench\n}", "notabench"},
+		{"unknown program", "scenario x\nseed 1\nphase a 1000 {\nsource path notaprog\n}", "notaprog"},
+		{"unknown source arg", "scenario x\nseed 1\nphase a 1000 {\nsource path fib warp=9\n}", `unknown parameter "warp"`},
+		{"duplicate source arg", "scenario x\nseed 1\nphase a 1000 {\nsource path fib iterations=2 iterations=3\n}", "repeats iterations="},
+		{"negative rate", "scenario x\nseed 1\nphase a 1000 {\nsource workload gcc\nrate -5\n}", "must be non-negative"},
+		{"single tenant", "scenario x\nseed 1\nphase a 1000 {\nsource workload gcc\ntenants 1\n}", "at least two weights"},
+		{"zero weights", "scenario x\nseed 1\nphase a 1000 {\nsource workload gcc\ntenants 0,0\n}", "all tenant weights are zero"},
+		{"negative weight", "scenario x\nseed 1\nphase a 1000 {\nsource workload gcc\ntenants 1,-1\n}", "must be non-negative"},
+		{"burst without mix", "scenario x\nseed 1\nphase a 1000 {\nsource workload gcc\nburst tenant=0 at=0 len=10 gain=2\n}", "burst without a tenant mix"},
+		{"burst bad tenant", "scenario x\nseed 1\nphase a 1000 {\nsource workload gcc\ntenants 1,1\nburst tenant=5 at=0 len=10 gain=2\n}", "outside mix"},
+		{"burst outside phase", "scenario x\nseed 1\nphase a 1000 {\nsource workload gcc\ntenants 1,1\nburst tenant=0 at=900 len=200 gain=2\n}", "outside phase"},
+		{"burst incomplete", "scenario x\nseed 1\nphase a 1000 {\nsource workload gcc\ntenants 1,1\nburst tenant=0 at=0\n}", "burst needs"},
+		{"fault empty window", "scenario x\nseed 1\ninterval 500\nfault hangup 10..10\nphase a 1000 {\nsource workload gcc\n}", "is empty"},
+		{"fault reversed window", "scenario x\nseed 1\ninterval 500\nfault hangup 20..10\nphase a 1000 {\nsource workload gcc\n}", "is empty"},
+		{"fault outside stream", "scenario x\nseed 1\ninterval 500\nfault hangup 900..5000\nphase a 1000 {\nsource workload gcc\n}", "outside stream"},
+		{"fault overlap", "scenario x\nseed 1\ninterval 500\nfault hangup 10..500\nfault corrupt 400..600\nphase a 1000 {\nsource workload gcc\n}", "overlap"},
+		{"fault unknown kind", "scenario x\nseed 1\nfault meteor 10..20\nphase a 1000 {\nsource workload gcc\n}", "unknown fault kind"},
+		{"fault bad window", "scenario x\nseed 1\nfault hangup 10-20\nphase a 1000 {\nsource workload gcc\n}", "want <from>..<to>"},
+		{"gate unknown metric", "scenario x\nseed 1\ngate rmse 5\nphase a 1000 {\nsource workload gcc\n}", "unknown gate metric"},
+		{"gate negative bound", "scenario x\nseed 1\ninterval 500\ngate net-error -1\nphase a 1000 {\nsource workload gcc\n}", "must be non-negative"},
+		{"stream shorter than interval", "scenario x\nseed 1\ninterval 5000\nphase a 1000 {\nsource workload gcc\n}", "shorter than one"},
+		{"bad geometry", "scenario x\nseed 1\ntables 3\nentries 2000\nphase a 100000 {\nsource workload gcc\n}", "geometry"},
+		{"zipf bad rank count", "scenario x\nseed 1\nphase a 1000 {\nsource zipf lots\n}", "rank count"},
+		{"zipf bad steps", "scenario x\nseed 1\nphase a 1000 {\nsource zipf 100 steps=0\n}", "steps"},
+		{"collide bad mass", "scenario x\nseed 1\nphase a 1000 {\nsource collide gcc mass=1.5\n}", "mass"},
+		{"path bad iterations", "scenario x\nseed 1\nphase a 1000 {\nsource path fib iterations=0\n}", "iterations"},
+		{"path fractional iterations", "scenario x\nseed 1\nphase a 1000 {\nsource path fib iterations=1.5\n}", "iterations"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.text)
+			if err == nil {
+				t.Fatalf("Parse accepted:\n%s", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorsNameTheLine(t *testing.T) {
+	_, err := Parse("scenario x\nseed 1\nphase a 1000 {\nsource workload gcc\nrate -5\n}")
+	if err == nil {
+		t.Fatal("Parse accepted a negative rate")
+	}
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error %q does not name line 5", err)
+	}
+}
+
+func TestParseUnknownDomainListsDomains(t *testing.T) {
+	_, err := Parse("scenario x\nseed 1\nphase a 1000 {\nsource quantum\n}")
+	if err == nil {
+		t.Fatal("Parse accepted an unknown domain")
+	}
+	for _, d := range Domains() {
+		if !strings.Contains(err.Error(), d) {
+			t.Fatalf("error %q does not list valid domain %q", err, d)
+		}
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	sc, err := Parse("scenario d\nseed 1\nphase a 20000 {\nsource workload gcc\n}")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sc.Interval != 10_000 || sc.Threshold != 1 || sc.Tables != 4 || sc.Entries != 2048 || sc.Shards != 1 {
+		t.Fatalf("defaults mismatch: %+v", sc)
+	}
+	if err := sc.Config().Validate(); err != nil {
+		t.Fatalf("default engine geometry invalid: %v", err)
+	}
+}
+
+// FuzzScenario feeds arbitrary text to the parser: it must never panic,
+// and everything it accepts must re-validate and build a source.
+func FuzzScenario(f *testing.F) {
+	f.Add(validText)
+	f.Add("scenario x\nseed 1\nphase a 1000 {\nsource collide gcc mass=0.5\n}")
+	f.Add("scenario x\nseed 1\nphase a 1000 {\nsource zipf 100 s0=0.5 s1=1.5 steps=4\n}")
+	f.Add("scenario x\nseed 1\nphase a 0 {\nsource workload gcc\n}")
+	f.Add("scenario x\nseed 1\nphase a 1000 {\nsource workload gcc\nrate -1\n}")
+	f.Add("scenario x\nseed 1\nfault hangup 10..500\nfault corrupt 400..600\nphase a 1000 {\nsource workload gcc\n}")
+	f.Add("scenario x\nseed 99999999999999999999\n")
+	f.Add("phase { } } {")
+	f.Fuzz(func(t *testing.T, text string) {
+		sc, err := Parse(text)
+		if err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("parsed scenario fails its own Validate: %v\n%s", err, text)
+		}
+		if _, err := sc.Source(); err != nil {
+			t.Fatalf("parsed scenario cannot build its source: %v\n%s", err, text)
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+	"hwprof/internal/metrics"
+	"hwprof/internal/shard"
+	"hwprof/internal/wire"
+)
+
+// Digest is the canonical fingerprint of one interval's hardware profile:
+// the CRC32 (IEEE) of the deterministic wire encoding (sorted tuples,
+// delta-coded). Two profiles share a digest iff they are byte-identical on
+// the wire, which is the replay contract's notion of equality.
+func Digest(index int, counts map[event.Tuple]uint64) uint32 {
+	return crc32.ChecksumIEEE(wire.AppendProfile(nil, wire.ProfileMsg{Index: uint64(index), Counts: counts}))
+}
+
+// GateFailure is one accuracy gate the run violated.
+type GateFailure struct {
+	Gate Gate
+	Got  float64 // percent
+}
+
+func (f GateFailure) Error() string {
+	return fmt.Sprintf("gate %s: got %.4f%%, bound %.4f%%", f.Gate.Metric, f.Got, f.Gate.Max)
+}
+
+// Result is the outcome of a measured scenario run.
+type Result struct {
+	Scenario  *Scenario
+	Intervals int
+
+	// Mean is the run's mean error breakdown vs the Perfect profiler
+	// (fractions; ×100 for the paper's percent scale). Zero when the run
+	// was unmeasured (NoPerfect).
+	Mean metrics.Interval
+
+	// Digests fingerprints every interval's hardware profile, in order.
+	Digests []uint32
+
+	// Failures are the gates the run violated, empty when all passed.
+	Failures []GateFailure
+}
+
+// Passed reports whether every gate held.
+func (r *Result) Passed() bool { return len(r.Failures) == 0 }
+
+// value returns the result's percent value of a gated metric.
+func (r *Result) value(m GateMetric) float64 {
+	switch m {
+	case GateNetError:
+		return r.Mean.Total * 100
+	case GateFalsePositive:
+		return r.Mean.FalsePos * 100
+	case GateFalseNegative:
+		return r.Mean.FalseNeg * 100
+	}
+	return 0
+}
+
+// RunOptions tunes a scenario run.
+type RunOptions struct {
+	// Source overrides the scenario's generated stream — how replay runs
+	// the engine over a recorded trace instead. Nil regenerates from the
+	// scenario itself.
+	Source event.Source
+
+	// NoPerfect skips the oracle: digests are still produced but Mean is
+	// zero and gates are not evaluated (throughput / recording runs).
+	NoPerfect bool
+
+	// Observer, when non-nil, receives each interval's error breakdown
+	// and profile digest as the run progresses.
+	Observer func(index int, iv metrics.Interval, digest uint32)
+}
+
+// Run evaluates the scenario on its own engine geometry: the stream is
+// profiled by the multi-hash engine (sharded if the scenario says so) and,
+// unless NoPerfect, by the Perfect oracle; every interval is scored with
+// the paper's formula (1) breakdown and fingerprinted. Gates are checked
+// against the mean. A gate violation is reported in Result.Failures, not
+// as an error — the error return is for runs that could not complete.
+func (sc *Scenario) Run(ctx context.Context, opt RunOptions) (*Result, error) {
+	src := opt.Source
+	if src == nil {
+		var err error
+		src, err = sc.Source()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Always run the sharded engine, even for one shard: the profiled
+	// daemon serves every session through shard.New, and a shard engine's
+	// hash families come from the per-shard split configuration
+	// (shard.Config.ShardConfig), not the aggregate seed directly. Using
+	// the same construction locally is what makes a recording replay
+	// byte-identical through a daemon.
+	cfg := sc.Config()
+	shards := sc.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	engine, err := shard.New(shard.Config{Core: cfg, NumShards: shards, BatchSize: sc.Batch})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: engine: %w", sc.Name, err)
+	}
+	defer engine.Close()
+
+	res := &Result{Scenario: sc}
+	var sum metrics.Summary
+	threshold := cfg.ThresholdCount()
+	fn := func(index int, perfect, hardware map[event.Tuple]uint64) {
+		d := Digest(index, hardware)
+		res.Digests = append(res.Digests, d)
+		var iv metrics.Interval
+		if perfect != nil {
+			iv = metrics.EvalInterval(perfect, hardware, threshold)
+			sum.Add(iv)
+		}
+		if opt.Observer != nil {
+			opt.Observer(index, iv, d)
+		}
+	}
+
+	n, err := core.RunBatchedContext(ctx, src, engine, core.RunConfig{
+		IntervalLength: sc.Interval,
+		BatchSize:      sc.Batch,
+		NoPerfect:      opt.NoPerfect,
+		ReuseProfiles:  true,
+	}, fn)
+	res.Intervals = n
+	if err != nil {
+		return res, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	if n == 0 {
+		return res, fmt.Errorf("scenario %s: stream ended before one %d-event interval", sc.Name, sc.Interval)
+	}
+
+	if !opt.NoPerfect {
+		res.Mean = sum.Mean()
+		for _, g := range sc.Gates {
+			if got := res.value(g.Metric); got > g.Max {
+				res.Failures = append(res.Failures, GateFailure{Gate: g, Got: got})
+			}
+		}
+	}
+	return res, nil
+}

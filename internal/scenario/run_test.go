@@ -1,0 +1,222 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"hwprof/internal/event"
+	"hwprof/internal/hashfn"
+)
+
+func mustParse(t *testing.T, text string) *Scenario {
+	t.Helper()
+	sc, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return sc
+}
+
+func collectAll(t *testing.T, sc *Scenario) []event.Tuple {
+	t.Helper()
+	src, err := sc.Source()
+	if err != nil {
+		t.Fatalf("Source: %v", err)
+	}
+	tuples := event.Collect(src, 0)
+	if src.Err() != nil {
+		t.Fatalf("stream failed: %v", src.Err())
+	}
+	return tuples
+}
+
+const mixText = `
+scenario mix
+seed 11
+interval 2000
+phase a 3000 {
+    source workload gcc
+    tenants 3,1 quantum=16
+    burst tenant=1 at=1000 len=1000 gain=16
+}
+phase b 3000 {
+    source zipf 500 s0=0.6 s1=1.4 steps=4
+}
+`
+
+func TestSourceDeterministicAndExact(t *testing.T) {
+	sc := mustParse(t, mixText)
+	a := collectAll(t, sc)
+	b := collectAll(t, mustParse(t, mixText))
+	if uint64(len(a)) != sc.TotalEvents() {
+		t.Fatalf("stream length %d, want %d", len(a), sc.TotalEvents())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSourceSeedChangesStream(t *testing.T) {
+	sc := mustParse(t, mixText)
+	a := collectAll(t, sc)
+	sc2 := mustParse(t, mixText)
+	sc2.Seed = 12
+	b := collectAll(t, sc2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("changing the seed left the stream identical")
+	}
+}
+
+func TestEveryDomainStreams(t *testing.T) {
+	texts := map[string]string{
+		"workload": "scenario x\nseed 3\ninterval 500\nphase a 1000 {\nsource workload vortex\n}",
+		"program":  "scenario x\nseed 3\nkind edge\ninterval 500\nphase a 1000 {\nsource program fib\n}",
+		"path":     "scenario x\nseed 3\ninterval 500\nphase a 1000 {\nsource path quicksort iterations=2\n}",
+		"counters": "scenario x\nseed 3\ninterval 500\nphase a 1000 {\nsource counters matmul cachekb=1 ways=1\n}",
+		"collide":  "scenario x\nseed 3\ninterval 500\nphase a 1000 {\nsource collide gcc mass=0.5 targets=2 pool=64\n}",
+		"zipf":     "scenario x\nseed 3\ninterval 500\nphase a 1000 {\nsource zipf 200\n}",
+	}
+	for name, text := range texts {
+		t.Run(name, func(t *testing.T) {
+			sc := mustParse(t, text)
+			got := collectAll(t, sc)
+			if uint64(len(got)) != sc.TotalEvents() {
+				t.Fatalf("domain %s delivered %d of %d events", name, len(got), sc.TotalEvents())
+			}
+		})
+	}
+}
+
+func TestCountersDomainEmitsBothCounters(t *testing.T) {
+	sc := mustParse(t, "scenario x\nseed 3\ninterval 500\nphase a 2000 {\nsource counters quicksort cachekb=1 ways=1\n}")
+	seen := map[uint64]int{}
+	for _, tp := range collectAll(t, sc) {
+		seen[tp.B]++
+	}
+	if seen[CounterDCacheMiss] == 0 || seen[CounterBranchMiss] == 0 {
+		t.Fatalf("counter mix %v lacks a class (want both cache misses and branch misses)", seen)
+	}
+}
+
+// TestCollidePoolAliasesInTableZero checks the adversary's core property:
+// every pool tuple lands in one of the few victim slots of the engine's
+// own table-0 hash, while scattering across the other tables.
+func TestCollidePoolAliasesInTableZero(t *testing.T) {
+	sc := mustParse(t, "scenario x\nseed 3\ninterval 500\nphase a 1000 {\nsource collide gcc mass=1 targets=2 pool=64\n}")
+	src, err := sc.Source()
+	if err != nil {
+		t.Fatalf("Source: %v", err)
+	}
+	// mass=1 means the stream is pure pool.
+	tuples := event.Collect(src, 0)
+	// The live engine is always sharded; the flood must alias in the
+	// shard-0 split configuration's family, not one seeded by sc.Seed raw.
+	cfg0 := sc.shard0Config()
+	fam, err := hashfn.NewFamily(cfg0.Seed, cfg0.NumTables, sc.indexBits())
+	if err != nil {
+		t.Fatalf("family: %v", err)
+	}
+	slots0 := map[uint32]struct{}{}
+	slots1 := map[uint32]struct{}{}
+	for _, tp := range tuples {
+		slots0[fam.Func(0).Index(tp)] = struct{}{}
+		slots1[fam.Func(1).Index(tp)] = struct{}{}
+	}
+	if len(slots0) > 2 {
+		t.Fatalf("flood hit %d slots of table 0, want <= 2", len(slots0))
+	}
+	if len(slots1) <= 2 {
+		t.Fatalf("flood hit only %d slots of table 1 — tables are not independent", len(slots1))
+	}
+}
+
+func TestBurstChangesStream(t *testing.T) {
+	sc := mustParse(t, mixText)
+	withBurst := collectAll(t, sc)
+	sc2 := mustParse(t, mixText)
+	sc2.Phases[0].Bursts = nil
+	without := collectAll(t, sc2)
+	diff := false
+	for i := range withBurst {
+		if withBurst[i] != without[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("a gain-16 burst did not change the stream")
+	}
+}
+
+func TestRunMeasuresAndGates(t *testing.T) {
+	sc := mustParse(t, mixText)
+	res, err := sc.Run(context.Background(), RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Intervals != 3 {
+		t.Fatalf("intervals = %d, want 3 (6000 events / 2000)", res.Intervals)
+	}
+	if len(res.Digests) != res.Intervals {
+		t.Fatalf("%d digests for %d intervals", len(res.Digests), res.Intervals)
+	}
+	if !res.Passed() {
+		t.Fatalf("ungated run reports failures: %v", res.Failures)
+	}
+	// An impossible gate must fail. Starve the engine (4×32 counters at a
+	// permissive threshold) so counter sharing inflates estimates and the
+	// measured error is genuinely nonzero.
+	sc2 := mustParse(t, mixText)
+	sc2.Entries, sc2.Threshold = 128, 0.2
+	sc2.Gates = []Gate{{Metric: GateNetError, Max: 0.0000001}}
+	res2, err := sc2.Run(context.Background(), RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res2.Passed() {
+		t.Fatalf("mean net error %.6f%% passed an impossible gate", res2.Mean.Total*100)
+	}
+}
+
+func TestRunShardedDeterministic(t *testing.T) {
+	text := "scenario s\nseed 5\ninterval 2000\nshards 2\nphase a 6000 {\nsource workload li\n}"
+	a, err := mustParse(t, text).Run(context.Background(), RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := mustParse(t, text).Run(context.Background(), RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(a.Digests) != len(b.Digests) {
+		t.Fatalf("interval counts differ: %d vs %d", len(a.Digests), len(b.Digests))
+	}
+	for i := range a.Digests {
+		if a.Digests[i] != b.Digests[i] {
+			t.Fatalf("sharded runs diverge at interval %d", i)
+		}
+	}
+}
+
+func TestRunNoPerfectSkipsGates(t *testing.T) {
+	sc := mustParse(t, mixText)
+	sc.Gates = []Gate{{Metric: GateNetError, Max: 0}}
+	res, err := sc.Run(context.Background(), RunOptions{NoPerfect: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Passed() {
+		t.Fatal("NoPerfect run evaluated gates")
+	}
+	if len(res.Digests) != res.Intervals {
+		t.Fatal("NoPerfect run must still produce digests")
+	}
+}

@@ -1,0 +1,379 @@
+// Package scenario implements the declarative workload subsystem: a
+// textual DSL describing an arbitrary profiling scenario (named phases
+// with durations and rates, tenant mixes with coordinated bursts, event
+// domains, fault windows, a seed, and accuracy gates), a deterministic
+// runner that measures the scenario against the Perfect profiler, and a
+// recorder/replayer that captures any run as an auditable artifact which
+// replays to byte-identical profiles.
+//
+// The paper's evaluation is eight fixed benchmark analogs; production
+// serving means workloads nobody enumerated in advance. A Scenario is the
+// unit of that generality: everything about a run — what events occur,
+// in what mixture, at what rate, under which faults, and how accurate the
+// profile must be — lives in one declarative file that can be versioned,
+// replayed bit-for-bit on any machine, and gated in CI.
+//
+// Determinism contract: every stochastic choice a scenario makes is drawn
+// from internal/xrand generators seeded from the scenario header's single
+// `seed` directive (phase p, tenant t derive the sub-seed
+// Mix64(seed ^ p<<40 ^ t<<16 ^ domainTag)), so equal scenario text means
+// an equal event stream on every platform and Go release. Wall-clock
+// never influences the stream: the `rate` directive paces delivery but
+// not content.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hwprof/internal/core"
+	"hwprof/internal/event"
+)
+
+// Scenario is one parsed scenario file.
+type Scenario struct {
+	// Name identifies the scenario in reports and artifacts.
+	Name string
+
+	// Seed is the root of every random stream the scenario draws
+	// (recorded in artifacts; the whole determinism argument hangs on it).
+	Seed uint64
+
+	// Kind is the tuple kind the stream claims to be.
+	Kind event.Kind
+
+	// Interval is the profile interval length in events; Threshold is the
+	// candidate threshold in percent of the interval.
+	Interval  uint64
+	Threshold float64
+
+	// Tables, Entries, Shards and Batch describe the profiling engine the
+	// scenario is evaluated (and replayed) on. Profiles are only
+	// byte-identical across runs that agree on all four, so they are part
+	// of the scenario, not of the invocation.
+	Tables  int
+	Entries int
+	Shards  int
+	Batch   int
+
+	// Phases run in order; the stream is their concatenation.
+	Phases []Phase
+
+	// Faults are transport-fault windows over absolute stream positions,
+	// applied by drivers that have a transport (loadgen); local runs have
+	// no connection to cut and ignore them. Fault windows never alter the
+	// event stream itself, so recorded artifacts are fault-independent.
+	Faults []Fault
+
+	// Gates are the accuracy bounds enforced after a measured run.
+	Gates []Gate
+}
+
+// Phase is one named stretch of the stream.
+type Phase struct {
+	// Name identifies the phase in reports.
+	Name string
+
+	// Events is the phase's duration in events.
+	Events uint64
+
+	// Source describes the event domain the phase draws from.
+	Source SourceSpec
+
+	// Rate is a target delivery rate in events/second for paced drivers
+	// (loadgen); 0 means unpaced. Rate affects timing only, never stream
+	// content, so local runs and recordings ignore it.
+	Rate float64
+
+	// Tenants are the relative weights of the phase's tenant mix. Empty
+	// means one tenant. With n weights the phase runs n copies of Source
+	// (each with its own derived sub-seed) interleaved by a deterministic
+	// weighted schedule in quanta of Quantum events.
+	Tenants []float64
+
+	// Quantum is the tenant interleave granularity in events (the
+	// context-switch quantum); 0 selects DefaultQuantum.
+	Quantum uint64
+
+	// Bursts are coordinated tenant bursts: within [At, At+Len) of the
+	// phase, tenant Tenant's weight is multiplied by Gain.
+	Bursts []Burst
+}
+
+// DefaultQuantum is the tenant context-switch quantum when a phase does
+// not choose one.
+const DefaultQuantum = 64
+
+// SourceSpec names an event domain plus its parameters. Domains are
+// registered in source.go; `Args` hold the domain-specific key=value
+// parameters, already parsed to float64.
+type SourceSpec struct {
+	// Domain is the event-domain name: workload, program, path, counters,
+	// collide, or zipf.
+	Domain string
+
+	// Name is the domain's positional argument (workload/program name;
+	// rank count for zipf). Empty when the domain takes none.
+	Name string
+
+	// Args are the key=value parameters.
+	Args map[string]float64
+}
+
+// Arg returns the named parameter or def when absent.
+func (s SourceSpec) Arg(key string, def float64) float64 {
+	if v, ok := s.Args[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Burst multiplies one tenant's weight within a window of its phase.
+type Burst struct {
+	Tenant int
+	At     uint64 // phase-relative start, in events
+	Len    uint64
+	Gain   float64
+}
+
+// FaultKind is a transport fault class.
+type FaultKind uint8
+
+// The fault classes drivers know how to inject.
+const (
+	// FaultHangup cuts the session's connection (the client reconnects
+	// and resumes).
+	FaultHangup FaultKind = iota
+	// FaultCorrupt flips a byte on the wire (the server detects the CRC
+	// mismatch and the client replays).
+	FaultCorrupt
+)
+
+// String returns the fault kind's scenario-file spelling.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultHangup:
+		return "hangup"
+	case FaultCorrupt:
+		return "corrupt"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one fault window over absolute stream positions [From, To).
+type Fault struct {
+	Kind FaultKind
+	From uint64
+	To   uint64
+}
+
+// GateMetric names an accuracy metric a gate bounds.
+type GateMetric uint8
+
+// The gateable metrics, all in percent (the paper's scale): the net error
+// of formula (1) and its false-positive / false-negative components.
+const (
+	GateNetError GateMetric = iota
+	GateFalsePositive
+	GateFalseNegative
+)
+
+// String returns the metric's scenario-file spelling.
+func (m GateMetric) String() string {
+	switch m {
+	case GateNetError:
+		return "net-error"
+	case GateFalsePositive:
+		return "false-positive"
+	case GateFalseNegative:
+		return "false-negative"
+	default:
+		return "unknown"
+	}
+}
+
+// Gate bounds one accuracy metric: the run's mean value must stay <= Max
+// (percent).
+type Gate struct {
+	Metric GateMetric
+	Max    float64
+}
+
+// TotalEvents returns the scenario's stream length: the sum of its
+// phases' durations.
+func (sc *Scenario) TotalEvents() uint64 {
+	var n uint64
+	for _, p := range sc.Phases {
+		n += p.Events
+	}
+	return n
+}
+
+// Config returns the profiling-engine configuration the scenario is
+// evaluated on: the paper's best multi-hash policy (conservative update,
+// retaining, no resetting) over the scenario's geometry, seeded with the
+// scenario seed.
+func (sc *Scenario) Config() core.Config {
+	return core.Config{
+		IntervalLength:     sc.Interval,
+		ThresholdPercent:   sc.Threshold,
+		TotalEntries:       sc.Entries,
+		NumTables:          sc.Tables,
+		CounterWidth:       24,
+		ConservativeUpdate: true,
+		Retain:             true,
+		Seed:               sc.Seed,
+	}
+}
+
+// Validate reports whether the scenario is internally consistent. The
+// parser calls it, so a parsed scenario is always valid; drivers that
+// build scenarios programmatically should call it themselves.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if sc.Interval == 0 {
+		return fmt.Errorf("scenario %s: interval must be positive", sc.Name)
+	}
+	if !(sc.Threshold > 0 && sc.Threshold <= 100) {
+		return fmt.Errorf("scenario %s: threshold %v%% outside (0, 100]", sc.Name, sc.Threshold)
+	}
+	if sc.Tables < 1 {
+		return fmt.Errorf("scenario %s: tables %d must be >= 1", sc.Name, sc.Tables)
+	}
+	if sc.Entries <= 0 {
+		return fmt.Errorf("scenario %s: entries %d must be positive", sc.Name, sc.Entries)
+	}
+	if sc.Shards < 1 {
+		return fmt.Errorf("scenario %s: shards %d must be >= 1", sc.Name, sc.Shards)
+	}
+	if sc.Batch < 0 {
+		return fmt.Errorf("scenario %s: batch %d must be non-negative", sc.Name, sc.Batch)
+	}
+	if err := sc.Config().Validate(); err != nil {
+		return fmt.Errorf("scenario %s: engine geometry: %w", sc.Name, err)
+	}
+	if len(sc.Phases) == 0 {
+		return fmt.Errorf("scenario %s: needs at least one phase", sc.Name)
+	}
+	for i := range sc.Phases {
+		if err := sc.Phases[i].validate(sc); err != nil {
+			return err
+		}
+	}
+	total := sc.TotalEvents()
+	if total < sc.Interval {
+		return fmt.Errorf("scenario %s: total %d events shorter than one %d-event interval", sc.Name, total, sc.Interval)
+	}
+	if err := validateFaults(sc.Name, sc.Faults, total); err != nil {
+		return err
+	}
+	for _, g := range sc.Gates {
+		if g.Max < 0 {
+			return fmt.Errorf("scenario %s: gate %s bound %v must be non-negative", sc.Name, g.Metric, g.Max)
+		}
+	}
+	return nil
+}
+
+func (p *Phase) validate(sc *Scenario) error {
+	where := fmt.Sprintf("scenario %s: phase %s", sc.Name, p.Name)
+	if p.Name == "" {
+		return fmt.Errorf("scenario %s: phase with no name", sc.Name)
+	}
+	if p.Events == 0 {
+		return fmt.Errorf("%s: duration must be positive", where)
+	}
+	if p.Rate < 0 {
+		return fmt.Errorf("%s: rate %v must be non-negative", where, p.Rate)
+	}
+	if err := checkSpec(p.Source); err != nil {
+		return fmt.Errorf("%s: %w", where, err)
+	}
+	if len(p.Tenants) == 1 {
+		return fmt.Errorf("%s: a tenant mix needs at least two weights", where)
+	}
+	positive := false
+	for i, w := range p.Tenants {
+		if w < 0 {
+			return fmt.Errorf("%s: tenant %d weight %v must be non-negative", where, i, w)
+		}
+		if w > 0 {
+			positive = true
+		}
+	}
+	if len(p.Tenants) > 0 && !positive {
+		return fmt.Errorf("%s: all tenant weights are zero", where)
+	}
+	for _, b := range p.Bursts {
+		if len(p.Tenants) == 0 {
+			return fmt.Errorf("%s: burst without a tenant mix", where)
+		}
+		if b.Tenant < 0 || b.Tenant >= len(p.Tenants) {
+			return fmt.Errorf("%s: burst tenant %d outside mix of %d", where, b.Tenant, len(p.Tenants))
+		}
+		if b.Len == 0 {
+			return fmt.Errorf("%s: burst length must be positive", where)
+		}
+		if b.At+b.Len > p.Events {
+			return fmt.Errorf("%s: burst [%d, %d) outside phase of %d events", where, b.At, b.At+b.Len, p.Events)
+		}
+		if b.Gain <= 0 {
+			return fmt.Errorf("%s: burst gain %v must be positive", where, b.Gain)
+		}
+	}
+	return nil
+}
+
+// validateFaults checks every fault window lies inside the stream and
+// that no two windows overlap — an overlapping schedule is ambiguous
+// about which fault fires, so it is rejected rather than resolved.
+func validateFaults(name string, faults []Fault, total uint64) error {
+	ordered := append([]Fault(nil), faults...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].From < ordered[j].From })
+	var prev *Fault
+	for i := range ordered {
+		f := &ordered[i]
+		if f.From >= f.To {
+			return fmt.Errorf("scenario %s: fault %s window [%d, %d) is empty", name, f.Kind, f.From, f.To)
+		}
+		if f.To > total {
+			return fmt.Errorf("scenario %s: fault %s window [%d, %d) outside stream of %d events", name, f.Kind, f.From, f.To, total)
+		}
+		if prev != nil && f.From < prev.To {
+			return fmt.Errorf("scenario %s: fault windows [%d, %d) and [%d, %d) overlap", name, prev.From, prev.To, f.From, f.To)
+		}
+		prev = f
+	}
+	return nil
+}
+
+// FaultsIn returns the fault windows intersecting [from, to), in order.
+func (sc *Scenario) FaultsIn(from, to uint64) []Fault {
+	var out []Fault
+	for _, f := range sc.Faults {
+		if f.From < to && from < f.To {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}
+
+// String renders a one-line summary for reports.
+func (sc *Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: seed %d, %s, %d phase(s), %d events, interval %d, t=%g%%, %d×%d",
+		sc.Name, sc.Seed, sc.Kind, len(sc.Phases), sc.TotalEvents(), sc.Interval, sc.Threshold,
+		sc.Tables, sc.Entries/sc.Tables)
+	if len(sc.Faults) > 0 {
+		fmt.Fprintf(&b, ", %d fault window(s)", len(sc.Faults))
+	}
+	if len(sc.Gates) > 0 {
+		fmt.Fprintf(&b, ", %d gate(s)", len(sc.Gates))
+	}
+	return b.String()
+}

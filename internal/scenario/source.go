@@ -1,0 +1,340 @@
+package scenario
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"hwprof/internal/core"
+	"hwprof/internal/dist"
+	"hwprof/internal/event"
+	"hwprof/internal/shard"
+	"hwprof/internal/synth"
+	"hwprof/internal/vm"
+	"hwprof/internal/vm/progs"
+	"hwprof/internal/xrand"
+)
+
+// The event domains a phase can draw from.
+const (
+	// DomainWorkload streams a synthetic benchmark analog (internal/synth).
+	DomainWorkload = "workload"
+	// DomainProgram streams an instrumented VM program's value or edge
+	// events (internal/vm).
+	DomainProgram = "program"
+	// DomainPath streams Ball-Larus-style multi-iteration path profiles
+	// of a VM program: <entryPC, pathID> tuples (internal/vm PathSource).
+	DomainPath = "path"
+	// DomainCounters streams hardware-event-counter samples of a VM
+	// program: <PC, counterID> tuples for data-cache misses and branch
+	// mispredictions, in the CounterPoint spirit of treating counter
+	// streams as first-class profiling inputs.
+	DomainCounters = "counters"
+	// DomainCollide is the adversarial hash-collision flood: tuples
+	// rejection-sampled to alias in table 0 of the scenario's own engine.
+	DomainCollide = "collide"
+	// DomainZipf draws tuples Zipf-distributed over an ID space, with an
+	// optional exponent sweep across the phase.
+	DomainZipf = "zipf"
+)
+
+// domainList is the registry, in documentation order.
+var domainList = []string{
+	DomainWorkload, DomainProgram, DomainPath, DomainCounters, DomainCollide, DomainZipf,
+}
+
+// Domains returns the valid source-domain names.
+func Domains() []string { return append([]string(nil), domainList...) }
+
+func knownDomain(d string) bool {
+	for _, k := range domainList {
+		if k == d {
+			return true
+		}
+	}
+	return false
+}
+
+// domainArgs lists the parameters each domain accepts, so a typo'd key is
+// an error instead of a silently ignored knob.
+var domainArgs = map[string]map[string]bool{
+	DomainWorkload: {},
+	DomainProgram:  {},
+	DomainPath:     {"iterations": true, "maxedges": true},
+	DomainCounters: {"cachekb": true, "ways": true, "line": true, "entries": true, "histbits": true},
+	DomainCollide:  {"mass": true, "targets": true, "pool": true},
+	DomainZipf:     {"s0": true, "s1": true, "steps": true},
+}
+
+// checkSpec statically validates a source spec: the domain, its
+// positional name and its parameters. It is part of Scenario.Validate, so
+// a bad name fails at parse time, not mid-run.
+func checkSpec(spec SourceSpec) error {
+	allowed, ok := domainArgs[spec.Domain]
+	if !ok {
+		return fmt.Errorf("unknown source domain %q (have: %s)", spec.Domain, strings.Join(Domains(), " "))
+	}
+	for k := range spec.Args {
+		if !allowed[k] {
+			keys := make([]string, 0, len(allowed))
+			for a := range allowed {
+				keys = append(keys, a)
+			}
+			return fmt.Errorf("source %s: unknown parameter %q (have: %s)", spec.Domain, k, strings.Join(keys, " "))
+		}
+	}
+	switch spec.Domain {
+	case DomainWorkload:
+		if _, err := synth.BenchmarkModel(spec.Name, event.KindValue); err != nil {
+			return err
+		}
+	case DomainProgram, DomainPath, DomainCounters:
+		if _, err := progs.ByName(spec.Name); err != nil {
+			return err
+		}
+		if spec.Domain == DomainPath {
+			if k := spec.Arg("iterations", 1); k < 1 || k != float64(int(k)) {
+				return fmt.Errorf("source path: iterations=%v must be a positive integer", k)
+			}
+			if m := spec.Arg("maxedges", 0); m < 0 || m != float64(int(m)) {
+				return fmt.Errorf("source path: maxedges=%v must be a non-negative integer", m)
+			}
+		}
+	case DomainCollide:
+		if spec.Name != "" {
+			if _, err := synth.BenchmarkModel(spec.Name, event.KindValue); err != nil {
+				return err
+			}
+		}
+		if m := spec.Arg("mass", defaultCollideMass); m <= 0 || m > 1 {
+			return fmt.Errorf("source collide: mass=%v outside (0, 1]", m)
+		}
+		if t := spec.Arg("targets", defaultCollideTargets); t < 1 {
+			return fmt.Errorf("source collide: targets=%v must be >= 1", t)
+		}
+		if p := spec.Arg("pool", defaultCollidePool); p < 1 {
+			return fmt.Errorf("source collide: pool=%v must be >= 1", p)
+		}
+	case DomainZipf:
+		n, err := strconv.Atoi(spec.Name)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("source zipf: rank count %q must be a positive integer", spec.Name)
+		}
+		if s := spec.Arg("s0", 1); s < 0 {
+			return fmt.Errorf("source zipf: s0=%v must be non-negative", s)
+		}
+		if s := spec.Arg("s1", spec.Arg("s0", 1)); s < 0 {
+			return fmt.Errorf("source zipf: s1=%v must be non-negative", s)
+		}
+		if st := spec.Arg("steps", defaultZipfSteps); st < 1 {
+			return fmt.Errorf("source zipf: steps=%v must be >= 1", st)
+		}
+	}
+	return nil
+}
+
+// subSeed derives the independent sub-seed of (phase, tenant) from the
+// scenario seed — the documented seed contract. Tenant -1 (the phase
+// scheduler itself) and tenants 0..n-1 all get distinct streams.
+func subSeed(seed uint64, phase, tenant int) uint64 {
+	return xrand.Mix64(seed ^ uint64(phase+1)<<40 ^ uint64(tenant+2)<<16)
+}
+
+// Source builds the scenario's full event stream: each phase's domain
+// instantiated per tenant, tenants interleaved by the weighted schedule,
+// phases concatenated, the whole bounded to TotalEvents. Equal scenarios
+// produce bit-identical streams.
+func (sc *Scenario) Source() (event.Source, error) {
+	return sc.SourceSeed(sc.Seed)
+}
+
+// SourceSeed is Source with the seed overridden — how loadgen gives each
+// concurrent session its own stream of the same scenario (seed+i). The
+// scenario's own seed remains the one recorded in artifacts.
+func (sc *Scenario) SourceSeed(seed uint64) (event.Source, error) {
+	phases := make([]event.Source, len(sc.Phases))
+	for i := range sc.Phases {
+		src, err := sc.phaseSource(i, seed)
+		if err != nil {
+			return nil, err
+		}
+		phases[i] = src
+	}
+	return event.Concat(phases...), nil
+}
+
+// phaseSource builds phase i's bounded stream.
+func (sc *Scenario) phaseSource(i int, seed uint64) (event.Source, error) {
+	p := &sc.Phases[i]
+	if len(p.Tenants) == 0 {
+		src, err := sc.buildDomain(p, p.Source, subSeed(seed, i, 0))
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: phase %s: %w", sc.Name, p.Name, err)
+		}
+		return event.Limit(src, p.Events), nil
+	}
+	tenants := make([]event.Source, len(p.Tenants))
+	for t := range p.Tenants {
+		src, err := sc.buildDomain(p, p.Source, subSeed(seed, i, t))
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: phase %s tenant %d: %w", sc.Name, p.Name, t, err)
+		}
+		tenants[t] = src
+	}
+	quantum := p.Quantum
+	if quantum == 0 {
+		quantum = DefaultQuantum
+	}
+	return &tenantMix{
+		phase:   p,
+		sources: tenants,
+		quantum: quantum,
+		rng:     xrand.New(subSeed(seed, i, -1)),
+	}, nil
+}
+
+// buildDomain instantiates one tenant's copy of a source spec.
+func (sc *Scenario) buildDomain(p *Phase, spec SourceSpec, seed uint64) (event.Source, error) {
+	switch spec.Domain {
+	case DomainWorkload:
+		return synth.NewBenchmark(spec.Name, sc.Kind, seed)
+	case DomainProgram:
+		if sc.Kind != event.KindValue && sc.Kind != event.KindEdge {
+			return nil, fmt.Errorf("source program: kind %v has no VM event hook (want value or edge)", sc.Kind)
+		}
+		m, err := newMachine(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		src, err := vm.NewEventSource(m, sc.Kind)
+		if err != nil {
+			return nil, err
+		}
+		src.Loop = true
+		return src, nil
+	case DomainPath:
+		m, err := newMachine(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		return vm.NewPathSource(m, vm.PathConfig{
+			Iterations: int(spec.Arg("iterations", 1)),
+			MaxEdges:   int(spec.Arg("maxedges", 0)),
+			Loop:       true,
+		})
+	case DomainCounters:
+		return newCounterSource(spec)
+	case DomainCollide:
+		return newCollideSource(sc, spec, seed)
+	case DomainZipf:
+		return newZipfSource(p, spec, seed)
+	default:
+		return nil, fmt.Errorf("unknown source domain %q (have: %s)", spec.Domain, strings.Join(Domains(), " "))
+	}
+}
+
+func newMachine(name string) (*vm.Machine, error) {
+	prog, err := progs.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return prog.NewMachine()
+}
+
+// indexBits returns log2 of the scenario engine's per-table size, for
+// adversaries that need the real hash geometry.
+func (sc *Scenario) indexBits() uint {
+	return uint(bits.TrailingZeros(uint(sc.Entries / sc.Tables)))
+}
+
+// shard0Config returns the split configuration of shard 0 of the engine
+// this scenario actually runs on. Scenario runs (and profiled sessions)
+// always go through the sharded engine, so the live hash families are
+// seeded per shard by shard.Config.ShardConfig, not by the scenario seed
+// directly — adversaries that target the real geometry must derive it
+// from here.
+func (sc *Scenario) shard0Config() core.Config {
+	n := sc.Shards
+	if n < 1 {
+		n = 1
+	}
+	return shard.Config{Core: sc.Config(), NumShards: n}.ShardConfig(0)
+}
+
+// tenantMix interleaves tenant streams by a deterministic weighted
+// schedule: every `quantum` events the next tenant is drawn from the
+// effective weight distribution, which is the base mix with every
+// covering burst's gain multiplied in. Weights change only at burst
+// boundaries, so the alias table is rebuilt a handful of times per phase.
+type tenantMix struct {
+	phase   *Phase
+	sources []event.Source
+	quantum uint64
+	rng     *xrand.Rand
+
+	pos        uint64 // phase-relative position, in events
+	cur        int
+	used       uint64 // events taken in the current quantum
+	alias      *dist.Alias
+	aliasUntil uint64 // position at which the weights next change
+	err        error
+}
+
+func (m *tenantMix) Next() (event.Tuple, bool) {
+	if m.err != nil || m.pos >= m.phase.Events {
+		return event.Tuple{}, false
+	}
+	if m.alias == nil || m.pos >= m.aliasUntil {
+		if err := m.rebuild(); err != nil {
+			m.err = err
+			return event.Tuple{}, false
+		}
+		m.used = m.quantum // force a draw under the new weights
+	}
+	if m.used >= m.quantum {
+		m.cur = m.alias.Sample(m.rng)
+		m.used = 0
+	}
+	tp, ok := m.sources[m.cur].Next()
+	if !ok {
+		// Scenario domains are unbounded; an ended tenant stream is a
+		// failure (a trapped program, a failed source), never a clean end.
+		err := m.sources[m.cur].Err()
+		if err == nil {
+			err = fmt.Errorf("tenant stream ended prematurely")
+		}
+		m.err = fmt.Errorf("scenario: phase %s tenant %d: %w", m.phase.Name, m.cur, err)
+		return event.Tuple{}, false
+	}
+	m.used++
+	m.pos++
+	return tp, true
+}
+
+func (m *tenantMix) Err() error { return m.err }
+
+// rebuild computes the effective weights at m.pos and the position at
+// which they next change.
+func (m *tenantMix) rebuild() error {
+	w := append([]float64(nil), m.phase.Tenants...)
+	next := m.phase.Events
+	for _, b := range m.phase.Bursts {
+		if m.pos >= b.At && m.pos < b.At+b.Len {
+			w[b.Tenant] *= b.Gain
+			if end := b.At + b.Len; end < next {
+				next = end
+			}
+		} else if b.At > m.pos && b.At < next {
+			next = b.At
+		}
+	}
+	a, err := dist.NewAlias(w)
+	if err != nil {
+		return err
+	}
+	m.alias, m.aliasUntil = a, next
+	return nil
+}
+
+var _ event.Source = (*tenantMix)(nil)

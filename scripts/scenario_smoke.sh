@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Scenario smoke test: validate and gate the bundled scenario pack
+# (including the adversarial scenarios), record one scenario and replay it
+# byte-identically both locally and through a profiled daemon, then drive
+# a fault-window scenario through loadgen so the connection-fault arming
+# and reconnect path runs end to end.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+echo "== build"
+go build -o "$WORKDIR/scenario" ./cmd/scenario
+go build -o "$WORKDIR/profiled" ./cmd/profiled
+go build -o "$WORKDIR/loadgen" ./cmd/loadgen
+
+echo "== check the bundled pack"
+"$WORKDIR/scenario" check scenarios/*.scn
+
+echo "== accuracy gates (full pack, adversarial scenarios included)"
+"$WORKDIR/scenario" gate scenarios/*.scn
+
+echo "== record + local byte-identical replay"
+"$WORKDIR/scenario" record -o "$WORKDIR/steady.rec" scenarios/steady.scn
+"$WORKDIR/scenario" replay "$WORKDIR/steady.rec" | tee "$WORKDIR/replay.out"
+grep -q "byte-identical" "$WORKDIR/replay.out" || { echo "FAIL: local replay did not verify digests"; exit 1; }
+
+LISTEN=127.0.0.1:19223
+
+echo "== start profiled (block policy, as byte-identical replay requires)"
+"$WORKDIR/profiled" -listen "$LISTEN" -telemetry "" \
+    >"$WORKDIR/profiled.log" 2>&1 &
+DAEMON=$!
+trap 'kill -9 "$DAEMON" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+for i in $(seq 1 50); do
+    kill -0 "$DAEMON" 2>/dev/null || { cat "$WORKDIR/profiled.log"; echo "FAIL: daemon died at startup"; exit 1; }
+    grep -q "serving wire protocol" "$WORKDIR/profiled.log" && break
+    sleep 0.1
+done
+
+echo "== remote byte-identical replay through the daemon"
+"$WORKDIR/scenario" replay -addr "$LISTEN" "$WORKDIR/steady.rec" | tee "$WORKDIR/replay_remote.out"
+grep -q "byte-identical" "$WORKDIR/replay_remote.out" || { echo "FAIL: remote replay did not verify digests"; exit 1; }
+
+echo "== loadgen scenario mode with fault windows"
+cat > "$WORKDIR/faulty.scn" <<'SCN'
+scenario faulty
+seed 5
+interval 10000
+entries 512
+
+phase a 20000 {
+	source workload gcc
+}
+phase b 20000 {
+	source workload li
+}
+
+fault hangup 12000..14000
+fault corrupt 26000..28000
+SCN
+"$WORKDIR/loadgen" -addr "$LISTEN" -sessions 2 -scenario "$WORKDIR/faulty.scn" | tee "$WORKDIR/loadgen.out"
+grep -q "sessions: 2 ok, 0 admission-refused, 0 failed" "$WORKDIR/loadgen.out" \
+    || { echo "FAIL: loadgen sessions did not all survive the fault windows"; exit 1; }
+# Each session must actually have hit the faults and reconnected.
+grep -Eq "reconnects: [1-9]" "$WORKDIR/loadgen.out" \
+    || { echo "FAIL: fault windows armed no reconnects"; exit 1; }
+
+kill -TERM "$DAEMON" 2>/dev/null || true
+wait "$DAEMON" 2>/dev/null || true
+
+echo "PASS: scenario smoke"

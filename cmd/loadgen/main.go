@@ -19,6 +19,18 @@
 //	loadgen -kill-daemon-at 50000 -daemon-bin ./profiled -sessions 4 \
 //	    -events 100000 -daemon-journal-sync batch -daemon-telemetry :9124
 //	loadgen -addr localhost:9123 -sessions 4 -scenario pack.scn
+//	loadgen -addr localhost:9123 -sessions 4 -events 300000 -verify \
+//	    -hangup-every 3 -flip-every 4
+//
+// With -verify, every session also tees its accepted stream into memory
+// and mirrors it through local engines, requiring the daemon's delivered
+// profiles bit-identical. Against an elastic daemon the session's notice
+// trail splits the mirror: each geometry-changing notice (live resize,
+// ladder coarsen/shrink/restore) cold-starts a fresh local engine at the
+// announced shape and stream boundary — the park-and-restage contract,
+// checked end to end from the client side. Sessions whose profiles are
+// lossy (shed policy) or whose geometry changed invisibly (a daemon crash
+// lost the notice) are reported and skipped, not failed.
 //
 // With -scenario, each session streams the named scenario file instead of
 // a flat workload: the engine geometry, stream length, per-phase rates and
@@ -102,6 +114,8 @@ func main() {
 		backoff  = flag.Duration("backoff-base", 20*time.Millisecond, "reconnect backoff base delay")
 		attempts = flag.Int("max-attempts", 10, "reconnect attempts per outage (-1: unlimited)")
 
+		verify = flag.Bool("verify", false, "mirror every session's accepted stream through local engines and require the daemon's profiles bit-identical; resize/degrade notices split the mirror into cold-started segments, so this holds against an elastic daemon too (lossy shed-policy sessions and geometry changes hidden by a daemon crash are reported and skipped)")
+
 		treeDaemons = flag.String("tree-daemons", "", "comma-separated profiled -publish daemons; enables tree mode: one marked session per daemon, a union stream fanned out by shard route")
 		treeRoot    = flag.String("tree-root", "", "root aggregator to subscribe to for merged fleet epochs (tree mode)")
 
@@ -146,6 +160,7 @@ func main() {
 		hangEvery: *hangEvery, hangBytes: *hangBytes,
 		flipEvery: *flipEvery, flipBytes: *flipBytes,
 		backoff: *backoff, attempts: *attempts,
+		verify: *verify,
 	}
 	if *scnPath != "" {
 		if *killAt > 0 || *treeDaemons != "" {
@@ -259,6 +274,7 @@ type generator struct {
 	flipBytes     int64
 	backoff       time.Duration
 	attempts      int
+	verify        bool
 
 	mu        sync.Mutex
 	latencies []float64 // seconds between consecutive profile deliveries
@@ -269,6 +285,12 @@ type outcome struct {
 	intervals  int
 	shed       uint64
 	reconnects uint64
+	resizes    uint64
+	rung       int
+	degrades   int
+	parks      int
+	verified   int    // intervals proven bit-identical under -verify
+	skipped    string // why -verify could not judge this session
 	refused    bool
 	err        error
 }
@@ -300,8 +322,9 @@ func (g *generator) run() (failed int) {
 	close(results)
 	elapsed := time.Since(start)
 
-	var ok, refused int
-	var sent, shed, reconnects uint64
+	var ok, refused, identical, skipped int
+	var sent, shed, reconnects, resizes uint64
+	var degrades, parks int
 	for r := range results {
 		switch {
 		case r.refused:
@@ -315,8 +338,24 @@ func (g *generator) run() (failed int) {
 			sent += g.events
 			shed += r.shed
 			reconnects += r.reconnects
-			fmt.Printf("session %d: %d interval(s), %d shed, %d reconnect(s)\n",
+			resizes += r.resizes
+			degrades += r.degrades
+			parks += r.parks
+			line := fmt.Sprintf("session %d: %d interval(s), %d shed, %d reconnect(s)",
 				r.idx, r.intervals, r.shed, r.reconnects)
+			if r.resizes > 0 || r.degrades > 0 || r.parks > 0 || r.rung > 0 {
+				line += fmt.Sprintf(", %d resize(s), rung %d, notices degrade=%d park=%d",
+					r.resizes, r.rung, r.degrades, r.parks)
+			}
+			switch {
+			case r.skipped != "":
+				skipped++
+				line += fmt.Sprintf(" — verify skipped: %s", r.skipped)
+			case r.verified > 0 || g.verify:
+				identical++
+				line += fmt.Sprintf(" — %d interval(s) bit-identical to the local mirror", r.verified)
+			}
+			fmt.Println(line)
 		}
 	}
 
@@ -327,6 +366,12 @@ func (g *generator) run() (failed int) {
 			float64(sent)/elapsed.Seconds(), float64(obs)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
 		fmt.Printf("shed: %d of %d events (%.2f%%)\n", shed, sent, 100*float64(shed)/float64(sent))
 		fmt.Printf("reconnects: %d\n", reconnects)
+	}
+	if resizes > 0 || degrades > 0 || parks > 0 {
+		fmt.Printf("elastic: %d resize(s), notices degrade=%d park=%d\n", resizes, degrades, parks)
+	}
+	if g.verify {
+		fmt.Printf("verify: %d session(s) bit-identical, %d skipped\n", identical, skipped)
 	}
 	g.mu.Lock()
 	lat := append([]float64(nil), g.latencies...)
@@ -393,8 +438,15 @@ func (g *generator) session(idx int) outcome {
 			paced = &pacedSource{inner: src, rate: g.rate, start: time.Now()}
 		}
 	}
+	stream := hwprof.Limit(paced, g.events)
+	var rec *recordSource
+	if g.verify {
+		rec = &recordSource{inner: stream}
+		stream = rec
+	}
+	var profs []map[hwprof.Tuple]uint64
 	last := time.Time{}
-	n, err := sess.Run(hwprof.Limit(paced, g.events), func(_ int, _ map[hwprof.Tuple]uint64) {
+	n, err := sess.Run(stream, func(_ int, counts map[hwprof.Tuple]uint64) {
 		now := time.Now()
 		if !last.IsZero() {
 			g.mu.Lock()
@@ -402,11 +454,172 @@ func (g *generator) session(idx int) outcome {
 			g.mu.Unlock()
 		}
 		last = now
+		if g.verify {
+			profs = append(profs, counts)
+		}
 	})
 	if err != nil {
 		return outcome{idx: idx, err: err}
 	}
-	return outcome{idx: idx, intervals: n, shed: sess.ShedEvents(), reconnects: sess.Reconnects()}
+	out := outcome{idx: idx, intervals: n, shed: sess.ShedEvents(),
+		reconnects: sess.Reconnects(), resizes: sess.Resizes(), rung: sess.Rung()}
+	trail := sess.NoticeTrail()
+	for _, nt := range trail {
+		switch nt.Kind {
+		case hwprof.NoticeDegrade:
+			out.degrades++
+		case hwprof.NoticePark:
+			out.parks++
+		}
+	}
+	if g.verify {
+		switch {
+		case out.shed > 0:
+			// Shed events never reached the daemon's engine; no local mirror
+			// can reproduce lossy profiles.
+			out.skipped = fmt.Sprintf("%d event(s) shed; profiles are lossy", out.shed)
+		case out.resizes > geometryChanges(cfg, g.shardCount(), trail):
+			// The client counted a geometry change (from a resume ack) the
+			// trail does not carry — the session resumed against a restarted
+			// daemon that lost its staged notices, and the mirror cannot
+			// place the segment split. The opposite inequality is normal: an
+			// ack coalesces several in-outage changes into one count while
+			// the redelivered notices keep the trail itself complete.
+			out.skipped = "a geometry change during an outage is missing from the notice trail"
+		default:
+			if verr := verifySession(cfg, g.shardCount(), rec.buf, profs, trail); verr != nil {
+				out.err = verr
+				return out
+			}
+			out.verified = len(profs)
+		}
+	}
+	return out
+}
+
+// shardCount is the per-session shard count as the daemon sees it.
+func (g *generator) shardCount() int {
+	if g.shards < 1 {
+		return 1
+	}
+	return g.shards
+}
+
+// recordSource tees every event the session sends into a buffer — the
+// exact accepted stream (exactly-once across reconnects) that -verify
+// mirrors locally.
+type recordSource struct {
+	inner hwprof.Source
+	buf   []hwprof.Tuple
+}
+
+func (r *recordSource) Next() (hwprof.Tuple, bool) {
+	tp, ok := r.inner.Next()
+	if ok {
+		r.buf = append(r.buf, tp)
+	}
+	return tp, ok
+}
+
+func (r *recordSource) Err() error { return r.inner.Err() }
+
+// geometryChanges folds a session's notice trail from its admitted
+// geometry and counts the notices that actually changed the engine shape —
+// the same arithmetic the client's Resizes counter runs, so a mismatch
+// between the two means a change happened that the trail does not record.
+func geometryChanges(cfg hwprof.Config, shards int, trail []hwprof.RemoteNotice) uint64 {
+	var n uint64
+	for _, nt := range trail {
+		if nt.IntervalLength == 0 {
+			continue
+		}
+		if nt.IntervalLength != cfg.IntervalLength || nt.TotalEntries != cfg.TotalEntries ||
+			nt.NumTables != cfg.NumTables || nt.Shards != shards {
+			n++
+		}
+		cfg.IntervalLength = nt.IntervalLength
+		cfg.TotalEntries = nt.TotalEntries
+		cfg.NumTables = nt.NumTables
+		shards = nt.Shards
+	}
+	return n
+}
+
+// verifySession mirrors the accepted stream through local engines and
+// requires the daemon's delivered profiles bit-identical. Every notice
+// that changed the session's geometry splits the stream at its Observed
+// boundary, and the segment after it runs cold through a fresh engine at
+// the announced shape — exactly the park-and-restage contract the daemon
+// claims for elastic resizes.
+func verifySession(cfg hwprof.Config, shards int, stream []hwprof.Tuple,
+	got []map[hwprof.Tuple]uint64, trail []hwprof.RemoteNotice) error {
+
+	var want []map[hwprof.Tuple]uint64
+	start := uint64(0)
+	for _, nt := range trail {
+		if nt.IntervalLength == 0 {
+			continue
+		}
+		if nt.IntervalLength == cfg.IntervalLength && nt.TotalEntries == cfg.TotalEntries &&
+			nt.NumTables == cfg.NumTables && nt.Shards == shards {
+			continue // rung-only move: the engine was not restaged
+		}
+		if nt.Observed < start || nt.Observed > uint64(len(stream)) {
+			return fmt.Errorf("verify: notice boundary at observed %d outside the sent stream (prev split %d, %d events)",
+				nt.Observed, start, len(stream))
+		}
+		seg, err := segmentProfiles(cfg, shards, stream[start:nt.Observed])
+		if err != nil {
+			return err
+		}
+		want = append(want, seg...)
+		start = nt.Observed
+		cfg.IntervalLength = nt.IntervalLength
+		cfg.TotalEntries = nt.TotalEntries
+		cfg.NumTables = nt.NumTables
+		shards = nt.Shards
+	}
+	seg, err := segmentProfiles(cfg, shards, stream[start:])
+	if err != nil {
+		return err
+	}
+	want = append(want, seg...)
+	if len(got) != len(want) {
+		return fmt.Errorf("verify: %d interval(s) delivered, local mirror produced %d", len(got), len(want))
+	}
+	for i := range want {
+		if !countsEqual(got[i], want[i]) {
+			return fmt.Errorf("verify: interval %d diverges from the local mirror", i)
+		}
+	}
+	return nil
+}
+
+// segmentProfiles cold-starts a local engine at the given geometry and
+// runs one stream segment through it, returning every complete interval
+// profile.
+func segmentProfiles(cfg hwprof.Config, shards int, events []hwprof.Tuple) ([]map[hwprof.Tuple]uint64, error) {
+	eng, err := hwprof.NewSharded(cfg, shards)
+	if err != nil {
+		return nil, fmt.Errorf("verify: local mirror engine: %w", err)
+	}
+	defer eng.Close()
+	var out []map[hwprof.Tuple]uint64
+	var n uint64
+	for len(events) > 0 {
+		c := uint64(len(events))
+		if rem := cfg.IntervalLength - n; c > rem {
+			c = rem
+		}
+		eng.ObserveBatch(events[:c])
+		events = events[c:]
+		n += c
+		if n == cfg.IntervalLength {
+			out = append(out, eng.EndInterval())
+			n = 0
+		}
+	}
+	return out, eng.Err()
 }
 
 // tree drives a fleet aggregation tree and checks its root against a local
@@ -1050,6 +1263,7 @@ func scrapeMetrics(url string) {
 			"hwprof_admission_", "hwprof_shed_", "hwprof_events_shed",
 			"hwprof_resume", "hwprof_tombstones_", "hwprof_sessions_",
 			"hwprof_frames_corrupt", "hwprof_journal_",
+			"hwprof_elastic_", "hwprof_ladder_", "hwprof_tenant_",
 		} {
 			if strings.HasPrefix(line, prefix) {
 				fmt.Println("  " + line)

@@ -8,6 +8,7 @@
 //	profctl -addr localhost:9123 -workload gcc -intervals 10
 //	profctl -addr localhost:9123 -trace gcc.trace -tables 4 -shards 4
 //	profctl -addr localhost:9323 -subscribe -epochs 10
+//	profctl -export-journal /var/lib/profiled -session 3 -o sess3.rec
 //
 // On a block-policy daemon the printed profiles are bit-identical to a
 // local `profile` run over the same flags and seed.
@@ -17,6 +18,14 @@
 // its merged fleet epochs. A partial epoch (children missing after the
 // straggler deadline) makes profctl exit non-zero naming them, the way
 // shed events do in streaming mode.
+//
+// With -export-journal, profctl reads a session's write-ahead journal
+// (read-only; a live or crashed daemon's directory is safe to export
+// from) and writes it as a scenario recording: the exact accepted event
+// stream as an embedded trace plus the digests of the profiles the daemon
+// served. `scenario replay` then re-runs the engine over the stream and
+// proves the served profiles bit-identical — an offline audit of a
+// production session.
 package main
 
 import (
@@ -56,8 +65,19 @@ func main() {
 		subscribe  = flag.Bool("subscribe", false, "subscribe to -addr as an epoch publisher (aggd or profiled -publish) instead of streaming events to it")
 		epochs     = flag.Int("epochs", 0, "epochs to print under -subscribe (0: -intervals)")
 		startEpoch = flag.Uint64("start-epoch", 0, "first epoch wanted under -subscribe")
+
+		exportJournal = flag.String("export-journal", "", "export a session from this profiled journal directory as a scenario recording instead of streaming")
+		exportSession = flag.Uint64("session", 0, "session id to export under -export-journal (0: the directory's only session)")
+		exportOut     = flag.String("o", "", "output recording file for -export-journal (default session-<id>.rec)")
 	)
 	flag.Parse()
+	if *exportJournal != "" {
+		if err := runExport(*exportJournal, *exportSession, *exportOut); err != nil {
+			fmt.Fprintln(os.Stderr, "profctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *subscribe {
 		n := *epochs
 		if n == 0 {

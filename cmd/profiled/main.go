@@ -10,6 +10,7 @@
 //	profiled -listen :9123 -budget 64 -shed -shed-high 24 -shed-low 8 -resume-grace 1m
 //	profiled -listen :9123 -publish -machine-id m1 -epoch-length 10000
 //	profiled -listen :9123 -journal-dir /var/lib/profiled -journal-sync interval
+//	profiled -listen :9123 -elastic -shed -tenant-budget 8
 //
 // With -journal-dir every session mirrors its accepted batches and
 // interval boundaries into a per-session write-ahead journal; a restarted
@@ -24,10 +25,18 @@
 // them to aggd subscribers over the same wire port.
 //
 // Admission is budgeted by estimated engine cost (-budget, in units of a
-// reference 10k-interval one-shard 2048-entry session); under the -shed
-// policy a hysteresis gate engages at -shed-high queued batches and
-// disengages at -shed-low. Disconnected sessions stay resumable for
-// -resume-grace, so clients reconnect and continue bit-identically.
+// reference 10k-interval one-shard 2048-entry session); -tenant-budget
+// additionally slices that budget per remote host. Under the -shed policy a
+// hysteresis gate engages at -shed-high queued batches and disengages at
+// -shed-low. Disconnected sessions stay resumable for -resume-grace, so
+// clients reconnect and continue bit-identically.
+//
+// With -elastic each v3 session runs an online controller that resizes its
+// engine live — interval length, table size, shard count — under queue and
+// shed pressure, descending an explicit degradation ladder (shed → coarsen
+// → shrink → park) and restoring when calm. Every resize happens at an
+// interval boundary through a journaled park-and-restage cycle, so the
+// profile stream stays bit-identical to a cold start at that offset.
 //
 // SIGINT/SIGTERM drain gracefully: every session's queued batches are
 // profiled, its final partial profile and goodbye are sent, and the process
@@ -81,6 +90,12 @@ func main() {
 		journalSegment = flag.Int64("journal-segment-bytes", 0, "journal segment rotation threshold in bytes (0: default)")
 		tenantRate     = flag.Float64("tenant-rate", 0, "per-tenant session admission rate in sessions/s (0 disables)")
 		tenantBurst    = flag.Float64("tenant-burst", 0, "per-tenant admission burst (0: ceil of -tenant-rate)")
+		tenantBudget   = flag.Float64("tenant-budget", 0, "per-tenant slice of the cost budget in reference-session units (0 disables)")
+
+		elastic        = flag.Bool("elastic", false, "run the per-session online controller: live resizes and the degradation ladder (requires resume and v3 clients)")
+		elasticEngage  = flag.Int("elastic-engage", 0, "boundaries of sustained pressure before the controller acts (0: default)")
+		elasticRelease = flag.Int("elastic-release", 0, "calm boundaries before the controller de-escalates (0: default)")
+		elasticSettle  = flag.Int("elastic-settle", 0, "cooldown boundaries after every committed action (0: default)")
 	)
 	flag.Parse()
 	sync, err := journal.ParseSync(*journalSync)
@@ -116,6 +131,16 @@ func main() {
 		JournalSegmentBytes: *journalSegment,
 		TenantRate:          *tenantRate,
 		TenantBurst:         *tenantBurst,
+		TenantBudget:        *tenantBudget,
+
+		Elastic:        *elastic,
+		ElasticEngage:  *elasticEngage,
+		ElasticRelease: *elasticRelease,
+		ElasticSettle:  *elasticSettle,
+	}
+	if *elastic && *resumeGrace < 0 {
+		fmt.Fprintln(os.Stderr, "profiled: -elastic requires resume (-resume-grace must not be negative): ladder rung 4 parks sessions for their clients to resume")
+		os.Exit(2)
 	}
 	if err := run(*listen, *telemetry, cfg, *drainTimeout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "profiled:", err)

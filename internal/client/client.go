@@ -127,6 +127,53 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Notice is one elastic-serving announcement from the daemon (protocol
+// v3): a live resize, a degradation-ladder move, or an imminent park. It
+// is an absolute snapshot of the session's geometry from interval Index+1
+// on; the session applies it to its own position arithmetic before
+// surfacing it, so a caller may ignore notices entirely.
+type Notice struct {
+	// Kind classifies the announcement (NoticeResize, NoticeDegrade,
+	// NoticePark).
+	Kind byte
+
+	// Rung is the daemon's degradation-ladder rung now in effect for this
+	// session (0 = full service).
+	Rung int
+
+	// Index is the last interval completed under the previous geometry;
+	// the geometry below is in force from interval Index+1.
+	Index uint64
+
+	// Observed and Shed are the daemon's cumulative observed and shed
+	// event counts through that boundary.
+	Observed uint64
+	Shed     uint64
+
+	// IntervalLength, TotalEntries, NumTables and Shards are the session's
+	// full geometry from interval Index+1 on.
+	IntervalLength uint64
+	TotalEntries   int
+	NumTables      int
+	Shards         int
+
+	// Reason is the daemon's explanation — the controller's arithmetic or
+	// the pressure signal that tripped the ladder.
+	Reason string
+}
+
+// Notice kinds, re-exported from the wire protocol.
+const (
+	NoticeResize  = wire.NoticeResize
+	NoticeDegrade = wire.NoticeDegrade
+	NoticePark    = wire.NoticePark
+)
+
+// maxNoticeTrail bounds the retained notice history; resizes are rare
+// (hysteresis-gated, one per several intervals at most), so a session that
+// hits the cap has a misbehaving server.
+const maxNoticeTrail = 4096
+
 // Profile is one interval profile as delivered by the daemon.
 type Profile struct {
 	// Index is the interval index within the session, from 0.
@@ -174,6 +221,17 @@ type Session struct {
 	lastShed atomic.Uint64
 	// reconnects counts successful resumes.
 	reconnects atomic.Uint64
+	// rung is the degradation-ladder rung last announced by the daemon.
+	rung atomic.Int32
+	// resizes counts notices (and resume acks) that changed the session's
+	// geometry; noticeDrops counts notices the Notices channel could not
+	// hold (they are still applied and recorded in the trail).
+	resizes     atomic.Uint64
+	noticeDrops atomic.Uint64
+
+	// notices surfaces elastic-serving announcements to the caller;
+	// delivery is best-effort (non-blocking), the trail is complete.
+	notices chan Notice
 
 	closedFlag atomic.Bool
 	closeCh    chan struct{} // closed by Close: aborts reconnect sleeps
@@ -192,6 +250,24 @@ type Session struct {
 	goodbye    bool
 	permErr    error // terminal session error
 	readErr    error // reader's terminal error (when not permErr)
+
+	// Elastic anchor (v3 daemons): a complete profile i ≥ baseIdx proves
+	// the daemon consumed obsBase + (i+1−baseIdx)·curLen observed events.
+	// With no resize the anchor stays at (cfg.IntervalLength, 0, 0) and
+	// the arithmetic reduces to the fixed-length (i+1)·L form. Notices and
+	// v3 resume acks move it. curEntries/curTables/curShards complete the
+	// geometry snapshot so the Resizes counter catches changes on any axis.
+	curLen     uint64
+	baseIdx    uint64
+	obsBase    uint64
+	curEntries int
+	curTables  int
+	curShards  int
+
+	// noticeTrail is every notice received, in order (capped at
+	// maxNoticeTrail); the authoritative record for drivers that verify
+	// profiles against the announced geometry timeline.
+	noticeTrail []Notice
 }
 
 // markRec is one unacknowledged interval mark on a marked session: its
@@ -293,10 +369,15 @@ func open(addr string, conn net.Conn, cfg core.Config, opts Options) (*Session, 
 		batchSize: batchSize,
 		pending:   make([]event.Tuple, 0, batchSize),
 		profiles:  make(chan Profile, 64),
+		notices:   make(chan Notice, 64),
 		closeCh:   make(chan struct{}),
 		conn:      conn,
 		wc:        wc,
-		replayOn:  opts.Reconnect && ack.Resume,
+		replayOn:   opts.Reconnect && ack.Resume,
+		curLen:     cfg.IntervalLength,
+		curEntries: cfg.TotalEntries,
+		curTables:  cfg.NumTables,
+		curShards:  max(opts.Shards, 1),
 	}
 	go s.readLoop()
 	return s, nil
@@ -321,6 +402,29 @@ func (s *Session) ShedEvents() uint64 { return s.lastShed.Load() }
 // Reconnects returns how many times the session has successfully resumed
 // after a stream failure.
 func (s *Session) Reconnects() uint64 { return s.reconnects.Load() }
+
+// Rung returns the daemon's degradation-ladder rung for this session as
+// last announced (0 = full service; see the server's ladder).
+func (s *Session) Rung() int { return int(s.rung.Load()) }
+
+// Resizes returns how many geometry changes the daemon has announced for
+// this session, via notices or resume acks.
+func (s *Session) Resizes() uint64 { return s.resizes.Load() }
+
+// Notices returns the channel of elastic-serving announcements. Delivery
+// is best-effort: a notice nobody is reading is dropped from the channel
+// (but still applied to the session and recorded in NoticeTrail), so an
+// uninterested caller pays nothing.
+func (s *Session) Notices() <-chan Notice { return s.notices }
+
+// NoticeTrail returns a copy of every notice received so far, in arrival
+// order — the geometry timeline a driver needs to verify profiles against
+// a resizing daemon.
+func (s *Session) NoticeTrail() []Notice {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Notice(nil), s.noticeTrail...)
+}
 
 // Profiles returns the channel of interval profiles, delivered in interval
 // order as the daemon completes them. The channel closes when the session
@@ -360,6 +464,8 @@ func retryable(err error) bool {
 // session is resumable, until goodbye, terminal error, or Close.
 func (s *Session) readLoop() {
 	defer close(s.profiles)
+	// Notices are only ever sent by this goroutine, so closing here is safe.
+	defer close(s.notices)
 	for {
 		s.mu.Lock()
 		wc, gen := s.wc, s.gen
@@ -408,6 +514,12 @@ func (s *Session) readFrames(wc *wire.Conn) error {
 			if p, deliver := s.admitProfile(m); deliver {
 				s.profiles <- p
 			}
+		case wire.MsgNotice:
+			n, derr := wire.DecodeNotice(payload)
+			if derr != nil {
+				return derr // wraps ErrCorrupt: resumable transport damage
+			}
+			s.applyNotice(n)
 		case wire.MsgGoodbye:
 			s.mu.Lock()
 			s.goodbye = true
@@ -450,11 +562,63 @@ func (s *Session) admitProfile(m wire.ProfileMsg) (Profile, bool) {
 		// IntervalLength multiple.
 		s.pruneMarked(m.Index)
 	} else {
-		// Interval m.Index complete means the daemon consumed at least
-		// (Index+1)·L observed events plus everything it shed.
-		s.prune((m.Index+1)*s.cfg.IntervalLength + m.Shed)
+		// Interval m.Index complete means the daemon consumed at least the
+		// interval's closing observed position plus everything it shed. The
+		// elastic anchor generalizes the fixed-length (Index+1)·L arithmetic
+		// across resizes; profiles resent from before the anchor skip
+		// pruning (under-pruning is always safe).
+		s.mu.Lock()
+		if m.Index+1 > s.baseIdx {
+			s.pruneLocked(s.obsBase + (m.Index+1-s.baseIdx)*s.curLen + m.Shed)
+		}
+		s.mu.Unlock()
 	}
 	return p, true
+}
+
+// applyNotice re-anchors the session's position arithmetic at the
+// announced geometry and surfaces the notice to the caller. Notices are
+// absolute snapshots, so applying one twice (a resend across a resume) is
+// a no-op.
+func (s *Session) applyNotice(n wire.Notice) {
+	s.lastShed.Store(n.Shed)
+	s.rung.Store(int32(n.Rung))
+	nt := Notice{
+		Kind:           n.Kind,
+		Rung:           int(n.Rung),
+		Index:          n.Index,
+		Observed:       n.Observed,
+		Shed:           n.Shed,
+		IntervalLength: n.IntervalLength,
+		TotalEntries:   n.TotalEntries,
+		NumTables:      n.NumTables,
+		Shards:         n.Shards,
+		Reason:         n.Reason,
+	}
+	s.mu.Lock()
+	// A notice for a boundary older than the current anchor is a staged
+	// redelivery after a resume whose ack already resynchronized the
+	// geometry: record it in the trail (it carries the timeline detail the
+	// ack lacks) but leave the counter and anchor alone.
+	if n.IntervalLength > 0 && !s.opts.Marked && n.Index+1 >= s.baseIdx {
+		if n.IntervalLength != s.curLen || n.TotalEntries != s.curEntries ||
+			n.NumTables != s.curTables || n.Shards != s.curShards {
+			s.resizes.Add(1)
+		}
+		s.curLen = n.IntervalLength
+		s.curEntries, s.curTables, s.curShards = n.TotalEntries, n.NumTables, n.Shards
+		s.baseIdx = n.Index + 1
+		s.obsBase = n.Observed
+	}
+	if len(s.noticeTrail) < maxNoticeTrail {
+		s.noticeTrail = append(s.noticeTrail, nt)
+	}
+	s.mu.Unlock()
+	select {
+	case s.notices <- nt:
+	default:
+		s.noticeDrops.Add(1)
+	}
 }
 
 // prune drops replay-buffered events below floor, an absolute stream
@@ -588,8 +752,11 @@ func (s *Session) resumeOnce() error {
 	}
 	next := s.nextIdx.Load()
 	var offset uint64
-	if !s.opts.Marked {
-		if base := next * s.cfg.IntervalLength; s.replayBase > base {
+	if !s.opts.Marked && next >= s.baseIdx {
+		// v1 compatibility hint only (v2+ servers trust Floor); computed
+		// through the elastic anchor so it degrades to the fixed-length
+		// arithmetic on never-resized sessions.
+		if base := s.obsBase + (next-s.baseIdx)*s.curLen; s.replayBase > base {
 			offset = s.replayBase - base
 		}
 	}
@@ -619,7 +786,7 @@ func (s *Session) resumeOnce() error {
 		conn.Close()
 		return permanentErr{err: fmt.Errorf("%w: expected resume-ack, got frame type %d", wire.ErrProtocol, typ)}
 	}
-	ack, err := wire.DecodeResumeAck(payload)
+	ack, err := wire.DecodeResumeAck(payload, wc.Version())
 	if err != nil {
 		conn.Close()
 		return err
@@ -630,6 +797,21 @@ func (s *Session) resumeOnce() error {
 			ack.StreamPos, s.replayBase, s.sentPos)}
 	}
 	s.lastShed.Store(ack.Shed)
+	if !s.opts.Marked && wc.Version() >= 3 && ack.IntervalLength > 0 {
+		// The ack re-anchors the prune-floor arithmetic at the daemon's
+		// current geometry: interval ack.Intervals begins at observed
+		// position StreamPos − Shed − Offset, with IntervalLength events
+		// per interval from there on. Profiles the daemon resends from
+		// before the anchor skip pruning (under-pruning is safe).
+		if ack.IntervalLength != s.curLen || ack.TotalEntries != s.curEntries ||
+			ack.NumTables != s.curTables || ack.Shards != s.curShards {
+			s.resizes.Add(1)
+		}
+		s.curLen = ack.IntervalLength
+		s.curEntries, s.curTables, s.curShards = ack.TotalEntries, ack.NumTables, ack.Shards
+		s.baseIdx = ack.Intervals
+		s.obsBase = (ack.StreamPos - ack.Shed) - ack.Offset
+	}
 	// Replay exactly the events the daemon has not consumed, re-sending
 	// unconsumed interval marks at their recorded stream positions so
 	// boundary placement survives the outage. The encoding buffer is

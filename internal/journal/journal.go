@@ -17,9 +17,11 @@
 // at most its final frame, which recovery truncates at the last valid
 // CRC. Records are:
 //
-//	meta     session identity: id, publish base, the admitted Hello
-//	         (config, post-clamp shards, marked) re-encoded with the wire
-//	         codec — first record of every segment
+//	meta     session identity: id, publish base, tenant key, the admitted
+//	         Hello (config, post-clamp shards, marked) re-encoded with
+//	         the wire codec — first record of every segment. A segment
+//	         opened after a resize carries the CURRENT geometry, so a
+//	         checkpoint entry point always builds the right engine.
 //	state    checkpoint at rotation: interval, observed events, shed
 //	         count, and the resume ring length (ring entries follow as
 //	         ring records)
@@ -27,6 +29,11 @@
 //	batch    cumulative shed count + the events, wire batch codec
 //	boundary interval index, cumulative shed, and the encoded profile
 //	         frame written to the client for it
+//	resize   an elastic geometry change committed at the preceding
+//	         boundary: the session's new Hello. Replay rebuilds a fresh
+//	         engine from it — a resize IS a fresh-engine restart point by
+//	         construction, for every policy combination, because the old
+//	         engine (retained candidates included) is discarded outright.
 //	end      clean end: the client got its final profile and goodbye;
 //	         there is nothing to recover
 //
@@ -81,8 +88,11 @@ import (
 // Magic identifies a hwprof session-journal segment.
 const Magic = "HWPJ"
 
-// Version is the journal format version.
-const Version = 1
+// Version is the journal format version. v2 added the tenant key to the
+// meta record and the resize record; v1 journals are refused (recovery
+// across a daemon upgrade is not a supported path — drain before
+// upgrading).
+const Version = 2
 
 // DefaultSegmentBytes is the rotation threshold for journal segments.
 const DefaultSegmentBytes = 8 << 20
@@ -104,6 +114,7 @@ const (
 	recBatch
 	recBoundary
 	recEnd
+	recResize
 )
 
 // SyncPolicy selects the journal's durability barrier.
@@ -197,7 +208,9 @@ type Meta struct {
 	SessionID uint64
 
 	// Hello is the admitted session shape: config, post-clamp shard
-	// count, marked flag — exactly what the engine was built from.
+	// count, marked flag — exactly what the engine was built from. After
+	// a resize it tracks the CURRENT geometry (Writer.Resize updates it),
+	// so checkpoint segments always describe the engine they continue.
 	Hello wire.Hello
 
 	// Pub reports that the session publishes into the epoch feed;
@@ -205,6 +218,10 @@ type Meta struct {
 	// the feed at PubBase so replayed intervals re-pin the same epochs.
 	Pub     bool
 	PubBase uint64
+
+	// Tenant is the admission tenant key (the client's host), so recovery
+	// can re-account the session against the right per-tenant cost quota.
+	Tenant string
 }
 
 // restartable reports whether interval boundaries are fresh-engine
@@ -253,6 +270,10 @@ type Handler interface {
 	// shed count at the close, and the encoded profile frame the client
 	// was sent for it. The frame slice is the handler's to keep.
 	Boundary(index, shed uint64, profile []byte) error
+	// Resize delivers an elastic geometry change committed at the
+	// preceding boundary: the handler must discard its engine and build a
+	// fresh one from h, exactly as the live session did.
+	Resize(h wire.Hello) error
 }
 
 // sessionDir names a session's journal directory.
@@ -479,6 +500,30 @@ func (w *Writer) Boundary(index, shed uint64, profile []byte, ring [][]byte) err
 	return nil
 }
 
+// Resize journals an elastic geometry change committed at the current
+// boundary and makes it durable under every sync policy (resizes are rare
+// and recovery must never rebuild the wrong engine shape), then adopts h
+// as the session's meta Hello so later checkpoint segments describe the
+// engine they continue. Call it only at an interval boundary, after that
+// boundary's record.
+func (w *Writer) Resize(h wire.Hello) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return nil
+	}
+	if w.closed {
+		return errors.New("journal: resize after close")
+	}
+	w.buf = append(w.buf[:0], recResize)
+	w.buf = wire.AppendHello(w.buf, h, 2)
+	if err := w.append(w.buf); err != nil {
+		return err
+	}
+	w.meta.Hello = h
+	return w.flushSync()
+}
+
 // rotate finishes the active segment and starts the next with a
 // checkpoint. The checkpoint is durable before the old segment's footer
 // lands and before any prefix is deleted, so a crash at any point leaves
@@ -569,7 +614,9 @@ func (w *Writer) State() State {
 	return State{Interval: w.interval, Observed: w.observed, Shed: w.shed}
 }
 
-// encodeMeta builds a meta record.
+// encodeMeta builds a meta record. The tenant key rides length-prefixed
+// before the Hello because the wire Hello decoder consumes the payload
+// remainder exactly.
 func encodeMeta(dst []byte, m Meta) []byte {
 	dst = append(dst, recMeta)
 	dst = binary.AppendUvarint(dst, m.SessionID)
@@ -579,6 +626,8 @@ func encodeMeta(dst []byte, m Meta) []byte {
 	}
 	dst = append(dst, flags)
 	dst = binary.AppendUvarint(dst, m.PubBase)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Tenant)))
+	dst = append(dst, m.Tenant...)
 	return wire.AppendHello(dst, m.Hello, 2)
 }
 
@@ -637,9 +686,15 @@ func decodeMeta(p []byte) (Meta, error) {
 	m.SessionID = c.uvarint()
 	m.Pub = c.byte()&1 != 0
 	m.PubBase = c.uvarint()
+	tn := c.uvarint()
 	if c.err != nil {
 		return Meta{}, c.err
 	}
+	if tn > uint64(len(c.rest())) {
+		return Meta{}, fmt.Errorf("%w: meta tenant length %d overruns record", ErrCorrupt, tn)
+	}
+	m.Tenant = string(c.rest()[:tn])
+	c.off += int(tn)
 	h, err := wire.DecodeHello(c.rest(), 2)
 	if err != nil {
 		return Meta{}, fmt.Errorf("%w: meta hello: %w", ErrCorrupt, err)
@@ -766,6 +821,20 @@ func (r *replayer) record(p []byte) error {
 		}
 		r.cur.Interval = index + 1
 		r.cur.Shed = shed
+	case recResize:
+		if err := r.ensureStarted(); err != nil {
+			return err
+		}
+		h, err := wire.DecodeHello(body, 2)
+		if err != nil {
+			return fmt.Errorf("%w: resize record: %w", ErrCorrupt, err)
+		}
+		// Track the current geometry so the writer returned by Recover
+		// checkpoints the engine it actually continues.
+		r.meta.Hello = h
+		if err := r.h.Resize(h); err != nil {
+			return err
+		}
 	case recEnd:
 		r.clean = true
 	default:
@@ -949,4 +1018,66 @@ func Recover(opts Options, id uint64, h Handler) (*Writer, State, Stats, error) 
 	fin := r.cur
 	fin.Ring = nil
 	return w, fin, stats, nil
+}
+
+// Replay reads one session's journal through h without modifying anything
+// on disk: no truncation, no reopen-for-append, no segment removal. A torn
+// or trailing-corrupt tail simply ends the replay at the last valid record
+// — exactly the prefix Recover would have preserved — with the damage
+// counted in Stats. Unlike Recover, a cleanly ended journal still replays
+// in full: Replay serves readers (export, inspection), not crash recovery.
+func Replay(opts Options, id uint64, h Handler) (State, Stats, error) {
+	opts = opts.withDefaults()
+	dir := sessionDir(opts.Dir, id)
+	var stats Stats
+	idxs, err := segIndexes(dir)
+	if err != nil {
+		return State{}, stats, err
+	}
+	if len(idxs) == 0 {
+		return State{}, stats, fmt.Errorf("journal: session %d has no segments", id)
+	}
+	r := &replayer{h: h}
+	for i, idx := range idxs {
+		f, err := os.Open(segPath(dir, idx))
+		if err != nil {
+			return State{}, stats, fmt.Errorf("journal: opening segment %d: %w", idx, err)
+		}
+		stats.Segments++
+		if hdrErr := readHeader(f); hdrErr != nil {
+			f.Close()
+			// The torn first write of a rotation carries nothing; a
+			// mis-headed earlier segment is real damage.
+			if i == len(idxs)-1 && errors.Is(hdrErr, trace.ErrTruncated) {
+				stats.TornSegments++
+				break
+			}
+			return State{}, stats, fmt.Errorf("journal: segment %d: %w", idx, hdrErr)
+		}
+		res, err := trace.ScanBlocks(f, r.record)
+		f.Close()
+		if err != nil {
+			return State{}, stats, fmt.Errorf("journal: segment %d: %w", idx, err)
+		}
+		if !res.Clean {
+			if fi, statErr := os.Stat(segPath(dir, idx)); statErr == nil && fi.Size() > 6+res.Valid {
+				stats.TornBytes += fi.Size() - (6 + res.Valid)
+				stats.TornSegments++
+			}
+			// Rotated successors of a torn segment describe unreachable
+			// state; report how many the replay ignored.
+			stats.DroppedSegments += len(idxs) - i - 1
+			break
+		}
+	}
+	if !r.started {
+		// A journal holding only meta (and perhaps a checkpoint) still
+		// identifies the session at its recorded position.
+		if err := r.ensureStarted(); err != nil {
+			return State{}, stats, err
+		}
+	}
+	fin := r.cur
+	fin.Ring = nil
+	return fin, stats, nil
 }

@@ -47,6 +47,7 @@ type recording struct {
 		Index, Shed uint64
 		Profile     []byte
 	}
+	resizes []wire.Hello
 }
 
 func (r *recording) Start(meta Meta, state State) error {
@@ -64,6 +65,11 @@ func (r *recording) Boundary(index, shed uint64, profile []byte) error {
 		Index, Shed uint64
 		Profile     []byte
 	}{index, shed, profile})
+	return nil
+}
+
+func (r *recording) Resize(h wire.Hello) error {
+	r.resizes = append(r.resizes, h)
 	return nil
 }
 
@@ -346,7 +352,7 @@ func TestJournalTornWriter(t *testing.T) {
 			if err != nil {
 				return nil, err
 			}
-			torn = &faultinject.TornWriter{W: f, After: 900}
+			torn = &faultinject.TornWriter{W: f, After: 901}
 			return struct {
 				*faultinject.TornWriter
 				syncCloser
@@ -563,5 +569,124 @@ func TestJournalMetrics(t *testing.T) {
 	// records only.
 	if bytes >= onDisk {
 		t.Fatalf("accounted %d bytes, on disk %d", bytes, onDisk)
+	}
+}
+
+// snapshotDir captures every file's bytes under a session directory so a
+// read-only pass can be proven to have modified nothing.
+func snapshotDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	files := map[string][]byte{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		files[path] = b
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestJournalReplayReadOnly proves Replay delivers the same history
+// Recover would — including stopping at a torn tail — while leaving every
+// byte on disk untouched, and that it replays cleanly ended journals
+// Recover skips.
+func TestJournalReplayReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	var torn *faultinject.TornWriter
+	opts := Options{
+		Dir:  dir,
+		Sync: SyncBatch,
+		Open: func(path string) (File, error) {
+			f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			torn = &faultinject.TornWriter{W: f, After: 901}
+			return struct {
+				*faultinject.TornWriter
+				syncCloser
+			}{torn, syncCloser{f}}, nil
+		},
+	}
+	w, err := Create(opts, testMeta(21, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	writeSession(t, w, rng, 0, 10, 40)
+	if !torn.Torn() {
+		t.Fatal("tear point never crossed; raise the write volume")
+	}
+	w.Abandon()
+
+	before := snapshotDir(t, dir)
+	var rep recording
+	st, stats, err := Replay(opts2(dir), 21, &rep)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if stats.TornSegments != 1 {
+		t.Fatalf("replay stats = %+v, want one torn segment", stats)
+	}
+	after := snapshotDir(t, dir)
+	if len(before) != len(after) {
+		t.Fatalf("replay changed the file set: %d files before, %d after", len(before), len(after))
+	}
+	for path, b := range before {
+		if string(b) != string(after[path]) {
+			t.Fatalf("replay modified %s", path)
+		}
+	}
+
+	// Recover over the untouched directory must see the identical history.
+	var rec recording
+	w2, st2, _, err := Recover(opts2(dir), 21, &rec)
+	if err != nil {
+		t.Fatalf("recover after replay: %v", err)
+	}
+	w2.Abandon()
+	if st.Interval != st2.Interval || st.Observed != st2.Observed || st.Shed != st2.Shed {
+		t.Fatalf("replay position %+v, recover position %+v", st, st2)
+	}
+	if len(rep.events()) != len(rec.events()) || len(rep.boundaries) != len(rec.boundaries) {
+		t.Fatalf("replay saw %d events / %d boundaries, recover saw %d / %d",
+			len(rep.events()), len(rep.boundaries), len(rec.events()), len(rec.boundaries))
+	}
+
+	// A cleanly ended journal: Recover skips it entirely (nil writer, no
+	// handler calls); Replay still delivers the full history to readers.
+	dir2 := t.TempDir()
+	w3, err := Create(opts2(dir2), testMeta(22, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _ := writeSession(t, w3, rng, 0, 4, 25)
+	if err := w3.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var skipped recording
+	wEnded, _, _, err := Recover(opts2(dir2), 22, &skipped)
+	if err != nil || wEnded != nil || skipped.started {
+		t.Fatalf("recover of an ended journal: w=%v started=%v err=%v", wEnded, skipped.started, err)
+	}
+	var full recording
+	st3, _, err := Replay(opts2(dir2), 22, &full)
+	if err != nil {
+		t.Fatalf("replay of an ended journal: %v", err)
+	}
+	if len(full.events()) != len(events) || st3.Interval != 4 {
+		t.Fatalf("ended-journal replay saw %d events to interval %d, want %d to 4",
+			len(full.events()), st3.Interval, len(events))
 	}
 }

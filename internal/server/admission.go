@@ -39,23 +39,31 @@ func sessionCost(cfg core.Config, shards int) float64 {
 	return c
 }
 
-// admission tracks the daemon's engine-cost budget. Sessions acquire their
-// estimated cost at Hello and release it when their engine is finally
-// discarded — including after a tombstone's grace period, since a parked
-// engine still holds its storage.
+// admission tracks the daemon's engine-cost budget, globally and per
+// tenant. Sessions acquire their estimated cost at Hello and release it
+// when their engine is finally discarded — including after a tombstone's
+// grace period, since a parked engine still holds its storage. With a
+// per-tenant budget configured, a tenant's live sessions additionally
+// share that slice: one tenant saturating its quota cannot starve the
+// rest of the global budget. Elastic resizes re-price through reprice,
+// against both ledgers, before the new engine is committed.
 type admission struct {
-	budget float64
-	mu     sync.Mutex
-	used   float64
+	budget       float64
+	tenantBudget float64 // 0 = per-tenant quotas disabled
+
+	mu      sync.Mutex
+	used    float64
+	tenants map[string]float64 // cost in use per tenant key
 }
 
-func newAdmission(budget float64) *admission {
-	return &admission{budget: budget}
+func newAdmission(budget, tenantBudget float64) *admission {
+	return &admission{budget: budget, tenantBudget: tenantBudget, tenants: make(map[string]float64)}
 }
 
-// tryAcquire admits cost against the remaining budget. On refusal it
-// returns a client-facing reason.
-func (a *admission) tryAcquire(cost float64) (ok bool, reason string) {
+// tryAcquire admits cost against the remaining global budget and, when
+// per-tenant quotas are on, against tenant's remaining slice. On refusal
+// it returns a client-facing reason carrying the arithmetic.
+func (a *admission) tryAcquire(tenant string, cost float64) (ok bool, reason string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.used+cost > a.budget {
@@ -63,17 +71,80 @@ func (a *admission) tryAcquire(cost float64) (ok bool, reason string) {
 			"admission refused: session cost %.3f exceeds available budget (%.3f of %.3f in use)",
 			cost, a.used, a.budget)
 	}
-	a.used += cost
+	if a.tenantBudget > 0 {
+		if used := a.tenants[tenant]; used+cost > a.tenantBudget {
+			return false, fmt.Sprintf(
+				"admission refused: session cost %.3f exceeds tenant %s's available quota (%.3f of %.3f in use)",
+				cost, tenant, used, a.tenantBudget)
+		}
+	}
+	a.charge(tenant, cost)
 	return true, ""
 }
 
-// release returns cost to the budget.
-func (a *admission) release(cost float64) {
+// reprice atomically swaps a session's admitted cost from old to new —
+// the elastic resize path. Shrinks always succeed; a growth that does not
+// fit either ledger is refused with the arithmetic and nothing changes.
+func (a *admission) reprice(tenant string, old, new float64) (ok bool, reason string) {
 	a.mu.Lock()
-	a.used -= cost
+	defer a.mu.Unlock()
+	delta := new - old
+	if delta > 0 {
+		if a.used+delta > a.budget {
+			return false, fmt.Sprintf(
+				"resize refused: re-priced cost %.3f (was %.3f) exceeds available budget (%.3f of %.3f in use)",
+				new, old, a.used, a.budget)
+		}
+		if a.tenantBudget > 0 {
+			if used := a.tenants[tenant]; used+delta > a.tenantBudget {
+				return false, fmt.Sprintf(
+					"resize refused: re-priced cost %.3f (was %.3f) exceeds tenant %s's quota (%.3f of %.3f in use)",
+					new, old, tenant, used, a.tenantBudget)
+			}
+		}
+	}
+	a.charge(tenant, delta)
+	return true, ""
+}
+
+// fits reports whether repricing old to new would succeed, without
+// committing anything — the controller's CanAfford predicate, used to
+// steer proposals away from certain refusals. The authoritative check is
+// still the reprice at commit time.
+func (a *admission) fits(tenant string, old, new float64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delta := new - old
+	if delta <= 0 {
+		return true
+	}
+	if a.used+delta > a.budget {
+		return false
+	}
+	if a.tenantBudget > 0 && a.tenants[tenant]+delta > a.tenantBudget {
+		return false
+	}
+	return true
+}
+
+// charge adjusts both ledgers by delta (may be negative). Callers hold mu.
+func (a *admission) charge(tenant string, delta float64) {
+	a.used += delta
 	if a.used < 0 {
 		a.used = 0
 	}
+	t := a.tenants[tenant] + delta
+	if t <= 0 {
+		delete(a.tenants, tenant)
+	} else {
+		a.tenants[tenant] = t
+	}
+}
+
+// release returns cost to the budget (and the tenant's slice).
+func (a *admission) release(tenant string, cost float64) {
+	a.mu.Lock()
+	a.charge(tenant, -cost)
 	a.mu.Unlock()
 }
 
@@ -82,6 +153,13 @@ func (a *admission) inUse() float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.used
+}
+
+// tenantUse reports the cost currently admitted for one tenant.
+func (a *admission) tenantUse(tenant string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tenants[tenant]
 }
 
 // milli converts a cost to the integer milli-units the gauge exports.

@@ -91,6 +91,31 @@ func (h *recoverHandler) Batch(events []event.Tuple) error {
 	return h.eng.Err()
 }
 
+// Resize re-stages the replay engine at the journaled geometry, exactly as
+// the crashed daemon's worker did at this boundary: the old engine (and its
+// retained candidates) is discarded outright and a fresh one continues.
+func (h *recoverHandler) Resize(hello wire.Hello) error {
+	if h.events != 0 {
+		return fmt.Errorf("resize record %d event(s) into an interval; resizes only happen at boundaries", h.events)
+	}
+	if err := hello.Config.Validate(); err != nil {
+		return fmt.Errorf("journaled resize config: %w", err)
+	}
+	shards := hello.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	eng, err := shard.New(shard.Config{Core: hello.Config, NumShards: shards})
+	if err != nil {
+		return fmt.Errorf("rebuilding resized engine: %w", err)
+	}
+	h.eng.Close()
+	h.eng = eng
+	h.shards = shards
+	h.meta.Hello = hello
+	return nil
+}
+
 func (h *recoverHandler) Boundary(index, shed uint64, profile []byte) error {
 	prof := h.eng.EndInterval()
 	if err := h.eng.Err(); err != nil {
@@ -217,6 +242,10 @@ func (s *Server) recoverSession(id uint64) (*session, *recoverHandler, error) {
 
 	// Recovered sessions pass the same admission the original did: the
 	// restarted daemon may be configured tighter than the one that crashed.
+	// The cost prices the journal's CURRENT geometry — the replayer tracks
+	// resize records through meta.Hello, so a session that crashed resized
+	// re-admits at its resized price.
+	tenant := h.meta.Tenant
 	cost := sessionCost(h.meta.Hello.Config, h.shards)
 	s.mu.Lock()
 	if len(s.sessions)+len(s.tombs) >= s.cfg.MaxSessions {
@@ -225,7 +254,7 @@ func (s *Server) recoverSession(id uint64) (*session, *recoverHandler, error) {
 		w.Abandon()
 		return nil, nil, fmt.Errorf("admission refused: session limit %d reached", s.cfg.MaxSessions)
 	}
-	ok, reason := s.admission.tryAcquire(cost)
+	ok, reason := s.admission.tryAcquire(tenant, cost)
 	if ok && id > s.nextID {
 		s.nextID = id
 	}
@@ -236,23 +265,34 @@ func (s *Server) recoverSession(id uint64) (*session, *recoverHandler, error) {
 		return nil, nil, fmt.Errorf("admission refused: %s", reason)
 	}
 	s.metrics.AdmissionCostUsed.Set(milli(s.admission.inUse()))
+	s.metrics.TenantCostUsed.With(tenant).Set(milli(s.admission.tenantUse(tenant)))
 
 	sess := &session{
-		srv:      s,
-		id:       id,
-		cfg:      h.meta.Hello.Config,
-		shards:   h.shards,
-		eng:      h.eng,
-		cost:     cost,
-		marked:   h.meta.Hello.Marked,
-		pub:      h.pub,
-		pubBase:  h.meta.PubBase,
-		events:   h.events,
-		interval: st.Interval,
-		ring:     h.ring,
-		jw:       w,
+		srv:       s,
+		id:        id,
+		cfg:       h.meta.Hello.Config,
+		shards:    h.shards,
+		eng:       h.eng,
+		cost:      cost,
+		marked:    h.meta.Hello.Marked,
+		tenant:    tenant,
+		variation: -1,
+		pub:       h.pub,
+		pubBase:   h.meta.PubBase,
+		events:    h.events,
+		observed:  st.Observed,
+		interval:  st.Interval,
+		ring:      h.ring,
+		jw:        w,
 	}
+	sess.lastShed = st.Shed
 	sess.streamPos.Store(st.StreamPos())
 	sess.shed.Store(st.Shed)
+	// The degradation rung resets to full across a crash: the rung is
+	// serving-pressure state, not stream state, and the restarted daemon's
+	// pressure is measured fresh. The controller (re-created at adoption)
+	// re-admits the current geometry as its restore target.
+	s.metrics.TenantSessions.With(tenant).Add(1)
+	s.metrics.LadderRung.With(rungLabel(0)).Add(1)
 	return sess, h, nil
 }

@@ -217,6 +217,28 @@ type Config struct {
 	// max(1, ceil(TenantRate)).
 	TenantBurst float64
 
+	// TenantBudget is the per-tenant slice of the cost budget: one
+	// tenant's live sessions (by remote host) share at most this much
+	// admitted cost, so a single tenant cannot starve the global budget.
+	// Elastic resizes re-price against it before committing. 0 disables
+	// per-tenant cost quotas.
+	TenantBudget float64
+
+	// Elastic enables the per-session online controller: sessions that
+	// negotiated protocol v3 (and are not marked — their clients own the
+	// boundaries) are resized live along the degradation ladder when
+	// queue pressure or shedding persists, and along the §5.6.1 accuracy
+	// axis when it does not. Requires resume (rung 4 parks the session).
+	Elastic bool
+
+	// ElasticEngage, ElasticRelease and ElasticSettle override the
+	// controller's hysteresis constants (boundaries of persistent signal
+	// to act, calm boundaries to de-escalate, cooldown after an action);
+	// 0 selects the adaptive package defaults (3, 8, 4).
+	ElasticEngage  int
+	ElasticRelease int
+	ElasticSettle  int
+
 	// Logf receives one line per session lifecycle event; nil disables
 	// logging (tests) — use log.Printf for the daemon.
 	Logf func(format string, args ...any)
@@ -380,6 +402,40 @@ type Metrics struct {
 	// JournalRecoverFailures counts journals that could not be recovered
 	// (unreplayable config, replay divergence, admission refusal).
 	JournalRecoverFailures *telemetry.Counter
+
+	// ElasticResizes counts committed engine resizes (geometry changes).
+	ElasticResizes *telemetry.Counter
+	// ElasticRefused counts elastic actions abandoned because the
+	// re-price against the cost budget (global or tenant) was refused.
+	ElasticRefused *telemetry.Counter
+	// ElasticActions counts committed controller actions by operation
+	// (coarsen, shrink-tables, grow-shards, park, restore, ...).
+	ElasticActions *telemetry.CounterVec
+	// LadderRung is the number of sessions currently at each
+	// degradation-ladder rung (0 = full service ... 4 = parked by the
+	// controller).
+	LadderRung *telemetry.GaugeVec
+
+	// TenantSessions is the number of live sessions per tenant.
+	TenantSessions *telemetry.GaugeVec
+	// TenantCostUsed is the admitted engine cost per tenant, in
+	// milli-units of the reference session.
+	TenantCostUsed *telemetry.GaugeVec
+	// TenantRefused counts refused session admissions per tenant (rate,
+	// cost, or limit — any reason).
+	TenantRefused *telemetry.CounterVec
+	// TenantEventsShed counts events dropped under the shed policy, per
+	// tenant.
+	TenantEventsShed *telemetry.CounterVec
+	// TenantShedEngaged counts shed-gate on-transitions per tenant.
+	TenantShedEngaged *telemetry.CounterVec
+	// TenantJournalBytes counts journal bytes appended per tenant.
+	TenantJournalBytes *telemetry.CounterVec
+	// TenantResizes counts committed elastic resizes per tenant.
+	TenantResizes *telemetry.CounterVec
+	// TenantDegraded is the number of sessions per tenant currently above
+	// rung 0 on the degradation ladder.
+	TenantDegraded *telemetry.GaugeVec
 }
 
 // newMetrics registers the daemon's metrics in a fresh registry.
@@ -422,6 +478,20 @@ func newMetrics() *Metrics {
 		JournalRecovered:       r.Counter("hwprof_journal_recovered_sessions_total", "Sessions replayed from journals after a restart."),
 		JournalTornTruncations: r.Counter("hwprof_journal_torn_truncations_total", "Journal segments truncated at the last valid CRC."),
 		JournalRecoverFailures: r.Counter("hwprof_journal_recover_failures_total", "Journals that could not be recovered."),
+
+		ElasticResizes: r.Counter("hwprof_elastic_resizes_total", "Committed live engine resizes."),
+		ElasticRefused: r.Counter("hwprof_elastic_refused_total", "Elastic actions refused by the cost budget re-price."),
+		ElasticActions: r.CounterVec("hwprof_elastic_actions_total", "Committed elastic controller actions, by operation.", "op"),
+		LadderRung:     r.GaugeVec("hwprof_ladder_rung_sessions", "Sessions at each degradation-ladder rung.", "rung"),
+
+		TenantSessions:     r.GaugeVec("hwprof_tenant_sessions", "Live sessions per tenant.", "tenant"),
+		TenantCostUsed:     r.GaugeVec("hwprof_tenant_cost_used_milli", "Admitted engine cost per tenant, milli-units.", "tenant"),
+		TenantRefused:      r.CounterVec("hwprof_tenant_admission_refused_total", "Refused session admissions per tenant.", "tenant"),
+		TenantEventsShed:   r.CounterVec("hwprof_tenant_events_shed_total", "Events shed per tenant.", "tenant"),
+		TenantShedEngaged:  r.CounterVec("hwprof_tenant_shed_engaged_total", "Shed-gate engagements per tenant.", "tenant"),
+		TenantJournalBytes: r.CounterVec("hwprof_tenant_journal_bytes_total", "Journal bytes appended per tenant.", "tenant"),
+		TenantResizes:      r.CounterVec("hwprof_tenant_resizes_total", "Committed elastic resizes per tenant.", "tenant"),
+		TenantDegraded:     r.GaugeVec("hwprof_tenant_degraded_sessions", "Sessions above rung 0 per tenant.", "tenant"),
 	}
 }
 
@@ -453,7 +523,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		metrics:   newMetrics(),
-		admission: newAdmission(cfg.CostBudget),
+		admission: newAdmission(cfg.CostBudget, cfg.TenantBudget),
 		sessions:  make(map[uint64]*session),
 		tombs:     make(map[uint64]*session),
 		conns:     make(map[net.Conn]struct{}),

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hwprof/internal/adaptive"
 	"hwprof/internal/core"
 	"hwprof/internal/event"
 	"hwprof/internal/journal"
@@ -51,12 +52,30 @@ type session struct {
 	queue      chan item
 	attachDone chan struct{} // closed when the attachment has fully finished
 
-	// Engine, fixed at admission.
+	// Engine. cfg, shards and cost are fixed at admission but may be
+	// re-staged by an elastic resize — always at an interval boundary, and
+	// only by the worker goroutine.
 	cfg    core.Config
 	shards int
 	eng    *shard.Profiler
-	cost   float64 // admission cost held until release
+	cost   float64 // admission cost held until release; re-priced on resize
 	marked bool    // client places interval boundaries with MsgMark (v2)
+	tenant string  // admission tenant key (remote host), fixed at admission
+
+	// Elastic serving. elastic is the session's online controller, nil
+	// when disabled (config off, marked session, or a pre-v3 client —
+	// resizes cannot be announced below v3). lastShed, distinct and
+	// variation are the worker's per-boundary signal staging. rung is the
+	// session's current degradation-ladder rung, atomic because teardown
+	// paths read it for gauge cleanup. pendingResize is the operator/test
+	// entry point (Server.ResizeSession): a geometry the worker applies at
+	// the next boundary through the same commit path the controller uses.
+	elastic       *adaptive.Elastic
+	lastShed      uint64  // cumulative shed at the previous boundary (worker)
+	distinct      int     // distinct tuples in the last interval profile (worker)
+	variation     float64 // candidate variation vs the previous interval, <0 unknown (worker)
+	rung          atomic.Int32
+	pendingResize atomic.Pointer[adaptive.Geometry]
 
 	// Epoch publishing, fixed at admission. pub is the session's member
 	// name in the daemon's feed ("" = not publishing); pubBase is the
@@ -71,8 +90,15 @@ type session struct {
 
 	// Stream position, persisted across attachments.
 	events    uint64        // events observed in the current partial interval
+	observed  uint64        // total events observed into the engine (shed excluded)
 	interval  uint64        // completed intervals, = next profile index
 	ring      [][]byte      // recent encoded profiles, oldest first, for resend on resume
+	// pendingNotices holds encoded notice frames the worker could not
+	// deliver to a dead attachment (a resize or ladder move committed while
+	// the queue drained disconnected). The resume path replays them, in
+	// order, right after the ack — so the client's notice trail stays a
+	// complete geometry timeline across outages, not just a re-anchored one.
+	pendingNotices [][]byte
 	streamPos atomic.Uint64 // client-stream events consumed: observed + shed
 	shed      atomic.Uint64 // cumulative events dropped under shed policy
 
@@ -119,8 +145,17 @@ func (s *session) release() {
 			s.srv.feed.Leave(s.pub, s.endClean)
 		}
 		s.eng.Close()
-		s.srv.admission.release(s.cost)
-		s.srv.metrics.AdmissionCostUsed.Set(milli(s.srv.admission.inUse()))
+		s.srv.admission.release(s.tenant, s.cost)
+		m := s.srv.metrics
+		m.AdmissionCostUsed.Set(milli(s.srv.admission.inUse()))
+		m.TenantCostUsed.With(s.tenant).Set(milli(s.srv.admission.tenantUse(s.tenant)))
+		m.TenantSessions.With(s.tenant).Add(-1)
+		if rung := int(s.rung.Load()); rung > 0 {
+			m.TenantDegraded.With(s.tenant).Add(-1)
+			m.LadderRung.With(rungLabel(rung)).Add(-1)
+		} else {
+			m.LadderRung.With(rungLabel(0)).Add(-1)
+		}
 	}
 }
 
@@ -137,13 +172,13 @@ func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 		s.refuseConn(conn, wc, wire.CodeConfig, err.Error())
 		return
 	}
-	if s.limiter != nil {
-		if host := tenantHost(conn.RemoteAddr()); !s.limiter.allow(host) {
-			s.metrics.AdmissionRefusedRate.Inc()
-			s.refuseConn(conn, wc, wire.CodeOverload,
-				fmt.Sprintf("admission refused: tenant %s exceeded session rate %.3g/s", host, s.cfg.TenantRate))
-			return
-		}
+	tenant := tenantHost(conn.RemoteAddr())
+	if s.limiter != nil && !s.limiter.allow(tenant) {
+		s.metrics.AdmissionRefusedRate.Inc()
+		s.metrics.TenantRefused.With(tenant).Inc()
+		s.refuseConn(conn, wc, wire.CodeOverload,
+			fmt.Sprintf("admission refused: tenant %s exceeded session rate %.3g/s", tenant, s.cfg.TenantRate))
+		return
 	}
 	shards := h.Shards
 	if shards < 1 {
@@ -169,14 +204,16 @@ func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 	if len(s.sessions)+len(s.tombs) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
 		s.metrics.AdmissionRefusedLimit.Inc()
+		s.metrics.TenantRefused.With(tenant).Inc()
 		s.refuseConn(conn, wc, wire.CodeOverload,
 			fmt.Sprintf("admission refused: session limit %d reached", s.cfg.MaxSessions))
 		return
 	}
-	ok, reason := s.admission.tryAcquire(cost)
+	ok, reason := s.admission.tryAcquire(tenant, cost)
 	if !ok {
 		s.mu.Unlock()
 		s.metrics.AdmissionRefusedCost.Inc()
+		s.metrics.TenantRefused.With(tenant).Inc()
 		s.refuseConn(conn, wc, wire.CodeOverload, reason)
 		return
 	}
@@ -184,11 +221,13 @@ func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 	id := s.nextID
 	s.mu.Unlock()
 	s.metrics.AdmissionCostUsed.Set(milli(s.admission.inUse()))
+	s.metrics.TenantCostUsed.With(tenant).Set(milli(s.admission.tenantUse(tenant)))
 
 	eng, err := shard.New(shard.Config{Core: h.Config, NumShards: shards})
 	if err != nil {
-		s.admission.release(cost)
+		s.admission.release(tenant, cost)
 		s.metrics.AdmissionCostUsed.Set(milli(s.admission.inUse()))
+		s.metrics.TenantCostUsed.With(tenant).Set(milli(s.admission.tenantUse(tenant)))
 		s.refuseConn(conn, wc, wire.CodeConfig, err.Error())
 		return
 	}
@@ -204,7 +243,11 @@ func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 		eng:        eng,
 		cost:       cost,
 		marked:     h.Marked,
+		tenant:     tenant,
+		variation:  -1,
 	}
+	s.metrics.TenantSessions.With(tenant).Add(1)
+	s.metrics.LadderRung.With(rungLabel(0)).Add(1)
 	// A session whose interval boundaries align with the fleet epoch
 	// contract — marked (the client places them on the fleet's union
 	// boundaries), or plain with the matching interval length — publishes
@@ -215,11 +258,12 @@ func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 		sess.pubBase = s.feed.Join(sess.pub)
 	}
 	if s.journaling() {
-		jw, err := journal.Create(s.journal, journal.Meta{
+		jw, err := journal.Create(s.journalOptsFor(tenant), journal.Meta{
 			SessionID: id,
 			Hello:     wire.Hello{Config: h.Config, Shards: shards, Marked: h.Marked},
 			Pub:       sess.pub != "",
 			PubBase:   sess.pubBase,
+			Tenant:    tenant,
 		})
 		if err != nil {
 			// A session we cannot journal is a session we cannot keep the
@@ -242,6 +286,12 @@ func (s *Server) openSession(conn net.Conn, wc *wire.Conn, payload []byte) {
 	s.mu.Unlock()
 	s.metrics.SessionsTotal.Inc()
 	s.metrics.SessionsActive.Add(1)
+	// Elastic serving needs a client that understands notices (v3), a
+	// worker that owns its boundaries (not marked), and somewhere for rung
+	// 4 to park into (resume).
+	if s.cfg.Elastic && !h.Marked && wc.Version() >= 3 && s.cfg.resumeEnabled() {
+		sess.elastic = s.newElastic(sess)
+	}
 	s.logf("session %d: open from %s: %v, %d shard(s), cost %.3f, marked %v, publish %q",
 		id, conn.RemoteAddr(), h.Config, shards, cost, h.Marked, sess.pub)
 
@@ -333,6 +383,11 @@ func (s *Server) adopt(sess *session, conn net.Conn, wc *wire.Conn, r wire.Resum
 	case sess.marked && wc.Version() < 2:
 		code = wire.CodeProtocol
 		refusal = "marked session resume requires protocol v2"
+	case sess.elastic != nil && wc.Version() < 3:
+		// An elastic session may already have resized away from its
+		// Hello-time geometry; only a v3 ack can re-anchor the client.
+		code = wire.CodeProtocol
+		refusal = "elastic session resume requires protocol v3"
 	case r.Intervals > sess.interval:
 		code = wire.CodeProtocol
 		refusal = fmt.Sprintf("resume claims %d intervals, server has %d", r.Intervals, sess.interval)
@@ -370,13 +425,36 @@ func (s *Server) adopt(sess *session, conn net.Conn, wc *wire.Conn, r wire.Resum
 	s.mu.Unlock()
 	s.metrics.SessionsActive.Add(1)
 
-	ack := wire.ResumeAck{Intervals: sess.interval, Offset: sess.events, StreamPos: pos, Shed: sess.shed.Load()}
-	if err := wc.WriteFrame(wire.MsgResumeAck, wire.AppendResumeAck(nil, ack)); err != nil {
+	// v3 acks carry the session's current geometry: after an elastic resize
+	// the client's Hello-time geometry is stale, and the ack is what
+	// re-anchors its prune-floor arithmetic.
+	ack := wire.ResumeAck{
+		Intervals: sess.interval, Offset: sess.events, StreamPos: pos, Shed: sess.shed.Load(),
+		IntervalLength: sess.cfg.IntervalLength, TotalEntries: sess.cfg.TotalEntries,
+		NumTables: sess.cfg.NumTables, Shards: sess.shards,
+	}
+	if err := wc.WriteFrame(wire.MsgResumeAck, wire.AppendResumeAck(nil, ack, wc.Version())); err != nil {
 		s.logf("session %d: writing resume-ack: %v", sess.id, err)
 		s.parkSession(sess)
 		close(sess.attachDone)
 		return
 	}
+	// Notices the previous attachment could not deliver come first: the
+	// ack already re-anchored the client's arithmetic, but only the notice
+	// frames carry the boundary positions and reasons a verifying client
+	// needs for its geometry timeline. Kept until actually written, so a
+	// resume that dies mid-flush retries them on the next one (duplicates
+	// are harmless: a geometry-identical notice changes nothing).
+	for i, frame := range sess.pendingNotices {
+		if err := wc.WriteFrame(wire.MsgNotice, frame); err != nil {
+			s.logf("session %d: resending notice: %v", sess.id, err)
+			sess.pendingNotices = sess.pendingNotices[i:]
+			s.parkSession(sess)
+			close(sess.attachDone)
+			return
+		}
+	}
+	sess.pendingNotices = nil
 	resend := int(sess.interval - r.Intervals)
 	for i := len(sess.ring) - resend; i < len(sess.ring); i++ {
 		if err := wc.WriteFrame(wire.MsgProfile, sess.ring[i]); err != nil {
@@ -388,6 +466,12 @@ func (s *Server) adopt(sess *session, conn net.Conn, wc *wire.Conn, r wire.Resum
 		s.metrics.IntervalsTotal.Inc()
 	}
 	s.metrics.ResumesTotal.Inc()
+	// A recovered session lost its controller in the crash; rebuild it for
+	// this attachment, re-admitting the current (possibly resized) geometry
+	// as the restore target.
+	if s.cfg.Elastic && sess.elastic == nil && !sess.marked && wc.Version() >= 3 && s.cfg.resumeEnabled() {
+		sess.elastic = s.newElastic(sess)
+	}
 	s.logf("session %d: resumed from %s at interval %d+%d (stream pos %d), resent %d profile(s)",
 		sess.id, conn.RemoteAddr(), sess.interval, sess.events, pos, resend)
 	sess.serve()
@@ -567,6 +651,7 @@ func (s *session) setGate(on bool) {
 	s.gateOn = on
 	if on {
 		s.srv.metrics.ShedEngaged.Inc()
+		s.srv.metrics.TenantShedEngaged.With(s.tenant).Inc()
 		s.srv.metrics.ShedSessions.Add(1)
 		s.srv.logf("session %d: shed gate engaged at queue length %d", s.id, len(s.queue))
 	} else {
@@ -582,6 +667,7 @@ func (s *session) dropBatch(buf *[]event.Tuple, n uint64) {
 	s.shed.Add(n)
 	s.streamPos.Add(n)
 	s.srv.metrics.EventsShed.Add(n)
+	s.srv.metrics.TenantEventsShed.With(s.tenant).Add(n)
 	*buf = (*buf)[:0]
 	s.srv.batchPool.Put(buf)
 }
@@ -684,6 +770,7 @@ func (s *session) workLoop() {
 			// for its MsgMark.
 			s.eng.ObserveBatch(batch)
 			s.events += uint64(len(batch))
+			s.observed += uint64(len(batch))
 			if !s.journalBatch(batch) {
 				dead = true
 			}
@@ -699,6 +786,7 @@ func (s *session) workLoop() {
 			}
 			s.eng.ObserveBatch(batch[:n])
 			s.events += n
+			s.observed += n
 			if !s.journalBatch(batch[:n]) {
 				dead = true
 				continue
@@ -711,6 +799,15 @@ func (s *session) workLoop() {
 				}
 				s.interval++
 				s.events = 0
+				// Boundary actions: apply a staged operator resize, then let
+				// the elastic controller act on this interval's signals. Any
+				// committed geometry change takes effect for the remainder of
+				// this batch — the clip loop re-reads cfg.IntervalLength —
+				// exactly as a cold start at this stream offset would.
+				if !s.boundaryActions() {
+					dead = true
+					continue
+				}
 			}
 		}
 		*it.batch = (*it.batch)[:0]
@@ -773,6 +870,9 @@ func (s *session) emitProfile(final bool) bool {
 			// Merge this interval into its fleet epoch. The feed copies the
 			// counts before returning, so the map is still recyclable.
 			s.srv.feed.Report(s.pub, s.pubBase+s.interval, prof, nil)
+		}
+		if s.elastic != nil {
+			s.distinct, s.variation = s.elastic.ObserveProfile(prof, s.cfg.ThresholdCount())
 		}
 		s.eng.Recycle(prof) // encoded; hand the map back for the next boundary
 	}

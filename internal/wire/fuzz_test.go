@@ -23,7 +23,10 @@ func FuzzWire(f *testing.F) {
 	c.WriteFrame(MsgDrain, nil)
 	c.WriteFrame(MsgError, AppendError(nil, ErrorMsg{Code: CodeProtocol, Msg: "x"}))
 	c.WriteFrame(MsgResume, AppendResume(nil, Resume{SessionID: 7, Intervals: 2, Offset: 40, Floor: 20_040}, Version))
-	c.WriteFrame(MsgResumeAck, AppendResumeAck(nil, ResumeAck{Intervals: 2, Offset: 40, StreamPos: 20_040, Shed: 1}))
+	c.WriteFrame(MsgResumeAck, AppendResumeAck(nil, ResumeAck{Intervals: 2, Offset: 40, StreamPos: 20_040, Shed: 1,
+		IntervalLength: 10_000, TotalEntries: 2048, NumTables: 4, Shards: 2}, Version))
+	c.WriteFrame(MsgNotice, AppendNotice(nil, Notice{Kind: NoticeResize, Rung: 2, Index: 3, Observed: 40_000,
+		Shed: 7, IntervalLength: 20_000, TotalEntries: 1024, NumTables: 4, Shards: 2, Reason: "pressure 0.9 >= 0.75"}))
 	c.WriteFrame(MsgSubscribe, AppendSubscribe(nil, Subscribe{Start: 3}))
 	c.WriteFrame(MsgSubscribeAck, AppendSubscribeAck(nil, SubscribeAck{Source: "leaf", EpochLength: 10_000, First: 3, Window: 64}))
 	c.WriteFrame(MsgEpoch, AppendEpoch(nil, EpochMsg{Source: "agg", Epoch: 3, Partial: true, Children: 2,
@@ -105,11 +108,23 @@ func FuzzWire(f *testing.F) {
 					}
 				}
 			case MsgResumeAck:
-				var a1, a2 ResumeAck
-				a1, err1 = DecodeResumeAck(payload)
-				a2, err2 = DecodeResumeAck(payload)
-				if err1 == nil && a1 != a2 {
-					t.Fatal("resume-ack decoded differently twice")
+				for _, v := range []byte{2, 3} {
+					var a1, a2 ResumeAck
+					a1, err1 = DecodeResumeAck(payload, v)
+					a2, err2 = DecodeResumeAck(payload, v)
+					if err1 == nil && a1 != a2 {
+						t.Fatal("resume-ack decoded differently twice")
+					}
+					if err1 != nil && !errors.Is(err1, ErrCorrupt) {
+						t.Fatalf("unclassified decode error: %v", err1)
+					}
+				}
+			case MsgNotice:
+				var n1, n2 Notice
+				n1, err1 = DecodeNotice(payload)
+				n2, err2 = DecodeNotice(payload)
+				if err1 == nil && n1 != n2 {
+					t.Fatal("notice decoded differently twice")
 				}
 			case MsgSubscribe:
 				var s1, s2 Subscribe

@@ -35,6 +35,16 @@
 // with a union stream's intervals. A v2 Resume carries the replay floor as
 // an absolute stream position. None of these are legal on a v1 stream.
 //
+// Protocol v3 adds the elastic-serving surface. The server may send Notice
+// frames — always at an interval boundary — announcing a live geometry
+// change (resize), a degradation-ladder transition, or an imminent park. A
+// Notice is an absolute snapshot (full geometry plus the boundary's exact
+// stream coordinates), so duplicates are harmless and the client never has
+// to reconstruct history. A v3 ResumeAck carries the session's current
+// geometry for the same reason: a client that missed a Notice across an
+// outage is resynchronized by the ack. Servers only resize sessions that
+// negotiated v3.
+//
 // All encodings are deterministic: profile entries are sorted by tuple, and
 // both batches and profiles use the same delta+zigzag+uvarint record coding
 // as the trace format, with the delta base reset at every frame so each
@@ -63,8 +73,10 @@ const Magic = "HWPS"
 // server replies with min(client, server), and both sides then speak the
 // agreed version (Conn.Version). v2 adds the fleet-aggregation surface —
 // Subscribe/SubscribeAck/Epoch frames, client-driven interval marks, and
-// the Resume replay floor — all of which are illegal on a v1 stream.
-const Version = 2
+// the Resume replay floor — all of which are illegal on a v1 stream. v3
+// adds server-initiated Notice frames and the ResumeAck geometry fields,
+// illegal (respectively absent) below v3.
+const Version = 3
 
 // MinVersion is the oldest protocol version still served.
 const MinVersion = 1
@@ -112,6 +124,13 @@ const (
 	// the exact stream position of the frame: a Mark payload. Sessions that
 	// opened with Hello.Marked place every interval boundary this way.
 	MsgMark byte = 13
+
+	// MsgNotice (server→client, v3) announces an elastic-serving event at
+	// an interval boundary — a live resize, a degradation-ladder
+	// transition, or an imminent park: a Notice payload. Notices are
+	// informational snapshots; the session stream continues (or, for a
+	// park, pauses for a later Resume) either way.
+	MsgNotice byte = 14
 )
 
 // Error codes carried by MsgError.
@@ -535,25 +554,49 @@ type ResumeAck struct {
 
 	// Shed is the session's cumulative shed count so far.
 	Shed uint64
+
+	// IntervalLength, TotalEntries, NumTables and Shards (v3 only) are the
+	// session's geometry as of this ack. An elastic server may have resized
+	// the session while the client was away; the ack resynchronizes the
+	// client without it having to see every Notice. Zero values on a v1/v2
+	// stream mean "unchanged from the Hello".
+	IntervalLength uint64
+	TotalEntries   int
+	NumTables      int
+	Shards         int
 }
 
-// AppendResumeAck encodes a onto dst.
-func AppendResumeAck(dst []byte, a ResumeAck) []byte {
+// AppendResumeAck encodes a onto dst in the shape of protocol version v:
+// v3 appends the session's current geometry.
+func AppendResumeAck(dst []byte, a ResumeAck, v byte) []byte {
 	dst = binary.AppendUvarint(dst, a.Intervals)
 	dst = binary.AppendUvarint(dst, a.Offset)
 	dst = binary.AppendUvarint(dst, a.StreamPos)
 	dst = binary.AppendUvarint(dst, a.Shed)
+	if v >= 3 {
+		dst = binary.AppendUvarint(dst, a.IntervalLength)
+		dst = binary.AppendUvarint(dst, uint64(a.TotalEntries))
+		dst = binary.AppendUvarint(dst, uint64(a.NumTables))
+		dst = binary.AppendUvarint(dst, uint64(a.Shards))
+	}
 	return dst
 }
 
-// DecodeResumeAck decodes a ResumeAck payload.
-func DecodeResumeAck(p []byte) (ResumeAck, error) {
+// DecodeResumeAck decodes a ResumeAck payload in the shape of protocol
+// version v.
+func DecodeResumeAck(p []byte, v byte) (ResumeAck, error) {
 	d := decoder{p: p}
 	var a ResumeAck
 	a.Intervals = d.uvarint()
 	a.Offset = d.uvarint()
 	a.StreamPos = d.uvarint()
 	a.Shed = d.uvarint()
+	if v >= 3 {
+		a.IntervalLength = d.uvarint()
+		a.TotalEntries = d.vint()
+		a.NumTables = d.vint()
+		a.Shards = d.vint()
+	}
 	if err := d.finish("resume-ack"); err != nil {
 		return ResumeAck{}, err
 	}
@@ -906,6 +949,115 @@ func DecodeMark(p []byte) (Mark, error) {
 		return Mark{}, err
 	}
 	return m, nil
+}
+
+// Notice kinds.
+const (
+	// NoticeResize: the session's engine was rebuilt with the geometry in
+	// this notice, effective from interval Index+1.
+	NoticeResize byte = 1
+	// NoticeDegrade: the degradation ladder moved to Rung; when the rung
+	// change also resized the engine, the geometry fields carry the new
+	// shape exactly as a NoticeResize would.
+	NoticeDegrade byte = 2
+	// NoticePark: the server is about to park the session (ladder rung 4);
+	// the connection will close and the client should back off and Resume.
+	NoticePark byte = 3
+)
+
+// Notice is a server-initiated elastic-serving announcement (v3), sent at
+// an interval boundary. It is an absolute snapshot: the boundary's exact
+// coordinates plus the full geometry now in force, so applying the same
+// notice twice is a no-op and a client can rebuild its position arithmetic
+// from any single notice.
+//
+// A client streaming to an elastic server derives its replay-buffer prune
+// floor for profile i >= BaseIndex as
+//
+//	Observed + (i+1-BaseIndex)×IntervalLength + profile.Shed
+//
+// where BaseIndex = Index+1 is the first interval of the new geometry —
+// the variable-geometry generalization of the fixed-length
+// (i+1)×IntervalLength+Shed arithmetic.
+type Notice struct {
+	// Kind classifies the announcement (NoticeResize, NoticeDegrade,
+	// NoticePark).
+	Kind byte
+
+	// Rung is the degradation-ladder rung now in effect (0 = full service).
+	Rung byte
+
+	// Index is the last interval completed under the previous geometry —
+	// the boundary this notice was placed at. The new geometry is in force
+	// from interval Index+1.
+	Index uint64
+
+	// Observed is the total number of events the engine has observed (shed
+	// excluded) through that boundary.
+	Observed uint64
+
+	// Shed is the session's cumulative shed count through that boundary.
+	Shed uint64
+
+	// IntervalLength, TotalEntries, NumTables and Shards are the session's
+	// full geometry from interval Index+1 on. ThresholdPercent never
+	// changes — the absolute candidate threshold scales with the interval,
+	// which is what keeps a resize accuracy-neutral (§5.6.1).
+	IntervalLength uint64
+	TotalEntries   int
+	NumTables      int
+	Shards         int
+
+	// Reason is a human-readable explanation (the controller's arithmetic,
+	// a quota refusal, the pressure signal that tripped the ladder).
+	Reason string
+}
+
+// AppendNotice encodes n onto dst. Notices exist only on v3 streams, so
+// the encoding is unversioned.
+func AppendNotice(dst []byte, n Notice) []byte {
+	dst = append(dst, n.Kind, n.Rung)
+	dst = binary.AppendUvarint(dst, n.Index)
+	dst = binary.AppendUvarint(dst, n.Observed)
+	dst = binary.AppendUvarint(dst, n.Shed)
+	dst = binary.AppendUvarint(dst, n.IntervalLength)
+	dst = binary.AppendUvarint(dst, uint64(n.TotalEntries))
+	dst = binary.AppendUvarint(dst, uint64(n.NumTables))
+	dst = binary.AppendUvarint(dst, uint64(n.Shards))
+	reason := n.Reason
+	if len(reason) > maxErrorMsg {
+		reason = reason[:maxErrorMsg]
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(reason)))
+	return append(dst, reason...)
+}
+
+// DecodeNotice decodes a Notice payload.
+func DecodeNotice(p []byte) (Notice, error) {
+	d := decoder{p: p}
+	var n Notice
+	n.Kind = d.byte()
+	n.Rung = d.byte()
+	n.Index = d.uvarint()
+	n.Observed = d.uvarint()
+	n.Shed = d.uvarint()
+	n.IntervalLength = d.uvarint()
+	n.TotalEntries = d.vint()
+	n.NumTables = d.vint()
+	n.Shards = d.vint()
+	sz := d.uvarint()
+	if d.err != nil {
+		return Notice{}, d.fail("notice")
+	}
+	if sz > maxErrorMsg || sz > uint64(len(p)-d.pos) {
+		return Notice{}, fmt.Errorf("%w: notice reason length %d overruns payload", ErrCorrupt, sz)
+	}
+	n.Reason = string(p[d.pos : d.pos+int(sz)])
+	d.pos += int(sz)
+	if err := d.finish("notice"); err != nil {
+		return Notice{}, err
+	}
+	return n, nil
 }
 
 // ErrorMsg is a terminal session failure report.

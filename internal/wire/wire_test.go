@@ -347,13 +347,41 @@ func TestResumeRoundTrip(t *testing.T) {
 }
 
 func TestResumeAckRoundTrip(t *testing.T) {
-	for _, a := range []ResumeAck{{}, {Intervals: 3, Offset: 999, StreamPos: 30_999, Shed: 17}} {
-		got, err := DecodeResumeAck(AppendResumeAck(nil, a))
+	for _, a := range []ResumeAck{
+		{},
+		{Intervals: 3, Offset: 999, StreamPos: 30_999, Shed: 17,
+			IntervalLength: 20_000, TotalEntries: 1024, NumTables: 4, Shards: 2},
+	} {
+		for _, v := range []byte{1, 2, 3} {
+			want := a
+			if v < 3 {
+				// Pre-v3 acks carry no geometry.
+				want.IntervalLength, want.TotalEntries, want.NumTables, want.Shards = 0, 0, 0, 0
+			}
+			got, err := DecodeResumeAck(AppendResumeAck(nil, want, v), v)
+			if err != nil {
+				t.Fatalf("v%d: %v", v, err)
+			}
+			if got != want {
+				t.Fatalf("v%d: %+v != %+v", v, got, want)
+			}
+		}
+	}
+}
+
+func TestNoticeRoundTrip(t *testing.T) {
+	for _, n := range []Notice{
+		{Kind: NoticePark, Rung: 4, Index: 9, Observed: 90_000, Shed: 123,
+			IntervalLength: 10_000, TotalEntries: 2048, NumTables: 4, Shards: 1, Reason: "queue 16/16"},
+		{Kind: NoticeResize, IntervalLength: 5_000, TotalEntries: 2048, NumTables: 4, Shards: 2},
+		{},
+	} {
+		got, err := DecodeNotice(AppendNotice(nil, n))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != a {
-			t.Fatalf("%+v != %+v", got, a)
+		if got != n {
+			t.Fatalf("%+v != %+v", got, n)
 		}
 	}
 }
@@ -594,8 +622,14 @@ func TestDecodersRejectPrefixesAndTrailingGarbage(t *testing.T) {
 			func(p []byte) error { _, err := DecodeResume(p, 1); return err }},
 		{"resume-v2", AppendResume(nil, Resume{SessionID: 300, Intervals: 4, Offset: 150, Floor: 40_150}, 2),
 			func(p []byte) error { _, err := DecodeResume(p, 2); return err }},
-		{"resume-ack", AppendResumeAck(nil, ResumeAck{Intervals: 5, Offset: 600, StreamPos: 50_600, Shed: 3}),
-			func(p []byte) error { _, err := DecodeResumeAck(p); return err }},
+		{"resume-ack-v2", AppendResumeAck(nil, ResumeAck{Intervals: 5, Offset: 600, StreamPos: 50_600, Shed: 3}, 2),
+			func(p []byte) error { _, err := DecodeResumeAck(p, 2); return err }},
+		{"resume-ack-v3", AppendResumeAck(nil, ResumeAck{Intervals: 5, Offset: 600, StreamPos: 50_600, Shed: 3,
+			IntervalLength: 10_000, TotalEntries: 2048, NumTables: 4, Shards: 2}, 3),
+			func(p []byte) error { _, err := DecodeResumeAck(p, 3); return err }},
+		{"notice", AppendNotice(nil, Notice{Kind: NoticeDegrade, Rung: 3, Index: 7, Observed: 70_000, Shed: 2,
+			IntervalLength: 40_000, TotalEntries: 512, NumTables: 4, Shards: 1, Reason: "shed 0.31 >= 0.25"}),
+			func(p []byte) error { _, err := DecodeNotice(p); return err }},
 		{"subscribe", AppendSubscribe(nil, Subscribe{Start: 17}),
 			func(p []byte) error { _, err := DecodeSubscribe(p); return err }},
 		{"subscribe-ack", AppendSubscribeAck(nil, SubscribeAck{Source: "leaf-1", EpochLength: 10_000, First: 3, Window: 64}),

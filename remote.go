@@ -29,6 +29,21 @@ type RemoteProfile = client.Profile
 // for DialWith.
 type RemoteOptions = client.Options
 
+// RemoteNotice is one elastic-serving announcement from a daemon — a live
+// resize, a degradation-ladder move, or an imminent park — as surfaced by
+// RemoteSession.Notices and RemoteSession.NoticeTrail. It is an absolute
+// snapshot of the session's geometry from interval Index+1 on; the session
+// applies it to its own stream arithmetic before surfacing it, so callers
+// may ignore notices entirely.
+type RemoteNotice = client.Notice
+
+// Notice kinds carried by RemoteNotice.Kind.
+const (
+	NoticeResize  = client.NoticeResize
+	NoticeDegrade = client.NoticeDegrade
+	NoticePark    = client.NoticePark
+)
+
 // ErrRemoteClosed is returned by operations on a remote session that was
 // already drained or closed.
 var ErrRemoteClosed = client.ErrSessionClosed

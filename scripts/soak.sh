@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Long-soak driver: run the scenario-driven soak pack against an elastic,
+# journaled profiled daemon and require every session to survive it —
+# workload shifts, tenant bursts, a collision flood, a flattening Zipf
+# sweep, and connection-fault windows (hangup + corruption) astride every
+# phase transition — then drain the daemon cleanly on SIGTERM.
+#
+# Usage:
+#
+#   scripts/soak.sh              # the full pack: ~3 hours per session, off-CI
+#   scripts/soak.sh smoke        # the 60-second 1/200th-scale variant (in CI)
+#
+#   SOAK_SESSIONS=8 scripts/soak.sh        # concurrent sessions (default 4)
+#
+# The smoke variant also runs loadgen -verify: every session's profiles
+# must come out bit-identical to a local mirror split at any announced
+# elastic resize boundaries. The full soak leaves -verify off — it would
+# buffer hours of stream in memory — and relies on the daemon-side
+# journal plus the zero-failed-sessions bar instead.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+VARIANT="${1:-soak}"
+case "$VARIANT" in
+soak)  SCN=scenarios/soak.scn;       VERIFY=() ;;
+smoke) SCN=scenarios/soak_smoke.scn; VERIFY=(-verify) ;;
+*) echo "usage: $0 [soak|smoke]"; exit 2 ;;
+esac
+SESSIONS="${SOAK_SESSIONS:-4}"
+
+WORKDIR=$(mktemp -d)
+DAEMON=""
+trap '{ [ -n "$DAEMON" ] && kill -9 "$DAEMON"; rm -rf "$WORKDIR"; } 2>/dev/null || true' EXIT
+
+echo "== build"
+go build -o "$WORKDIR/profiled" ./cmd/profiled
+go build -o "$WORKDIR/loadgen" ./cmd/loadgen
+go build -o "$WORKDIR/scenario" ./cmd/scenario
+
+echo "== check $SCN"
+"$WORKDIR/scenario" check "$SCN"
+
+LISTEN=127.0.0.1:19153
+TELEMETRY=127.0.0.1:19154
+
+# Elastic on with the default (conservative) hysteresis: the soak is paced,
+# so the controller only moves if the daemon genuinely falls behind — the
+# soak bar is that sessions survive either way. The journal makes every
+# session crash-durable for the whole run; resume-grace must comfortably
+# cover the reconnect backoff through every fault window.
+echo "== start profiled (elastic, journaled, $VARIANT)"
+"$WORKDIR/profiled" -listen "$LISTEN" -telemetry "$TELEMETRY" \
+    -elastic -queue 16 -budget 64 -max-shards 2 \
+    -journal-dir "$WORKDIR/journal" -journal-sync interval \
+    -resume-grace 60s -quiet \
+    >"$WORKDIR/profiled.log" 2>&1 &
+DAEMON=$!
+for i in $(seq 1 50); do
+    kill -0 "$DAEMON" 2>/dev/null || { cat "$WORKDIR/profiled.log"; echo "FAIL: daemon died at startup"; exit 1; }
+    grep -q "serving wire protocol" "$WORKDIR/profiled.log" && break
+    sleep 0.1
+done
+
+echo "== soak: $SESSIONS session(s) × $SCN"
+"$WORKDIR/loadgen" -addr "$LISTEN" -metrics "http://$TELEMETRY/metrics" \
+    -sessions "$SESSIONS" -scenario "$SCN" -max-attempts 30 \
+    ${VERIFY[@]+"${VERIFY[@]}"} \
+    | tee "$WORKDIR/loadgen.out"
+
+grep -q " 0 failed" "$WORKDIR/loadgen.out" || { echo "FAIL: a session failed during the soak"; exit 1; }
+grep -Eq "^reconnects: [1-9]" "$WORKDIR/loadgen.out" || { echo "FAIL: the fault windows armed no reconnects"; exit 1; }
+if [ "$VARIANT" = smoke ]; then
+    grep -Eq "^verify: [1-9][0-9]* session\(s\) bit-identical, 0 skipped" "$WORKDIR/loadgen.out" \
+        || { echo "FAIL: not every session verified bit-identical"; exit 1; }
+fi
+grep -Eq "hwprof_resume_failures_total 0$" "$WORKDIR/loadgen.out" || { echo "FAIL: resume failures during the soak"; exit 1; }
+grep -Eq "hwprof_journal_recover_failures_total 0$" "$WORKDIR/loadgen.out" || { echo "FAIL: journal failures during the soak"; exit 1; }
+
+echo "== drain with SIGTERM"
+kill -TERM "$DAEMON"
+for i in $(seq 1 100); do
+    kill -0 "$DAEMON" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$DAEMON" 2>/dev/null; then
+    cat "$WORKDIR/profiled.log"
+    echo "FAIL: daemon did not exit after SIGTERM"
+    exit 1
+fi
+wait "$DAEMON" || { cat "$WORKDIR/profiled.log"; echo "FAIL: daemon exited non-zero"; exit 1; }
+grep -q "drained cleanly" "$WORKDIR/profiled.log" || { cat "$WORKDIR/profiled.log"; echo "FAIL: daemon did not report a clean drain"; exit 1; }
+
+echo "PASS: $VARIANT soak ($SESSIONS session(s) × $SCN)"
